@@ -1,0 +1,150 @@
+"""Shared harness for the per-figure reproduction benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment at the configured scale, prints the same rows/series the
+paper reports, saves them under ``benchmarks/results/``, and asserts
+the result's *shape* (who wins, roughly by how much).
+
+Scale: set ``REPRO_BENCH_INSTRUCTIONS`` to override the per-benchmark
+instruction count (default 1,000,000,000 -- the paper's SimPoint
+length).  Smaller values (e.g. 100000000) give a quick pass with the
+same qualitative results.
+
+Sweeps are cached in-process so benches that share a configuration
+(Figures 6, 7 and 12 all use the 2B2S four-program sweep) compute it
+once; each bench's timed section is its own marginal work.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.ace.counters import AceCounterMode
+from repro.config import STANDARD_MACHINES, MachineConfig
+from repro.sim.experiment import run_workload
+from repro.sim.results import RunResult
+from repro.workloads.mixes import WorkloadMix, generate_workloads
+
+#: Instructions per benchmark (paper: 1e9).
+SCALE = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 1_000_000_000))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SWEEP_CACHE: dict = {}
+_WORKLOAD_CACHE: dict = {}
+
+
+def workloads(num_programs: int) -> list[WorkloadMix]:
+    if num_programs not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[num_programs] = generate_workloads(num_programs)
+    return _WORKLOAD_CACHE[num_programs]
+
+
+def machine_by_name(name: str) -> MachineConfig:
+    return STANDARD_MACHINES[name]()
+
+
+def cached_sweep(
+    machine: MachineConfig,
+    num_programs: int,
+    scheduler_names: Sequence[str] = ("random", "performance", "reliability"),
+    *,
+    counter_mode: AceCounterMode = AceCounterMode.FULL,
+    small_frequency_ghz: float | None = None,
+    sampling: tuple[int, float] | None = None,
+    cache_tag: str = "",
+) -> dict[str, list[RunResult]]:
+    """Run (or fetch) a full 36-workload sweep.
+
+    Args:
+        machine: base machine configuration.
+        num_programs: 2, 4 or 8 (must match the machine's core count).
+        scheduler_names: schedulers to evaluate.
+        counter_mode: ACE counter architecture for the schedulers.
+        small_frequency_ghz: optional small-core frequency override.
+        sampling: optional ``(period_quanta, sampling_quantum_seconds)``.
+        cache_tag: extra cache-key component for custom machines.
+    """
+    if small_frequency_ghz is not None:
+        machine = machine.with_small_frequency(small_frequency_ghz)
+    if sampling is not None:
+        machine = machine.with_sampling(sampling[0], sampling[1])
+    key = (
+        machine.name,
+        num_programs,
+        tuple(sorted(scheduler_names)),
+        counter_mode,
+        small_frequency_ghz,
+        sampling,
+        cache_tag,
+        SCALE,
+    )
+    if key in _SWEEP_CACHE:
+        return {
+            name: _SWEEP_CACHE[key][name] for name in scheduler_names
+        }
+    results: dict[str, list[RunResult]] = {n: [] for n in scheduler_names}
+    for index, mix in enumerate(workloads(num_programs)):
+        for name in scheduler_names:
+            results[name].append(
+                run_workload(
+                    machine,
+                    mix,
+                    name,
+                    instructions=SCALE,
+                    seed=index,
+                    counter_mode=counter_mode,
+                )
+            )
+    _SWEEP_CACHE[key] = results
+    return results
+
+
+def save_table(name: str, lines: Sequence[str]) -> Path:
+    """Print a result table and save it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text, end="")
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def sser_ratios(
+    results: dict[str, list[RunResult]], numerator: str, denominator: str
+) -> list[float]:
+    return [
+        a.sser / b.sser
+        for a, b in zip(results[numerator], results[denominator])
+    ]
+
+
+def stp_ratios(
+    results: dict[str, list[RunResult]], numerator: str, denominator: str
+) -> list[float]:
+    return [
+        a.stp / b.stp
+        for a, b in zip(results[numerator], results[denominator])
+    ]
+
+
+def by_category(
+    results: dict[str, list[RunResult]], num_programs: int
+) -> dict[str, dict[str, list[RunResult]]]:
+    """Regroup sweep results per workload category."""
+    grouped: dict[str, dict[str, list[RunResult]]] = {}
+    for i, mix in enumerate(workloads(num_programs)):
+        bucket = grouped.setdefault(
+            mix.category, {name: [] for name in results}
+        )
+        for name in results:
+            bucket[name].append(results[name][i])
+    return grouped

@@ -1,0 +1,63 @@
+"""Extension: AVF stressmark (after Nair et al., MICRO 2010).
+
+Searches the workload-characteristics space for the big-core
+AVF-maximizing phase and compares it against the benchmark suite's
+spectrum -- an upper bound on the vulnerability the scheduler may
+encounter.  Also demonstrates that the stressmark is precisely the
+kind of application reliability-aware scheduling protects: scheduled
+against low-AVF co-runners, it is placed on a small core.
+"""
+
+from _harness import SCALE, machine_by_name, save_table
+
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.workloads.spec2006 import SUITE, big_core_avf
+from repro.workloads.spec2006 import benchmark as lookup
+from repro.workloads.stressmark import search_stressmark
+
+ITERATIONS = 400
+
+
+def _extension():
+    result = search_stressmark(iterations=ITERATIONS, seed=3)
+    machine = machine_by_name("2B2S")
+    scale = min(SCALE, 200_000_000)
+    profiles = [
+        result.profile(instructions=scale),
+        lookup("gobmk").scaled(scale),
+        lookup("sjeng").scaled(scale),
+        lookup("perlbench").scaled(scale),
+    ]
+    run = MulticoreSimulation(
+        machine, profiles, ReliabilityScheduler(machine, 4)
+    ).run()
+    return result, run
+
+
+def bench_ext_stressmark(benchmark):
+    result, run = benchmark.pedantic(_extension, rounds=1, iterations=1)
+
+    suite_avfs = sorted(big_core_avf(p) for p in SUITE.values())
+    stress = run.app("avf-stressmark")
+    small_share = stress.time_small_seconds / stress.time_seconds
+    lines = [
+        "Extension: AVF stressmark search",
+        f"stressmark big-core AVF: {100 * result.avf:.1f}% "
+        f"({result.evaluations} model evaluations)",
+        f"suite AVF range: {100 * suite_avfs[0]:.1f}% .. "
+        f"{100 * suite_avfs[-1]:.1f}%",
+        f"stressmark characteristics: dep={result.characteristics.dep_distance_mean:.1f}, "
+        f"l1d/l2/l3 MPKI={result.characteristics.l1d_mpki:.0f}/"
+        f"{result.characteristics.l2_mpki:.0f}/"
+        f"{result.characteristics.l3_mpki:.0f}, "
+        f"mlp={result.characteristics.mlp:.1f}, "
+        f"branch MPKI={result.characteristics.branch_mpki:.1f}",
+        "scheduled against three low-AVF co-runners (2B2S, "
+        "reliability-optimized):",
+        f"stressmark small-core time share: {100 * small_share:.0f}%",
+    ]
+    save_table("ext_stressmark", lines)
+
+    assert result.avf > suite_avfs[-1]
+    assert small_share > 0.8  # the scheduler protects the stressmark

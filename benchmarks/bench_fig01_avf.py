@@ -1,0 +1,36 @@
+"""Figure 1: sorted big-core AVF for the SPEC CPU2006 benchmarks.
+
+Regenerates the AVF spectrum on the big out-of-order core together
+with the H/M/L sensitivity classification derived from it (the paper
+classifies the 8 highest-AVF benchmarks H, the 8 lowest L, the rest
+M).  Shape checks: a wide AVF spread with the paper's named examples
+on the right ends (milc, zeusmp high; mcf, libquantum low).
+"""
+
+from _harness import save_table
+
+from repro.workloads.spec2006 import SUITE, big_core_avf, classify_benchmarks
+
+
+def _figure1():
+    avf = {name: big_core_avf(profile) for name, profile in SUITE.items()}
+    classes = classify_benchmarks()
+    ordered = sorted(avf, key=avf.get)
+    return avf, classes, ordered
+
+
+def bench_fig01_avf(benchmark):
+    avf, classes, ordered = benchmark.pedantic(_figure1, rounds=1, iterations=1)
+
+    lines = ["Figure 1: big-core AVF (sorted ascending), with H/M/L class",
+             f"{'benchmark':12s} {'class':>5s} {'AVF %':>7s}"]
+    for name in ordered:
+        lines.append(f"{name:12s} {classes[name]:>5s} {100 * avf[name]:7.1f}")
+    save_table("fig01_avf", lines)
+
+    # Shape: wide spread, paper-named examples in the right classes.
+    assert max(avf.values()) / min(avf.values()) > 2.5
+    assert classes["milc"] == "H" and classes["zeusmp"] == "H"
+    assert classes["mcf"] == "L" and classes["libquantum"] == "L"
+    counts = {c: list(classes.values()).count(c) for c in "HML"}
+    assert counts == {"H": 8, "M": 13, "L": 8}

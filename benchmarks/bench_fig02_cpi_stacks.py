@@ -1,0 +1,53 @@
+"""Figure 2: normalized big-core CPI stacks, ordered as Figure 1.
+
+Regenerates the per-benchmark CPI stacks (base, resource stalls,
+branch misprediction, I-cache, L2, LLC and memory components) on the
+big core, ordered by big-core AVF.  Shape check: the low-AVF
+(left-hand) benchmarks show substantially larger front-end miss
+components than the high-AVF (right-hand) benchmarks -- the paper's
+explanation for the AVF spectrum.
+"""
+
+from _harness import mean, save_table
+
+from repro.config import MemoryConfig, big_core_config
+from repro.cores import ISOLATED, MechanisticCoreModel
+from repro.metrics.performance import normalize_cpi_stack
+from repro.workloads.spec2006 import SUITE, big_core_avf
+
+COMPONENTS = ("base", "resource", "bpred", "icache", "l2", "llc", "mem")
+
+
+def _figure2():
+    model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+    stacks = {}
+    for name, profile in SUITE.items():
+        combined = {c: 0.0 for c in COMPONENTS}
+        for frac, chars in profile.phases:
+            analysis = model.analyze(chars, ISOLATED)
+            for c in COMPONENTS:
+                combined[c] += frac * analysis.cpi_components[c]
+        stacks[name] = normalize_cpi_stack(combined)
+    order = sorted(SUITE, key=lambda n: big_core_avf(SUITE[n]))
+    return stacks, order
+
+
+def bench_fig02_cpi_stacks(benchmark):
+    stacks, order = benchmark.pedantic(_figure2, rounds=1, iterations=1)
+
+    lines = ["Figure 2: normalized CPI stacks (%) on the big core, "
+             "ordered by big-core AVF",
+             f"{'benchmark':12s} " + " ".join(f"{c:>8s}" for c in COMPONENTS)]
+    for name in order:
+        row = " ".join(f"{100 * stacks[name][c]:8.1f}" for c in COMPONENTS)
+        lines.append(f"{name:12s} {row}")
+    save_table("fig02_cpi_stacks", lines)
+
+    # Shape: the front-end miss share (bpred + icache) is much larger
+    # on the low-AVF side than on the high-AVF side.
+    front_end = {
+        name: stacks[name]["bpred"] + stacks[name]["icache"] for name in order
+    }
+    low_side = mean(front_end[n] for n in order[:8])
+    high_side = mean(front_end[n] for n in order[-8:])
+    assert low_side > 3 * high_side

@@ -1,0 +1,81 @@
+"""Figure 6: SSER and STP on a 2B2S HCMP, normalized to random.
+
+The paper's headline experiment: all 36 four-program workloads under
+the reliability- and performance-optimized schedulers, normalized to
+the random scheduler.  Paper numbers: reliability-optimized reduces
+SSER by 32 % on average (up to 55.6 %) vs random and by 25.4 % (up to
+60.2 %) vs performance-optimized, while losing only 6.3 % STP vs
+performance-optimized and roughly matching random's STP.
+"""
+
+from _harness import (
+    cached_sweep,
+    machine_by_name,
+    mean,
+    save_table,
+    sser_ratios,
+    stp_ratios,
+    workloads,
+)
+
+
+def _figure6():
+    return cached_sweep(machine_by_name("2B2S"), 4)
+
+
+def bench_fig06_2b2s(benchmark):
+    results = benchmark.pedantic(_figure6, rounds=1, iterations=1)
+
+    rel_rand_sser = sser_ratios(results, "reliability", "random")
+    perf_rand_sser = sser_ratios(results, "performance", "random")
+    rel_perf_sser = sser_ratios(results, "reliability", "performance")
+    rel_rand_stp = stp_ratios(results, "reliability", "random")
+    perf_rand_stp = stp_ratios(results, "performance", "random")
+    rel_perf_stp = stp_ratios(results, "reliability", "performance")
+
+    lines = ["Figure 6a: normalized SSER per workload (sorted; "
+             "lower is better)",
+             f"{'rank':>4s} {'perf-opt':>9s} {'rel-opt':>9s}"]
+    for i, (p, r) in enumerate(
+        zip(sorted(perf_rand_sser), sorted(rel_rand_sser))
+    ):
+        lines.append(f"{i:4d} {p:9.3f} {r:9.3f}")
+    lines.append("")
+    lines.append("Figure 6b: normalized STP per workload (sorted; "
+                 "higher is better)")
+    lines.append(f"{'rank':>4s} {'perf-opt':>9s} {'rel-opt':>9s}")
+    for i, (p, r) in enumerate(
+        zip(sorted(perf_rand_stp), sorted(rel_rand_stp))
+    ):
+        lines.append(f"{i:4d} {p:9.3f} {r:9.3f}")
+    lines.append("")
+    lines.append(
+        f"rel-opt vs random:  SSER {100 * (1 - mean(rel_rand_sser)):.1f}% "
+        f"lower (best {100 * (1 - min(rel_rand_sser)):.1f}%) "
+        "[paper: 32 %, up to 55.6 %]"
+    )
+    lines.append(
+        f"rel-opt vs perf-opt: SSER {100 * (1 - mean(rel_perf_sser)):.1f}% "
+        f"lower (best {100 * (1 - min(rel_perf_sser)):.1f}%) "
+        "[paper: 25.4 %, up to 60.2 %]"
+    )
+    lines.append(
+        f"perf-opt vs random: SSER {100 * (1 - mean(perf_rand_sser)):.1f}% "
+        "lower [paper: 7.3 %, inconsistent]"
+    )
+    lines.append(
+        f"rel-opt STP: {100 * (mean(rel_rand_stp) - 1):+.1f}% vs random "
+        f"[paper: ~0 %], {100 * (mean(rel_perf_stp) - 1):+.1f}% vs "
+        "perf-opt [paper: -6.3 %, worst -18.7 %]"
+    )
+    save_table("fig06_2b2s", lines)
+
+    # Shape checks against the paper's claims.
+    assert mean(rel_rand_sser) < 0.85
+    assert min(rel_rand_sser) < 0.65
+    assert mean(rel_perf_sser) < 0.92
+    assert min(rel_perf_sser) < 0.70
+    assert mean(perf_rand_sser) < 1.0  # on average better...
+    assert max(perf_rand_sser) > 1.0  # ...but inconsistent
+    assert 0.93 < mean(rel_rand_stp) < 1.07  # roughly random's STP
+    assert 0.85 < mean(rel_perf_stp) < 1.0  # modest cost vs perf-opt

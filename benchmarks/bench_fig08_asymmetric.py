@@ -1,0 +1,61 @@
+"""Figure 8: SSER across asymmetric HCMPs with four cores.
+
+Four-program workloads on 1B3S, 2B2S and 3B1S.  Paper: the symmetric
+2B2S configuration gains the most (6 scheduling choices vs 4); the
+3B1S machine gains the least (7.8 %) because a single small core
+limits the opportunity to protect vulnerable applications; 1B3S sits
+in between (27.5 %).
+"""
+
+from _harness import (
+    cached_sweep,
+    machine_by_name,
+    mean,
+    save_table,
+    sser_ratios,
+    stp_ratios,
+)
+
+MACHINES = ("1B3S", "2B2S", "3B1S")
+
+
+def _figure8():
+    return {
+        name: cached_sweep(machine_by_name(name), 4) for name in MACHINES
+    }
+
+
+def bench_fig08_asymmetric(benchmark):
+    per_machine = benchmark.pedantic(_figure8, rounds=1, iterations=1)
+
+    lines = ["Figure 8: normalized SSER across asymmetric 4-core HCMPs "
+             "(relative to random)",
+             f"{'machine':>8s} {'perf SSER':>10s} {'rel SSER':>9s} "
+             f"{'rel STP vs perf':>16s}"]
+    reductions = {}
+    for name in MACHINES:
+        results = per_machine[name]
+        rel = mean(sser_ratios(results, "reliability", "random"))
+        perf = mean(sser_ratios(results, "performance", "random"))
+        stp = mean(stp_ratios(results, "reliability", "performance"))
+        reductions[name] = 1.0 - rel
+        lines.append(f"{name:>8s} {perf:10.3f} {rel:9.3f} {stp:16.3f}")
+    lines.append("paper: 1B3S -27.5 %, 2B2S -32 %, 3B1S -7.8 % vs random")
+    save_table("fig08_asymmetric", lines)
+
+    # Shape: 3B1S clearly gains the least (one small core limits the
+    # opportunity to protect vulnerable applications); 2B2S and 1B3S
+    # both gain a lot.  In the paper 2B2S leads 1B3S by ~4.5 points;
+    # in this reproduction the two are within a couple of points of
+    # each other (see EXPERIMENTS.md), so the assertion allows a
+    # near-tie rather than a strict ordering.
+    assert reductions["2B2S"] > reductions["3B1S"] + 0.05
+    assert reductions["1B3S"] > reductions["3B1S"] + 0.05
+    assert reductions["2B2S"] > reductions["1B3S"] - 0.03
+    assert reductions["3B1S"] > 0.0
+    # Performance stays within the paper's ballpark on every machine.
+    for name in MACHINES:
+        stp = mean(
+            stp_ratios(per_machine[name], "reliability", "performance")
+        )
+        assert stp > 0.85

@@ -1,0 +1,52 @@
+"""Figure 12: impact on chip-level and total system power.
+
+Average power of the 2B2S four-program sweep under each scheduler.
+Paper: reliability-optimized scheduling reduces chip power by 6 % and
+system power by 6.2 % relative to performance-optimized scheduling --
+the performance scheduler keeps high-occupancy (high-MLP, memory
+intensive) applications on big cores where they burn power; the
+reliability scheduler moves exactly those applications to the small
+cores.
+"""
+
+from _harness import cached_sweep, machine_by_name, mean, save_table
+
+from repro.power import PowerModel
+
+
+def _figure12():
+    machine = machine_by_name("2B2S")
+    results = cached_sweep(machine, 4)
+    model = PowerModel(machine)
+    power = {
+        name: [model.run_power(run) for run in runs]
+        for name, runs in results.items()
+    }
+    return power
+
+
+def bench_fig12_power(benchmark):
+    power = benchmark.pedantic(_figure12, rounds=1, iterations=1)
+
+    lines = ["Figure 12: average chip and system power per scheduler (W)",
+             f"{'scheduler':>14s} {'chip W':>8s} {'system W':>9s}"]
+    chip = {}
+    system = {}
+    for name, breakdowns in power.items():
+        chip[name] = mean(p.chip_watts for p in breakdowns)
+        system[name] = mean(p.system_watts for p in breakdowns)
+        lines.append(f"{name:>14s} {chip[name]:8.2f} {system[name]:9.2f}")
+    chip_saving = 1.0 - chip["reliability"] / chip["performance"]
+    system_saving = 1.0 - system["reliability"] / system["performance"]
+    lines.append(
+        f"rel-opt vs perf-opt: chip {-100 * chip_saving:+.1f}%, "
+        f"system {-100 * system_saving:+.1f}% "
+        "[paper: -6 % chip, -6.2 % system]"
+    )
+    save_table("fig12_power", lines)
+
+    # Shape: the reliability scheduler consumes less power than the
+    # performance scheduler at both chip and system level.
+    assert chip["reliability"] < chip["performance"]
+    assert system["reliability"] < system["performance"]
+    assert chip_saving > 0.01

@@ -1,0 +1,43 @@
+"""Section 4.2: hardware cost of the ACE-bit counter architecture.
+
+Regenerates the cost arithmetic: baseline big-core counters 904
+bytes/core, area-optimized ROB-only counters 296 bytes/core, in-order
+core counters 67 bytes -- the exact numbers the paper reports.
+"""
+
+from _harness import save_table
+
+from repro.ace.hardware_cost import (
+    baseline_big_core_cost,
+    in_order_core_cost,
+    rob_only_big_core_cost,
+)
+from repro.config import big_core_config, small_core_config
+
+
+def _costs():
+    big, small = big_core_config(), small_core_config()
+    return {
+        "baseline big-core (all structures)": baseline_big_core_cost(big),
+        "area-optimized big-core (ROB only)": rob_only_big_core_cost(big),
+        "in-order core": in_order_core_cost(small),
+    }
+
+
+def bench_sec42_hw_cost(benchmark):
+    costs = benchmark.pedantic(_costs, rounds=1, iterations=1)
+
+    lines = ["Section 4.2: counter architecture hardware cost",
+             f"{'implementation':36s} {'storage':>8s} {'adders':>7s} "
+             f"{'bit-eq':>7s} {'bytes':>6s}"]
+    for label, cost in costs.items():
+        lines.append(
+            f"{label:36s} {cost.storage_bits:8d} {cost.adders:7d} "
+            f"{cost.bit_equivalents:7d} {cost.bytes:6d}"
+        )
+    lines.append("paper: 904 / 296 / 67 bytes")
+    save_table("sec42_hw_cost", lines)
+
+    assert costs["baseline big-core (all structures)"].bytes == 904
+    assert costs["area-optimized big-core (ROB only)"].bytes == 296
+    assert costs["in-order core"].bytes == 67

@@ -1,0 +1,57 @@
+"""Table 1: the illustrative SSER examples.
+
+Regenerates the paper's three worked examples of the SSER metric:
+(a) a homogeneous multicore without interference (SSER = 2),
+(b) one application slowed down 2x (SSER = 3), and
+(c) a heterogeneous multicore where the small-core application has
+SER 1/8 at slowdown 4 (wSER = 0.5, SSER = 1.5).
+"""
+
+from _harness import save_table
+
+from repro.metrics.reliability import ApplicationReliability, sser
+
+
+def _app(name, ser, slowdown, ref=1.0):
+    time = slowdown * ref
+    return ApplicationReliability(
+        name=name, abc=ser * time, time_seconds=time,
+        reference_time_seconds=ref,
+    )
+
+
+def _table1():
+    examples = {
+        "(a) homogeneous multicore": [
+            _app("benchmark A on big", 1.0, 1.0),
+            _app("benchmark B on big", 1.0, 1.0),
+        ],
+        "(b) homogeneous multicore": [
+            _app("benchmark A on big", 1.0, 2.0),
+            _app("benchmark B on big", 1.0, 1.0),
+        ],
+        "(c) heterogeneous multicore": [
+            _app("benchmark A on small", 1.0 / 8.0, 4.0),
+            _app("benchmark B on big", 1.0, 1.0),
+        ],
+    }
+    return {label: (apps, sser(apps, ifr=1.0)) for label, apps in examples.items()}
+
+
+def bench_tab01_sser_examples(benchmark):
+    table = benchmark.pedantic(_table1, rounds=1, iterations=1)
+
+    lines = ["Table 1: examples illustrating the SSER metric"]
+    for label, (apps, total) in table.items():
+        lines.append(f"{label}: SSER={total:g}")
+        lines.append(f"  {'':24s} {'SER':>6s} {'slowdown':>9s} {'wSER':>6s}")
+        for app in apps:
+            lines.append(
+                f"  {app.name:24s} {app.abc / app.time_seconds:6.3g} "
+                f"{app.slowdown:9.3g} {app.wser_at(1.0):6.3g}"
+            )
+    save_table("tab01_sser_examples", lines)
+
+    assert table["(a) homogeneous multicore"][1] == 2.0
+    assert table["(b) homogeneous multicore"][1] == 3.0
+    assert table["(c) heterogeneous multicore"][1] == 1.5

@@ -1,0 +1,70 @@
+"""Table 2: big and small core configurations.
+
+Regenerates the configuration table from the library's machine
+description and asserts the values match the paper exactly.
+"""
+
+from _harness import save_table
+
+from repro.config import MemoryConfig, big_core_config, small_core_config
+
+
+def _table2():
+    return big_core_config(), small_core_config(), MemoryConfig()
+
+
+def bench_tab02_configs(benchmark):
+    big, small, memory = benchmark.pedantic(_table2, rounds=1, iterations=1)
+
+    def fmt(core):
+        rob = (f"{core.rob.entries}, {core.rob.bits_per_entry} bit/entry"
+               if core.rob else "-")
+        lq = (f"{core.load_queue.entries}, "
+              f"{core.load_queue.bits_per_entry} bit/entry"
+              if core.load_queue else "-")
+        fus = "; ".join(
+            f"{p.count}x {p.instruction_class.name.lower()} ({p.latency} cyc)"
+            for p in core.functional_units
+        )
+        return [
+            f"  frequency        {core.frequency_ghz} GHz",
+            f"  type             {'out-of-order' if core.out_of_order else 'in-order'}",
+            f"  ROB              {rob}",
+            f"  issue queue      {core.issue_queue.entries}, "
+            f"{core.issue_queue.bits_per_entry} bit/entry",
+            f"  load queue       {lq}",
+            f"  store queue      {core.store_queue.entries}, "
+            f"{core.store_queue.bits_per_entry} bit/entry",
+            f"  pipeline width   {core.width}",
+            f"  frontend depth   {core.frontend_depth} stages",
+            f"  functional units {fus}",
+            f"  register file    {core.register_file.int_registers} int "
+            f"({core.register_file.int_bits} bit), "
+            f"{core.register_file.fp_registers} fp "
+            f"({core.register_file.fp_bits} bit)",
+        ]
+
+    lines = ["Table 2: big and small core configurations", "big core:"]
+    lines += fmt(big)
+    lines.append("small core:")
+    lines += fmt(small)
+    lines.append(
+        f"caches: L1I {memory.l1i.size_bytes // 1024} KB/"
+        f"{memory.l1i.associativity}w/{memory.l1i.latency_cycles}cyc, "
+        f"L1D {memory.l1d.size_bytes // 1024} KB/"
+        f"{memory.l1d.associativity}w/{memory.l1d.latency_cycles}cyc, "
+        f"L2 {memory.l2.size_bytes // 1024} KB/"
+        f"{memory.l2.associativity}w/{memory.l2.latency_cycles}cyc, "
+        f"L3 {memory.l3.size_bytes // (1024 * 1024)} MB/"
+        f"{memory.l3.associativity}w/{memory.l3.latency_cycles}cyc"
+    )
+    lines.append(
+        f"memory: BW {memory.dram_bandwidth_gbps} GB/s, "
+        f"lat {memory.dram_latency_ns} ns"
+    )
+    save_table("tab02_configs", lines)
+
+    assert big.rob.entries == 128 and big.rob.bits_per_entry == 76
+    assert small.pipeline_latches.entries == 10
+    assert memory.l3.size_bytes == 8 * 1024 * 1024
+    assert big.frequency_ghz == small.frequency_ghz == 2.66

@@ -1,0 +1,46 @@
+"""Validation: mechanistic vs trace-driven model agreement.
+
+The mechanistic model (used for paper-scale runs) is validated against
+the detailed trace-driven pipeline models: across a benchmark sample
+spanning the AVF spectrum, the two levels must agree on the *ranking*
+of per-benchmark IPC and ACE-bit rates on both core types -- the
+relative quantities scheduling decisions depend on.
+"""
+
+from _harness import save_table
+
+from repro.validation.crossmodel import DEFAULT_BENCHMARKS, compare_models
+
+TRACE_INSTRUCTIONS = 30_000
+
+
+def _validation():
+    return compare_models(trace_instructions=TRACE_INSTRUCTIONS)
+
+
+def bench_val_crossmodel(benchmark):
+    agreement = benchmark.pedantic(_validation, rounds=1, iterations=1)
+
+    lines = ["Validation: mechanistic vs trace-driven core models "
+             f"({TRACE_INSTRUCTIONS}-instruction traces)",
+             f"{'benchmark':12s} {'core':>5s} {'IPC tr/mech':>12s} "
+             f"{'ABC/c tr/mech':>16s}"]
+    for row in agreement.rows:
+        lines.append(
+            f"{row.name:12s} {row.core_type:>5s} "
+            f"{row.trace_ipc:5.2f}/{row.mechanistic_ipc:5.2f} "
+            f"{row.trace_abc_per_cycle:7.0f}/{row.mechanistic_abc_per_cycle:7.0f}"
+        )
+    for core in ("big", "small"):
+        lines.append(
+            f"{core} core Spearman: IPC {agreement.spearman_ipc(core):.3f}, "
+            f"ABC {agreement.spearman_abc(core):.3f}"
+        )
+    save_table("val_crossmodel", lines)
+
+    assert agreement.spearman_ipc("big") > 0.7
+    assert agreement.spearman_abc("big") > 0.7
+    assert agreement.spearman_ipc("small") > 0.7
+    # Small-core ABC is nearly flat in both models; check values.
+    for row in agreement.per_core("small"):
+        assert 0.7 < row.abc_ratio < 1.4, row

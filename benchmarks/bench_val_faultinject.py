@@ -1,0 +1,56 @@
+"""Validation: Monte-Carlo fault injection vs ACE counting.
+
+The paper's methodology (ACE analysis) is validated against the
+alternative (statistical fault injection, Section 7.1): for a set of
+benchmarks, random single-bit flips over the big core's structures
+must estimate the same AVF the ACE counters compute.
+"""
+
+from _harness import save_table
+
+from repro.ace.faultinject import FaultInjector
+from repro.config import MemoryConfig, big_core_config
+from repro.cores.base import ISOLATED
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2006 import benchmark as lookup
+
+BENCHES = ("gobmk", "mcf", "hmmer", "milc", "lbm", "povray")
+TRIALS = 40_000
+TRACE_LENGTH = 20_000
+
+
+def _validation():
+    model_config = big_core_config()
+    rows = []
+    for name in BENCHES:
+        model = OutOfOrderCoreModel(model_config, MemoryConfig())
+        trace = generate_trace(lookup(name), TRACE_LENGTH, seed=13)
+        timing = model.simulate_window(
+            TraceApplication(trace), 0, 50_000_000, ISOLATED
+        )
+        injector = FaultInjector(model_config, timing)
+        result = injector.inject(trials=TRIALS, seed=13)
+        rows.append((name, injector.counting_avf(), result))
+    return rows
+
+
+def bench_val_faultinject(benchmark):
+    rows = benchmark.pedantic(_validation, rounds=1, iterations=1)
+
+    lines = ["Validation: ACE-counting AVF vs Monte-Carlo fault "
+             f"injection ({TRIALS} injections/benchmark)",
+             f"{'benchmark':10s} {'counting':>9s} {'injected':>9s} "
+             f"{'95% CI':>17s}"]
+    for name, counting, result in rows:
+        low, high = result.confidence_interval()
+        lines.append(
+            f"{name:10s} {100 * counting:8.2f}% {100 * result.avf_estimate:8.2f}% "
+            f"[{100 * low:6.2f}%, {100 * high:6.2f}%]"
+        )
+    save_table("val_faultinject", lines)
+
+    for name, counting, result in rows:
+        low, high = result.confidence_interval(z=4.0)
+        assert low <= counting <= high, name

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design-space exploration: where does reliability-aware scheduling pay?
+
+Sweeps HCMP topologies (1B3S / 2B2S / 3B1S) and small-core frequency
+settings for one workload mix, comparing the three schedulers on SSER,
+STP and power.  Results are cached on disk (``.repro_cache/``), so
+re-running the exploration after the first pass is instant -- the
+pattern to copy for your own studies.
+
+Usage:
+    python examples/design_space.py [instructions-per-benchmark]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.power import PowerModel
+from repro.report import format_table, grouped_bar_chart
+from repro.sim.campaign import Campaign, RunSpec
+
+WORKLOAD = ("milc", "leslie3d", "mcf", "sjeng")
+MACHINES = ("1B3S", "2B2S", "3B1S")
+FREQUENCIES = (2.66, 1.33)
+SCHEDULERS = ("random", "performance", "reliability")
+DEFAULT_INSTRUCTIONS = 100_000_000
+
+
+def main() -> None:
+    instructions = (
+        int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_INSTRUCTIONS
+    )
+    campaign = Campaign(Path(".repro_cache") / "design_space")
+    rows = []
+    chart_groups = {}
+    for machine in MACHINES:
+        for freq in FREQUENCIES:
+            results = {}
+            for scheduler in SCHEDULERS:
+                spec = RunSpec(
+                    machine=machine,
+                    benchmarks=WORKLOAD,
+                    scheduler=scheduler,
+                    instructions=instructions,
+                    small_frequency_ghz=freq if freq != 2.66 else None,
+                )
+                results[scheduler] = campaign.run(spec)
+            power = PowerModel(spec.build_machine())
+            rel, rnd = results["reliability"], results["random"]
+            perf = results["performance"]
+            label = f"{machine}@{freq}G"
+            rows.append([
+                label,
+                float(rel.sser / rnd.sser),
+                float(rel.sser / perf.sser),
+                float(rel.stp / perf.stp),
+                float(
+                    power.run_power(rel).chip_watts
+                    / power.run_power(perf).chip_watts
+                ),
+            ])
+            chart_groups[label] = {
+                "perf-opt": perf.sser / rnd.sser,
+                "rel-opt": rel.sser / rnd.sser,
+            }
+
+    print(f"workload: {', '.join(WORKLOAD)} "
+          f"({instructions / 1e6:.0f} M instructions each)\n")
+    print(format_table(
+        ["config", "SSER vs random", "SSER vs perf-opt",
+         "STP vs perf-opt", "chip W vs perf-opt"],
+        rows,
+    ))
+    print("\nnormalized SSER by configuration (vs random, lower is better):")
+    print(grouped_bar_chart(chart_groups, width=40))
+    print(f"\ncampaign cache: {campaign.hits} hits, {campaign.misses} misses "
+          f"({campaign.directory})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: reliability-aware scheduling on a 2B2S heterogeneous CMP.
+
+Runs one four-program SPEC CPU2006-like workload on a heterogeneous
+multicore with two big out-of-order cores and two small in-order cores
+under the paper's three schedulers, and reports system soft error rate
+(SSER, lower is better) and system throughput (STP, higher is better).
+
+Usage:
+    python examples/quickstart.py [instructions-per-benchmark]
+"""
+
+import sys
+
+from repro.config import machine_2b2s
+from repro.power import PowerModel
+from repro.sim import run_workload
+
+#: Default scale: 100 M instructions per benchmark (the paper uses
+#: 1 B; pass 1000000000 as argv[1] to reproduce that exactly).
+DEFAULT_INSTRUCTIONS = 100_000_000
+
+#: One high-AVF pair (milc, zeusmp) against one low-AVF pair
+#: (mcf, gobmk): the HHLL-style mix where scheduling matters most.
+WORKLOAD = ("milc", "zeusmp", "mcf", "gobmk")
+
+
+def main() -> None:
+    instructions = (
+        int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_INSTRUCTIONS
+    )
+    machine = machine_2b2s()
+    power_model = PowerModel(machine)
+
+    print(f"machine: {machine.name} "
+          f"(big: {machine.big_cores} OoO cores, "
+          f"small: {machine.small_cores} in-order cores @ "
+          f"{machine.big.frequency_ghz} GHz)")
+    print(f"workload: {', '.join(WORKLOAD)} "
+          f"({instructions / 1e6:.0f} M instructions each)\n")
+
+    results = {}
+    for scheduler in ("random", "performance", "reliability"):
+        results[scheduler] = run_workload(
+            machine, WORKLOAD, scheduler, instructions=instructions
+        )
+
+    print(f"{'scheduler':14s} {'SSER':>12s} {'STP':>7s} {'chip W':>7s} "
+          f"{'quanta':>7s}")
+    for name, result in results.items():
+        power = power_model.run_power(result)
+        print(f"{name:14s} {result.sser:12.4e} {result.stp:7.3f} "
+              f"{power.chip_watts:7.2f} {result.quanta:7d}")
+
+    random, reliability = results["random"], results["reliability"]
+    performance = results["performance"]
+    print()
+    print(f"reliability-optimized vs random:      "
+          f"SSER reduction {100 * (1 - reliability.sser / random.sser):+.1f}%, "
+          f"STP {100 * (reliability.stp / random.stp - 1):+.1f}%")
+    print(f"reliability-optimized vs perf-opt:    "
+          f"SSER reduction {100 * (1 - reliability.sser / performance.sser):+.1f}%, "
+          f"STP {100 * (reliability.stp / performance.stp - 1):+.1f}%")
+
+    print("\nper-application placement under the reliability scheduler:")
+    for app in reliability.apps:
+        big_frac = app.time_big_seconds / app.time_seconds
+        print(f"  {app.name:12s} {100 * big_frac:5.1f}% of time on big cores, "
+              f"wSER {app.wser:.3e}, slowdown {app.slowdown:.2f}x, "
+              f"{app.migrations} migrations")
+
+
+if __name__ == "__main__":
+    main()

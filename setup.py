@@ -1,0 +1,8 @@
+"""Setup shim: enables editable installs on environments without the
+``wheel`` package (offline PEP 660 builds need it; ``setup.py develop``
+does not).
+"""
+
+from setuptools import setup
+
+setup()

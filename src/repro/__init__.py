@@ -1,0 +1,19 @@
+"""repro: reproduction of "Reliability-Aware Scheduling on Heterogeneous
+Multicore Processors" (Naithani, Eyerman, Eeckhout; HPCA 2017).
+
+The package is organized bottom-up:
+
+* ``repro.config`` -- core/machine configurations (Table 2).
+* ``repro.isa`` / ``repro.workloads`` -- instruction traces and the
+  synthetic SPEC CPU2006-like benchmark suite.
+* ``repro.memory`` -- caches, hierarchy, shared-resource interference.
+* ``repro.cores`` -- mechanistic and trace-driven core models.
+* ``repro.ace`` -- the ACE-bit counter architecture and its cost.
+* ``repro.metrics`` -- AVF, SER, wSER, SSER, STP.
+* ``repro.power`` -- the activity-based power model.
+* ``repro.sched`` -- random / performance- / reliability-optimized and
+  oracle schedulers (the paper's contribution).
+* ``repro.sim`` -- the quantum-driven multicore simulation engine.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""ACE-bit accounting: counter architectures, ABC stacks, hardware cost."""
+
+from repro.ace.counters import AceCounterMode, SaturatingCounter, measured_abc
+from repro.ace.faultinject import FaultInjectionResult, FaultInjector
+from repro.ace.predictor import (
+    AbcPredictor,
+    PredictedReliabilityScheduler,
+    train_predictor,
+)
+from repro.ace.hardware_cost import (
+    ACCUMULATOR_BITS,
+    SRAM_BITS_PER_ADDER,
+    TIMESTAMP_BITS_BIG,
+    TIMESTAMP_BITS_SMALL,
+    CounterCost,
+    baseline_big_core_cost,
+    in_order_core_cost,
+    rob_only_big_core_cost,
+)
+from repro.ace.stacks import abc_stack, rob_core_correlation, rob_fraction
+
+__all__ = [
+    "ACCUMULATOR_BITS",
+    "AbcPredictor",
+    "AceCounterMode",
+    "CounterCost",
+    "FaultInjectionResult",
+    "FaultInjector",
+    "PredictedReliabilityScheduler",
+    "SRAM_BITS_PER_ADDER",
+    "SaturatingCounter",
+    "TIMESTAMP_BITS_BIG",
+    "TIMESTAMP_BITS_SMALL",
+    "abc_stack",
+    "baseline_big_core_cost",
+    "in_order_core_cost",
+    "measured_abc",
+    "train_predictor",
+    "rob_core_correlation",
+    "rob_fraction",
+]

@@ -1,0 +1,270 @@
+"""Monte-Carlo fault injection: the alternative AVF methodology.
+
+The paper's reliability numbers come from ACE-bit analysis (Mukherjee
+et al. [16]); the alternative is statistical fault injection (Li et
+al. [13]): flip a random bit of a random structure entry at a random
+cycle and check whether the flip lands on architecturally relevant
+state.  The fraction of injections that hit ACE state estimates the
+AVF, and on a correct implementation it converges to the ACE-counting
+AVF -- which is exactly what this module verifies.
+
+Implementation: the trace-driven out-of-order model exposes
+per-instruction pipeline timings (:class:`WindowTiming`).  Structure
+entries are allocated round-robin (instruction ``i`` occupies ROB
+entry ``i mod 128``, its k-th load occupies load-queue entry
+``k mod 64``, ...), so whether entry ``e`` of a structure holds ACE
+state at cycle ``c`` reduces to an interval lookup over the
+instructions mapped to ``e``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.cores import CoreConfig
+from repro.cores.ooo import _ARCH_REG_LIVE_FRACTION, WindowTiming
+from repro.isa.instruction import FP_WRITERS, INT_WRITERS, InstructionClass
+
+
+@dataclass
+class FaultInjectionResult:
+    """Outcome of a fault-injection campaign.
+
+    Attributes:
+        trials: injections performed.
+        ace_hits: injections that landed on ACE state.
+        per_structure: ``{structure: (trials, hits)}``.
+    """
+
+    trials: int
+    ace_hits: int
+    per_structure: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def avf_estimate(self) -> float:
+        """Estimated AVF: fraction of injections that were ACE."""
+        if self.trials == 0:
+            raise ValueError("no trials performed")
+        return self.ace_hits / self.trials
+
+    def structure_avf(self, kind: str) -> float:
+        trials, hits = self.per_structure[kind]
+        if trials == 0:
+            raise ValueError(f"no trials hit {kind}")
+        return hits / trials
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval of the estimate."""
+        p = self.avf_estimate
+        half = z * (p * (1 - p) / self.trials) ** 0.5
+        return max(0.0, p - half), min(1.0, p + half)
+
+
+class _EntryIntervals:
+    """ACE intervals of one structure, indexed by entry."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._starts: list[list[float]] = [[] for _ in range(entries)]
+        self._ends: list[list[float]] = [[] for _ in range(entries)]
+
+    def add(self, slot: int, start: float, end: float) -> None:
+        if end <= start:
+            return
+        entry = slot % self.entries
+        self._starts[entry].append(start)
+        self._ends[entry].append(end)
+
+    def finalize(self) -> None:
+        """Sort each entry's intervals by start time.
+
+        Queue structures append in dispatch order (already sorted),
+        but register-file intervals start at out-of-order *finish*
+        times, so they must be sorted before binary search.
+        """
+        for entry in range(self.entries):
+            if not self._starts[entry]:
+                continue
+            order = sorted(
+                range(len(self._starts[entry])),
+                key=self._starts[entry].__getitem__,
+            )
+            self._starts[entry] = [self._starts[entry][i] for i in order]
+            self._ends[entry] = [self._ends[entry][i] for i in order]
+
+    def ace_at(self, entry: int, cycle: float) -> bool:
+        """Whether the entry holds ACE state at a cycle.
+
+        Intervals per entry are (nearly) non-overlapping and sorted by
+        start, so a binary search suffices.
+        """
+        starts = self._starts[entry]
+        if not starts:
+            return False
+        index = bisect.bisect_right(starts, cycle) - 1
+        return index >= 0 and cycle < self._ends[entry][index]
+
+
+class FaultInjector:
+    """Monte-Carlo fault injection over one executed window."""
+
+    def __init__(self, core: CoreConfig, timing: WindowTiming):
+        if not core.out_of_order or core.rob is None:
+            raise ValueError("fault injection targets the big core")
+        assert core.load_queue is not None
+        self.core = core
+        self.timing = timing
+        self._build_intervals()
+
+    def _build_intervals(self) -> None:
+        core = self.core
+        t = self.timing
+        rob = _EntryIntervals(core.rob.entries)
+        iq = _EntryIntervals(core.issue_queue.entries)
+        lq = _EntryIntervals(core.load_queue.entries)
+        sq = _EntryIntervals(core.store_queue.entries)
+        loads = stores = 0
+        # Physical destination registers allocated round-robin over
+        # the non-architectural part of each register file: int and fp
+        # registers form separate pools because their bit widths (and
+        # hence their shares of injected faults) differ.
+        int_phys = (
+            core.register_file.int_registers
+            - core.register_file.arch_int_registers
+        )
+        fp_phys = (
+            core.register_file.fp_registers
+            - core.register_file.arch_fp_registers
+        )
+        rf_int = _EntryIntervals(max(int_phys, 1))
+        rf_fp = _EntryIntervals(max(fp_phys, 1))
+        int_writers = fp_writers = 0
+        for i in range(t.committed):
+            cls = InstructionClass(t.classes[i])
+            if cls == InstructionClass.NOP:
+                continue
+            rob.add(i, t.dispatch[i], t.commit[i])
+            iq.add(i, t.dispatch[i], t.issue[i])
+            if cls == InstructionClass.LOAD:
+                lq.add(loads, t.dispatch[i], t.commit[i])
+                loads += 1
+            elif cls == InstructionClass.STORE:
+                sq.add(stores, t.dispatch[i], t.commit[i])
+                stores += 1
+            if cls in INT_WRITERS:
+                rf_int.add(int_writers, t.finish[i], t.commit[i])
+                int_writers += 1
+            elif cls in FP_WRITERS:
+                rf_fp.add(fp_writers, t.finish[i], t.commit[i])
+                fp_writers += 1
+        self._intervals = {
+            "rob": rob,
+            "issue_queue": iq,
+            "load_queue": lq,
+            "store_queue": sq,
+            "rf_int": rf_int,
+            "rf_fp": rf_fp,
+        }
+        for intervals in self._intervals.values():
+            intervals.finalize()
+
+    def _structure_bits(self) -> dict[str, int]:
+        core = self.core
+        assert core.rob is not None and core.load_queue is not None
+        rf = core.register_file
+        return {
+            "rob": core.rob.total_bits,
+            "issue_queue": core.issue_queue.total_bits,
+            "load_queue": core.load_queue.total_bits,
+            "store_queue": core.store_queue.total_bits,
+            "rf_int": (rf.int_registers - rf.arch_int_registers)
+            * rf.int_bits,
+            "rf_fp": (rf.fp_registers - rf.arch_fp_registers) * rf.fp_bits,
+            "arch_registers": rf.arch_bits,
+        }
+
+    def inject(self, trials: int, seed: int = 0) -> FaultInjectionResult:
+        """Run a campaign of random single-bit flips.
+
+        Structures are sampled in proportion to their bit capacity;
+        cycles uniformly over the window.  Architectural registers are
+        modelled as ACE with the same live fraction the counting model
+        uses (a register is ACE from write to last read).
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        rng = np.random.default_rng(seed)
+        bits = self._structure_bits()
+        kinds = list(bits)
+        weights = np.array([bits[k] for k in kinds], dtype=float)
+        weights /= weights.sum()
+        duration = self.timing.elapsed_cycles
+        per_structure = {k: [0, 0] for k in kinds}
+        hits = 0
+        choices = rng.choice(len(kinds), size=trials, p=weights)
+        cycles = rng.uniform(0.0, duration, size=trials)
+        for j in range(trials):
+            kind = kinds[choices[j]]
+            per_structure[kind][0] += 1
+            if kind == "arch_registers":
+                # A register is ACE from write to last read; sample
+                # liveness at the counting model's live fraction.
+                ace = bool(rng.random() < _ARCH_REG_LIVE_FRACTION)
+            else:
+                intervals = self._intervals[kind]
+                entry = int(rng.integers(intervals.entries))
+                ace = intervals.ace_at(entry, float(cycles[j]))
+            if ace:
+                hits += 1
+                per_structure[kind][1] += 1
+        return FaultInjectionResult(
+            trials=trials,
+            ace_hits=hits,
+            per_structure={k: (v[0], v[1]) for k, v in per_structure.items()},
+        )
+
+    def counting_avf(self) -> float:
+        """The ACE-counting AVF over the same structures and window.
+
+        The reference value the Monte-Carlo estimate must converge to
+        (functional units are excluded from injection because their
+        occupancy is not entry-addressable in this model, so they are
+        excluded here as well).
+        """
+        core = self.core
+        assert core.rob is not None and core.load_queue is not None
+        t = self.timing
+        total_ace = 0.0
+        per_entry_bits = {
+            "rob": core.rob.bits_per_entry,
+            "issue_queue": core.issue_queue.bits_per_entry,
+            "load_queue": core.load_queue.bits_per_entry,
+            "store_queue": core.store_queue.bits_per_entry,
+        }
+        for i in range(t.committed):
+            cls = InstructionClass(t.classes[i])
+            if cls == InstructionClass.NOP:
+                continue
+            rob_res = t.commit[i] - t.dispatch[i]
+            total_ace += rob_res * per_entry_bits["rob"]
+            total_ace += (
+                (t.issue[i] - t.dispatch[i]) * per_entry_bits["issue_queue"]
+            )
+            if cls == InstructionClass.LOAD:
+                total_ace += rob_res * per_entry_bits["load_queue"]
+            elif cls == InstructionClass.STORE:
+                total_ace += rob_res * per_entry_bits["store_queue"]
+            if cls in INT_WRITERS:
+                total_ace += (t.commit[i] - t.finish[i]) * 64
+            elif cls in FP_WRITERS:
+                total_ace += (t.commit[i] - t.finish[i]) * 128
+        total_ace += (
+            core.register_file.arch_bits
+            * _ARCH_REG_LIVE_FRACTION
+            * t.elapsed_cycles
+        )
+        capacity = sum(self._structure_bits().values())
+        return total_ace / (capacity * t.elapsed_cycles)

@@ -1,0 +1,92 @@
+"""Hardware cost of the ACE-bit counter architecture (paper Section 4.2).
+
+The paper proposes three counter implementations and costs them in
+SRAM-bit equivalents (one 32-bit adder ~ 1,200 transistors ~ 200 SRAM
+bits at 6 transistors per cell):
+
+* **baseline big-core counters** -- two 12-bit timestamps (dispatch,
+  issue) per ROB entry, one 32-bit accumulator per profiled structure
+  (5 structures), and 5 adders per commit slot (4-wide commit):
+  3,072 + 160 + 20 x 200 = 7,232 bit equivalents = **904 bytes**.
+* **area-optimized (ROB-only)** -- one 12-bit dispatch timestamp per
+  ROB entry, one 32-bit ROB accumulator, 4 adders:
+  1,536 + 32 + 800 = 2,368 bit equivalents = **296 bytes**.
+* **in-order core** -- 10 fetch-time counters (5 stages x 2
+  instructions) of 10 bits, one 32-bit accumulator, 2 adders:
+  132 + 400 = 532 bit equivalents = **67 bytes**.
+
+These numbers are reproduced arithmetically from the core
+configuration so changing the configuration (e.g. ROB size) updates
+the cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config.cores import CoreConfig
+
+#: Width of a per-ROB-entry timestamp counter (covers 4,096 cycles).
+TIMESTAMP_BITS_BIG = 12
+#: Width of a per-slot fetch-time counter on the in-order core.
+TIMESTAMP_BITS_SMALL = 10
+#: Width of a per-structure occupancy accumulator.
+ACCUMULATOR_BITS = 32
+#: SRAM-bit equivalent of one 32-bit adder (1,200 transistors / 6).
+SRAM_BITS_PER_ADDER = 200
+#: Structures profiled by the baseline big-core implementation.
+BASELINE_PROFILED_STRUCTURES = 5
+
+
+@dataclass(frozen=True)
+class CounterCost:
+    """Cost of one counter implementation.
+
+    Attributes:
+        storage_bits: bits of timestamp + accumulator storage.
+        adders: number of 32-bit adders.
+    """
+
+    storage_bits: int
+    adders: int
+
+    @property
+    def bit_equivalents(self) -> int:
+        """Storage bits plus the SRAM-equivalent of the adders."""
+        return self.storage_bits + self.adders * SRAM_BITS_PER_ADDER
+
+    @property
+    def bytes(self) -> int:
+        """Bit equivalents rounded up to whole bytes."""
+        return math.ceil(self.bit_equivalents / 8)
+
+
+def baseline_big_core_cost(core: CoreConfig) -> CounterCost:
+    """Cost of the full (all-structure) big-core counter architecture."""
+    if not core.out_of_order or core.rob is None:
+        raise ValueError("baseline counters target the out-of-order core")
+    timestamps = 2 * TIMESTAMP_BITS_BIG * core.rob.entries
+    accumulators = ACCUMULATOR_BITS * BASELINE_PROFILED_STRUCTURES
+    adders = BASELINE_PROFILED_STRUCTURES * core.width
+    return CounterCost(storage_bits=timestamps + accumulators, adders=adders)
+
+
+def rob_only_big_core_cost(core: CoreConfig) -> CounterCost:
+    """Cost of the area-optimized (ROB-only) counter architecture."""
+    if not core.out_of_order or core.rob is None:
+        raise ValueError("ROB-only counters target the out-of-order core")
+    timestamps = TIMESTAMP_BITS_BIG * core.rob.entries
+    return CounterCost(
+        storage_bits=timestamps + ACCUMULATOR_BITS, adders=core.width
+    )
+
+
+def in_order_core_cost(core: CoreConfig) -> CounterCost:
+    """Cost of the in-order core's fetch-to-writeback counters."""
+    if core.out_of_order or core.pipeline_latches is None:
+        raise ValueError("in-order counters target the in-order core")
+    counters = TIMESTAMP_BITS_SMALL * core.pipeline_latches.entries
+    return CounterCost(
+        storage_bits=counters + ACCUMULATOR_BITS, adders=core.width
+    )

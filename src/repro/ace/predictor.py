@@ -1,0 +1,141 @@
+"""ABC prediction from ordinary performance counters.
+
+The paper's counters cost 296 bytes per core.  The related work
+(Walcott et al., ISCA 2007; Duan et al., HPCA 2009 — references [29]
+and [14]) predicts AVF from existing performance counters instead:
+zero additional hardware at the cost of prediction error.  This module
+reproduces that alternative: a per-core-type linear regression from
+``(IPC, L3 accesses/kinstr, DRAM accesses/kinstr, branch
+mispredictions/kinstr)`` to ACE bits per cycle, trained on the
+synthetic suite via the mechanistic model, plus
+a scheduler variant that runs Algorithm 1 on predicted instead of
+measured ABC (`PredictedReliabilityScheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.cores import CoreConfig, big_core_config, small_core_config
+from repro.config.machines import BIG, MemoryConfig
+from repro.cores.base import ISOLATED, MemoryEnvironment
+from repro.cores.mechanistic import analyze_phase
+from repro.sched.reliability import ReliabilityScheduler
+
+#: Feature vector: (1, IPC, L3 accesses per kinstr, DRAM accesses per
+#: kinstr, branch mispredictions per kinstr, DRAM x IPC and branch x
+#: IPC interactions).
+NUM_FEATURES = 7
+
+
+def _features(
+    ipc: float, l3_apki: float, dram_apki: float, branch_mpki: float
+) -> np.ndarray:
+    return np.array([
+        1.0, ipc, l3_apki, dram_apki, branch_mpki,
+        dram_apki * ipc, branch_mpki * ipc,
+    ])
+
+
+@dataclass(frozen=True)
+class AbcPredictor:
+    """Per-core-type linear model: perf counters -> ACE bits/cycle."""
+
+    coefficients: dict[str, np.ndarray]
+    training_r2: dict[str, float]
+
+    def predict_abc_per_cycle(
+        self,
+        core_type: str,
+        ipc: float,
+        l3_apki: float,
+        dram_apki: float,
+        branch_mpki: float,
+    ) -> float:
+        coeffs = self.coefficients[core_type]
+        value = float(
+            coeffs @ _features(ipc, l3_apki, dram_apki, branch_mpki)
+        )
+        return max(value, 0.0)
+
+
+def train_predictor(
+    *,
+    big: CoreConfig | None = None,
+    small: CoreConfig | None = None,
+    memory: MemoryConfig | None = None,
+    environments: tuple[MemoryEnvironment, ...] = (
+        ISOLATED,
+        MemoryEnvironment(l3_share_fraction=0.25,
+                          dram_latency_multiplier=1.5),
+    ),
+) -> AbcPredictor:
+    """Fit the regression on the synthetic suite's phases.
+
+    Every phase of every benchmark, on each core type, under each
+    training environment, contributes one sample of
+    (features -> ACE bits/cycle) from the mechanistic model -- the
+    stand-in for the offline profiling run the related work trains on.
+    """
+    from repro.workloads.spec2006 import SUITE
+
+    big = big if big is not None else big_core_config()
+    small = small if small is not None else small_core_config()
+    memory = memory if memory is not None else MemoryConfig()
+    coefficients: dict[str, np.ndarray] = {}
+    r2: dict[str, float] = {}
+    for core_type, core in ((BIG, big), ("small", small)):
+        rows = []
+        targets = []
+        for profile in SUITE.values():
+            for _, chars in profile.phases:
+                for env in environments:
+                    analysis = analyze_phase(chars, core, memory, env)
+                    rows.append(_features(
+                        analysis.ipc,
+                        1000.0 * analysis.l3_accesses_per_instruction,
+                        1000.0 * analysis.dram_accesses_per_instruction,
+                        chars.branch_mpki,
+                    ))
+                    targets.append(analysis.total_ace_bits_per_cycle)
+        matrix = np.array(rows)
+        target = np.array(targets)
+        coeffs, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+        predicted = matrix @ coeffs
+        residual = float(((target - predicted) ** 2).sum())
+        total = float(((target - target.mean()) ** 2).sum())
+        coefficients[core_type] = coeffs
+        r2[core_type] = 1.0 - residual / total if total > 0 else 1.0
+    return AbcPredictor(coefficients=coefficients, training_r2=r2)
+
+
+class PredictedReliabilityScheduler(ReliabilityScheduler):
+    """Algorithm 1 driven by predicted instead of measured ABC.
+
+    The zero-hardware-cost alternative: wSER estimates come from the
+    regression over the sample's performance counters; the ACE
+    counters are never read.
+    """
+
+    def __init__(self, machine, num_apps, predictor: AbcPredictor, **kwargs):
+        super().__init__(machine, num_apps, **kwargs)
+        self.predictor = predictor
+
+    def objective_value(self, app_index: int, core_type: str) -> float:
+        sample = self.sample(app_index, core_type)
+        reference = self.sample(app_index, BIG)
+        assert sample is not None and reference is not None
+        if sample.instructions_per_second <= 0:
+            return 0.0
+        frequency = self.machine.core_config_for_type(
+            core_type
+        ).frequency_hz
+        ipc = sample.instructions_per_second / frequency
+        abc_per_cycle = self.predictor.predict_abc_per_cycle(
+            core_type, ipc, sample.l3_apki, sample.dram_apki,
+            sample.branch_mpki,
+        )
+        abc_per_instruction = abc_per_cycle / max(ipc, 1e-12) / frequency
+        return abc_per_instruction * reference.instructions_per_second

@@ -1,0 +1,20 @@
+"""Analyses: robustness and design studies over the reproduction."""
+
+from repro.analysis.hardening import (
+    HardeningOption,
+    HardeningPlan,
+    greedy_plan,
+    hardening_options,
+    suite_ace_profile,
+)
+from repro.analysis.sensitivity import SensitivityPoint, sweep_assumptions
+
+__all__ = [
+    "HardeningOption",
+    "HardeningPlan",
+    "SensitivityPoint",
+    "greedy_plan",
+    "hardening_options",
+    "suite_ace_profile",
+    "sweep_assumptions",
+]

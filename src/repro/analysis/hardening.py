@@ -1,0 +1,157 @@
+"""Selective hardening: which structures earn protection?
+
+The paper excludes caches from ACE accounting because they already
+carry ECC, and its related work (Soundararajan et al. [25]) bounds
+vulnerability by protecting individual structures.  This analysis
+answers the follow-on question for the cores themselves: given the
+suite's ABC stacks, which structures should a designer harden (ECC,
+parity, hardened cells) to buy the most AVF reduction per protected
+bit -- and how does hardening compose with reliability-aware
+scheduling?
+
+Hardening a structure is modelled as removing its ACE contribution
+(protected state is detected/corrected), at an area cost proportional
+to its capacity bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.config.cores import CoreConfig, big_core_config
+from repro.config.machines import MemoryConfig
+from repro.config.structures import StructureKind
+from repro.cores.base import ISOLATED
+from repro.cores.mechanistic import MechanisticCoreModel
+from repro.sim.isolated import run_isolated
+
+
+@dataclass(frozen=True)
+class HardeningOption:
+    """The payoff of hardening one structure.
+
+    Attributes:
+        kind: the structure.
+        capacity_bits: bits that must be protected.
+        ace_share: the structure's share of total suite ACE bit-cycles.
+        avf_reduction: absolute core-AVF reduction if hardened.
+    """
+
+    kind: StructureKind
+    capacity_bits: int
+    ace_share: float
+    avf_reduction: float
+
+    @property
+    def efficiency(self) -> float:
+        """AVF reduction per protected kilobit (the ranking metric)."""
+        return self.avf_reduction / (self.capacity_bits / 1000.0)
+
+
+@dataclass(frozen=True)
+class HardeningPlan:
+    """A greedy hardening plan under a bit budget.
+
+    Attributes:
+        chosen: structures to harden, in selection order.
+        protected_bits: total bits protected.
+        avf_before / avf_after: suite-average core AVF without/with
+            the plan.
+    """
+
+    chosen: tuple[StructureKind, ...]
+    protected_bits: int
+    avf_before: float
+    avf_after: float
+
+    @property
+    def avf_reduction(self) -> float:
+        return self.avf_before - self.avf_after
+
+
+def _structure_capacity(core: CoreConfig) -> dict[StructureKind, int]:
+    capacity = {
+        kind: struct.total_bits
+        for kind, struct in core.tracked_structures().items()
+    }
+    capacity[StructureKind.REGISTER_FILE] = core.register_file.total_bits
+    capacity[StructureKind.FUNCTIONAL_UNITS] = core.fu_total_bits
+    return capacity
+
+
+def suite_ace_profile(
+    core: CoreConfig | None = None,
+    memory: MemoryConfig | None = None,
+    instructions: int = 5_000_000,
+) -> tuple[dict[StructureKind, float], float]:
+    """Suite-aggregate ACE bit-cycles per structure, plus total cycles.
+
+    Each benchmark contributes its isolated full-run accounting on the
+    given core (big core by default).
+    """
+    from repro.workloads.spec2006 import SUITE
+
+    core = core if core is not None else big_core_config()
+    memory = memory if memory is not None else MemoryConfig()
+    model = MechanisticCoreModel(core, memory)
+    totals: dict[StructureKind, float] = {}
+    cycles = 0.0
+    for profile in SUITE.values():
+        run = run_isolated(model, profile.scaled(instructions))
+        cycles += run.cycles
+        for kind, value in run.ace_bit_cycles.items():
+            totals[kind] = totals.get(kind, 0.0) + value
+    return totals, cycles
+
+
+def hardening_options(
+    core: CoreConfig | None = None,
+    memory: MemoryConfig | None = None,
+) -> list[HardeningOption]:
+    """Per-structure hardening payoffs, sorted by efficiency."""
+    core = core if core is not None else big_core_config()
+    ace, cycles = suite_ace_profile(core, memory)
+    capacity = _structure_capacity(core)
+    total_capacity = core.total_ace_capacity_bits
+    total_ace = sum(ace.values())
+    options = []
+    for kind, ace_bit_cycles in ace.items():
+        if kind not in capacity:
+            continue
+        options.append(HardeningOption(
+            kind=kind,
+            capacity_bits=capacity[kind],
+            ace_share=ace_bit_cycles / total_ace,
+            avf_reduction=ace_bit_cycles / (cycles * total_capacity),
+        ))
+    return sorted(options, key=lambda o: o.efficiency, reverse=True)
+
+
+def greedy_plan(
+    budget_bits: int,
+    options: Sequence[HardeningOption] | None = None,
+    core: CoreConfig | None = None,
+) -> HardeningPlan:
+    """Greedy selection of structures under a protected-bit budget."""
+    if budget_bits < 0:
+        raise ValueError("budget cannot be negative")
+    core = core if core is not None else big_core_config()
+    if options is None:
+        options = hardening_options(core)
+    avf_before = sum(o.avf_reduction for o in options)
+    chosen: list[StructureKind] = []
+    protected = 0
+    remaining_avf = avf_before
+    for option in options:  # already efficiency-sorted
+        if protected + option.capacity_bits <= budget_bits:
+            chosen.append(option.kind)
+            protected += option.capacity_bits
+            remaining_avf -= option.avf_reduction
+    return HardeningPlan(
+        chosen=tuple(chosen),
+        protected_bits=protected,
+        avf_before=avf_before,
+        # Clamp floating-point residue when everything is hardened.
+        avf_after=max(remaining_avf, 0.0),
+    )

@@ -1,0 +1,142 @@
+"""Sensitivity of the headline result to modeling assumptions.
+
+A reproduction's conclusions are only as strong as their robustness to
+the knobs that had to be chosen without the original testbed.  This
+module re-runs the headline comparison (reliability- vs performance-
+optimized vs random scheduling on 2B2S) while varying one assumption
+at a time:
+
+* scheduler quantum length,
+* migration overhead,
+* swap-hysteresis threshold,
+* LLC-share exponent of the interference model,
+* the workload-mix generation seed.
+
+The output is, per assumption value, the mean normalized SSER of the
+reliability scheduler (vs random) and its mean STP cost (vs the
+performance scheduler) -- if the paper's conclusion holds, these stay
+in a narrow band across every variation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.machines import MachineConfig, machine_2b2s
+from repro.memory import interference
+from repro.sched.performance import PerformanceScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.workloads.mixes import generate_workloads
+from repro.workloads.spec2006 import benchmark
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Headline metrics under one assumption setting.
+
+    Attributes:
+        assumption: the varied knob's name.
+        value: the knob's value at this point.
+        sser_vs_random: mean normalized SSER of the reliability
+            scheduler against random scheduling (lower is better).
+        stp_vs_performance: mean normalized STP of the reliability
+            scheduler against the performance scheduler.
+    """
+
+    assumption: str
+    value: float
+    sser_vs_random: float
+    stp_vs_performance: float
+
+
+def _headline(
+    machine: MachineConfig,
+    instructions: int,
+    workload_count: int,
+    swap_threshold: float | None,
+    workload_seed: int,
+) -> tuple[float, float]:
+    workloads = generate_workloads(4, seed=workload_seed)[::len(
+        generate_workloads(4)
+    ) // workload_count or 1][:workload_count]
+    sser_ratios = []
+    stp_ratios = []
+    for index, mix in enumerate(workloads):
+        profiles = [benchmark(n).scaled(instructions) for n in mix.benchmarks]
+        kwargs = {}
+        if swap_threshold is not None:
+            kwargs["swap_threshold"] = swap_threshold
+        random_run = MulticoreSimulation(
+            machine, profiles, RandomScheduler(machine, 4, seed=index)
+        ).run()
+        rel_run = MulticoreSimulation(
+            machine, profiles, ReliabilityScheduler(machine, 4, **kwargs)
+        ).run()
+        perf_run = MulticoreSimulation(
+            machine, profiles, PerformanceScheduler(machine, 4, **kwargs)
+        ).run()
+        sser_ratios.append(rel_run.sser / random_run.sser)
+        stp_ratios.append(rel_run.stp / perf_run.stp)
+    n = len(sser_ratios)
+    return sum(sser_ratios) / n, sum(stp_ratios) / n
+
+
+def sweep_assumptions(
+    *,
+    instructions: int = 100_000_000,
+    workload_count: int = 12,
+    quantum_seconds: Sequence[float] = (5e-4, 1e-3, 2e-3),
+    migration_overhead_seconds: Sequence[float] = (0.0, 2e-5, 1e-4),
+    swap_thresholds: Sequence[float] = (0.0, 0.02, 0.08),
+    llc_share_exponents: Sequence[float] = (0.25, 0.5, 1.0),
+    workload_seeds: Sequence[int] = (42, 7, 123),
+) -> list[SensitivityPoint]:
+    """Vary one modeling assumption at a time around the defaults."""
+    base = machine_2b2s()
+    points: list[SensitivityPoint] = []
+
+    for quantum in quantum_seconds:
+        machine = dataclasses.replace(
+            base,
+            quantum_seconds=quantum,
+            sampling_quantum_seconds=quantum / 10,
+        )
+        sser, stp = _headline(machine, instructions, workload_count, None, 42)
+        points.append(SensitivityPoint("quantum_seconds", quantum, sser, stp))
+
+    for overhead in migration_overhead_seconds:
+        machine = dataclasses.replace(
+            base, migration_overhead_seconds=overhead
+        )
+        sser, stp = _headline(machine, instructions, workload_count, None, 42)
+        points.append(
+            SensitivityPoint("migration_overhead_seconds", overhead, sser, stp)
+        )
+
+    for threshold in swap_thresholds:
+        sser, stp = _headline(base, instructions, workload_count, threshold, 42)
+        points.append(
+            SensitivityPoint("swap_threshold", threshold, sser, stp)
+        )
+
+    original_exponent = interference.LLC_SHARE_EXPONENT
+    try:
+        for exponent in llc_share_exponents:
+            interference.LLC_SHARE_EXPONENT = exponent
+            sser, stp = _headline(base, instructions, workload_count, None, 42)
+            points.append(
+                SensitivityPoint("llc_share_exponent", exponent, sser, stp)
+            )
+    finally:
+        interference.LLC_SHARE_EXPONENT = original_exponent
+
+    for seed in workload_seeds:
+        sser, stp = _headline(base, instructions, workload_count, None, seed)
+        points.append(
+            SensitivityPoint("workload_seed", float(seed), sser, stp)
+        )
+    return points

@@ -1,0 +1,296 @@
+"""Implementations of the `repro` command-line subcommands.
+
+Each command takes parsed ``argparse`` arguments and returns a process
+exit code.  All output is plain text built from `repro.report`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.ace.counters import AceCounterMode
+from repro.ace.hardware_cost import (
+    baseline_big_core_cost,
+    in_order_core_cost,
+    rob_only_big_core_cost,
+)
+from repro.config import STANDARD_MACHINES, big_core_config, small_core_config
+from repro.power import PowerModel
+from repro.report import (
+    bar_chart,
+    comparison_summary,
+    format_table,
+    run_summary,
+    sweep_summary,
+)
+from repro.sched.oracle import best_sser_schedule, best_stp_schedule
+from repro.sim.experiment import SCHEDULER_NAMES, run_workload, sweep
+from repro.sim.isolated import isolated_stats
+from repro.sim.multicore import default_models
+from repro.workloads.generator import generate_trace
+from repro.workloads.mixes import generate_workloads
+from repro.workloads.spec2006 import (
+    BENCHMARK_NAMES,
+    SUITE,
+    benchmark,
+    big_core_avf,
+    classify_benchmarks,
+)
+
+
+def _machine(args):
+    try:
+        machine = STANDARD_MACHINES[args.machine]()
+    except KeyError:
+        print(f"error: unknown machine {args.machine!r}; "
+              f"known: {', '.join(STANDARD_MACHINES)}", file=sys.stderr)
+        return None
+    if getattr(args, "small_frequency", None):
+        machine = machine.with_small_frequency(args.small_frequency)
+    return machine
+
+
+def _benchmarks(args):
+    names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        print(f"error: unknown benchmark(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return None
+    return names
+
+
+def cmd_run(args) -> int:
+    """Run one workload under one scheduler and print a report."""
+    machine = _machine(args)
+    names = _benchmarks(args)
+    if machine is None or names is None:
+        return 2
+    mode = (AceCounterMode.ROB_ONLY if args.rob_only
+            else AceCounterMode.FULL)
+    result = run_workload(
+        machine, names, args.scheduler,
+        instructions=args.instructions, seed=args.seed, counter_mode=mode,
+        record_timeline=args.gantt,
+    )
+    power_model = PowerModel(machine) if args.power else None
+    print(run_summary(result, power_model))
+    if args.gantt:
+        from repro.report.gantt import schedule_chart
+        print()
+        print(schedule_chart(result))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run one workload under all three schedulers and compare."""
+    machine = _machine(args)
+    names = _benchmarks(args)
+    if machine is None or names is None:
+        return 2
+    results = {
+        scheduler: run_workload(
+            machine, names, scheduler,
+            instructions=args.instructions, seed=args.seed,
+        )
+        for scheduler in SCHEDULER_NAMES
+    }
+    print(comparison_summary(results))
+    print()
+    print("SSER (lower is better):")
+    print(bar_chart({name: r.sser / results["random"].sser
+                     for name, r in results.items()}))
+    print("STP (higher is better):")
+    print(bar_chart({name: r.stp / results["random"].stp
+                     for name, r in results.items()}))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run the paper's 36-workload sweep on a machine."""
+    machine = _machine(args)
+    if machine is None:
+        return 2
+    workloads = generate_workloads(args.programs, seed=args.workload_seed)
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    results = sweep(machine, workloads, SCHEDULER_NAMES,
+                    instructions=args.instructions, progress=progress)
+    print(sweep_summary(results))
+    return 0
+
+
+def cmd_avf(args) -> int:
+    """Print the suite's big-core AVF spectrum and classification."""
+    classes = classify_benchmarks()
+    avf = {name: big_core_avf(SUITE[name]) for name in BENCHMARK_NAMES}
+    ordered = sorted(avf, key=avf.get)
+    rows = [[name, classes[name], float(100 * avf[name])] for name in ordered]
+    print(format_table(["benchmark", "class", "AVF %"], rows,
+                       float_format="{:.1f}"))
+    if args.chart:
+        print()
+        print(bar_chart({name: avf[name] for name in ordered},
+                        value_format="{:.3f}"))
+    return 0
+
+
+def cmd_oracle(args) -> int:
+    """Enumerate static schedules for a mix (Section 2.4's oracle)."""
+    machine = _machine(args)
+    names = _benchmarks(args)
+    if machine is None or names is None:
+        return 2
+    if len(names) != machine.num_cores:
+        print(f"error: {machine.name} needs {machine.num_cores} benchmarks",
+              file=sys.stderr)
+        return 2
+    models = default_models(machine)
+    stats = [
+        isolated_stats(benchmark(n).scaled(args.instructions),
+                       models["big"], models["small"])
+        for n in names
+    ]
+    from repro.sched.oracle import enumerate_schedules
+    rows = []
+    for schedule in sorted(enumerate_schedules(stats, machine),
+                           key=lambda s: s.sser):
+        big_names = ",".join(names[i] for i in schedule.big_apps)
+        rows.append([big_names, float(schedule.sser), float(schedule.stp)])
+    print(format_table(["on big cores", "SSER (unscaled)", "STP"], rows,
+                       float_format="{:.4g}"))
+    best_r = best_sser_schedule(stats, machine)
+    best_p = best_stp_schedule(stats, machine)
+    print(f"\nreliability oracle: {[names[i] for i in best_r.big_apps]} on big")
+    print(f"performance oracle: {[names[i] for i in best_p.big_apps]} on big")
+    print(f"SER gain {100 * (1 - best_r.sser / best_p.sser):.1f}% at "
+          f"STP loss {100 * (1 - best_r.stp / best_p.stp):.1f}%")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """List the canonical workload mixes for a program count."""
+    workloads = generate_workloads(args.programs, seed=args.workload_seed)
+    rows = [[i, w.category, ", ".join(w.benchmarks)]
+            for i, w in enumerate(workloads)]
+    print(format_table(["index", "category", "benchmarks"], rows))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Generate a synthetic trace and print its statistics."""
+    if args.benchmark not in SUITE:
+        print(f"error: unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    trace = generate_trace(benchmark(args.benchmark), args.length,
+                           seed=args.seed)
+    from repro.isa.instruction import InstructionClass
+    rows = [[cls.name.lower(), float(100 * trace.class_fraction(cls))]
+            for cls in InstructionClass
+            if trace.class_fraction(cls) > 0]
+    print(f"trace: {args.benchmark}, {len(trace)} instructions")
+    print(f"branch MPKI {trace.branch_mpki:.2f}, "
+          f"I-cache MPKI {trace.icache_mpki:.2f}")
+    print(format_table(["class", "%"], rows, float_format="{:.1f}"))
+    if args.simulate:
+        from repro.cores.base import ISOLATED
+        from repro.cores.inorder import InOrderCoreModel
+        from repro.cores.ooo import OutOfOrderCoreModel
+        from repro.cores.tracebase import TraceApplication
+        big = OutOfOrderCoreModel(big_core_config())
+        small = InOrderCoreModel(small_core_config())
+        rows = []
+        for label, model in (("big", big), ("small", small)):
+            app = TraceApplication(trace)
+            result = model.run_cycles(app, 0, 10 * len(trace), ISOLATED)
+            rows.append([label, float(result.ipc),
+                         float(100 * result.avf(model.core)),
+                         float(result.ace_bits_per_cycle())])
+        print(format_table(["core", "IPC", "AVF %", "ACE bits/cycle"], rows,
+                           float_format="{:.2f}"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Render an evaluation figure as an ASCII chart."""
+    machine = _machine(args)
+    if machine is None:
+        return 2
+    from pathlib import Path
+
+    from repro.report.figures import render_fig06, render_fig07, render_fig12
+    from repro.sim.campaign import Campaign
+
+    workloads = generate_workloads(args.programs)
+    campaign = Campaign(Path(args.cache_dir))
+    results = campaign.sweep(
+        args.machine,
+        workloads,
+        SCHEDULER_NAMES,
+        args.instructions,
+    )
+    if args.id == "fig06":
+        print(render_fig06(results))
+    elif args.id == "fig07":
+        print(render_fig07(results, workloads))
+    elif args.id == "fig12":
+        print(render_fig12(results, machine))
+    else:
+        print(f"error: unknown figure {args.id!r}", file=sys.stderr)
+        return 2
+    print(f"\n({campaign.hits} cached runs, {campaign.misses} simulated; "
+          f"cache: {campaign.directory})")
+    return 0
+
+
+def cmd_inject(args) -> int:
+    """Fault-injection campaign vs ACE counting for one benchmark."""
+    if args.benchmark not in SUITE:
+        print(f"error: unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    from repro.ace.faultinject import FaultInjector
+    from repro.cores.base import ISOLATED
+    from repro.cores.ooo import OutOfOrderCoreModel
+    from repro.cores.tracebase import TraceApplication
+
+    config = big_core_config()
+    model = OutOfOrderCoreModel(config)
+    trace = generate_trace(benchmark(args.benchmark), args.length,
+                           seed=args.seed)
+    timing = model.simulate_window(
+        TraceApplication(trace), 0, 100 * args.length, ISOLATED
+    )
+    injector = FaultInjector(config, timing)
+    result = injector.inject(trials=args.trials, seed=args.seed)
+    counting = injector.counting_avf()
+    low, high = result.confidence_interval()
+    print(f"benchmark {args.benchmark}: {timing.committed} instructions, "
+          f"{timing.elapsed_cycles:.0f} cycles")
+    print(f"ACE-counting AVF:     {100 * counting:.2f}%")
+    print(f"fault-injection AVF:  {100 * result.avf_estimate:.2f}% "
+          f"(95% CI [{100 * low:.2f}%, {100 * high:.2f}%], "
+          f"{result.trials} injections)")
+    rows = [
+        [kind, trials, hits, float(100 * hits / trials) if trials else 0.0]
+        for kind, (trials, hits) in result.per_structure.items()
+    ]
+    print(format_table(["structure", "trials", "ACE hits", "AVF %"], rows,
+                       float_format="{:.1f}"))
+    return 0
+
+
+def cmd_cost(args) -> int:
+    """Print the ACE counter architecture hardware cost (Section 4.2)."""
+    big, small = big_core_config(), small_core_config()
+    rows = []
+    for label, cost in (
+        ("baseline big-core", baseline_big_core_cost(big)),
+        ("ROB-only big-core", rob_only_big_core_cost(big)),
+        ("in-order core", in_order_core_cost(small)),
+    ):
+        rows.append([label, cost.storage_bits, cost.adders,
+                     cost.bit_equivalents, cost.bytes])
+    print(format_table(
+        ["implementation", "storage bits", "adders", "bit-equiv", "bytes"],
+        rows,
+    ))
+    return 0

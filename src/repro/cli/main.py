@@ -1,0 +1,144 @@
+"""`repro` command-line interface.
+
+Subcommands:
+
+* ``repro run``       -- run one workload under one scheduler
+* ``repro compare``   -- compare the three schedulers on a workload
+* ``repro sweep``     -- the 36-workload evaluation sweep
+* ``repro avf``       -- suite AVF spectrum and H/M/L classes (Fig. 1)
+* ``repro oracle``    -- static-schedule enumeration (Section 2.4)
+* ``repro workloads`` -- list the canonical workload mixes
+* ``repro trace``     -- generate and inspect a synthetic trace
+* ``repro cost``      -- ACE counter hardware cost (Section 4.2)
+* ``repro figure``    -- render an evaluation figure as an ASCII chart
+* ``repro inject``    -- fault-injection campaign vs ACE counting
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cli import commands
+
+DEFAULT_INSTRUCTIONS = 100_000_000
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="2B2S",
+                        help="HCMP topology: 1B1S, 2B2S, 1B3S, 3B1S, 4B4S")
+    parser.add_argument("--small-frequency", type=float, default=None,
+                        help="small-core frequency in GHz (default: 2.66)")
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmarks", required=True,
+                        help="comma-separated benchmark names")
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS,
+                        help="instructions per benchmark")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliability-aware scheduling on heterogeneous "
+                    "multicores (HPCA 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one workload")
+    _add_machine_arguments(run)
+    _add_workload_arguments(run)
+    run.add_argument("--scheduler", default="reliability",
+                     choices=("random", "performance", "reliability"))
+    run.add_argument("--rob-only", action="store_true",
+                     help="use the 296-byte ROB-only counters")
+    run.add_argument("--power", action="store_true",
+                     help="include power estimates")
+    run.add_argument("--gantt", action="store_true",
+                     help="draw an ASCII schedule chart")
+    run.set_defaults(func=commands.cmd_run)
+
+    compare = subparsers.add_parser("compare",
+                                    help="compare the three schedulers")
+    _add_machine_arguments(compare)
+    _add_workload_arguments(compare)
+    compare.set_defaults(func=commands.cmd_compare)
+
+    sweep = subparsers.add_parser("sweep", help="36-workload sweep")
+    _add_machine_arguments(sweep)
+    sweep.add_argument("--programs", type=int, default=4, choices=(2, 4, 8))
+    sweep.add_argument("--instructions", type=int,
+                       default=DEFAULT_INSTRUCTIONS)
+    sweep.add_argument("--workload-seed", type=int, default=42)
+    sweep.add_argument("--verbose", action="store_true")
+    sweep.set_defaults(func=commands.cmd_sweep)
+
+    avf = subparsers.add_parser("avf", help="suite AVF spectrum")
+    avf.add_argument("--chart", action="store_true",
+                     help="draw an ASCII bar chart")
+    avf.set_defaults(func=commands.cmd_avf)
+
+    oracle = subparsers.add_parser("oracle",
+                                   help="static-schedule enumeration")
+    _add_machine_arguments(oracle)
+    _add_workload_arguments(oracle)
+    oracle.set_defaults(func=commands.cmd_oracle)
+
+    workloads = subparsers.add_parser("workloads",
+                                      help="list canonical workload mixes")
+    workloads.add_argument("--programs", type=int, default=4,
+                           choices=(2, 4, 8))
+    workloads.add_argument("--workload-seed", type=int, default=42)
+    workloads.set_defaults(func=commands.cmd_workloads)
+
+    trace = subparsers.add_parser("trace",
+                                  help="generate and inspect a trace")
+    trace.add_argument("benchmark")
+    trace.add_argument("--length", type=int, default=50_000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--simulate", action="store_true",
+                       help="run the trace through both pipeline models")
+    trace.set_defaults(func=commands.cmd_trace)
+
+    cost = subparsers.add_parser("cost", help="counter hardware cost")
+    cost.set_defaults(func=commands.cmd_cost)
+
+    figure = subparsers.add_parser(
+        "figure", help="render an evaluation figure as an ASCII chart"
+    )
+    figure.add_argument("id", choices=("fig06", "fig07", "fig12"))
+    figure.add_argument("--machine", default="2B2S")
+    figure.add_argument("--small-frequency", type=float, default=None)
+    figure.add_argument("--programs", type=int, default=4, choices=(2, 4, 8))
+    figure.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS)
+    figure.add_argument("--cache-dir", default=".repro_cache/figures",
+                        help="campaign cache directory")
+    figure.set_defaults(func=commands.cmd_figure)
+
+    inject = subparsers.add_parser(
+        "inject", help="fault-injection campaign vs ACE counting"
+    )
+    inject.add_argument("benchmark")
+    inject.add_argument("--length", type=int, default=20_000,
+                        help="trace length in instructions")
+    inject.add_argument("--trials", type=int, default=20_000,
+                        help="bit flips to inject")
+    inject.add_argument("--seed", type=int, default=0)
+    inject.set_defaults(func=commands.cmd_inject)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Core-type configurations (Table 2 of the paper).
+
+Two core types make up the heterogeneous multicore: a big 4-wide
+out-of-order core and a small 2-wide in-order core.  Both run at
+2.66 GHz by default; the small core can be clocked down (Section 6.4
+evaluates 1.33 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config.structures import (
+    RegisterFileConfig,
+    StructureConfig,
+    StructureKind,
+)
+from repro.isa.instruction import InstructionClass
+
+
+@dataclass(frozen=True)
+class FunctionalUnitPool:
+    """A pool of identical functional units.
+
+    Attributes:
+        instruction_class: the class served by this pool.
+        count: number of units.
+        latency: execution latency in cycles.
+        bits: operand bits held while executing (ACE accounting).
+        pipelined: whether a unit accepts a new operation every cycle
+            (adders and multipliers) or blocks for its full latency
+            (dividers).
+    """
+
+    instruction_class: InstructionClass
+    count: int
+    latency: int
+    bits: int
+    pipelined: bool = True
+
+    @property
+    def throughput(self) -> float:
+        """Operations the pool can start per cycle."""
+        return self.count if self.pipelined else self.count / self.latency
+
+    @property
+    def max_in_flight(self) -> int:
+        """Most operations simultaneously holding state in the pool."""
+        return self.count * self.latency if self.pipelined else self.count
+
+
+def _big_core_fus() -> tuple[FunctionalUnitPool, ...]:
+    return (
+        FunctionalUnitPool(InstructionClass.INT_ALU, 3, 1, 64),
+        FunctionalUnitPool(InstructionClass.INT_MUL, 1, 3, 64),
+        FunctionalUnitPool(InstructionClass.INT_DIV, 1, 18, 64, pipelined=False),
+        FunctionalUnitPool(InstructionClass.FP_ADD, 1, 3, 128),
+        FunctionalUnitPool(InstructionClass.FP_MUL, 1, 5, 128),
+        FunctionalUnitPool(InstructionClass.FP_DIV, 1, 6, 128, pipelined=False),
+    )
+
+
+def _small_core_fus() -> tuple[FunctionalUnitPool, ...]:
+    return (
+        FunctionalUnitPool(InstructionClass.INT_ALU, 2, 1, 64),
+        FunctionalUnitPool(InstructionClass.INT_MUL, 1, 3, 64),
+        FunctionalUnitPool(InstructionClass.INT_DIV, 1, 18, 64, pipelined=False),
+        FunctionalUnitPool(InstructionClass.FP_ADD, 1, 3, 128),
+        FunctionalUnitPool(InstructionClass.FP_MUL, 1, 5, 128),
+        FunctionalUnitPool(InstructionClass.FP_DIV, 1, 6, 128, pipelined=False),
+    )
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Configuration of one core type.
+
+    The fields mirror Table 2.  ``rob``, ``load_queue`` and the
+    register file are ``None`` for the in-order core, which instead
+    carries ``pipeline_latches`` (5 stages x 2 instructions x 76 bits).
+    """
+
+    name: str
+    out_of_order: bool
+    frequency_ghz: float
+    width: int
+    frontend_depth: int
+    rob: StructureConfig | None
+    issue_queue: StructureConfig
+    load_queue: StructureConfig | None
+    store_queue: StructureConfig
+    register_file: RegisterFileConfig
+    pipeline_latches: StructureConfig | None
+    functional_units: tuple[FunctionalUnitPool, ...]
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.width <= 0:
+            raise ValueError("pipeline width must be positive")
+        if self.out_of_order and self.rob is None:
+            raise ValueError("out-of-order core requires a ROB")
+        if not self.out_of_order and self.pipeline_latches is None:
+            raise ValueError("in-order core requires pipeline latches")
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    @property
+    def fu_total_bits(self) -> int:
+        return sum(pool.count * pool.bits for pool in self.functional_units)
+
+    def fu_pool(self, cls: InstructionClass) -> FunctionalUnitPool:
+        """The functional-unit pool serving an instruction class.
+
+        Loads, stores, branches and NOPs execute on the integer ALUs.
+        """
+        for pool in self.functional_units:
+            if pool.instruction_class == cls:
+                return pool
+        return self.fu_pool(InstructionClass.INT_ALU)
+
+    def tracked_structures(self) -> dict[StructureKind, StructureConfig]:
+        """All occupancy-tracked structures present in this core type."""
+        structures: dict[StructureKind, StructureConfig] = {}
+        for struct in (
+            self.rob,
+            self.issue_queue,
+            self.load_queue,
+            self.store_queue,
+            self.pipeline_latches,
+        ):
+            if struct is not None:
+                structures[struct.kind] = struct
+        return structures
+
+    @property
+    def total_ace_capacity_bits(self) -> int:
+        """Total bits across every ACE-relevant structure.
+
+        This is the denominator of the core-level AVF.
+        """
+        bits = sum(s.total_bits for s in self.tracked_structures().values())
+        bits += self.register_file.total_bits
+        bits += self.fu_total_bits
+        return bits
+
+    def with_frequency(self, frequency_ghz: float) -> "CoreConfig":
+        """A copy of this configuration at a different clock frequency."""
+        return replace(self, frequency_ghz=frequency_ghz)
+
+
+def big_core_config(frequency_ghz: float = 2.66) -> CoreConfig:
+    """The big out-of-order core of Table 2."""
+    return CoreConfig(
+        name="big",
+        out_of_order=True,
+        frequency_ghz=frequency_ghz,
+        width=4,
+        frontend_depth=8,
+        rob=StructureConfig(StructureKind.ROB, 128, 76),
+        issue_queue=StructureConfig(StructureKind.ISSUE_QUEUE, 64, 32),
+        load_queue=StructureConfig(StructureKind.LOAD_QUEUE, 64, 80),
+        store_queue=StructureConfig(StructureKind.STORE_QUEUE, 64, 144),
+        register_file=RegisterFileConfig(
+            int_registers=120, int_bits=64, fp_registers=96, fp_bits=128
+        ),
+        pipeline_latches=None,
+        functional_units=_big_core_fus(),
+    )
+
+
+def small_core_config(frequency_ghz: float = 2.66) -> CoreConfig:
+    """The small in-order core of Table 2."""
+    return CoreConfig(
+        name="small",
+        out_of_order=False,
+        frequency_ghz=frequency_ghz,
+        width=2,
+        frontend_depth=5,
+        rob=None,
+        issue_queue=StructureConfig(StructureKind.ISSUE_QUEUE, 4, 32),
+        load_queue=None,
+        store_queue=StructureConfig(StructureKind.STORE_QUEUE, 10, 144),
+        register_file=RegisterFileConfig(
+            int_registers=16,
+            int_bits=64,
+            fp_registers=16,
+            fp_bits=128,
+            arch_int_registers=16,
+            arch_fp_registers=16,
+        ),
+        pipeline_latches=StructureConfig(StructureKind.PIPELINE_LATCHES, 10, 76),
+        functional_units=_small_core_fus(),
+    )

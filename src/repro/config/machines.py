@@ -1,0 +1,178 @@
+"""Heterogeneous multicore machine configurations.
+
+A :class:`MachineConfig` bundles the core mix (how many big and small
+cores), the shared memory hierarchy parameters, and the scheduler
+timing parameters (scheduler quantum, sampling quantum, migration
+overhead) from Sections 4 and 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config.cores import CoreConfig, big_core_config, small_core_config
+
+#: Core-type labels, used throughout the scheduler code.
+BIG = "big"
+SMALL = "small"
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Size/associativity/latency of one cache level (Table 2)."""
+
+    size_bytes: int
+    associativity: int
+    latency_cycles: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError("cache size must be a whole number of sets")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Shared LLC and DRAM parameters (Table 2)."""
+
+    l1i: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(32 * 1024, 4, 2)
+    )
+    l1d: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(32 * 1024, 8, 4)
+    )
+    l2: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(256 * 1024, 8, 8)
+    )
+    l3: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(8 * 1024 * 1024, 16, 30)
+    )
+    dram_latency_ns: float = 45.0
+    dram_bandwidth_gbps: float = 25.6
+
+    def dram_latency_cycles(self, frequency_ghz: float) -> float:
+        """DRAM access latency expressed in core cycles."""
+        return self.dram_latency_ns * frequency_ghz
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A heterogeneous multicore plus its scheduling parameters.
+
+    Attributes:
+        big_cores / small_cores: core counts of each type.
+        big / small: per-type core configurations.
+        memory: shared cache and DRAM parameters.
+        quantum_seconds: scheduler quantum (1 ms default).
+        sampling_quantum_seconds: sampling quantum (0.1 ms default).
+        sampling_period_quanta: sampling staleness threshold -- a
+            sampling phase is triggered once an application has run on
+            the same core type for this many consecutive quanta.
+        migration_overhead_seconds: architectural-state migration cost
+            per application migration (20 us, after big.LITTLE).
+    """
+
+    big_cores: int
+    small_cores: int
+    big: CoreConfig = field(default_factory=big_core_config)
+    small: CoreConfig = field(default_factory=small_core_config)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    quantum_seconds: float = 1e-3
+    sampling_quantum_seconds: float = 1e-4
+    sampling_period_quanta: int = 10
+    migration_overhead_seconds: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.big_cores < 0 or self.small_cores < 0:
+            raise ValueError("core counts cannot be negative")
+        if self.big_cores + self.small_cores == 0:
+            raise ValueError("machine needs at least one core")
+        if not 0 < self.sampling_quantum_seconds <= self.quantum_seconds:
+            raise ValueError("sampling quantum must be in (0, quantum]")
+        if self.sampling_period_quanta < 1:
+            raise ValueError("sampling period must be at least one quantum")
+
+    @property
+    def num_cores(self) -> int:
+        return self.big_cores + self.small_cores
+
+    @property
+    def name(self) -> str:
+        """Topology name in the paper's notation, e.g. ``2B2S``."""
+        return f"{self.big_cores}B{self.small_cores}S"
+
+    def core_type(self, core_id: int) -> str:
+        """Core type (``"big"`` or ``"small"``) for a core index.
+
+        Cores ``0 .. big_cores-1`` are big; the rest are small.
+        """
+        if not 0 <= core_id < self.num_cores:
+            raise IndexError(f"core id {core_id} out of range")
+        return BIG if core_id < self.big_cores else SMALL
+
+    def core_config(self, core_id: int) -> CoreConfig:
+        return self.big if self.core_type(core_id) == BIG else self.small
+
+    def core_config_for_type(self, core_type: str) -> CoreConfig:
+        if core_type == BIG:
+            return self.big
+        if core_type == SMALL:
+            return self.small
+        raise ValueError(f"unknown core type {core_type!r}")
+
+    def quantum_cycles(self, core_type: str) -> int:
+        """Scheduler-quantum length in cycles of the given core type."""
+        config = self.core_config_for_type(core_type)
+        return int(round(self.quantum_seconds * config.frequency_hz))
+
+    def sampling_quantum_cycles(self, core_type: str) -> int:
+        config = self.core_config_for_type(core_type)
+        return int(round(self.sampling_quantum_seconds * config.frequency_hz))
+
+    def with_small_frequency(self, frequency_ghz: float) -> "MachineConfig":
+        """A copy with the small cores clocked at a different frequency."""
+        return replace(self, small=self.small.with_frequency(frequency_ghz))
+
+    def with_sampling(
+        self, period_quanta: int, sampling_quantum_seconds: float
+    ) -> "MachineConfig":
+        """A copy with different sampling parameters (Figure 11 sweep)."""
+        return replace(
+            self,
+            sampling_period_quanta=period_quanta,
+            sampling_quantum_seconds=sampling_quantum_seconds,
+        )
+
+
+def machine_1b1s() -> MachineConfig:
+    return MachineConfig(big_cores=1, small_cores=1)
+
+
+def machine_2b2s() -> MachineConfig:
+    return MachineConfig(big_cores=2, small_cores=2)
+
+
+def machine_1b3s() -> MachineConfig:
+    return MachineConfig(big_cores=1, small_cores=3)
+
+
+def machine_3b1s() -> MachineConfig:
+    return MachineConfig(big_cores=3, small_cores=1)
+
+
+def machine_4b4s() -> MachineConfig:
+    return MachineConfig(big_cores=4, small_cores=4)
+
+
+#: All machine topologies evaluated in the paper, by name.
+STANDARD_MACHINES = {
+    "1B1S": machine_1b1s,
+    "2B2S": machine_2b2s,
+    "1B3S": machine_1b3s,
+    "3B1S": machine_3b1s,
+    "4B4S": machine_4b4s,
+}

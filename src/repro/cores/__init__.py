@@ -1,0 +1,29 @@
+"""Core performance models: mechanistic and trace-driven pipelines."""
+
+from repro.cores.base import (
+    ACE_STRUCTURES,
+    ISOLATED,
+    CoreModel,
+    MemoryEnvironment,
+    QuantumResult,
+)
+from repro.cores.mechanistic import (
+    MechanisticCoreModel,
+    PhaseAnalysis,
+    analyze_big_phase,
+    analyze_phase,
+    analyze_small_phase,
+)
+
+__all__ = [
+    "ACE_STRUCTURES",
+    "ISOLATED",
+    "CoreModel",
+    "MechanisticCoreModel",
+    "MemoryEnvironment",
+    "PhaseAnalysis",
+    "QuantumResult",
+    "analyze_big_phase",
+    "analyze_phase",
+    "analyze_small_phase",
+]

@@ -1,0 +1,290 @@
+"""Trace-driven out-of-order core model.
+
+An O(instructions) event model of the big core of Table 2: 4-wide
+dispatch/commit, a 128-entry ROB, 64-entry issue queue, 64-entry
+load/store queues, per-class functional units (unpipelined dividers),
+front-end redirects on branch mispredictions, I-cache miss stalls, and
+real cache-hierarchy latencies for loads.
+
+The model first computes per-instruction pipeline timings
+(:class:`WindowTiming`: dispatch, issue, finish and commit cycles),
+then derives the exact residency intervals the paper's counter
+architecture measures (Section 4.2): time in the ROB (commit -
+dispatch), issue queue (issue - dispatch), load/store queue (commit -
+dispatch), destination register (commit - finish) and functional unit
+(execution latency) -- each clipped to the 12-bit timestamp range --
+and accumulates ACE bit-cycles for correct-path, non-NOP state.
+
+Wrong-path instructions after a mispredicted branch are never
+dispatched (the correct path refetches after resolution), so during a
+load miss that feeds a mispredicted branch the window naturally holds
+no ACE state beyond the branch -- the low-AVF mechanism of
+mcf/libquantum emerges from the timing.
+
+The exposed timings also drive the Monte-Carlo fault-injection
+validation in `repro.ace.faultinject`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.structures import StructureKind
+from repro.cores.base import (
+    ARCH_REG_LIVE_FRACTION,
+    MemoryEnvironment,
+    QuantumResult,
+)
+from repro.cores.tracebase import TraceApplication, TraceDrivenModel
+from repro.isa.instruction import (
+    FP_WRITERS,
+    INT_WRITERS,
+    InstructionClass,
+    fu_bits_table,
+    latency_table,
+)
+
+#: 12-bit per-ROB-entry timestamp counters clip residency here.
+TIMESTAMP_CLIP = 4095
+
+#: Live architectural-register fraction (shared model constant).
+_ARCH_REG_LIVE_FRACTION = ARCH_REG_LIVE_FRACTION
+
+#: Maximum instructions attempted per cycle of budget (dispatch width).
+_WINDOW_SLACK = 1024
+
+
+@dataclass
+class WindowTiming:
+    """Per-instruction pipeline timings for one executed window.
+
+    All arrays cover the *committed* prefix of the window (length
+    ``committed``).  Cycle values are relative to the window start.
+    """
+
+    classes: np.ndarray
+    dispatch: np.ndarray
+    issue: np.ndarray
+    finish: np.ndarray
+    commit: np.ndarray
+    latency: np.ndarray
+    mispredicted: np.ndarray
+    committed: int
+    elapsed_cycles: float
+
+    def __post_init__(self) -> None:
+        for name in ("dispatch", "issue", "finish", "commit", "latency",
+                     "mispredicted"):
+            if len(getattr(self, name)) != self.committed:
+                raise ValueError(f"{name} must cover the committed prefix")
+
+
+class OutOfOrderCoreModel(TraceDrivenModel):
+    """Trace-driven model of the big out-of-order core."""
+
+    def simulate_window(
+        self,
+        app: TraceApplication,
+        start_instruction: int,
+        cycles: float,
+        env: MemoryEnvironment,
+    ) -> WindowTiming:
+        """Compute pipeline timings for a cycle budget of execution."""
+        core = self.core
+        assert core.rob is not None and core.load_queue is not None
+        budget = float(cycles)
+        window = app.window(
+            start_instruction, int(budget * core.width) + _WINDOW_SLACK
+        )
+        n = len(window)
+        hierarchy = self.hierarchy_for(app)
+        dram_extra = (
+            self.dram_latency_cycles(env) - hierarchy.dram_latency_cycles
+        )
+
+        latencies = latency_table()
+        width = core.width
+        rob_size = core.rob.entries
+        iq_size = core.issue_queue.entries
+        lq_size = core.load_queue.entries
+        sq_size = core.store_queue.entries
+        depth = core.frontend_depth
+        icache_penalty = self.memory.l2.latency_cycles
+
+        classes = window.classes
+        dep1 = window.dep1
+        dep2 = window.dep2
+        addresses = window.addresses
+        mispredicted = window.mispredicted
+        icache_miss = window.icache_miss
+
+        dispatch = np.zeros(n, dtype=np.float64)
+        issue = np.zeros(n, dtype=np.float64)
+        finish = np.zeros(n, dtype=np.float64)
+        commit = np.zeros(n, dtype=np.float64)
+        latency_out = np.zeros(n, dtype=np.float64)
+        load_ring: list[int] = []
+        store_ring: list[int] = []
+        div_free = {InstructionClass.INT_DIV: 0.0, InstructionClass.FP_DIV: 0.0}
+
+        fetch_ready = 0.0
+        committed = 0
+        end_time = 0.0
+        for i in range(n):
+            cls = InstructionClass(classes[i])
+            if icache_miss[i]:
+                fetch_ready += icache_penalty
+            t_dispatch = max(
+                fetch_ready,
+                dispatch[i - width] + 1.0 if i >= width else 0.0,
+            )
+            if i >= rob_size:
+                t_dispatch = max(t_dispatch, commit[i - rob_size])
+            if i >= iq_size:
+                t_dispatch = max(t_dispatch, issue[i - iq_size])
+            if cls == InstructionClass.LOAD and len(load_ring) >= lq_size:
+                t_dispatch = max(t_dispatch, commit[load_ring[-lq_size]])
+            if cls == InstructionClass.STORE and len(store_ring) >= sq_size:
+                t_dispatch = max(t_dispatch, commit[store_ring[-sq_size]])
+            dispatch[i] = t_dispatch
+
+            ready = t_dispatch + 1.0
+            if dep1[i]:
+                ready = max(ready, finish[i - dep1[i]])
+            if dep2[i]:
+                ready = max(ready, finish[i - dep2[i]])
+            if cls in div_free:
+                ready = max(ready, div_free[cls])
+            issue[i] = ready
+
+            if cls == InstructionClass.LOAD:
+                outcome = hierarchy.access_data(int(addresses[i]))
+                latency = outcome.latency_cycles
+                if outcome.level == "dram":
+                    latency += dram_extra
+                load_ring.append(i)
+            elif cls == InstructionClass.STORE:
+                # Stores write back at commit; the cache access is for
+                # hit/miss statistics, the pipeline sees unit latency.
+                hierarchy.access_data(int(addresses[i]))
+                latency = float(latencies[cls])
+                store_ring.append(i)
+            else:
+                latency = float(latencies[cls])
+            finish[i] = issue[i] + latency
+            latency_out[i] = latency
+            if cls in div_free:
+                div_free[cls] = finish[i]
+            if mispredicted[i]:
+                fetch_ready = max(fetch_ready, finish[i] + depth)
+
+            t_commit = finish[i] + 1.0
+            if i >= 1:
+                t_commit = max(t_commit, commit[i - 1])
+            if i >= width:
+                t_commit = max(t_commit, commit[i - width] + 1.0)
+            commit[i] = t_commit
+            if t_commit > budget:
+                break
+            committed = i + 1
+            end_time = t_commit
+
+        elapsed = budget if committed < n else max(end_time, 1.0)
+        return WindowTiming(
+            classes=classes[:committed].copy(),
+            dispatch=dispatch[:committed],
+            issue=issue[:committed],
+            finish=finish[:committed],
+            commit=commit[:committed],
+            latency=latency_out[:committed],
+            mispredicted=mispredicted[:committed].copy(),
+            committed=committed,
+            elapsed_cycles=elapsed,
+        )
+
+    def run_cycles(
+        self,
+        app: TraceApplication,
+        start_instruction: int,
+        cycles: float,
+        env: MemoryEnvironment,
+    ) -> QuantumResult:
+        if cycles <= 0:
+            return QuantumResult.zero()
+        hierarchy = self.hierarchy_for(app)
+        l3_start = hierarchy.l3_accesses
+        dram_start = hierarchy.dram_accesses
+        timing = self.simulate_window(app, start_instruction, cycles, env)
+        ace, occupancy = self._account(timing)
+        return QuantumResult(
+            instructions=timing.committed,
+            cycles=timing.elapsed_cycles,
+            ace_bit_cycles=ace,
+            occupancy_bit_cycles=occupancy,
+            memory_accesses=float(hierarchy.dram_accesses - dram_start),
+            l3_accesses=float(hierarchy.l3_accesses - l3_start),
+            branch_mispredictions=float(timing.mispredicted.sum()),
+        )
+
+    def _account(
+        self, timing: WindowTiming
+    ) -> tuple[dict[StructureKind, float], dict[StructureKind, float]]:
+        """Vectorized ACE/occupancy accounting from window timings."""
+        core = self.core
+        assert core.rob is not None and core.load_queue is not None
+        fu_bits = fu_bits_table()
+        classes = timing.classes
+        non_nop = classes != InstructionClass.NOP
+        is_load = classes == InstructionClass.LOAD
+        is_store = classes == InstructionClass.STORE
+        writers = np.isin(
+            classes, np.array(sorted(INT_WRITERS | FP_WRITERS), dtype=np.int8)
+        )
+        fp_writers = np.isin(
+            classes, np.array(sorted(FP_WRITERS), dtype=np.int8)
+        )
+
+        rob_res = np.minimum(timing.commit - timing.dispatch, TIMESTAMP_CLIP)
+        iq_res = np.minimum(timing.issue - timing.dispatch, TIMESTAMP_CLIP)
+        reg_res = np.minimum(timing.commit - timing.finish, TIMESTAMP_CLIP)
+        fu_res = np.minimum(timing.latency, TIMESTAMP_CLIP)
+        reg_bits = np.where(fp_writers, 128.0, 64.0)
+        fu_res_bits = fu_res * fu_bits[classes]
+
+        occupancy = {
+            StructureKind.ROB: float(rob_res.sum()) * core.rob.bits_per_entry,
+            StructureKind.ISSUE_QUEUE: float(iq_res.sum())
+            * core.issue_queue.bits_per_entry,
+            StructureKind.LOAD_QUEUE: float(rob_res[is_load].sum())
+            * core.load_queue.bits_per_entry,
+            StructureKind.STORE_QUEUE: float(rob_res[is_store].sum())
+            * core.store_queue.bits_per_entry,
+            StructureKind.REGISTER_FILE: float(
+                (reg_res * reg_bits)[writers].sum()
+            ),
+            StructureKind.FUNCTIONAL_UNITS: float(fu_res_bits[non_nop].sum()),
+        }
+        ace = {
+            StructureKind.ROB: float(rob_res[non_nop].sum())
+            * core.rob.bits_per_entry,
+            StructureKind.ISSUE_QUEUE: float(iq_res[non_nop].sum())
+            * core.issue_queue.bits_per_entry,
+            StructureKind.LOAD_QUEUE: occupancy[StructureKind.LOAD_QUEUE],
+            StructureKind.STORE_QUEUE: occupancy[StructureKind.STORE_QUEUE],
+            StructureKind.REGISTER_FILE: occupancy[
+                StructureKind.REGISTER_FILE
+            ],
+            StructureKind.FUNCTIONAL_UNITS: occupancy[
+                StructureKind.FUNCTIONAL_UNITS
+            ],
+        }
+        arch = (
+            core.register_file.arch_bits
+            * _ARCH_REG_LIVE_FRACTION
+            * timing.elapsed_cycles
+        )
+        ace[StructureKind.REGISTER_FILE] += arch
+        occupancy[StructureKind.REGISTER_FILE] += arch
+        return ace, occupancy

@@ -1,0 +1,83 @@
+"""Shared infrastructure for the trace-driven pipeline models.
+
+A :class:`TraceApplication` bundles a concrete instruction trace with
+the identity the simulator expects (name, instruction count, position
+wrap-around).  Each trace-driven core model owns one cache hierarchy
+per application, modelling per-core private caches; cache state is
+retained across scheduling quanta of the same core type (a
+simplification relative to flushing on migration, documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+from repro.config.cores import CoreConfig
+from repro.config.machines import MemoryConfig
+from repro.cores.base import CoreModel, MemoryEnvironment
+from repro.isa.trace import Trace
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import CacheHierarchy
+
+
+@dataclass(eq=False)  # identity semantics: used as a weak dict key
+class TraceApplication:
+    """An application backed by a concrete instruction trace.
+
+    Mirrors the :class:`BenchmarkProfile` surface the simulator uses
+    (``name`` and ``instructions``); positions beyond the trace length
+    wrap around (restarted applications).
+    """
+
+    trace: Trace
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.trace) == 0:
+            raise ValueError("trace application needs a non-empty trace")
+        if not self.name:
+            self.name = self.trace.name
+
+    @property
+    def instructions(self) -> int:
+        return len(self.trace)
+
+    def window(self, start: int, length: int) -> Trace:
+        """A trace window starting at ``start`` (mod length)."""
+        begin = start % len(self.trace)
+        end = min(begin + length, len(self.trace))
+        return self.trace.slice(begin, end)
+
+
+class TraceDrivenModel(CoreModel):
+    """Base class: per-application cache hierarchies and DRAM scaling."""
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        memory: MemoryConfig | None = None,
+        shared_l3: SetAssociativeCache | None = None,
+    ):
+        super().__init__(core)
+        self.memory = memory if memory is not None else MemoryConfig()
+        self._shared_l3 = shared_l3
+        # Weak keys: a hierarchy dies with its application (and ids of
+        # dead applications can never alias a live entry).
+        self._hierarchies: weakref.WeakKeyDictionary[
+            TraceApplication, CacheHierarchy
+        ] = weakref.WeakKeyDictionary()
+
+    def hierarchy_for(self, app: TraceApplication) -> CacheHierarchy:
+        """The private cache hierarchy of an application on this core."""
+        if app not in self._hierarchies:
+            self._hierarchies[app] = CacheHierarchy(
+                self.memory, self.core.frequency_ghz, shared_l3=self._shared_l3
+            )
+        return self._hierarchies[app]
+
+    def dram_latency_cycles(self, env: MemoryEnvironment) -> float:
+        """Contention-scaled DRAM latency for this quantum."""
+        base = self.memory.dram_latency_cycles(self.core.frequency_ghz)
+        return base * env.dram_latency_multiplier

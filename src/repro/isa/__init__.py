@@ -1,0 +1,25 @@
+"""Instruction-set substrate: instruction classes and dynamic traces."""
+
+from repro.isa.instruction import (
+    EXECUTION_LATENCY,
+    FP_WRITERS,
+    FU_BITS,
+    INT_WRITERS,
+    NUM_CLASSES,
+    InstructionClass,
+    fu_bits_table,
+    latency_table,
+)
+from repro.isa.trace import Trace
+
+__all__ = [
+    "EXECUTION_LATENCY",
+    "FP_WRITERS",
+    "FU_BITS",
+    "INT_WRITERS",
+    "NUM_CLASSES",
+    "InstructionClass",
+    "Trace",
+    "fu_bits_table",
+    "latency_table",
+]

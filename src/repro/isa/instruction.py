@@ -1,0 +1,103 @@
+"""Instruction classes and execution latencies.
+
+The reproduction uses a compact RISC-like instruction taxonomy: every
+dynamic instruction belongs to one :class:`InstructionClass`, which
+determines the functional unit it executes on and its execution
+latency (Table 2 of the paper).  Loads additionally take a
+memory-hierarchy latency determined by the cache simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class InstructionClass(enum.IntEnum):
+    """Dynamic instruction classes.
+
+    The integer values index numpy lookup tables, so they must stay
+    dense and start at zero.
+    """
+
+    NOP = 0
+    INT_ALU = 1
+    INT_MUL = 2
+    INT_DIV = 3
+    FP_ADD = 4
+    FP_MUL = 5
+    FP_DIV = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9
+
+
+#: Execution latency in cycles per class (Table 2 functional units).
+#: Loads/stores get their memory latency from the cache hierarchy; the
+#: value here is the address-generation / L1-pipeline portion.
+EXECUTION_LATENCY = {
+    InstructionClass.NOP: 1,
+    InstructionClass.INT_ALU: 1,
+    InstructionClass.INT_MUL: 3,
+    InstructionClass.INT_DIV: 18,
+    InstructionClass.FP_ADD: 3,
+    InstructionClass.FP_MUL: 5,
+    InstructionClass.FP_DIV: 6,
+    InstructionClass.LOAD: 1,
+    InstructionClass.STORE: 1,
+    InstructionClass.BRANCH: 1,
+}
+
+#: Operand width (bits) held in a functional unit while an instruction
+#: of the class executes; used for functional-unit ACE accounting.
+FU_BITS = {
+    InstructionClass.NOP: 0,
+    InstructionClass.INT_ALU: 64,
+    InstructionClass.INT_MUL: 64,
+    InstructionClass.INT_DIV: 64,
+    InstructionClass.FP_ADD: 128,
+    InstructionClass.FP_MUL: 128,
+    InstructionClass.FP_DIV: 128,
+    InstructionClass.LOAD: 64,
+    InstructionClass.STORE: 64,
+    InstructionClass.BRANCH: 64,
+}
+
+#: Classes that write an integer destination register.
+INT_WRITERS = frozenset(
+    {
+        InstructionClass.INT_ALU,
+        InstructionClass.INT_MUL,
+        InstructionClass.INT_DIV,
+        InstructionClass.LOAD,
+    }
+)
+
+#: Classes that write a floating-point destination register.
+FP_WRITERS = frozenset(
+    {
+        InstructionClass.FP_ADD,
+        InstructionClass.FP_MUL,
+        InstructionClass.FP_DIV,
+    }
+)
+
+#: Number of distinct instruction classes.
+NUM_CLASSES = len(InstructionClass)
+
+
+def latency_table() -> np.ndarray:
+    """Execution latencies as a dense int32 array indexed by class value."""
+    table = np.zeros(NUM_CLASSES, dtype=np.int32)
+    for cls, lat in EXECUTION_LATENCY.items():
+        table[cls] = lat
+    return table
+
+
+def fu_bits_table() -> np.ndarray:
+    """Functional-unit bit widths as a dense int32 array indexed by class."""
+    table = np.zeros(NUM_CLASSES, dtype=np.int32)
+    for cls, bits in FU_BITS.items():
+        table[cls] = bits
+    return table

@@ -1,0 +1,131 @@
+"""Numpy-backed dynamic instruction traces.
+
+A :class:`Trace` is a struct-of-arrays representation of a dynamic
+instruction stream: one entry per committed (correct-path) instruction.
+Traces feed the trace-driven core models (`repro.cores.ooo` and
+`repro.cores.inorder`).  Wrong-path instructions are not materialized;
+the core models reconstruct their timing impact from the per-branch
+misprediction flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instruction import InstructionClass
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction stream.
+
+    Attributes:
+        classes: int8 array of :class:`InstructionClass` values.
+        dep1 / dep2: int32 arrays of backward dependency distances for
+            up to two source operands; ``0`` means "no dependency".
+            Instruction ``i`` with ``dep1[i] = d`` reads the result of
+            instruction ``i - d``.
+        addresses: int64 array of data addresses (loads/stores; zero
+            otherwise).
+        mispredicted: bool array -- ``True`` on branches whose
+            direction/target is mispredicted.
+        icache_miss: bool array -- ``True`` when fetching this
+            instruction misses in the L1 instruction cache.
+        name: benchmark name the trace was generated from.
+    """
+
+    classes: np.ndarray
+    dep1: np.ndarray
+    dep2: np.ndarray
+    addresses: np.ndarray
+    mispredicted: np.ndarray
+    icache_miss: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        n = len(self.classes)
+        for arr_name in ("dep1", "dep2", "addresses", "mispredicted", "icache_miss"):
+            arr = getattr(self, arr_name)
+            if len(arr) != n:
+                raise ValueError(f"{arr_name} length {len(arr)} != classes length {n}")
+        if n and ((self.dep1 < 0).any() or (self.dep2 < 0).any()):
+            raise ValueError("dependency distances must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A view of instructions ``[start, stop)``.
+
+        Dependency distances reaching before ``start`` are clamped to
+        zero (treated as ready), matching how a core would see a
+        context-switched-in window.
+        """
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(f"slice [{start}, {stop}) out of range")
+        index = np.arange(start, stop, dtype=np.int64) - start
+        dep1 = self.dep1[start:stop].copy()
+        dep2 = self.dep2[start:stop].copy()
+        dep1[dep1 > index] = 0
+        dep2[dep2 > index] = 0
+        return Trace(
+            classes=self.classes[start:stop],
+            dep1=dep1,
+            dep2=dep2,
+            addresses=self.addresses[start:stop],
+            mispredicted=self.mispredicted[start:stop],
+            icache_miss=self.icache_miss[start:stop],
+            name=self.name,
+        )
+
+    def class_fraction(self, cls: InstructionClass) -> float:
+        """Fraction of instructions belonging to a class."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.count_nonzero(self.classes == cls)) / len(self)
+
+    @property
+    def nop_fraction(self) -> float:
+        return self.class_fraction(InstructionClass.NOP)
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branch mispredictions per kilo-instruction in this trace."""
+        if len(self) == 0:
+            return 0.0
+        return 1000.0 * float(np.count_nonzero(self.mispredicted)) / len(self)
+
+    @property
+    def icache_mpki(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return 1000.0 * float(np.count_nonzero(self.icache_miss)) / len(self)
+
+    @staticmethod
+    def empty(name: str = "empty") -> "Trace":
+        return Trace(
+            classes=np.zeros(0, dtype=np.int8),
+            dep1=np.zeros(0, dtype=np.int32),
+            dep2=np.zeros(0, dtype=np.int32),
+            addresses=np.zeros(0, dtype=np.int64),
+            mispredicted=np.zeros(0, dtype=bool),
+            icache_miss=np.zeros(0, dtype=bool),
+            name=name,
+        )
+
+    @staticmethod
+    def concatenate(traces: "list[Trace]", name: str = "concat") -> "Trace":
+        """Concatenate traces back to back (dependencies kept local)."""
+        if not traces:
+            return Trace.empty(name)
+        return Trace(
+            classes=np.concatenate([t.classes for t in traces]),
+            dep1=np.concatenate([t.dep1 for t in traces]),
+            dep2=np.concatenate([t.dep2 for t in traces]),
+            addresses=np.concatenate([t.addresses for t in traces]),
+            mispredicted=np.concatenate([t.mispredicted for t in traces]),
+            icache_miss=np.concatenate([t.icache_miss for t in traces]),
+            name=name,
+        )

@@ -1,0 +1,21 @@
+"""Cache and memory substrate: caches, hierarchy, interference."""
+
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
+from repro.memory.interference import (
+    ApplicationDemand,
+    InterferenceModel,
+    bandwidth_multiplier,
+    llc_shares,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "ApplicationDemand",
+    "CacheHierarchy",
+    "CacheStats",
+    "InterferenceModel",
+    "SetAssociativeCache",
+    "bandwidth_multiplier",
+    "llc_shares",
+]

@@ -1,0 +1,96 @@
+"""Set-associative cache with true-LRU replacement.
+
+Used by the trace-driven core models to service instruction and data
+accesses against real address streams.  The implementation favours
+clarity over raw speed but keeps per-access work O(associativity) with
+numpy-backed tag/LRU state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.machines import CacheLevelConfig
+
+
+@dataclass
+class CacheStats:
+    """Access statistics of one cache instance."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+
+class SetAssociativeCache:
+    """A single cache level with LRU replacement.
+
+    Addresses are byte addresses; the cache works on line granularity.
+    Writes are modelled allocate-on-write (write-back caches in the
+    simulated hierarchy), so reads and writes behave identically for
+    hit/miss purposes.
+    """
+
+    def __init__(self, config: CacheLevelConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        sets = config.num_sets
+        ways = config.associativity
+        # tag == -1 means invalid.
+        self._tags = np.full((sets, ways), -1, dtype=np.int64)
+        self._lru = np.zeros((sets, ways), dtype=np.int64)
+        self._clock = 0
+        self._line_shift = int(config.line_bytes).bit_length() - 1
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("line size must be a power of two")
+
+    def _index_tag(self, address: int) -> tuple[int, int]:
+        line = address >> self._line_shift
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access(self, address: int) -> bool:
+        """Access a byte address; returns ``True`` on a hit.
+
+        On a miss the line is filled, evicting the LRU way.
+        """
+        self._clock += 1
+        self.stats.accesses += 1
+        index, tag = self._index_tag(int(address))
+        ways = self._tags[index]
+        hit = np.nonzero(ways == tag)[0]
+        if hit.size:
+            self._lru[index, hit[0]] = self._clock
+            return True
+        self.stats.misses += 1
+        victim = int(np.argmin(self._lru[index]))
+        self._tags[index, victim] = tag
+        self._lru[index, victim] = self._clock
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding an address is resident (no update)."""
+        index, tag = self._index_tag(int(address))
+        return bool((self._tags[index] == tag).any())
+
+    def flush(self) -> None:
+        """Invalidate every line (statistics are kept)."""
+        self._tags.fill(-1)
+        self._lru.fill(0)
+
+    @property
+    def resident_lines(self) -> int:
+        return int((self._tags >= 0).sum())

@@ -1,0 +1,108 @@
+"""Multi-level cache hierarchy for the trace-driven core models.
+
+Each core owns private L1I/L1D/L2 caches; the L3 is shared between the
+cores of one machine (pass the same :class:`SetAssociativeCache`
+instance to several hierarchies to model sharing).  A data access
+walks the levels and returns the load-to-use latency in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.machines import MemoryConfig
+from repro.memory.cache import SetAssociativeCache
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one memory access.
+
+    Attributes:
+        latency_cycles: load-to-use latency in core cycles.
+        level: the level that serviced the access
+            (``"l1"``, ``"l2"``, ``"l3"`` or ``"dram"``).
+    """
+
+    latency_cycles: float
+    level: str
+
+
+class CacheHierarchy:
+    """Private L1I/L1D/L2 in front of a (possibly shared) L3.
+
+    Attributes:
+        dram_accesses: number of accesses serviced by DRAM.
+        l3_accesses: number of accesses reaching the L3 (L2 misses).
+    """
+
+    def __init__(
+        self,
+        memory: MemoryConfig,
+        frequency_ghz: float,
+        shared_l3: SetAssociativeCache | None = None,
+    ):
+        self.memory = memory
+        self.frequency_ghz = frequency_ghz
+        self.l1i = SetAssociativeCache(memory.l1i, "l1i")
+        self.l1d = SetAssociativeCache(memory.l1d, "l1d")
+        self.l2 = SetAssociativeCache(memory.l2, "l2")
+        self.l3 = shared_l3 if shared_l3 is not None else SetAssociativeCache(
+            memory.l3, "l3"
+        )
+        self.dram_accesses = 0
+        self.l3_accesses = 0
+
+    @property
+    def dram_latency_cycles(self) -> float:
+        return self.memory.dram_latency_cycles(self.frequency_ghz)
+
+    def access_data(self, address: int) -> AccessOutcome:
+        """Access the data path: L1D -> L2 -> L3 -> DRAM."""
+        if self.l1d.access(address):
+            return AccessOutcome(self.memory.l1d.latency_cycles, "l1")
+        if self.l2.access(address):
+            return AccessOutcome(
+                self.memory.l1d.latency_cycles + self.memory.l2.latency_cycles, "l2"
+            )
+        self.l3_accesses += 1
+        if self.l3.access(address):
+            return AccessOutcome(
+                self.memory.l1d.latency_cycles
+                + self.memory.l2.latency_cycles
+                + self.memory.l3.latency_cycles,
+                "l3",
+            )
+        self.dram_accesses += 1
+        return AccessOutcome(
+            self.memory.l1d.latency_cycles
+            + self.memory.l2.latency_cycles
+            + self.memory.l3.latency_cycles
+            + self.dram_latency_cycles,
+            "dram",
+        )
+
+    def access_instruction(self, address: int) -> AccessOutcome:
+        """Access the instruction path: L1I -> L2 (-> L3 -> DRAM)."""
+        if self.l1i.access(address):
+            return AccessOutcome(0.0, "l1")  # hit latency hidden by pipelining
+        if self.l2.access(address):
+            return AccessOutcome(self.memory.l2.latency_cycles, "l2")
+        self.l3_accesses += 1
+        if self.l3.access(address):
+            return AccessOutcome(
+                self.memory.l2.latency_cycles + self.memory.l3.latency_cycles, "l3"
+            )
+        self.dram_accesses += 1
+        return AccessOutcome(
+            self.memory.l2.latency_cycles
+            + self.memory.l3.latency_cycles
+            + self.dram_latency_cycles,
+            "dram",
+        )
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            cache.stats.reset()
+        self.dram_accesses = 0
+        self.l3_accesses = 0

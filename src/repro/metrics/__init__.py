@@ -1,0 +1,35 @@
+"""Reliability (AVF/SER/wSER/SSER) and performance (STP/ANTT) metrics."""
+
+from repro.metrics.performance import (
+    ApplicationPerformance,
+    average_normalized_turnaround,
+    ipc,
+    normalize_cpi_stack,
+    system_throughput,
+)
+from repro.metrics.reliability import (
+    DEFAULT_IFR,
+    ApplicationReliability,
+    avf,
+    mttf,
+    soft_error_rate,
+    sser,
+    system_ser,
+    weighted_ser,
+)
+
+__all__ = [
+    "DEFAULT_IFR",
+    "ApplicationPerformance",
+    "ApplicationReliability",
+    "average_normalized_turnaround",
+    "avf",
+    "ipc",
+    "mttf",
+    "normalize_cpi_stack",
+    "soft_error_rate",
+    "sser",
+    "system_ser",
+    "system_throughput",
+    "weighted_ser",
+]

@@ -1,0 +1,77 @@
+"""Performance metrics: IPC, slowdown, STP and ANTT.
+
+System throughput (STP) and average normalized turnaround time (ANTT)
+follow Eyerman & Eeckhout, "System-level performance metrics for
+multiprogram workloads", IEEE Micro 2008 -- the metrics the paper's
+performance-optimized scheduler targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ApplicationPerformance:
+    """Performance bookkeeping for one application in a mix.
+
+    Attributes:
+        name: application name.
+        instructions: instructions committed within the mix.
+        time_seconds: wall-clock time spent in the mix for that work.
+        reference_time_seconds: time the same work takes on the
+            isolated reference core (an isolated big core).
+    """
+
+    name: str
+    instructions: int
+    time_seconds: float
+    reference_time_seconds: float
+
+    @property
+    def normalized_progress(self) -> float:
+        """Reference time over mix time: this application's share of STP."""
+        if self.time_seconds <= 0:
+            raise ValueError("time must be positive")
+        return self.reference_time_seconds / self.time_seconds
+
+    @property
+    def slowdown(self) -> float:
+        """Mix time over reference time (the SSER weighting factor)."""
+        if self.reference_time_seconds <= 0:
+            raise ValueError("reference time must be positive")
+        return self.time_seconds / self.reference_time_seconds
+
+
+def system_throughput(applications: Sequence[ApplicationPerformance]) -> float:
+    """STP: the sum of per-application normalized progress.
+
+    Equals the number of applications when nothing slows down relative
+    to the reference core; higher is better.
+    """
+    return sum(app.normalized_progress for app in applications)
+
+
+def average_normalized_turnaround(
+    applications: Sequence[ApplicationPerformance],
+) -> float:
+    """ANTT: average per-application slowdown (lower is better)."""
+    if not applications:
+        raise ValueError("need at least one application")
+    return sum(app.slowdown for app in applications) / len(applications)
+
+
+def ipc(instructions: int, cycles: float) -> float:
+    """Committed instructions per cycle."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return instructions / cycles
+
+
+def normalize_cpi_stack(components: dict[str, float]) -> dict[str, float]:
+    """Scale CPI components to fractions summing to 1 (Figure 2)."""
+    total = sum(components.values())
+    if total <= 0:
+        raise ValueError("CPI stack must have positive total")
+    return {name: value / total for name, value in components.items()}

@@ -1,0 +1,121 @@
+"""Reliability metrics: AVF, SER, wSER and SSER (paper Section 3).
+
+The paper's equations:
+
+* ``SER = ABC / T * IFR``                      (Equation 1)
+* ``wSER = (ABC / T) * (T / T_ref) * IFR
+        = ABC / T_ref * IFR``                  (Equation 2)
+* ``SSER = sum_i wSER_i = sum_i ABC_i / T_ref_i * IFR``   (Equation 3)
+
+``ABC`` is the total ACE-bit count over the run (ACE bits integrated
+over time), ``T`` the execution time in the workload mix, ``T_ref``
+the execution time on the isolated reference core (an isolated big
+core), and ``IFR`` the intrinsic fault rate of a single bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Default intrinsic fault rate: errors per bit per second.  The
+#: absolute value only scales SER/SSER linearly (the paper treats IFR
+#: as a technology constant); relative comparisons are IFR-independent.
+DEFAULT_IFR = 1e-25
+
+
+def soft_error_rate(abc: float, time_seconds: float, ifr: float = DEFAULT_IFR) -> float:
+    """Single-program soft error rate (Equation 1).
+
+    Args:
+        abc: total ACE-bit count over the execution (bit-seconds worth
+            of ACE state, expressed in bit-cycles times the cycle time,
+            or directly in bit-seconds).
+        time_seconds: execution time.
+        ifr: intrinsic fault rate per bit per second.
+    """
+    if time_seconds <= 0:
+        raise ValueError("execution time must be positive")
+    return abc / time_seconds * ifr
+
+
+def weighted_ser(
+    abc: float, reference_time_seconds: float, ifr: float = DEFAULT_IFR
+) -> float:
+    """Slowdown-weighted SER of one application (Equation 2).
+
+    The multiprogram execution time cancels: wSER depends only on the
+    ACE bits accumulated while getting the work done and on how long
+    the same work takes on the isolated reference core.
+    """
+    if reference_time_seconds <= 0:
+        raise ValueError("reference time must be positive")
+    return abc / reference_time_seconds * ifr
+
+
+def system_ser(
+    abcs: Iterable[float],
+    reference_times_seconds: Iterable[float],
+    ifr: float = DEFAULT_IFR,
+) -> float:
+    """System soft error rate of a multiprogram workload (Equation 3)."""
+    abcs = list(abcs)
+    refs = list(reference_times_seconds)
+    if len(abcs) != len(refs):
+        raise ValueError("need one reference time per application")
+    return sum(weighted_ser(a, t, ifr) for a, t in zip(abcs, refs))
+
+
+@dataclass(frozen=True)
+class ApplicationReliability:
+    """Reliability bookkeeping for one application in a mix.
+
+    Attributes:
+        name: application name.
+        abc: accumulated ACE-bit count (bit-seconds).
+        time_seconds: execution time within the mix.
+        reference_time_seconds: isolated reference-core time for the
+            same work.
+    """
+
+    name: str
+    abc: float
+    time_seconds: float
+    reference_time_seconds: float
+
+    @property
+    def ser(self) -> float:
+        return soft_error_rate(self.abc, self.time_seconds)
+
+    @property
+    def slowdown(self) -> float:
+        return self.time_seconds / self.reference_time_seconds
+
+    @property
+    def wser(self) -> float:
+        return weighted_ser(self.abc, self.reference_time_seconds)
+
+    def wser_at(self, ifr: float) -> float:
+        return weighted_ser(self.abc, self.reference_time_seconds, ifr)
+
+
+def sser(applications: Sequence[ApplicationReliability], ifr: float = DEFAULT_IFR) -> float:
+    """SSER of a mix from per-application bookkeeping records."""
+    return sum(app.wser_at(ifr) for app in applications)
+
+
+def avf(ace_bit_cycles: float, total_bits: int, cycles: float) -> float:
+    """Architectural vulnerability factor of a structure or core.
+
+    The fraction of (structure bits x cycles) that held ACE state.
+    """
+    if total_bits <= 0 or cycles <= 0:
+        raise ValueError("total_bits and cycles must be positive")
+    return ace_bit_cycles / (total_bits * cycles)
+
+
+def mttf(ser: float) -> float:
+    """Mean time to failure: the reciprocal of the soft error rate."""
+    if ser <= 0:
+        raise ValueError("SER must be positive to define MTTF")
+    return 1.0 / ser

@@ -1,0 +1,5 @@
+"""Activity-based power model (the McPAT substitute)."""
+
+from repro.power.model import PowerBreakdown, PowerModel
+
+__all__ = ["PowerBreakdown", "PowerModel"]

@@ -1,0 +1,166 @@
+"""ASCII chart rendering: bar charts and series plots.
+
+Terminal-friendly renditions of the paper's figures -- grouped bar
+charts (Figures 7, 8, 9, 12), sorted per-workload series (Figure 6),
+and time series (Figure 4).  Pure text output; no plotting backends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Default chart body width in characters.
+DEFAULT_WIDTH = 50
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = DEFAULT_WIDTH,
+    max_value: float | None = None,
+    value_format: str = "{:.3f}",
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart: one labelled bar per entry.
+
+    Args:
+        values: label -> non-negative value.
+        width: bar area width in characters.
+        max_value: scale maximum (defaults to the largest value).
+        value_format: numeric annotation format.
+        fill: bar fill character.
+    """
+    if not values:
+        raise ValueError("need at least one bar")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar values must be non-negative")
+    scale = max_value if max_value is not None else max(values.values())
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(min(value / scale, 1.0) * width))
+        annotation = value_format.format(value)
+        lines.append(
+            f"{label:<{label_width}} |{fill * filled:<{width}}| {annotation}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = DEFAULT_WIDTH,
+    value_format: str = "{:.3f}",
+    fills: Sequence[str] = ("#", "=", "-", "+", "*"),
+) -> str:
+    """Grouped horizontal bars (one sub-bar per series within a group).
+
+    Mirrors the paper's per-category bar figures: ``groups`` maps a
+    group label (e.g. ``"HHLL"``) to ``{series: value}``.
+    """
+    if not groups:
+        raise ValueError("need at least one group")
+    series_names: list[str] = []
+    for bars in groups.values():
+        for name in bars:
+            if name not in series_names:
+                series_names.append(name)
+    scale = max(
+        (v for bars in groups.values() for v in bars.values()), default=1.0
+    )
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(
+        max(len(g) for g in groups), max(len(s) for s in series_names)
+    )
+    lines = []
+    for group, bars in groups.items():
+        lines.append(f"{group}:")
+        for i, name in enumerate(series_names):
+            if name not in bars:
+                continue
+            value = bars[name]
+            filled = int(round(min(value / scale, 1.0) * width))
+            fill = fills[i % len(fills)]
+            lines.append(
+                f"  {name:<{label_width}} |{fill * filled:<{width}}| "
+                f"{value_format.format(value)}"
+            )
+    legend = "  ".join(
+        f"{fills[i % len(fills)]}={name}" for i, name in enumerate(series_names)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    markers: str = "*o+x",
+) -> str:
+    """Scatter-style plot of one or more numeric series over index.
+
+    Used for Figure 6's sorted per-workload curves and Figure 4's ABC
+    timelines.  Each series is drawn with its own marker; y is scaled
+    to the global min/max.
+    """
+    if not series or all(len(v) == 0 for v in series.values()):
+        raise ValueError("need at least one non-empty series")
+    all_values = [v for vals in series.values() for v in vals]
+    lo, hi = min(all_values), max(all_values)
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    longest = max(len(v) for v in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    for s_index, (name, values) in enumerate(series.items()):
+        marker = markers[s_index % len(markers)]
+        for i, value in enumerate(values):
+            x = int(round(i / max(longest - 1, 1) * (width - 1)))
+            y = int(round((value - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - y][x] = marker
+    lines = [f"{hi:10.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Text histogram of a value distribution."""
+    if not values:
+        raise ValueError("need at least one value")
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in values:
+        index = min(int((v - lo) / (hi - lo) * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + (hi - lo) * i / bins
+        right = lo + (hi - lo) * (i + 1) / bins
+        filled = int(round(count / peak * width)) if peak else 0
+        lines.append(
+            f"[{left:9.3g}, {right:9.3g}) |{'#' * filled:<{width}}| {count}"
+        )
+    return "\n".join(lines)

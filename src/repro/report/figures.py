@@ -1,0 +1,103 @@
+"""ASCII renditions of the paper's evaluation figures.
+
+Turn sweep results into terminal figures: the sorted per-workload
+curves of Figure 6, the per-category bars of Figure 7, and the power
+bars of Figure 12.  Used by ``repro figure`` on the command line; the
+benches print the same data as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.config.machines import MachineConfig
+from repro.power import PowerModel
+from repro.report.charts import grouped_bar_chart, series_plot
+from repro.sim.results import RunResult
+from repro.workloads.mixes import WorkloadMix
+
+
+def _require(results: Mapping[str, Sequence[RunResult]], *names: str) -> None:
+    missing = [n for n in names if n not in results]
+    if missing:
+        raise ValueError(f"sweep results missing schedulers: {missing}")
+    lengths = {len(results[n]) for n in names}
+    if len(lengths) != 1:
+        raise ValueError("sweeps must cover the same workloads")
+
+
+def render_fig06(results: Mapping[str, Sequence[RunResult]]) -> str:
+    """Figure 6: sorted normalized SSER and STP curves."""
+    _require(results, "random", "performance", "reliability")
+    base = results["random"]
+    sser = {
+        name: sorted(
+            r.sser / b.sser for r, b in zip(results[name], base)
+        )
+        for name in ("performance", "reliability")
+    }
+    stp = {
+        name: sorted(
+            r.stp / b.stp for r, b in zip(results[name], base)
+        )
+        for name in ("performance", "reliability")
+    }
+    parts = [
+        "Figure 6a: normalized SSER per workload (sorted, lower is better)",
+        series_plot(sser, height=12),
+        "",
+        "Figure 6b: normalized STP per workload (sorted, higher is better)",
+        series_plot(stp, height=12),
+    ]
+    return "\n".join(parts)
+
+
+def render_fig07(
+    results: Mapping[str, Sequence[RunResult]],
+    workloads: Sequence[WorkloadMix],
+) -> str:
+    """Figure 7: normalized SSER per workload category."""
+    _require(results, "random", "performance", "reliability")
+    if len(workloads) != len(results["random"]):
+        raise ValueError("need one workload mix per run")
+    groups: dict[str, dict[str, list[float]]] = {}
+    for i, mix in enumerate(workloads):
+        bucket = groups.setdefault(
+            mix.category, {"performance": [], "reliability": []}
+        )
+        for name in ("performance", "reliability"):
+            bucket[name].append(
+                results[name][i].sser / results["random"][i].sser
+            )
+    chart_groups = {
+        category: {
+            name: sum(vals) / len(vals) for name, vals in bucket.items()
+        }
+        for category, bucket in groups.items()
+    }
+    return (
+        "Figure 7: normalized SSER per category (vs random, lower is "
+        "better)\n" + grouped_bar_chart(chart_groups, width=40)
+    )
+
+
+def render_fig12(
+    results: Mapping[str, Sequence[RunResult]], machine: MachineConfig
+) -> str:
+    """Figure 12: average chip and system power per scheduler."""
+    _require(results, *results.keys())
+    model = PowerModel(machine)
+    chart_groups = {}
+    for level in ("chip", "system"):
+        chart_groups[level] = {}
+        for name, runs in results.items():
+            powers = [model.run_power(r) for r in runs]
+            watts = [
+                p.chip_watts if level == "chip" else p.system_watts
+                for p in powers
+            ]
+            chart_groups[level][name] = sum(watts) / len(watts)
+    return (
+        "Figure 12: average power (W) per scheduler\n"
+        + grouped_bar_chart(chart_groups, width=40, value_format="{:.2f}")
+    )

@@ -1,0 +1,71 @@
+"""ASCII schedule charts: who ran where, over time.
+
+Renders a run's recorded timeline as a Gantt-style strip per
+application: ``B`` for big-core quanta, ``s`` for small-core quanta,
+``.`` for parked quanta.  The visual counterpart of Figure 4's
+narrative ("calculix is scheduled on the small core initially; upon
+the phase change the scheduler migrates the two applications").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.results import RunResult, TimelinePoint
+
+#: Strip symbols by core type.
+SYMBOLS = {"big": "B", "small": "s", "parked": "."}
+
+
+def schedule_strips(
+    timeline: Sequence[TimelinePoint], width: int = 72
+) -> dict[str, str]:
+    """Per-application core-type strips, downsampled to a width.
+
+    Each character summarizes one bucket of quanta by the core type
+    the application occupied most within it.
+    """
+    if not timeline:
+        raise ValueError("timeline is empty (record_timeline=True?)")
+    by_app: dict[str, list[str]] = {}
+    for point in timeline:
+        by_app.setdefault(point.app_name, []).append(point.core_type)
+    strips = {}
+    for name, types in by_app.items():
+        buckets = min(width, len(types))
+        strip = []
+        for b in range(buckets):
+            lo = b * len(types) // buckets
+            hi = max((b + 1) * len(types) // buckets, lo + 1)
+            bucket = types[lo:hi]
+            majority = max(set(bucket), key=bucket.count)
+            strip.append(SYMBOLS.get(majority, "?"))
+        strips[name] = "".join(strip)
+    return strips
+
+
+def schedule_chart(result: RunResult, width: int = 72) -> str:
+    """Render a run's schedule as labelled ASCII strips."""
+    strips = schedule_strips(result.timeline, width)
+    label_width = max(len(name) for name in strips)
+    lines = [
+        f"schedule over time ({result.scheduler_name} on "
+        f"{result.machine_name}, {result.quanta} quanta; "
+        "B=big, s=small, .=parked)"
+    ]
+    for name, strip in strips.items():
+        lines.append(f"{name:<{label_width}} |{strip}|")
+    return "\n".join(lines)
+
+
+def migration_summary(result: RunResult) -> str:
+    """One line per application: migrations and core-type shares."""
+    lines = []
+    for app in result.apps:
+        running = app.time_big_seconds + app.time_small_seconds
+        big_share = app.time_big_seconds / running if running else 0.0
+        lines.append(
+            f"{app.name}: {app.migrations} migrations, "
+            f"{100 * big_share:.0f}% of running time on big cores"
+        )
+    return "\n".join(lines)

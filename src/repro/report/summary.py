@@ -1,0 +1,96 @@
+"""Higher-level report builders over simulation results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.power import PowerModel
+from repro.report.tables import format_percent, format_table
+from repro.sim.results import RunResult
+
+
+def run_summary(result: RunResult, power_model: PowerModel | None = None) -> str:
+    """One-run report: system metrics plus a per-application table."""
+    lines = [
+        f"machine {result.machine_name}, scheduler {result.scheduler_name}: "
+        f"{result.quanta} quanta, {1e3 * result.duration_seconds:.1f} ms",
+        f"SSER {result.sser:.4e}   STP {result.stp:.3f}   "
+        f"ANTT {result.antt:.3f}",
+    ]
+    if power_model is not None:
+        power = power_model.run_power(result)
+        lines.append(
+            f"power: chip {power.chip_watts:.2f} W, "
+            f"system {power.system_watts:.2f} W"
+        )
+    rows = []
+    for app in result.apps:
+        big_share = (
+            app.time_big_seconds / app.time_seconds if app.time_seconds else 0.0
+        )
+        rows.append([
+            app.name,
+            app.instructions,
+            float(app.wser),
+            float(app.slowdown),
+            format_percent(big_share, signed=False),
+            app.migrations,
+        ])
+    lines.append(format_table(
+        ["application", "instructions", "wSER", "slowdown", "big-time",
+         "migrations"],
+        rows,
+        float_format="{:.3e}",
+    ))
+    return "\n".join(lines)
+
+
+def comparison_summary(results: Mapping[str, RunResult]) -> str:
+    """Compare schedulers on one workload (normalized to the first)."""
+    if not results:
+        raise ValueError("need at least one result")
+    names = list(results)
+    baseline = results[names[0]]
+    rows = []
+    for name in names:
+        result = results[name]
+        rows.append([
+            name,
+            float(result.sser / baseline.sser),
+            float(result.stp / baseline.stp),
+            float(result.antt / baseline.antt),
+            result.quanta,
+        ])
+    table = format_table(
+        ["scheduler", f"SSER/{names[0]}", f"STP/{names[0]}",
+         f"ANTT/{names[0]}", "quanta"],
+        rows,
+    )
+    return table
+
+
+def sweep_summary(
+    per_scheduler: Mapping[str, Sequence[RunResult]],
+    baseline: str = "random",
+) -> str:
+    """Summarize a workload sweep: average normalized SSER and STP."""
+    if baseline not in per_scheduler:
+        raise ValueError(f"baseline {baseline!r} not in results")
+    base = per_scheduler[baseline]
+    rows = []
+    for name, runs in per_scheduler.items():
+        if len(runs) != len(base):
+            raise ValueError("sweeps must cover the same workloads")
+        sser = [r.sser / b.sser for r, b in zip(runs, base)]
+        stp = [r.stp / b.stp for r, b in zip(runs, base)]
+        rows.append([
+            name,
+            float(sum(sser) / len(sser)),
+            float(min(sser)),
+            float(max(sser)),
+            float(sum(stp) / len(stp)),
+        ])
+    return format_table(
+        ["scheduler", "SSER mean", "SSER min", "SSER max", "STP mean"],
+        rows,
+    )

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for reports, benches and the CLI."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+    min_width: int = 4,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  The first column is left-aligned, the rest right-aligned
+    (the usual shape for metric tables).
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    rendered = [[_cell(value, float_format) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(min_width, len(header), *(len(r[i]) for r in rendered))
+        if rendered
+        else max(min_width, len(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [_format_row(headers, widths), _format_row(
+        ["-" * w for w in widths], widths
+    )]
+    lines += [_format_row(row, widths) for row in rendered]
+    return "\n".join(lines)
+
+
+def _cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    parts = [f"{cells[0]:<{widths[0]}}"]
+    parts += [f"{cell:>{width}}" for cell, width in zip(cells[1:], widths[1:])]
+    return "  ".join(parts)
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Format a ratio as a percentage string (0.25 -> '+25.0%')."""
+    sign = "+" if signed else ""
+    return f"{100 * value:{sign}.1f}%"

@@ -1,0 +1,41 @@
+"""Schedulers: random, reliability-/performance-optimized, oracle."""
+
+from repro.sched.base import PARKED, Assignment, Observation, Scheduler, SegmentPlan
+from repro.sched.constrained import ConstrainedReliabilityScheduler
+from repro.sched.oversubscribed import OversubscribedReliabilityScheduler
+from repro.sched.oracle import (
+    SchedulePrediction,
+    StaticScheduler,
+    best_sser_schedule,
+    best_stp_schedule,
+    enumerate_schedules,
+    predict,
+)
+from repro.sched.performance import PerformanceScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sched.sampling import CoreTypeSample, SamplingScheduler
+from repro.sched.variants import ExhaustiveReliabilityScheduler, RawSerScheduler
+
+__all__ = [
+    "Assignment",
+    "ConstrainedReliabilityScheduler",
+    "CoreTypeSample",
+    "ExhaustiveReliabilityScheduler",
+    "Observation",
+    "OversubscribedReliabilityScheduler",
+    "PARKED",
+    "PerformanceScheduler",
+    "RandomScheduler",
+    "RawSerScheduler",
+    "ReliabilityScheduler",
+    "SamplingScheduler",
+    "SchedulePrediction",
+    "Scheduler",
+    "SegmentPlan",
+    "StaticScheduler",
+    "best_sser_schedule",
+    "best_stp_schedule",
+    "enumerate_schedules",
+    "predict",
+]

@@ -1,0 +1,182 @@
+"""Scheduler interface and assignment types.
+
+A *schedule assignment* maps each application to one core for one
+segment of execution.  The multicore simulator drives a scheduler
+through this protocol every scheduler quantum:
+
+1. :meth:`Scheduler.plan_quantum` returns one or more
+   :class:`SegmentPlan`\\ s -- usually a single full-quantum segment,
+   or a short sampling segment followed by the regular segment
+   (Section 4.1's sampling quantum).
+2. the simulator executes each segment and calls
+   :meth:`Scheduler.observe` with what each application's hardware
+   counters measured during it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.machines import MachineConfig
+
+#: Core id marking an application as parked (not running this segment).
+#: Used when more applications than cores are scheduled
+#: (oversubscription); a parked application makes no progress and
+#: accumulates waiting time.
+PARKED = -1
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An application-to-core mapping for one segment.
+
+    ``core_of[i]`` is the core index application ``i`` runs on, or
+    :data:`PARKED` when the application is not running this segment.
+    Every running application is placed on a distinct core.
+    """
+
+    core_of: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        running = [c for c in self.core_of if c != PARKED]
+        if len(set(running)) != len(running):
+            raise ValueError("two applications assigned to the same core")
+
+    def validate(self, machine: MachineConfig) -> None:
+        for core in self.core_of:
+            if core != PARKED and not 0 <= core < machine.num_cores:
+                raise ValueError(f"core {core} out of range for {machine.name}")
+
+    def is_parked(self, app_index: int) -> bool:
+        return self.core_of[app_index] == PARKED
+
+    def core_type_of(self, app_index: int, machine: MachineConfig) -> str:
+        core = self.core_of[app_index]
+        if core == PARKED:
+            raise ValueError(f"application {app_index} is parked")
+        return machine.core_type(core)
+
+    def with_swap(self, app_a: int, app_b: int) -> "Assignment":
+        """A copy with two applications' cores exchanged."""
+        cores = list(self.core_of)
+        cores[app_a], cores[app_b] = cores[app_b], cores[app_a]
+        return Assignment(tuple(cores))
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """One segment of a scheduler quantum.
+
+    Attributes:
+        fraction: share of the scheduler quantum, in (0, 1].
+        assignment: application-to-core mapping during the segment.
+        is_sampling: whether this is a sampling segment (diagnostics).
+    """
+
+    fraction: float
+    assignment: Assignment
+    is_sampling: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("segment fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one application's counters reported for one segment.
+
+    Attributes:
+        app_index: which application.
+        core_id: the core it ran on.
+        core_type: ``"big"`` or ``"small"``.
+        duration_seconds: segment wall-clock duration.
+        instructions: committed instructions.
+        measured_abc_seconds: ACE bit-seconds as reported by the
+            configured counter architecture (FULL or ROB_ONLY).
+        l3_accesses / dram_accesses: memory-hierarchy traffic during
+            the segment, as ordinary performance counters would report
+            it (used by counter-free ABC predictors).
+    """
+
+    app_index: int
+    core_id: int
+    core_type: str
+    duration_seconds: float
+    instructions: int
+    measured_abc_seconds: float
+    l3_accesses: float = 0.0
+    dram_accesses: float = 0.0
+    branch_mispredictions: float = 0.0
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.instructions / self.duration_seconds
+
+    @property
+    def abc_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.measured_abc_seconds / self.duration_seconds
+
+    @property
+    def l3_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.l3_accesses / self.instructions
+
+    @property
+    def dram_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.dram_accesses / self.instructions
+
+    @property
+    def branch_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.branch_mispredictions / self.instructions
+
+
+class Scheduler(abc.ABC):
+    """Decides the application-to-core mapping each quantum.
+
+    With as many applications as cores (the paper's setup), every
+    application runs every quantum.  Schedulers supporting
+    oversubscription accept more applications than cores and park the
+    excess (:data:`PARKED`).
+    """
+
+    #: Whether this scheduler supports more applications than cores.
+    supports_oversubscription = False
+
+    def __init__(self, machine: MachineConfig, num_apps: int):
+        if num_apps < machine.num_cores:
+            raise ValueError(
+                f"need at least one application per core: "
+                f"{num_apps} applications vs {machine.num_cores} cores"
+            )
+        if num_apps > machine.num_cores and not self.supports_oversubscription:
+            raise ValueError(
+                f"{type(self).__name__} places one application per core: "
+                f"{num_apps} applications vs {machine.num_cores} cores"
+            )
+        self.machine = machine
+        self.num_apps = num_apps
+
+    @abc.abstractmethod
+    def plan_quantum(self, quantum_index: int) -> list[SegmentPlan]:
+        """Segments for the next scheduler quantum (fractions sum to 1)."""
+
+    def observe(
+        self, plan: SegmentPlan, observations: Sequence[Observation]
+    ) -> None:
+        """Digest counter readings from an executed segment."""
+
+    @staticmethod
+    def identity_assignment(num_apps: int) -> Assignment:
+        return Assignment(tuple(range(num_apps)))

@@ -1,0 +1,108 @@
+"""Offline oracle schedules (paper Section 2.4).
+
+The oracle knows each application's isolated performance and SER on
+both core types, assumes no shared-resource interference, enumerates
+every static application-to-core-type assignment, and picks
+
+* the assignment with the **lowest SSER** (reliability oracle), and
+* the assignment with the **highest STP** (performance oracle).
+
+Figure 3 reports the SER gain and STP loss of the former relative to
+the latter.  A :class:`StaticScheduler` is also provided to replay an
+oracle assignment inside the full simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.machines import BIG, SMALL, MachineConfig
+from repro.sched.base import Assignment, Scheduler, SegmentPlan
+from repro.sim.isolated import IsolatedStats
+
+
+@dataclass(frozen=True)
+class SchedulePrediction:
+    """Predicted metrics of one static core-type assignment.
+
+    Attributes:
+        big_apps: indices of the applications placed on big cores.
+        sser: predicted system soft error rate (up to the IFR factor).
+        stp: predicted system throughput.
+    """
+
+    big_apps: tuple[int, ...]
+    sser: float
+    stp: float
+
+    def core_type_of(self, app_index: int) -> str:
+        return BIG if app_index in self.big_apps else SMALL
+
+
+def predict(
+    stats: Sequence[IsolatedStats], big_apps: tuple[int, ...]
+) -> SchedulePrediction:
+    """Predicted SSER and STP of a static assignment (no interference).
+
+    Per application on core type ``t``: ``wSER = ABC_t / T_big`` and
+    ``NP = T_big / T_t`` from the isolated runs.
+    """
+    sser = 0.0
+    stp = 0.0
+    for i, app in enumerate(stats):
+        run = app.run(BIG if i in big_apps else SMALL)
+        sser += run.abc_seconds / app.reference_time_seconds
+        stp += app.reference_time_seconds / run.time_seconds
+    return SchedulePrediction(big_apps=tuple(sorted(big_apps)), sser=sser, stp=stp)
+
+
+def enumerate_schedules(
+    stats: Sequence[IsolatedStats], machine: MachineConfig
+) -> list[SchedulePrediction]:
+    """All ways of choosing which applications run on the big cores."""
+    if len(stats) != machine.num_cores:
+        raise ValueError("oracle places one application per core")
+    indices = range(len(stats))
+    return [
+        predict(stats, combo)
+        for combo in itertools.combinations(indices, machine.big_cores)
+    ]
+
+
+def best_sser_schedule(
+    stats: Sequence[IsolatedStats], machine: MachineConfig
+) -> SchedulePrediction:
+    """The reliability oracle: minimum predicted SSER."""
+    return min(enumerate_schedules(stats, machine), key=lambda s: s.sser)
+
+
+def best_stp_schedule(
+    stats: Sequence[IsolatedStats], machine: MachineConfig
+) -> SchedulePrediction:
+    """The performance oracle: maximum predicted STP."""
+    return max(enumerate_schedules(stats, machine), key=lambda s: s.stp)
+
+
+class StaticScheduler(Scheduler):
+    """Pins a fixed assignment for the whole run (replays an oracle)."""
+
+    def __init__(
+        self, machine: MachineConfig, num_apps: int, big_apps: Sequence[int]
+    ):
+        super().__init__(machine, num_apps)
+        big_apps = list(big_apps)
+        if len(big_apps) > machine.big_cores:
+            raise ValueError("more big-core applications than big cores")
+        if num_apps - len(big_apps) > machine.small_cores:
+            raise ValueError("more small-core applications than small cores")
+        big_slots = iter(range(machine.big_cores))
+        small_slots = iter(range(machine.big_cores, machine.num_cores))
+        core_of = [0] * num_apps
+        for i in range(num_apps):
+            core_of[i] = next(big_slots) if i in big_apps else next(small_slots)
+        self._assignment = Assignment(tuple(core_of))
+
+    def plan_quantum(self, quantum_index: int) -> list[SegmentPlan]:
+        return [SegmentPlan(1.0, self._assignment)]

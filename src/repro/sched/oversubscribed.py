@@ -1,0 +1,101 @@
+"""Oversubscription: scheduling more applications than cores.
+
+The paper always runs one application per core.  A deployment with a
+multiprogramming level above one additionally decides *which*
+applications run each quantum.  This extension combines:
+
+* **fair time-sharing** — each quantum, the applications with the
+  least accumulated execution time run (a deficit round-robin, so no
+  application starves), and
+* **reliability-aware placement** — among the selected applications,
+  those with the largest estimated wSER savings take the small cores
+  and the rest the big cores, using the same counter samples as
+  Algorithm 1.
+
+Samples refresh naturally: the rotation moves every application
+across both core types over time, so no dedicated sampling phases are
+needed (a parked application's samples simply age).
+"""
+
+from __future__ import annotations
+
+from repro.config.machines import BIG, SMALL, MachineConfig
+from repro.sched.base import PARKED, Assignment, Scheduler, SegmentPlan
+
+
+class OversubscribedReliabilityScheduler(Scheduler):
+    """Fair-share scheduler minimizing SSER under oversubscription."""
+
+    supports_oversubscription = True
+
+    def __init__(self, machine: MachineConfig, num_apps: int):
+        super().__init__(machine, num_apps)
+        if machine.big_cores == 0 or machine.small_cores == 0:
+            raise ValueError("reliability placement needs both core types")
+        self._executed_seconds = [0.0] * num_apps
+        # Most recent (ips, abc_rate) per (app, core type).
+        self._samples: dict[tuple[int, str], tuple[float, float]] = {}
+
+    # -- estimates ---------------------------------------------------
+
+    def _wser_estimate(self, app_index: int, core_type: str) -> float | None:
+        sample = self._samples.get((app_index, core_type))
+        reference = self._samples.get((app_index, BIG))
+        if sample is None or reference is None or sample[0] <= 0:
+            return None
+        ips, abc_rate = sample
+        return abc_rate / ips * reference[0]
+
+    def _placement_delta(self, app_index: int) -> float:
+        """Estimated wSER saving of a small-core placement.
+
+        Applications missing a sample on one core type are steered
+        toward it (big first: the big-core rate is also the wSER
+        reference), so placement exploration collects the samples the
+        rotation alone would not guarantee.
+        """
+        if (app_index, BIG) not in self._samples:
+            return float("-inf")  # visit the big core first
+        if (app_index, SMALL) not in self._samples:
+            return float("inf")  # then sample the small core
+        big = self._wser_estimate(app_index, BIG)
+        small = self._wser_estimate(app_index, SMALL)
+        if big is None or small is None:
+            return 0.0
+        return big - small
+
+    # -- planning ----------------------------------------------------
+
+    def plan_quantum(self, quantum_index: int) -> list[SegmentPlan]:
+        # Fair selection: least accumulated execution time first
+        # (stable tie-break by index keeps the rotation deterministic).
+        order = sorted(
+            range(self.num_apps), key=lambda i: (self._executed_seconds[i], i)
+        )
+        selected = order[: self.machine.num_cores]
+        # Reliability placement among the selected: the largest
+        # wSER-saving applications take the small cores.
+        by_saving = sorted(
+            selected, key=lambda i: self._placement_delta(i), reverse=True
+        )
+        small_apps = set(by_saving[: self.machine.small_cores])
+        big_slots = iter(range(self.machine.big_cores))
+        small_slots = iter(
+            range(self.machine.big_cores, self.machine.num_cores)
+        )
+        core_of = [PARKED] * self.num_apps
+        for i in selected:
+            core_of[i] = (
+                next(small_slots) if i in small_apps else next(big_slots)
+            )
+        return [SegmentPlan(1.0, Assignment(tuple(core_of)))]
+
+    def observe(self, plan: SegmentPlan, observations) -> None:
+        for obs in observations:
+            if obs.duration_seconds <= 0 or obs.instructions <= 0:
+                continue
+            self._executed_seconds[obs.app_index] += obs.duration_seconds
+            self._samples[(obs.app_index, obs.core_type)] = (
+                obs.instructions_per_second,
+                obs.abc_per_second,
+            )

@@ -1,0 +1,31 @@
+"""Performance-optimized scheduler: maximize system throughput (STP).
+
+The same sampling algorithm as the reliability-optimized scheduler
+(Section 6: "using the same sampling-based scheduling algorithm
+optimizing for STP rather than SSER").  An application's STP
+contribution on core type ``c`` is its normalized progress
+
+    NP(c) = (instruction rate on c) / (big-core instruction rate),
+
+and the greedy optimizer minimizes the negated sum.
+"""
+
+from __future__ import annotations
+
+from repro.config.machines import BIG
+from repro.sched.sampling import SamplingScheduler
+
+
+class PerformanceScheduler(SamplingScheduler):
+    """Maximizes estimated STP through greedy pair swaps."""
+
+    def objective_value(self, app_index: int, core_type: str) -> float:
+        sample = self.sample(app_index, core_type)
+        reference = self.sample(app_index, BIG)
+        assert sample is not None and reference is not None
+        if reference.instructions_per_second <= 0:
+            return 0.0
+        normalized_progress = (
+            sample.instructions_per_second / reference.instructions_per_second
+        )
+        return -normalized_progress

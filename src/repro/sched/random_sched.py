@@ -1,0 +1,35 @@
+"""Random scheduler: the paper's baseline.
+
+Each scheduler quantum, the applications that run on the big core(s)
+are selected at random (Section 6): the whole application-to-core
+mapping is drawn as a fresh random permutation every quantum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.machines import MachineConfig
+from repro.sched.base import PARKED, Assignment, Scheduler, SegmentPlan
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random application-to-core mapping per quantum.
+
+    With more applications than cores (oversubscription), a random
+    subset of applications runs each quantum and the rest are parked.
+    """
+
+    supports_oversubscription = True
+
+    def __init__(self, machine: MachineConfig, num_apps: int, seed: int = 0):
+        super().__init__(machine, num_apps)
+        self._rng = np.random.default_rng(seed)
+
+    def plan_quantum(self, quantum_index: int) -> list[SegmentPlan]:
+        cores = self._rng.permutation(self.machine.num_cores)
+        apps = self._rng.permutation(self.num_apps)
+        core_of = [PARKED] * self.num_apps
+        for slot, app in enumerate(apps[: self.machine.num_cores]):
+            core_of[int(app)] = int(cores[slot])
+        return [SegmentPlan(1.0, Assignment(tuple(core_of)))]

@@ -1,0 +1,37 @@
+"""Reliability-optimized scheduler (Algorithm 1): minimize SSER.
+
+The per-application objective is the estimated weighted SER of running
+the application on a given core type.  From Equation 2,
+
+    wSER = ABC / T_ref * IFR,
+
+so per unit of *work* (instructions), an application on core type ``c``
+contributes
+
+    wSER(c)  ~  (ABC-per-instruction on c) * (reference performance),
+
+where the reference performance is the sampled big-core instruction
+rate (the paper's proxy for isolated big-core execution, Section 4.1).
+The IFR constant is common to every application and drops out of the
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.config.machines import BIG
+from repro.sched.sampling import SamplingScheduler
+
+
+class ReliabilityScheduler(SamplingScheduler):
+    """Minimizes estimated SSER through greedy pair swaps."""
+
+    def objective_value(self, app_index: int, core_type: str) -> float:
+        sample = self.sample(app_index, core_type)
+        reference = self.sample(app_index, BIG)
+        assert sample is not None and reference is not None
+        if sample.instructions_per_second <= 0:
+            return 0.0
+        abc_per_instruction = (
+            sample.abc_per_second / sample.instructions_per_second
+        )
+        return abc_per_instruction * reference.instructions_per_second

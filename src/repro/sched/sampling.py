@@ -1,0 +1,273 @@
+"""Sampling-based scheduling machinery (paper Section 4.1).
+
+Both the reliability-optimized and the performance-optimized
+schedulers are instances of the same sampling algorithm; they differ
+only in the per-application objective estimated from the samples:
+
+* an **initial sampling phase** runs every application at least once
+  on each core type (two quanta on a symmetric HCMP, more on an
+  asymmetric one);
+* a **staleness rule** re-samples any application that has run on the
+  same core type for ``sampling_period_quanta`` consecutive quanta by
+  swapping it, for one short sampling quantum, with the application
+  that has run longest on the other core type;
+* a **greedy pair-swap optimizer** repeatedly switches the application
+  with the largest objective reduction against the application with
+  the smallest objective increase while the net effect improves
+  (Algorithm 1).
+
+Subclasses implement :meth:`SamplingScheduler.objective_value`: the
+estimated per-application contribution to the (minimized) system
+objective when running on a given core type.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.machines import BIG, SMALL, MachineConfig
+from repro.sched.base import Assignment, Observation, Scheduler, SegmentPlan
+
+
+@dataclass
+class CoreTypeSample:
+    """Most recent counter readings of one application on one core type.
+
+    ``l3_apki`` / ``dram_apki`` are memory accesses per kilo-instruction
+    from ordinary performance counters (used by counter-free ABC
+    predictors; see `repro.ace.predictor`).
+    """
+
+    instructions_per_second: float
+    abc_per_second: float
+    l3_apki: float = 0.0
+    dram_apki: float = 0.0
+    branch_mpki: float = 0.0
+    age_quanta: int = 0
+
+
+def _other(core_type: str) -> str:
+    return SMALL if core_type == BIG else BIG
+
+
+#: Default swap hysteresis: a pair swap must promise at least this
+#: relative improvement of the system objective.  Without hysteresis,
+#: nearly-tied applications ping-pong between core types every
+#: quantum, and because wSER is a ratio of integrals (ACE bits over
+#: reference work), an application that time-slices between the core
+#: types keeps most of its big-core ACE accumulation while gaining
+#: little reference work -- strictly worse than either static choice.
+DEFAULT_SWAP_THRESHOLD = 0.02
+
+
+class SamplingScheduler(Scheduler):
+    """Base class implementing the sampling schedule of Algorithm 1."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        num_apps: int,
+        swap_threshold: float = DEFAULT_SWAP_THRESHOLD,
+    ):
+        super().__init__(machine, num_apps)
+        if machine.big_cores == 0 or machine.small_cores == 0:
+            raise ValueError("sampling schedulers need both core types")
+        if swap_threshold < 0:
+            raise ValueError("swap threshold cannot be negative")
+        self.swap_threshold = swap_threshold
+        self._samples: dict[tuple[int, str], CoreTypeSample] = {}
+        self._consecutive = [0] * num_apps
+        self._last_type: dict[int, str] = {}
+        self._assignment = self.identity_assignment(num_apps)
+        self._final_segment: SegmentPlan | None = None
+        self._sampling_fraction = (
+            machine.sampling_quantum_seconds / machine.quantum_seconds
+        )
+
+    # -- objective -------------------------------------------------------
+
+    @abc.abstractmethod
+    def objective_value(self, app_index: int, core_type: str) -> float:
+        """Estimated contribution to the minimized objective.
+
+        Implementations read ``self._samples``; both core types are
+        guaranteed to have samples when this is called.
+        """
+
+    # -- sample access ---------------------------------------------------
+
+    def sample(self, app_index: int, core_type: str) -> CoreTypeSample | None:
+        return self._samples.get((app_index, core_type))
+
+    def _has_both_samples(self, app_index: int) -> bool:
+        return (app_index, BIG) in self._samples and (
+            app_index,
+            SMALL,
+        ) in self._samples
+
+    # -- planning --------------------------------------------------------
+
+    def plan_quantum(self, quantum_index: int) -> list[SegmentPlan]:
+        missing = [i for i in range(self.num_apps) if not self._has_both_samples(i)]
+        if missing:
+            plan = [
+                SegmentPlan(1.0, self._initial_sampling_assignment(), True)
+            ]
+        else:
+            stale = [
+                i
+                for i in range(self.num_apps)
+                if self._consecutive[i] >= self.machine.sampling_period_quanta
+            ]
+            self._assignment = self._optimize(self._assignment)
+            if stale:
+                sampling = self._staleness_swaps(self._assignment, stale)
+                plan = [
+                    SegmentPlan(self._sampling_fraction, sampling, True),
+                    SegmentPlan(
+                        1.0 - self._sampling_fraction, self._assignment, False
+                    ),
+                ]
+            else:
+                plan = [SegmentPlan(1.0, self._assignment, False)]
+        self._final_segment = plan[-1]
+        return plan
+
+    def _initial_sampling_assignment(self) -> Assignment:
+        """Next quantum of the initial sampling rotation.
+
+        Applications still missing a big-core sample get big cores
+        first; applications missing a small-core sample get small
+        cores; everything else fills the remaining cores.
+        """
+        need_big = [
+            i for i in range(self.num_apps) if (i, BIG) not in self._samples
+        ]
+        need_small = [
+            i for i in range(self.num_apps) if (i, SMALL) not in self._samples
+        ]
+        big_slots = list(range(self.machine.big_cores))
+        small_slots = list(
+            range(self.machine.big_cores, self.machine.num_cores)
+        )
+        core_of: dict[int, int] = {}
+        for app in need_big:
+            if big_slots:
+                core_of[app] = big_slots.pop(0)
+        for app in need_small:
+            if app not in core_of and small_slots:
+                core_of[app] = small_slots.pop(0)
+        free = big_slots + small_slots
+        for app in range(self.num_apps):
+            if app not in core_of:
+                core_of[app] = free.pop(0)
+        self._assignment = Assignment(
+            tuple(core_of[i] for i in range(self.num_apps))
+        )
+        return self._assignment
+
+    def _staleness_swaps(
+        self, assignment: Assignment, stale: Sequence[int]
+    ) -> Assignment:
+        """Sampling-segment assignment refreshing stale applications.
+
+        Each stale application is switched with the application that
+        has run for the most consecutive quanta on the other core
+        type (paper Section 4.1).
+        """
+        sampling = assignment
+        used: set[int] = set()
+        for app in sorted(stale, key=lambda i: -self._consecutive[i]):
+            if app in used:
+                continue
+            my_type = assignment.core_type_of(app, self.machine)
+            partners = [
+                j
+                for j in range(self.num_apps)
+                if j != app
+                and j not in used
+                and assignment.core_type_of(j, self.machine) != my_type
+            ]
+            if not partners:
+                continue
+            partner = max(partners, key=lambda j: self._consecutive[j])
+            sampling = sampling.with_swap(app, partner)
+            used.update((app, partner))
+        return sampling
+
+    def _optimize(self, assignment: Assignment) -> Assignment:
+        """Greedy pair-swap optimization (the core of Algorithm 1)."""
+        type_of = {
+            i: assignment.core_type_of(i, self.machine)
+            for i in range(self.num_apps)
+        }
+        swapped = True
+        rounds = 0
+        while swapped and rounds < self.num_apps:
+            swapped = False
+            rounds += 1
+            deltas = {
+                i: self.objective_value(i, _other(type_of[i]))
+                - self.objective_value(i, type_of[i])
+                for i in range(self.num_apps)
+            }
+            on_big = [i for i in range(self.num_apps) if type_of[i] == BIG]
+            on_small = [i for i in range(self.num_apps) if type_of[i] == SMALL]
+            if not on_big or not on_small:
+                break
+            mover = min(on_big + on_small, key=lambda i: deltas[i])
+            other_side = on_small if mover in on_big else on_big
+            partner = min(other_side, key=lambda i: deltas[i])
+            total = sum(
+                abs(self.objective_value(i, type_of[i]))
+                for i in range(self.num_apps)
+            )
+            if deltas[mover] + deltas[partner] < -self.swap_threshold * total:
+                assignment = assignment.with_swap(mover, partner)
+                type_of[mover], type_of[partner] = (
+                    type_of[partner],
+                    type_of[mover],
+                )
+                swapped = True
+        return assignment
+
+    # -- observation -----------------------------------------------------
+
+    def observe(
+        self, plan: SegmentPlan, observations: Sequence[Observation]
+    ) -> None:
+        for obs in observations:
+            if obs.duration_seconds <= 0 or obs.instructions <= 0:
+                continue
+            self._samples[(obs.app_index, obs.core_type)] = CoreTypeSample(
+                instructions_per_second=obs.instructions_per_second,
+                abc_per_second=obs.abc_per_second,
+                l3_apki=obs.l3_mpki,
+                dram_apki=obs.dram_mpki,
+                branch_mpki=obs.branch_mpki,
+                age_quanta=0,
+            )
+        if plan is not self._final_segment:
+            return
+        # End of quantum: update consecutive-on-type counters from the
+        # main segment's core types.
+        for obs in observations:
+            i = obs.app_index
+            if self._last_type.get(i) == obs.core_type:
+                self._consecutive[i] += 1
+            else:
+                self._consecutive[i] = 1
+        self._last_type = {obs.app_index: obs.core_type for obs in observations}
+        # An off-type sample taken during this quantum's sampling
+        # segment (age still 0) satisfies the staleness rule: reset.
+        for i in range(self.num_apps):
+            my_type = self._last_type.get(i)
+            if my_type is None:
+                continue
+            other = self._samples.get((i, _other(my_type)))
+            if other is not None and other.age_quanta == 0:
+                self._consecutive[i] = min(self._consecutive[i], 1)
+        for sample in self._samples.values():
+            sample.age_quanta += 1

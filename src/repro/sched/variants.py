@@ -1,0 +1,78 @@
+"""Scheduler variants used for ablation studies.
+
+These isolate individual design choices of the paper's scheduler:
+
+* :class:`ExhaustiveReliabilityScheduler` -- replaces Algorithm 1's
+  greedy pair-swap loop with exhaustive enumeration of all
+  application-to-core-type assignments per quantum (the upper bound on
+  what the greedy optimizer could achieve with the same samples).
+* :class:`RawSerScheduler` -- minimizes the *unweighted* sum of
+  per-application SER (ACE bits per second) instead of SSER,
+  demonstrating why the slowdown weighting of Section 3 matters.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.config.machines import BIG, SMALL
+from repro.sched.base import Assignment
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sched.sampling import SamplingScheduler
+
+
+class ExhaustiveReliabilityScheduler(ReliabilityScheduler):
+    """SSER-optimizing scheduler with exhaustive assignment search."""
+
+    def _optimize(self, assignment: Assignment) -> Assignment:
+        apps = range(self.num_apps)
+        current_big = frozenset(
+            i for i in apps
+            if assignment.core_type_of(i, self.machine) == BIG
+        )
+
+        def cost(big_set) -> float:
+            return sum(
+                self.objective_value(i, BIG if i in big_set else SMALL)
+                for i in apps
+            )
+
+        best_set, best_cost = current_big, cost(current_big)
+        for combo in itertools.combinations(apps, self.machine.big_cores):
+            combo_set = frozenset(combo)
+            combo_cost = cost(combo_set)
+            if combo_cost < best_cost * (1.0 - self.swap_threshold):
+                best_set, best_cost = combo_set, combo_cost
+        if best_set == current_big:
+            return assignment
+        # Keep unmoved applications on their cores; movers take the
+        # freed cores of the opposite type.
+        freed_big = [
+            assignment.core_of[i] for i in current_big - best_set
+        ]
+        freed_small = [
+            assignment.core_of[i]
+            for i in apps
+            if i not in current_big and i in best_set
+        ]
+        core_of = list(assignment.core_of)
+        for i in sorted(best_set - current_big):
+            core_of[i] = freed_big.pop(0)
+        for i in sorted(current_big - best_set):
+            core_of[i] = freed_small.pop(0)
+        return Assignment(tuple(core_of))
+
+
+class RawSerScheduler(SamplingScheduler):
+    """Ablation: minimize raw summed SER without slowdown weighting.
+
+    The objective is each application's ACE bits per second on the
+    candidate core type.  Without the reference-performance weighting
+    this over-values protecting slow applications and under-values
+    fast ones (Section 3's motivation for SSER).
+    """
+
+    def objective_value(self, app_index: int, core_type: str) -> float:
+        sample = self.sample(app_index, core_type)
+        assert sample is not None
+        return sample.abc_per_second

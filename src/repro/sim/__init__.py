@@ -1,0 +1,37 @@
+"""Multicore simulation engine: isolated runs, full runs, sweeps."""
+
+from repro.sim.experiment import (
+    SCHEDULER_NAMES,
+    average_ratio,
+    geomean_ratio,
+    make_scheduler,
+    run_workload,
+    sweep,
+)
+from repro.sim.isolated import (
+    IsolatedRun,
+    IsolatedStats,
+    ReferenceTimes,
+    isolated_stats,
+    run_isolated,
+)
+from repro.sim.multicore import MulticoreSimulation, default_models
+from repro.sim.results import AppRunRecord, RunResult, TimelinePoint
+
+__all__ = [
+    "AppRunRecord",
+    "IsolatedRun",
+    "IsolatedStats",
+    "MulticoreSimulation",
+    "ReferenceTimes",
+    "RunResult",
+    "SCHEDULER_NAMES",
+    "TimelinePoint",
+    "average_ratio",
+    "default_models",
+    "geomean_ratio",
+    "isolated_stats",
+    "make_scheduler",
+    "run_workload",
+    "sweep",
+]

@@ -1,0 +1,146 @@
+"""Disk-cached experiment campaigns.
+
+A campaign is a named collection of simulation runs (machine ×
+workload × scheduler × parameters).  Each run's result is persisted as
+JSON under the campaign directory the first time it executes;
+re-running the campaign loads cached results, so large sweeps can be
+built up incrementally and analyses re-run cheaply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.ace.counters import AceCounterMode
+from repro.config.machines import STANDARD_MACHINES, MachineConfig
+from repro.sim.experiment import run_workload
+from repro.sim.results import RunResult
+from repro.sim.serialize import load_run, save_run
+from repro.workloads.mixes import WorkloadMix
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A single run's full specification (and cache key).
+
+    Attributes:
+        machine: topology name (``"2B2S"``) or a custom tag when a
+            machine override is supplied at run time.
+        benchmarks: benchmark names, one per core.
+        scheduler: scheduler name.
+        instructions: per-benchmark instruction count.
+        seed: random-scheduler seed.
+        counter_mode: ACE counter architecture.
+        small_frequency_ghz: optional small-core frequency override.
+        sampling: optional (period quanta, sampling quantum seconds).
+    """
+
+    machine: str
+    benchmarks: tuple[str, ...]
+    scheduler: str
+    instructions: int
+    seed: int = 0
+    counter_mode: str = AceCounterMode.FULL.value
+    small_frequency_ghz: float | None = None
+    sampling: tuple[int, float] | None = None
+
+    def key(self) -> str:
+        """Stable content hash used as the cache file name."""
+        payload = json.dumps(
+            {
+                "machine": self.machine,
+                "benchmarks": list(self.benchmarks),
+                "scheduler": self.scheduler,
+                "instructions": self.instructions,
+                "seed": self.seed,
+                "counter_mode": self.counter_mode,
+                "small_frequency_ghz": self.small_frequency_ghz,
+                "sampling": list(self.sampling) if self.sampling else None,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def build_machine(self) -> MachineConfig:
+        machine = STANDARD_MACHINES[self.machine]()
+        if self.small_frequency_ghz is not None:
+            machine = machine.with_small_frequency(self.small_frequency_ghz)
+        if self.sampling is not None:
+            machine = machine.with_sampling(self.sampling[0], self.sampling[1])
+        return machine
+
+
+class Campaign:
+    """A directory-backed collection of cached simulation runs."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.key()}.json"
+
+    def is_cached(self, spec: RunSpec) -> bool:
+        return self._path(spec).exists()
+
+    def run(self, spec: RunSpec) -> RunResult:
+        """Execute a spec, or load its cached result."""
+        path = self._path(spec)
+        if path.exists():
+            self.hits += 1
+            return load_run(path)
+        self.misses += 1
+        machine = spec.build_machine()
+        result = run_workload(
+            machine,
+            spec.benchmarks,
+            spec.scheduler,
+            instructions=spec.instructions,
+            seed=spec.seed,
+            counter_mode=AceCounterMode(spec.counter_mode),
+        )
+        save_run(result, path)
+        return result
+
+    def run_all(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        return [self.run(spec) for spec in specs]
+
+    def sweep(
+        self,
+        machine: str,
+        workloads: Sequence[WorkloadMix | Sequence[str]],
+        schedulers: Sequence[str],
+        instructions: int,
+        **overrides,
+    ) -> dict[str, list[RunResult]]:
+        """Cached equivalent of :func:`repro.sim.experiment.sweep`."""
+        results: dict[str, list[RunResult]] = {s: [] for s in schedulers}
+        for index, mix in enumerate(workloads):
+            names = (
+                mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
+            )
+            for scheduler in schedulers:
+                spec = RunSpec(
+                    machine=machine,
+                    benchmarks=names,
+                    scheduler=scheduler,
+                    instructions=instructions,
+                    seed=index,
+                    **overrides,
+                )
+                results[scheduler].append(self.run(spec))
+        return results
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,134 @@
+"""Experiment harness shared by the benchmarks and examples.
+
+Convenience functions for running the paper's evaluations: build
+scheduler instances by name, run a workload mix on a machine, and
+sweep workload lists under several schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.ace.counters import AceCounterMode
+from repro.config.machines import MachineConfig
+from repro.cores.base import CoreModel
+from repro.sched.base import Scheduler
+from repro.sched.performance import PerformanceScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.sim.results import RunResult
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.spec2006 import benchmark
+
+#: The three dynamic schedulers evaluated throughout Section 6.
+SCHEDULER_NAMES = ("random", "performance", "reliability")
+
+
+def make_scheduler(
+    name: str, machine: MachineConfig, num_apps: int, seed: int = 0
+) -> Scheduler:
+    """Instantiate a scheduler by its evaluation name."""
+    if name == "random":
+        return RandomScheduler(machine, num_apps, seed=seed)
+    if name == "performance":
+        return PerformanceScheduler(machine, num_apps)
+    if name == "reliability":
+        return ReliabilityScheduler(machine, num_apps)
+    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}")
+
+
+def run_workload(
+    machine: MachineConfig,
+    mix: WorkloadMix | Sequence[str],
+    scheduler_name: str,
+    *,
+    instructions: int | None = None,
+    seed: int = 0,
+    counter_mode: AceCounterMode = AceCounterMode.FULL,
+    models: dict[str, CoreModel] | None = None,
+    record_timeline: bool = False,
+) -> RunResult:
+    """Run one workload mix under one scheduler.
+
+    Args:
+        machine: HCMP configuration.
+        mix: a :class:`WorkloadMix` or a plain list of benchmark names.
+        scheduler_name: ``"random"``, ``"performance"`` or
+            ``"reliability"``.
+        instructions: optional per-benchmark instruction override
+            (scales runs down for quick experiments and tests).
+        seed: seed for the random scheduler.
+        counter_mode: ACE counter architecture the scheduler reads.
+        models: core-model override (defaults to mechanistic models).
+        record_timeline: record per-quantum ABC samples (Figure 4).
+    """
+    names = mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
+    profiles = [benchmark(name) for name in names]
+    if instructions is not None:
+        profiles = [p.scaled(instructions) for p in profiles]
+    scheduler = make_scheduler(scheduler_name, machine, len(profiles), seed)
+    simulation = MulticoreSimulation(
+        machine,
+        profiles,
+        scheduler,
+        models=models,
+        counter_mode=counter_mode,
+        record_timeline=record_timeline,
+    )
+    result = simulation.run()
+    result.scheduler_name = scheduler_name
+    return result
+
+
+def sweep(
+    machine: MachineConfig,
+    workloads: Iterable[WorkloadMix],
+    scheduler_names: Sequence[str] = SCHEDULER_NAMES,
+    *,
+    instructions: int | None = None,
+    counter_mode: AceCounterMode = AceCounterMode.FULL,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, list[RunResult]]:
+    """Run a workload list under several schedulers.
+
+    Returns ``{scheduler_name: [RunResult per workload, in order]}``.
+    """
+    results: dict[str, list[RunResult]] = {name: [] for name in scheduler_names}
+    for index, mix in enumerate(workloads):
+        for name in scheduler_names:
+            result = run_workload(
+                machine,
+                mix,
+                name,
+                instructions=instructions,
+                seed=index,
+                counter_mode=counter_mode,
+            )
+            results[name].append(result)
+            if progress is not None:
+                progress(f"{mix.category}/{index} {name}: sser={result.sser:.3e}")
+    return results
+
+
+def geomean_ratio(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> float:
+    """Geometric mean of pairwise ratios (used for normalized metrics)."""
+    if len(numerators) != len(denominators) or not numerators:
+        raise ValueError("need equal-length, non-empty sequences")
+    product = 1.0
+    for num, den in zip(numerators, denominators):
+        if num <= 0 or den <= 0:
+            raise ValueError("ratios need positive values")
+        product *= num / den
+    return product ** (1.0 / len(numerators))
+
+
+def average_ratio(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> float:
+    """Arithmetic mean of pairwise ratios."""
+    if len(numerators) != len(denominators) or not numerators:
+        raise ValueError("need equal-length, non-empty sequences")
+    return sum(n / d for n, d in zip(numerators, denominators)) / len(numerators)

@@ -1,0 +1,106 @@
+"""Result containers for multicore simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.reliability import DEFAULT_IFR
+
+
+@dataclass
+class AppRunRecord:
+    """Everything accumulated for one application over a run.
+
+    Attributes:
+        name: application name.
+        instructions: total committed instructions (across restarts).
+        time_seconds: wall-clock time in the mix (equals the
+            experiment duration; applications run continuously).
+        abc_seconds: ground-truth ACE bit-seconds accumulated.
+        occupancy_bit_seconds: total occupied bit-seconds (power model).
+        reference_time_seconds: isolated big-core time for the same
+            work (T_ref).
+        time_big_seconds / time_small_seconds: time per core type.
+        instructions_big / instructions_small: work per core type.
+        dram_accesses / l3_accesses: shared-resource traffic.
+        migrations: number of core migrations (including sampling).
+        completed_runs: whole passes over the profile.
+    """
+
+    name: str
+    instructions: int = 0
+    time_seconds: float = 0.0
+    abc_seconds: float = 0.0
+    occupancy_bit_seconds: float = 0.0
+    reference_time_seconds: float = 0.0
+    time_big_seconds: float = 0.0
+    time_small_seconds: float = 0.0
+    instructions_big: int = 0
+    instructions_small: int = 0
+    dram_accesses: float = 0.0
+    l3_accesses: float = 0.0
+    migrations: int = 0
+    completed_runs: int = 0
+
+    @property
+    def wser(self) -> float:
+        """Weighted SER (Equation 2), with the default IFR."""
+        return self.abc_seconds / self.reference_time_seconds * DEFAULT_IFR
+
+    @property
+    def slowdown(self) -> float:
+        return self.time_seconds / self.reference_time_seconds
+
+    @property
+    def normalized_progress(self) -> float:
+        """STP contribution: reference time over mix time."""
+        return self.reference_time_seconds / self.time_seconds
+
+    @property
+    def ser(self) -> float:
+        """Raw SER within the mix (Equation 1)."""
+        return self.abc_seconds / self.time_seconds * DEFAULT_IFR
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One application-quantum sample for ABC-over-time plots (Fig 4)."""
+
+    time_seconds: float
+    app_name: str
+    core_type: str
+    abc_per_second: float
+    instructions: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one multicore simulation run."""
+
+    machine_name: str
+    scheduler_name: str
+    quanta: int
+    duration_seconds: float
+    apps: list[AppRunRecord]
+    timeline: list[TimelinePoint] = field(default_factory=list)
+
+    @property
+    def sser(self) -> float:
+        """System soft error rate (Equation 3)."""
+        return sum(app.wser for app in self.apps)
+
+    @property
+    def stp(self) -> float:
+        """System throughput (sum of normalized progress)."""
+        return sum(app.normalized_progress for app in self.apps)
+
+    @property
+    def antt(self) -> float:
+        """Average normalized turnaround time."""
+        return sum(app.slowdown for app in self.apps) / len(self.apps)
+
+    def app(self, name: str) -> AppRunRecord:
+        for record in self.apps:
+            if record.name == name:
+                return record
+        raise KeyError(f"no application named {name!r} in this run")

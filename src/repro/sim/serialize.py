@@ -1,0 +1,93 @@
+"""JSON serialization for simulation results.
+
+Sweeps at paper scale take minutes; persisting
+:class:`~repro.sim.results.RunResult` objects lets analyses and
+reports run on stored results without re-simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.sim.results import AppRunRecord, RunResult, TimelinePoint
+
+#: Format marker embedded in every serialized result.
+FORMAT_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> dict[str, Any]:
+    """Convert a run result to plain JSON-serializable data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "machine_name": result.machine_name,
+        "scheduler_name": result.scheduler_name,
+        "quanta": result.quanta,
+        "duration_seconds": result.duration_seconds,
+        "apps": [dataclasses.asdict(app) for app in result.apps],
+        "timeline": [dataclasses.asdict(p) for p in result.timeline],
+    }
+
+
+def run_result_from_dict(data: dict[str, Any]) -> RunResult:
+    """Rebuild a run result from serialized data."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        apps = [AppRunRecord(**app) for app in data["apps"]]
+        timeline = [TimelinePoint(**p) for p in data.get("timeline", [])]
+        return RunResult(
+            machine_name=data["machine_name"],
+            scheduler_name=data["scheduler_name"],
+            quanta=data["quanta"],
+            duration_seconds=data["duration_seconds"],
+            apps=apps,
+            timeline=timeline,
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed result data: {error}") from error
+
+
+def save_run(result: RunResult, path: str | Path) -> Path:
+    """Write a run result to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(run_result_to_dict(result), indent=1))
+    return path
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Read a run result from a JSON file."""
+    return run_result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_sweep(
+    results: dict[str, list[RunResult]], path: str | Path
+) -> Path:
+    """Write a whole sweep (scheduler -> runs) to one JSON file."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "sweep": {
+            name: [run_result_to_dict(r) for r in runs]
+            for name, runs in results.items()
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_sweep(path: str | Path) -> dict[str, list[RunResult]]:
+    """Read a sweep written by :func:`save_sweep`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported sweep format")
+    return {
+        name: [run_result_from_dict(r) for r in runs]
+        for name, runs in data["sweep"].items()
+    }

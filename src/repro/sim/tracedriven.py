@@ -1,0 +1,125 @@
+"""Trace-driven multiprogram simulation.
+
+Wires the trace-driven pipeline models into the multicore engine with
+a *really shared* L3 cache: the big- and small-core models of one
+machine reference the same :class:`SetAssociativeCache` instance, so
+LLC capacity contention between co-running applications is physical
+rather than analytical.  (Memory-bus queueing still comes from the
+analytical bandwidth model, which the trace models consume through the
+DRAM-latency multiplier.)
+
+This path is O(instructions) -- use it for validation and small-scale
+studies (10^5..10^7 instructions); the mechanistic path covers
+paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ace.counters import AceCounterMode
+from repro.config.machines import MachineConfig
+from repro.cores.base import CoreModel
+from repro.cores.inorder import InOrderCoreModel
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.memory.cache import SetAssociativeCache
+from repro.sim.experiment import make_scheduler
+from repro.sim.isolated import ReferenceTimes, run_isolated
+from repro.sim.multicore import MulticoreSimulation
+from repro.sim.results import RunResult
+from repro.workloads.generator import generate_trace
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.spec2006 import benchmark
+
+
+def trace_driven_models(machine: MachineConfig) -> dict[str, CoreModel]:
+    """Big/small trace-driven models sharing one physical L3."""
+    shared_l3 = SetAssociativeCache(machine.memory.l3, "shared-l3")
+    return {
+        "big": OutOfOrderCoreModel(
+            machine.big, machine.memory, shared_l3=shared_l3
+        ),
+        "small": InOrderCoreModel(
+            machine.small, machine.memory, shared_l3=shared_l3
+        ),
+    }
+
+
+def trace_applications(
+    names: Sequence[str], instructions: int, seed: int = 0
+) -> list[TraceApplication]:
+    """Generate trace-backed applications for benchmark names."""
+    return [
+        TraceApplication(
+            generate_trace(benchmark(name), instructions, seed=seed + i)
+        )
+        for i, name in enumerate(names)
+    ]
+
+
+def run_trace_workload(
+    machine: MachineConfig,
+    mix: WorkloadMix | Sequence[str],
+    scheduler_name: str,
+    *,
+    instructions: int = 200_000,
+    seed: int = 0,
+    counter_mode: AceCounterMode = AceCounterMode.FULL,
+    record_timeline: bool = False,
+) -> RunResult:
+    """Run one workload mix with the trace-driven pipeline models.
+
+    The scheduler quantum is scaled so a run covers a few dozen quanta
+    at trace scale (the paper's 1 ms quantum assumes 10^9-instruction
+    applications); the sampling-quantum-to-quantum ratio and the
+    staleness period are preserved.
+    """
+    names = mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
+    apps = trace_applications(names, instructions, seed=seed)
+    # Scale the quantum to ~1/50th of a typical application runtime.
+    cycles_estimate = instructions  # IPC ~ 1 on the big core
+    quantum_seconds = max(
+        cycles_estimate / 50 / machine.big.frequency_hz, 1e-7
+    )
+    scaled = MachineConfig(
+        big_cores=machine.big_cores,
+        small_cores=machine.small_cores,
+        big=machine.big,
+        small=machine.small,
+        memory=machine.memory,
+        quantum_seconds=quantum_seconds,
+        sampling_quantum_seconds=quantum_seconds / 10,
+        sampling_period_quanta=machine.sampling_period_quanta,
+        migration_overhead_seconds=min(
+            machine.migration_overhead_seconds, quantum_seconds / 50
+        ),
+    )
+    scheduler = make_scheduler(scheduler_name, scaled, len(apps), seed)
+    # Reference times come from a *separate* isolated model so the
+    # measurement neither warms nor pollutes the shared-L3 models.
+    # A priming pass warms the reference caches first: in the mix the
+    # applications run repeatedly with warm private caches, so a
+    # cold-cache reference would overestimate T_ref at trace scale.
+    reference_model = OutOfOrderCoreModel(scaled.big, scaled.memory)
+    references = []
+    for app in apps:
+        run_isolated(reference_model, app)  # warm-up pass
+        run = run_isolated(reference_model, app)
+        references.append(
+            ReferenceTimes.uniform(
+                app, run.cycles / scaled.big.frequency_hz
+            )
+        )
+    simulation = MulticoreSimulation(
+        scaled,
+        apps,
+        scheduler,
+        models=trace_driven_models(scaled),
+        counter_mode=counter_mode,
+        record_timeline=record_timeline,
+        reference_times=references,
+    )
+    result = simulation.run()
+    result.scheduler_name = scheduler_name
+    return result

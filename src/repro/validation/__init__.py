@@ -1,0 +1,15 @@
+"""Validation: cross-model agreement checks."""
+
+from repro.validation.crossmodel import (
+    DEFAULT_BENCHMARKS,
+    BenchmarkAgreement,
+    ModelAgreement,
+    compare_models,
+)
+
+__all__ = [
+    "BenchmarkAgreement",
+    "DEFAULT_BENCHMARKS",
+    "ModelAgreement",
+    "compare_models",
+]

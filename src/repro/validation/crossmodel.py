@@ -1,0 +1,135 @@
+"""Cross-validation of the two core-model levels.
+
+The mechanistic model runs paper-scale experiments; the trace-driven
+pipeline models are the detailed reference.  Scheduling decisions only
+depend on *relative* per-application performance and ACE rates, so the
+validation criterion is rank agreement (Spearman correlation) between
+the two levels across benchmarks, per core type, for both IPC and
+ACE-bits-per-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.cores import big_core_config, small_core_config
+from repro.config.machines import MemoryConfig
+from repro.cores.base import ISOLATED
+from repro.cores.inorder import InOrderCoreModel
+from repro.cores.mechanistic import MechanisticCoreModel
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2006 import SUITE, benchmark
+
+#: Default benchmark sample: spans the AVF spectrum and every
+#: qualitative behaviour class.
+DEFAULT_BENCHMARKS = (
+    "gobmk", "perlbench", "mcf", "libquantum", "bzip2", "povray",
+    "hmmer", "soplex", "zeusmp", "milc", "lbm",
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkAgreement:
+    """Both models' view of one benchmark on one core type."""
+
+    name: str
+    core_type: str
+    trace_ipc: float
+    mechanistic_ipc: float
+    trace_abc_per_cycle: float
+    mechanistic_abc_per_cycle: float
+
+    @property
+    def ipc_ratio(self) -> float:
+        return self.trace_ipc / self.mechanistic_ipc
+
+    @property
+    def abc_ratio(self) -> float:
+        return self.trace_abc_per_cycle / self.mechanistic_abc_per_cycle
+
+
+@dataclass(frozen=True)
+class ModelAgreement:
+    """Cross-model agreement over a benchmark sample."""
+
+    rows: tuple[BenchmarkAgreement, ...]
+
+    def per_core(self, core_type: str) -> list[BenchmarkAgreement]:
+        return [r for r in self.rows if r.core_type == core_type]
+
+    def spearman_ipc(self, core_type: str) -> float:
+        from scipy.stats import spearmanr
+
+        rows = self.per_core(core_type)
+        return float(
+            spearmanr(
+                [r.trace_ipc for r in rows],
+                [r.mechanistic_ipc for r in rows],
+            ).statistic
+        )
+
+    def spearman_abc(self, core_type: str) -> float:
+        from scipy.stats import spearmanr
+
+        rows = self.per_core(core_type)
+        return float(
+            spearmanr(
+                [r.trace_abc_per_cycle for r in rows],
+                [r.mechanistic_abc_per_cycle for r in rows],
+            ).statistic
+        )
+
+
+def compare_models(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    *,
+    trace_instructions: int = 20_000,
+    seed: int = 5,
+    memory: MemoryConfig | None = None,
+) -> ModelAgreement:
+    """Run both model levels on a benchmark sample.
+
+    Each benchmark's first phase runs isolated on each core type:
+    through the trace-driven pipeline model on a generated trace, and
+    through the mechanistic analysis.
+    """
+    unknown = [b for b in benchmarks if b not in SUITE]
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {unknown}")
+    if len(benchmarks) < 3:
+        raise ValueError("need at least three benchmarks to rank")
+    memory = memory if memory is not None else MemoryConfig()
+    mech_big = MechanisticCoreModel(big_core_config(), memory)
+    mech_small = MechanisticCoreModel(small_core_config(), memory)
+    rows: list[BenchmarkAgreement] = []
+    for name in benchmarks:
+        profile = benchmark(name)
+        trace = generate_trace(profile, trace_instructions, seed=seed)
+        chars = profile.phases[0][1]
+        for core_type, trace_model, mech in (
+            ("big", OutOfOrderCoreModel(big_core_config(), memory), mech_big),
+            (
+                "small",
+                InOrderCoreModel(small_core_config(), memory),
+                mech_small,
+            ),
+        ):
+            app = TraceApplication(trace)
+            run = trace_model.run_cycles(
+                app, 0, 100 * trace_instructions, ISOLATED
+            )
+            analysis = mech.analyze(chars, ISOLATED)
+            rows.append(
+                BenchmarkAgreement(
+                    name=name,
+                    core_type=core_type,
+                    trace_ipc=run.ipc,
+                    mechanistic_ipc=analysis.ipc,
+                    trace_abc_per_cycle=run.ace_bits_per_cycle(),
+                    mechanistic_abc_per_cycle=analysis.total_ace_bits_per_cycle,
+                )
+            )
+    return ModelAgreement(rows=tuple(rows))

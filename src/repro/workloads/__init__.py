@@ -1,0 +1,31 @@
+"""Synthetic SPEC CPU2006-like workload substrate."""
+
+from repro.workloads.characteristics import (
+    BenchmarkProfile,
+    InstructionMix,
+    PhaseCharacteristics,
+    uniform_profile,
+)
+from repro.workloads.spec2006 import (
+    BENCHMARK_NAMES,
+    SIMPOINT_INSTRUCTIONS,
+    SUITE,
+    benchmark,
+    benchmarks_by_class,
+    big_core_avf,
+    classify_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkProfile",
+    "InstructionMix",
+    "PhaseCharacteristics",
+    "SIMPOINT_INSTRUCTIONS",
+    "SUITE",
+    "benchmark",
+    "benchmarks_by_class",
+    "big_core_avf",
+    "classify_benchmarks",
+    "uniform_profile",
+]

@@ -1,0 +1,146 @@
+"""Multiprogram workload-mix construction (paper Section 5).
+
+Benchmarks are split into H/M/L sensitivity classes by big-core AVF.
+Two-program mixes come in six categories (HH, HM, HL, MM, ML, LL);
+four-program mixes double the letters (HHHH, HHMM, HHLL, MMMM, MMLL,
+LLLL); eight-program mixes double them again.  Six workloads are
+generated per category (36 per program count), benchmarks are never
+duplicated within a workload, and every benchmark occurs at least
+once across the 36 mixes of each program count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.spec2006 import benchmarks_by_class
+
+#: Workloads generated per category (paper: 6).
+WORKLOADS_PER_CATEGORY = 6
+
+#: Category compositions by program count: category name -> class letters.
+CATEGORIES = {
+    2: ("HH", "HM", "HL", "MM", "ML", "LL"),
+    4: ("HHHH", "HHMM", "HHLL", "MMMM", "MMLL", "LLLL"),
+    8: (
+        "HHHHHHHH",
+        "HHHHMMMM",
+        "HHHHLLLL",
+        "MMMMMMMM",
+        "MMMMLLLL",
+        "LLLLLLLL",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One multiprogram workload.
+
+    Attributes:
+        category: the class-composition label, e.g. ``"HHLL"``.
+        benchmarks: benchmark names, one per program.
+    """
+
+    category: str
+    benchmarks: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.benchmarks)) != len(self.benchmarks):
+            raise ValueError("benchmarks within a workload must be distinct")
+        if len(self.benchmarks) != len(self.category):
+            raise ValueError("one class letter per benchmark required")
+
+
+def _draw_mix(
+    category: str, pools: dict[str, list[str]], rng: np.random.Generator
+) -> tuple[str, ...]:
+    """Draw one workload for a category without intra-mix duplicates."""
+    chosen: list[str] = []
+    needed = Counter(category)
+    for letter, count in needed.items():
+        pool = [b for b in pools[letter] if b not in chosen]
+        if count > len(pool):
+            raise ValueError(
+                f"category {category}: class {letter} has only "
+                f"{len(pool)} distinct benchmarks"
+            )
+        picks = rng.choice(len(pool), size=count, replace=False)
+        chosen.extend(pool[i] for i in picks)
+    # Restore the category's letter order (H slots first, etc.).
+    by_class: dict[str, list[str]] = {}
+    start = 0
+    for letter, count in needed.items():
+        by_class[letter] = chosen[start : start + count]
+        start += count
+    ordered = []
+    take = {letter: 0 for letter in needed}
+    for letter in category:
+        ordered.append(by_class[letter][take[letter]])
+        take[letter] += 1
+    return tuple(ordered)
+
+
+def _ensure_coverage(
+    workloads: list[WorkloadMix],
+    pools: dict[str, list[str]],
+    class_of: dict[str, str],
+) -> list[WorkloadMix]:
+    """Swap benchmarks in so every benchmark occurs at least once."""
+    counts = Counter(b for w in workloads for b in w.benchmarks)
+    missing = [b for names in pools.values() for b in names if counts[b] == 0]
+    result = list(workloads)
+    for bench in missing:
+        letter = class_of[bench]
+        # Replace the globally most frequent same-class benchmark in
+        # some workload that does not already contain `bench`.
+        best: tuple[int, int, str] | None = None
+        for wi, mix in enumerate(result):
+            if bench in mix.benchmarks:
+                continue
+            for slot, (existing, slot_letter) in enumerate(
+                zip(mix.benchmarks, mix.category)
+            ):
+                if slot_letter != letter or counts[existing] <= 1:
+                    continue
+                if best is None or counts[existing] > counts[best[2]]:
+                    best = (wi, slot, existing)
+        if best is None:
+            raise RuntimeError(f"cannot place benchmark {bench}")
+        wi, slot, existing = best
+        names = list(result[wi].benchmarks)
+        names[slot] = bench
+        result[wi] = WorkloadMix(result[wi].category, tuple(names))
+        counts[existing] -= 1
+        counts[bench] += 1
+    return result
+
+
+def generate_workloads(
+    num_programs: int,
+    seed: int = 42,
+    classes: dict[str, list[str]] | None = None,
+) -> list[WorkloadMix]:
+    """The paper's 36 workload mixes for a program count (2, 4 or 8).
+
+    Args:
+        num_programs: 2, 4 or 8.
+        seed: RNG seed; the default reproduces this repository's
+            canonical workload set.
+        classes: ``{"H": [...], "M": [...], "L": [...]}`` pools;
+            derived from big-core AVF when omitted.
+    """
+    if num_programs not in CATEGORIES:
+        raise ValueError("program count must be one of 2, 4, 8")
+    pools = classes if classes is not None else benchmarks_by_class()
+    class_of = {b: letter for letter, names in pools.items() for b in names}
+    rng = np.random.default_rng(seed)
+    workloads = [
+        WorkloadMix(category, _draw_mix(category, pools, rng))
+        for category in CATEGORIES[num_programs]
+        for _ in range(WORKLOADS_PER_CATEGORY)
+    ]
+    return _ensure_coverage(workloads, pools, class_of)

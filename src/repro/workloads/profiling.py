@@ -1,0 +1,269 @@
+"""Phase profiling: derive a benchmark profile from a concrete trace.
+
+The inverse of `repro.workloads.generator`, in the spirit of SimPoint
+(Sherwood et al. [23], which the paper uses to pick its 1 B-instruction
+intervals): slice a dynamic trace into fixed-size intervals, measure
+each interval's characteristics (instruction mix, dependency distance,
+branch/I-cache miss rates, cache miss rates through a real hierarchy,
+memory-level parallelism, load-dependent branches), cluster the
+intervals, and emit a :class:`BenchmarkProfile` whose phases are the
+contiguous cluster runs.
+
+This closes the loop trace -> profile -> trace and lets users bring
+their own traces into the mechanistic (paper-scale) simulation flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.machines import MemoryConfig
+from repro.isa.instruction import InstructionClass
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import CacheHierarchy
+from repro.workloads.characteristics import (
+    BenchmarkProfile,
+    InstructionMix,
+    PhaseCharacteristics,
+)
+
+#: Default interval length in instructions.
+DEFAULT_INTERVAL = 10_000
+#: Out-of-order window size used for the MLP estimate.
+_MLP_WINDOW = 128
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Measured characteristics of one trace interval."""
+
+    start: int
+    length: int
+    mix: InstructionMix
+    dep_distance_mean: float
+    branch_mpki: float
+    icache_mpki: float
+    l1d_mpki: float
+    l2_mpki: float
+    l3_mpki: float
+    mlp: float
+    branch_depends_on_load_prob: float
+
+    def feature_vector(self) -> np.ndarray:
+        """Numeric features used for phase clustering."""
+        return np.array([
+            self.mix.load + self.mix.store,
+            self.mix.branch,
+            self.dep_distance_mean,
+            self.branch_mpki,
+            self.icache_mpki,
+            self.l1d_mpki,
+            self.l3_mpki,
+            self.mlp,
+        ])
+
+    def to_characteristics(self) -> PhaseCharacteristics:
+        return PhaseCharacteristics(
+            mix=self.mix,
+            dep_distance_mean=max(self.dep_distance_mean, 1.0),
+            branch_mpki=min(self.branch_mpki, 1000.0 * self.mix.branch),
+            icache_mpki=self.icache_mpki,
+            l1d_mpki=self.l1d_mpki,
+            l2_mpki=min(self.l2_mpki, self.l1d_mpki),
+            l3_mpki=min(self.l3_mpki, self.l2_mpki, self.l1d_mpki),
+            cache_sensitivity=0.3,  # not observable from one trace
+            mlp=max(self.mlp, 1.0),
+            branch_depends_on_load_prob=self.branch_depends_on_load_prob,
+        )
+
+
+def _measure_mix(window: Trace) -> InstructionMix:
+    n = len(window)
+    fractions = {
+        cls: float(np.count_nonzero(window.classes == cls)) / n
+        for cls in InstructionClass
+    }
+    # Normalize away rounding noise.
+    total = sum(fractions.values())
+    return InstructionMix(**{
+        "nop": fractions[InstructionClass.NOP] / total,
+        "int_alu": fractions[InstructionClass.INT_ALU] / total,
+        "int_mul": fractions[InstructionClass.INT_MUL] / total,
+        "int_div": fractions[InstructionClass.INT_DIV] / total,
+        "fp_add": fractions[InstructionClass.FP_ADD] / total,
+        "fp_mul": fractions[InstructionClass.FP_MUL] / total,
+        "fp_div": fractions[InstructionClass.FP_DIV] / total,
+        "load": fractions[InstructionClass.LOAD] / total,
+        "store": fractions[InstructionClass.STORE] / total,
+        "branch": fractions[InstructionClass.BRANCH] / total,
+    })
+
+
+def _estimate_mlp(window: Trace, dram_miss_flags: np.ndarray) -> float:
+    """Average DRAM misses overlapping in an OoO instruction window."""
+    positions = np.nonzero(dram_miss_flags)[0]
+    if positions.size <= 1:
+        return 1.0
+    overlaps = []
+    for i, pos in enumerate(positions):
+        in_window = np.count_nonzero(
+            (positions >= pos) & (positions < pos + _MLP_WINDOW)
+        )
+        overlaps.append(in_window)
+    return float(max(np.mean(overlaps), 1.0))
+
+
+def _load_dependence(window: Trace) -> float:
+    """Fraction of mispredicted branches depending on a load."""
+    mispredicted = np.nonzero(window.mispredicted)[0]
+    if mispredicted.size == 0:
+        return 0.0
+    hits = 0
+    for i in mispredicted:
+        dep = int(window.dep1[i])
+        if dep > 0 and window.classes[i - dep] == InstructionClass.LOAD:
+            hits += 1
+    return hits / mispredicted.size
+
+
+def measure_intervals(
+    trace: Trace,
+    interval: int = DEFAULT_INTERVAL,
+    memory: MemoryConfig | None = None,
+) -> list[IntervalStats]:
+    """Measure per-interval characteristics of a trace.
+
+    Data addresses run through a real (initially cold) cache hierarchy
+    to obtain per-interval L1D/L2/L3 miss rates, exactly as a
+    profiling run on the simulator would.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if len(trace) < interval:
+        raise ValueError("trace shorter than one interval")
+    memory = memory if memory is not None else MemoryConfig()
+    hierarchy = CacheHierarchy(memory, frequency_ghz=2.66)
+    stats: list[IntervalStats] = []
+    memory_classes = (InstructionClass.LOAD, InstructionClass.STORE)
+    for start in range(0, len(trace) - interval + 1, interval):
+        window = trace.slice(start, start + interval)
+        n = len(window)
+        is_mem = np.isin(window.classes, np.array(memory_classes, dtype=np.int8))
+        l1_misses = l2_misses = l3_misses = 0
+        dram_flags = np.zeros(n, dtype=bool)
+        for i in np.nonzero(is_mem)[0]:
+            outcome = hierarchy.access_data(int(window.addresses[i]))
+            if outcome.level != "l1":
+                l1_misses += 1
+            if outcome.level in ("l3", "dram"):
+                l2_misses += 1
+            if outcome.level == "dram":
+                l3_misses += 1
+                dram_flags[i] = True
+        deps = window.dep1[window.dep1 > 0]
+        stats.append(IntervalStats(
+            start=start,
+            length=n,
+            mix=_measure_mix(window),
+            dep_distance_mean=float(deps.mean()) if deps.size else 1.0,
+            branch_mpki=window.branch_mpki,
+            icache_mpki=window.icache_mpki,
+            l1d_mpki=1000.0 * l1_misses / n,
+            l2_mpki=1000.0 * l2_misses / n,
+            l3_mpki=1000.0 * l3_misses / n,
+            mlp=_estimate_mlp(window, dram_flags),
+            branch_depends_on_load_prob=_load_dependence(window),
+        ))
+    return stats
+
+
+def _cluster(features: np.ndarray, phases: int, seed: int) -> np.ndarray:
+    """K-means cluster labels for normalized interval features."""
+    from scipy.cluster.vq import kmeans2
+
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    normalized = (features - mean) / std
+    _, labels = kmeans2(normalized, phases, seed=seed, minit="++")
+    return labels
+
+
+def _mean_stats(intervals: list[IntervalStats]) -> PhaseCharacteristics:
+    """Average a group of intervals into one phase's characteristics."""
+    arrays = np.array([iv.feature_vector() for iv in intervals])
+    representative = intervals[len(intervals) // 2]
+    mean_of = lambda attr: float(np.mean([getattr(iv, attr) for iv in intervals]))
+    mix = representative.mix  # mixes are near-identical within a phase
+    l1d = mean_of("l1d_mpki")
+    l2 = min(mean_of("l2_mpki"), l1d)
+    l3 = min(mean_of("l3_mpki"), l2)
+    return PhaseCharacteristics(
+        mix=mix,
+        dep_distance_mean=max(mean_of("dep_distance_mean"), 1.0),
+        branch_mpki=min(mean_of("branch_mpki"), 1000.0 * mix.branch),
+        icache_mpki=mean_of("icache_mpki"),
+        l1d_mpki=l1d,
+        l2_mpki=l2,
+        l3_mpki=l3,
+        cache_sensitivity=0.3,
+        mlp=max(mean_of("mlp"), 1.0),
+        branch_depends_on_load_prob=mean_of("branch_depends_on_load_prob"),
+    )
+
+
+def profile_trace(
+    trace: Trace,
+    *,
+    phases: int = 2,
+    interval: int = DEFAULT_INTERVAL,
+    instructions: int | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> BenchmarkProfile:
+    """Derive a benchmark profile from a trace.
+
+    Args:
+        trace: the dynamic instruction trace to profile.
+        phases: number of phase clusters to look for (contiguous runs
+            of the same cluster become profile phases, so the emitted
+            profile can have more segments than clusters).
+        interval: profiling interval in instructions.
+        instructions: instruction count of the emitted profile
+            (defaults to the trace length; pass e.g. 1_000_000_000 to
+            extrapolate the trace to SimPoint scale).
+        seed: clustering seed.
+        name: profile name (defaults to the trace name).
+    """
+    if phases <= 0:
+        raise ValueError("need at least one phase")
+    stats = measure_intervals(trace, interval)
+    if len(stats) < phases:
+        raise ValueError(
+            f"only {len(stats)} intervals for {phases} phases; "
+            "shrink the interval or the phase count"
+        )
+    features = np.array([iv.feature_vector() for iv in stats])
+    if phases == 1:
+        labels = np.zeros(len(stats), dtype=int)
+    else:
+        labels = _cluster(features, phases, seed)
+    # Run-length encode the label sequence into contiguous segments.
+    segments: list[tuple[int, int]] = []  # (start index, end index)
+    start = 0
+    for i in range(1, len(labels) + 1):
+        if i == len(labels) or labels[i] != labels[start]:
+            segments.append((start, i))
+            start = i
+    total = sum(end - begin for begin, end in segments)
+    profile_phases = tuple(
+        ((end - begin) / total, _mean_stats(stats[begin:end]))
+        for begin, end in segments
+    )
+    return BenchmarkProfile(
+        name=name if name is not None else trace.name,
+        instructions=instructions if instructions is not None else len(trace),
+        phases=profile_phases,
+    )

@@ -1,0 +1,299 @@
+"""Synthetic SPEC CPU2006 benchmark profiles.
+
+The paper evaluates 1-billion-instruction SimPoints of the 29 SPEC
+CPU2006 benchmarks.  We cannot ship SPEC, so this module defines one
+synthetic :class:`~repro.workloads.characteristics.BenchmarkProfile`
+per benchmark whose statistics are chosen to reproduce the paper's
+qualitative characterization (Section 2.3, Figures 1 and 2):
+
+* *milc*, *lbm*, *GemsFDTD*, *bwaves*, *leslie3d* -- memory-intensive
+  with high MLP: DRAM misses block the ROB head and fill the window
+  with ACE state -> high AVF.
+* *zeusmp*, *cactusADM*, *hmmer* -- compute-intensive: high IPC and
+  high occupancy in the back-end queues -> high AVF.
+* *mcf*, *libquantum*, *omnetpp*, *astar* -- memory-intensive but
+  mispredicted branches depend on the missing loads, so the ROB fills
+  with un-ACE wrong-path instructions underneath the miss -> low AVF.
+* *gcc*, *perlbench*, *sjeng*, *gobmk* -- front-end bound (branch
+  mispredictions and/or I-cache misses drain the pipeline) -> low AVF.
+* *calculix* -- exhibits a large ABC drop in its final phase
+  (Figure 4); *povray* -- nearly constant ABC (Figure 4);
+  *xalancbmk*, *soplex*, *leslie3d*, *dealII* -- phase-varying
+  (the Figure 11 sampling-rate discussion).
+
+The H/M/L sensitivity classes are not hardcoded: they are derived from
+big-core AVF exactly as in the paper (8 highest = H, 8 lowest = L,
+remaining 13 = M) by :func:`classify_benchmarks`.
+"""
+
+from __future__ import annotations
+
+from repro.config.cores import big_core_config
+from repro.config.machines import MemoryConfig
+from repro.cores.base import ISOLATED
+from repro.cores.mechanistic import analyze_big_phase
+from repro.workloads.characteristics import (
+    BenchmarkProfile,
+    InstructionMix,
+    PhaseCharacteristics,
+)
+
+#: Dynamic instruction count of each benchmark's SimPoint.
+SIMPOINT_INSTRUCTIONS = 1_000_000_000
+
+# -- Instruction-mix presets ------------------------------------------------
+
+INT_CONTROL = InstructionMix(
+    nop=0.02, int_alu=0.40, int_mul=0.01, load=0.24, store=0.11, branch=0.22
+)
+INT_COMPUTE = InstructionMix(
+    nop=0.02, int_alu=0.47, int_mul=0.03, load=0.26, store=0.10, branch=0.12
+)
+MEM_POINTER = InstructionMix(
+    nop=0.02, int_alu=0.35, int_mul=0.0, load=0.31, store=0.09, branch=0.23
+)
+FP_STREAM = InstructionMix(
+    nop=0.01, int_alu=0.18, int_mul=0.0, fp_add=0.18, fp_mul=0.14, load=0.30, store=0.13,
+    branch=0.06,
+)
+FP_COMPUTE = InstructionMix(
+    nop=0.01, int_alu=0.15, int_mul=0.0, fp_add=0.24, fp_mul=0.20, fp_div=0.02, load=0.24,
+    store=0.08, branch=0.06,
+)
+
+
+def _phase(
+    mix: InstructionMix,
+    dep: float,
+    brm: float,
+    icm: float,
+    l1: float,
+    l2: float,
+    l3: float,
+    sens: float,
+    mlp: float,
+    pbl: float = 0.05,
+) -> PhaseCharacteristics:
+    """Shorthand constructor used by the benchmark table below."""
+    return PhaseCharacteristics(
+        mix=mix,
+        dep_distance_mean=dep,
+        branch_mpki=brm,
+        icache_mpki=icm,
+        l1d_mpki=l1,
+        l2_mpki=l2,
+        l3_mpki=l3,
+        cache_sensitivity=sens,
+        mlp=mlp,
+        branch_depends_on_load_prob=pbl,
+    )
+
+
+def _bench(name: str, *phases: tuple[float, PhaseCharacteristics]) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name, instructions=SIMPOINT_INSTRUCTIONS, phases=tuple(phases)
+    )
+
+
+def _build_suite() -> dict[str, BenchmarkProfile]:
+    benches = [
+        # ---- SPEC CPU2006 integer ----
+        _bench(  # front-end bound: mispredicts + I-cache misses
+            "perlbench",
+            (1.0, _phase(INT_CONTROL, 4.0, 8.0, 6.0, 8.0, 2.0, 0.5, 0.5, 1.2)),
+        ),
+        _bench(  # moderate mispredicts, cache-sensitive
+            "bzip2",
+            (1.0, _phase(INT_COMPUTE, 4.5, 6.0, 0.3, 10.0, 4.0, 1.5, 0.5, 1.8, 0.2)),
+        ),
+        _bench(  # I-cache dominated front end
+            "gcc",
+            (1.0, _phase(INT_CONTROL, 4.0, 7.0, 8.0, 12.0, 4.0, 1.5, 0.4, 1.5, 0.1)),
+        ),
+        _bench(  # pointer chasing; branches depend on missing loads
+            "mcf",
+            (1.0, _phase(MEM_POINTER, 3.5, 12.0, 0.3, 45.0, 30.0, 20.0, 0.5, 1.8, 0.75)),
+        ),
+        _bench(  # branch-misprediction bound game tree search
+            "gobmk",
+            (1.0, _phase(INT_CONTROL, 3.5, 13.0, 3.0, 6.0, 2.0, 0.6, 0.3, 1.2)),
+        ),
+        _bench(  # high-IPC integer compute, hardly any mispredicts
+            "hmmer",
+            (1.0, _phase(INT_COMPUTE, 7.0, 0.6, 0.05, 6.0, 1.5, 0.3, 0.4, 1.5)),
+        ),
+        _bench(  # branch-misprediction bound chess search
+            "sjeng",
+            (1.0, _phase(INT_CONTROL, 3.8, 11.0, 1.5, 5.0, 1.5, 0.4, 0.3, 1.2)),
+        ),
+        _bench(  # streaming memory; branches depend on loaded values
+            "libquantum",
+            (1.0, _phase(MEM_POINTER, 4.5, 9.0, 0.05, 30.0, 22.0, 17.0, 0.05, 2.2, 0.75)),
+        ),
+        _bench(  # video encode: regular compute, modest misses
+            "h264ref",
+            (1.0, _phase(INT_COMPUTE, 6.0, 2.0, 1.0, 5.0, 1.2, 0.2, 0.4, 1.3)),
+        ),
+        _bench(  # discrete-event simulation: pointer-heavy, mispredicts
+            "omnetpp",
+            (1.0, _phase(MEM_POINTER, 3.8, 9.0, 2.0, 20.0, 12.0, 6.0, 0.6, 1.5, 0.45)),
+        ),
+        _bench(  # path finding: data-dependent branches over large maps
+            "astar",
+            (1.0, _phase(MEM_POINTER, 3.2, 10.0, 0.3, 12.0, 6.0, 2.5, 0.5, 1.3, 0.5)),
+        ),
+        _bench(  # XML transform: phase-varying front-end behaviour
+            "xalancbmk",
+            (0.4, _phase(INT_CONTROL, 4.0, 7.0, 4.0, 10.0, 4.0, 1.5, 0.6, 1.4, 0.2)),
+            (0.3, _phase(INT_CONTROL, 5.5, 3.0, 1.0, 6.0, 2.0, 0.6, 0.6, 1.4, 0.1)),
+            (0.3, _phase(INT_CONTROL, 3.8, 8.0, 5.0, 12.0, 5.0, 2.0, 0.6, 1.4, 0.2)),
+        ),
+        # ---- SPEC CPU2006 floating point ----
+        _bench(  # streaming FP with deep MLP
+            "bwaves",
+            (1.0, _phase(FP_STREAM, 6.5, 0.6, 0.05, 18.0, 10.0, 6.0, 0.15, 4.2, 0.02)),
+        ),
+        _bench(  # quantum chemistry: compute with tiny footprint
+            "gamess",
+            (1.0, _phase(FP_COMPUTE, 5.5, 2.5, 1.5, 3.0, 0.8, 0.1, 0.4, 1.2)),
+        ),
+        _bench(  # lattice QCD: memory-intensive, high MLP, ROB-filling
+            "milc",
+            (1.0, _phase(FP_STREAM, 7.0, 0.3, 0.05, 25.0, 18.0, 12.0, 0.1, 4.5, 0.02)),
+        ),
+        _bench(  # CFD: compute-intensive, fills the back-end queues
+            "zeusmp",
+            (1.0, _phase(FP_COMPUTE, 7.5, 0.5, 0.05, 12.0, 5.0, 2.5, 0.2, 3.5, 0.02)),
+        ),
+        _bench(  # molecular dynamics: compute, modest memory
+            "gromacs",
+            (1.0, _phase(FP_COMPUTE, 6.0, 2.0, 0.3, 6.0, 2.0, 0.8, 0.4, 1.8)),
+        ),
+        _bench(  # numerical relativity: long dependence chains, misses
+            "cactusADM",
+            (1.0, _phase(FP_COMPUTE, 6.5, 0.2, 0.05, 10.0, 6.0, 3.5, 0.15, 2.5, 0.02)),
+        ),
+        _bench(  # CFD: memory-heavy with phase behaviour
+            "leslie3d",
+            (0.5, _phase(FP_STREAM, 6.0, 0.8, 0.1, 16.0, 8.0, 4.5, 0.3, 3.2, 0.05)),
+            (0.3, _phase(FP_STREAM, 6.5, 0.4, 0.1, 20.0, 11.0, 7.0, 0.3, 3.8, 0.05)),
+            (0.2, _phase(FP_COMPUTE, 6.0, 1.2, 0.1, 9.0, 3.5, 1.5, 0.3, 2.0, 0.05)),
+        ),
+        _bench(  # molecular dynamics: steady compute
+            "namd",
+            (1.0, _phase(FP_COMPUTE, 6.5, 1.2, 0.1, 4.0, 1.2, 0.4, 0.4, 1.6)),
+        ),
+        _bench(  # finite elements: two distinct phases
+            "dealII",
+            (0.5, _phase(FP_COMPUTE, 6.0, 2.0, 0.5, 7.0, 2.5, 1.0, 0.5, 1.8, 0.1)),
+            (0.5, _phase(FP_COMPUTE, 4.5, 5.0, 1.0, 10.0, 4.0, 1.5, 0.5, 1.5, 0.2)),
+        ),
+        _bench(  # LP solver: alternates pricing and solving phases
+            "soplex",
+            (0.6, _phase(FP_STREAM, 4.5, 5.0, 1.0, 15.0, 8.0, 4.0, 0.6, 2.0, 0.3)),
+            (0.4, _phase(FP_COMPUTE, 6.0, 2.0, 0.5, 8.0, 3.0, 1.0, 0.6, 2.0, 0.1)),
+        ),
+        _bench(  # ray tracing: tiny footprint, remarkably flat ABC
+            "povray",
+            (1.0, _phase(FP_COMPUTE, 5.0, 4.0, 1.0, 4.0, 1.0, 0.15, 0.3, 1.2)),
+        ),
+        _bench(  # structural mechanics: big ABC drop in the final phase
+            "calculix",
+            (0.75, _phase(FP_COMPUTE, 7.0, 1.0, 0.2, 8.0, 3.0, 1.2, 0.4, 2.5, 0.05)),
+            (0.25, _phase(INT_CONTROL, 3.5, 9.0, 2.0, 4.0, 1.0, 0.3, 0.4, 1.2, 0.1)),
+        ),
+        _bench(  # electromagnetics: streaming with deep MLP
+            "GemsFDTD",
+            (1.0, _phase(FP_STREAM, 6.0, 0.4, 0.1, 22.0, 12.0, 7.0, 0.2, 3.8, 0.02)),
+        ),
+        _bench(  # quantum chemistry: compute with some front-end misses
+            "tonto",
+            (1.0, _phase(FP_COMPUTE, 5.0, 3.0, 2.0, 5.0, 1.5, 0.5, 0.4, 1.4)),
+        ),
+        _bench(  # fluid dynamics: pure streaming, insensitive to LLC
+            "lbm",
+            (1.0, _phase(FP_STREAM, 6.0, 0.2, 0.02, 28.0, 20.0, 15.0, 0.05, 5.0, 0.02)),
+        ),
+        _bench(  # weather model: mixed compute/memory
+            "wrf",
+            (1.0, _phase(FP_COMPUTE, 5.5, 2.0, 1.2, 9.0, 4.0, 2.0, 0.4, 2.2, 0.1)),
+        ),
+        _bench(  # speech recognition: memory-sensitive FP
+            "sphinx3",
+            (1.0, _phase(FP_STREAM, 5.0, 3.5, 0.8, 12.0, 5.0, 2.5, 0.5, 2.0, 0.2)),
+        ),
+    ]
+    return {b.name: b for b in benches}
+
+
+#: The full synthetic suite, keyed by benchmark name.
+SUITE: dict[str, BenchmarkProfile] = _build_suite()
+
+#: Benchmark names in suite order.
+BENCHMARK_NAMES: tuple[str, ...] = tuple(SUITE)
+
+#: Sensitivity classes (paper Section 5): 8 highest big-core AVF = H,
+#: 8 lowest = L, remaining 13 = M.
+HIGH_COUNT = 8
+LOW_COUNT = 8
+
+
+def benchmark(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARK_NAMES)}"
+        ) from None
+
+
+def big_core_avf(profile: BenchmarkProfile, memory: MemoryConfig | None = None) -> float:
+    """Whole-run big-core AVF of a profile (isolated execution).
+
+    AVF is time-weighted across phases: each phase contributes in
+    proportion to the cycles it executes for, exactly as a full-run
+    ACE-bit measurement would.
+    """
+    core = big_core_config()
+    mem = memory if memory is not None else MemoryConfig()
+    total_cycles = 0.0
+    total_ace = 0.0
+    for frac, chars in profile.phases:
+        analysis = analyze_big_phase(chars, core, mem, ISOLATED)
+        cycles = frac * profile.instructions * analysis.cpi
+        total_cycles += cycles
+        total_ace += analysis.total_ace_bits_per_cycle * cycles
+    return total_ace / total_cycles / core.total_ace_capacity_bits
+
+
+def classify_benchmarks(
+    memory: MemoryConfig | None = None,
+) -> dict[str, str]:
+    """Assign H/M/L sensitivity classes from big-core AVF.
+
+    Returns a mapping ``name -> "H" | "M" | "L"`` following the paper:
+    the 8 benchmarks with the highest big-core AVF are ``H``, the 8
+    lowest are ``L``, and the remaining 13 are ``M``.
+    """
+    avf = {name: big_core_avf(profile, memory) for name, profile in SUITE.items()}
+    ordered = sorted(avf, key=avf.get)
+    classes: dict[str, str] = {}
+    for i, name in enumerate(ordered):
+        if i < LOW_COUNT:
+            classes[name] = "L"
+        elif i >= len(ordered) - HIGH_COUNT:
+            classes[name] = "H"
+        else:
+            classes[name] = "M"
+    return classes
+
+
+def benchmarks_by_class(memory: MemoryConfig | None = None) -> dict[str, list[str]]:
+    """H/M/L class -> benchmark names, each list sorted by AVF."""
+    avf = {name: big_core_avf(profile, memory) for name, profile in SUITE.items()}
+    classes = classify_benchmarks(memory)
+    grouped: dict[str, list[str]] = {"H": [], "M": [], "L": []}
+    for name in sorted(avf, key=avf.get):
+        grouped[classes[name]].append(name)
+    return grouped

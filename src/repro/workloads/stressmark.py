@@ -1,0 +1,161 @@
+"""AVF stressmark search (after Nair et al., MICRO 2010).
+
+The paper's related work cites AVF stressmarks: synthetic workloads
+constructed to *maximize* a processor's soft-error vulnerability,
+bounding the worst case.  This module searches the
+:class:`PhaseCharacteristics` space with a seeded hill climber over
+the mechanistic model, yielding (a) an upper bound on big-core AVF
+against which the SPEC-like suite can be compared, and (b) a stress
+workload usable in scheduling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config.cores import CoreConfig, big_core_config
+from repro.config.machines import MemoryConfig
+from repro.cores.base import ISOLATED
+from repro.cores.mechanistic import analyze_phase
+from repro.workloads.characteristics import (
+    BenchmarkProfile,
+    InstructionMix,
+    PhaseCharacteristics,
+)
+
+#: Search bounds per tunable scalar knob.
+_BOUNDS = {
+    "dep_distance_mean": (1.0, 16.0),
+    "branch_mpki": (0.0, 20.0),
+    "icache_mpki": (0.0, 20.0),
+    "l1d_mpki": (0.0, 60.0),
+    "mlp": (1.0, 8.0),
+    "branch_depends_on_load_prob": (0.0, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class StressmarkResult:
+    """Outcome of a stressmark search.
+
+    Attributes:
+        characteristics: the AVF-maximizing phase found.
+        avf: its big-core AVF under the mechanistic model.
+        evaluations: model evaluations spent.
+    """
+
+    characteristics: PhaseCharacteristics
+    avf: float
+    evaluations: int
+
+    def profile(self, instructions: int = 1_000_000_000) -> BenchmarkProfile:
+        """Package the stressmark as a runnable benchmark profile."""
+        return BenchmarkProfile(
+            name="avf-stressmark",
+            instructions=instructions,
+            phases=((1.0, self.characteristics),),
+        )
+
+
+_SCALAR_KNOBS = tuple(_BOUNDS) + ("l2_mpki", "l3_mpki")
+
+
+def _build(chars: PhaseCharacteristics, values: dict) -> PhaseCharacteristics:
+    """Construct a valid candidate from raw knob values.
+
+    Clips every knob into its bounds and repairs the miss-rate
+    ordering (l1d >= l2 >= l3) and the branch-count consistency before
+    the (eagerly validating) dataclass is built.
+    """
+    repaired = dict(values)
+    for key, (lo, hi) in _BOUNDS.items():
+        repaired[key] = min(max(repaired[key], lo), hi)
+    repaired["l2_mpki"] = min(max(repaired["l2_mpki"], 0.0),
+                              repaired["l1d_mpki"])
+    repaired["l3_mpki"] = min(max(repaired["l3_mpki"], 0.0),
+                              repaired["l2_mpki"])
+    branches_pki = 1000.0 * chars.mix.branch
+    repaired["branch_mpki"] = min(repaired["branch_mpki"], branches_pki)
+    return replace(chars, **repaired)
+
+
+def _knob_values(chars: PhaseCharacteristics) -> dict:
+    return {key: getattr(chars, key) for key in _SCALAR_KNOBS}
+
+
+def _clamp(chars: PhaseCharacteristics) -> PhaseCharacteristics:
+    """Repair a candidate into the valid characteristics region."""
+    return _build(chars, _knob_values(chars))
+
+
+def _perturb(
+    chars: PhaseCharacteristics, rng: np.random.Generator, scale: float
+) -> PhaseCharacteristics:
+    """One random neighbour of a candidate."""
+    values = _knob_values(chars)
+    key = rng.choice(_SCALAR_KNOBS)
+    if key in ("l2_mpki", "l3_mpki"):
+        step = (1.0 + values[key]) * scale * rng.standard_normal()
+    else:
+        lo, hi = _BOUNDS[key]
+        step = (hi - lo) * scale * rng.standard_normal()
+    values[key] = values[key] + step
+    return _build(chars, values)
+
+
+def search_stressmark(
+    *,
+    core: CoreConfig | None = None,
+    memory: MemoryConfig | None = None,
+    iterations: int = 400,
+    seed: int = 0,
+    start: PhaseCharacteristics | None = None,
+) -> StressmarkResult:
+    """Hill-climb toward the AVF-maximizing phase characteristics.
+
+    A simple stochastic hill climber with restarts-free acceptance:
+    each iteration perturbs one knob; improvements are kept.  The
+    instruction mix is held fixed (a low-NOP, load-heavy mix -- NOPs
+    are un-ACE and loads create the long-residency state).
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    core = core if core is not None else big_core_config()
+    memory = memory if memory is not None else MemoryConfig()
+    rng = np.random.default_rng(seed)
+    if start is None:
+        start = PhaseCharacteristics(
+            mix=InstructionMix(
+                nop=0.0, int_alu=0.30, int_mul=0.0, load=0.40, store=0.14,
+                branch=0.16,
+            ),
+            dep_distance_mean=6.0,
+            branch_mpki=0.5,
+            icache_mpki=0.1,
+            l1d_mpki=25.0,
+            l2_mpki=18.0,
+            l3_mpki=12.0,
+            cache_sensitivity=0.1,
+            mlp=4.0,
+            branch_depends_on_load_prob=0.0,
+        )
+    current = _clamp(start)
+
+    def avf_of(chars: PhaseCharacteristics) -> float:
+        analysis = analyze_phase(chars, core, memory, ISOLATED)
+        return analysis.avf(core)
+
+    best_avf = avf_of(current)
+    evaluations = 1
+    for i in range(iterations):
+        scale = 0.25 * (1.0 - i / iterations) + 0.02
+        candidate = _perturb(current, rng, scale)
+        candidate_avf = avf_of(candidate)
+        evaluations += 1
+        if candidate_avf > best_avf:
+            current, best_avf = candidate, candidate_avf
+    return StressmarkResult(
+        characteristics=current, avf=best_avf, evaluations=evaluations
+    )

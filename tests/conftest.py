@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MachineConfig,
+    MemoryConfig,
+    big_core_config,
+    machine_2b2s,
+    small_core_config,
+)
+
+
+@pytest.fixture
+def big_core():
+    return big_core_config()
+
+
+@pytest.fixture
+def small_core():
+    return small_core_config()
+
+
+@pytest.fixture
+def memory():
+    return MemoryConfig()
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return machine_2b2s()
+
+
+@pytest.fixture
+def fast_machine() -> MachineConfig:
+    """A 2B2S machine with a shorter quantum for quick simulations."""
+    return machine_2b2s()

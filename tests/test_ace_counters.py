@@ -1,0 +1,67 @@
+"""Tests for ACE counter architectures and measurement extraction."""
+
+import pytest
+
+from repro.ace.counters import AceCounterMode, SaturatingCounter, measured_abc
+from repro.config.structures import StructureKind
+from repro.cores.base import QuantumResult
+
+
+def _result():
+    return QuantumResult(
+        instructions=100,
+        cycles=50.0,
+        ace_bit_cycles={
+            StructureKind.ROB: 400.0,
+            StructureKind.ISSUE_QUEUE: 100.0,
+            StructureKind.REGISTER_FILE: 200.0,
+            StructureKind.FUNCTIONAL_UNITS: 50.0,
+        },
+    )
+
+
+class TestMeasuredAbc:
+    def test_full_mode_reports_everything(self):
+        assert measured_abc(_result(), AceCounterMode.FULL, True) == 750.0
+
+    def test_rob_only_mode_reports_rob(self):
+        assert measured_abc(_result(), AceCounterMode.ROB_ONLY, True) == 400.0
+
+    def test_small_core_excludes_register_file(self):
+        # The 67-byte in-order counter cannot see the register file.
+        for mode in AceCounterMode:
+            assert measured_abc(_result(), mode, False) == 550.0
+
+    def test_rob_only_without_rob_structure(self):
+        result = QuantumResult(instructions=1, cycles=1.0, ace_bit_cycles={})
+        assert measured_abc(result, AceCounterMode.ROB_ONLY, True) == 0.0
+
+
+class TestSaturatingCounter:
+    def test_counts_and_saturates(self):
+        c = SaturatingCounter(bits=4)
+        c.add(10)
+        assert c.value == 10
+        c.add(10)
+        assert c.value == 15  # saturated at 2^4 - 1
+        assert c.saturated
+
+    def test_set_clamps(self):
+        c = SaturatingCounter(bits=12)
+        c.set(5000)
+        assert c.value == 4095
+
+    def test_reset(self):
+        c = SaturatingCounter(bits=12)
+        c.add(7)
+        c.reset()
+        assert c.value == 0
+
+    def test_rejects_negative(self):
+        c = SaturatingCounter(bits=8)
+        with pytest.raises(ValueError):
+            c.add(-1)
+        with pytest.raises(ValueError):
+            c.set(-1)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)

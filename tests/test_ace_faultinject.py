@@ -1,0 +1,74 @@
+"""Tests for Monte-Carlo fault injection vs ACE counting."""
+
+import pytest
+
+from repro.ace.faultinject import FaultInjector
+from repro.config import MemoryConfig, big_core_config, small_core_config
+from repro.cores.base import ISOLATED
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2006 import benchmark
+
+
+def _injector(name="hmmer", instructions=15_000, seed=0):
+    model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+    trace = generate_trace(benchmark(name), instructions, seed=seed)
+    app = TraceApplication(trace)
+    timing = model.simulate_window(app, 0, 10_000_000, ISOLATED)
+    return FaultInjector(big_core_config(), timing)
+
+
+class TestFaultInjector:
+    def test_requires_big_core(self):
+        injector = _injector()
+        with pytest.raises(ValueError):
+            FaultInjector(small_core_config(), injector.timing)
+
+    def test_estimate_converges_to_counting_avf(self):
+        injector = _injector("hmmer")
+        result = injector.inject(trials=40_000, seed=1)
+        counting = injector.counting_avf()
+        low, high = result.confidence_interval(z=3.5)
+        assert low <= counting <= high
+        assert result.avf_estimate == pytest.approx(counting, rel=0.12)
+
+    def test_estimate_tracks_benchmark_differences(self):
+        """Fault injection must see gobmk's lower AVF vs milc's."""
+        low = _injector("gobmk").inject(trials=20_000, seed=2)
+        high = _injector("milc").inject(trials=20_000, seed=2)
+        assert high.avf_estimate > 1.3 * low.avf_estimate
+
+    def test_per_structure_accounting(self):
+        result = _injector().inject(trials=10_000, seed=3)
+        trials = sum(t for t, _ in result.per_structure.values())
+        hits = sum(h for _, h in result.per_structure.values())
+        assert trials == result.trials
+        assert hits == result.ace_hits
+        # The ROB receives the most trials (largest bit capacity
+        # among the entry-addressable structures... second to RF).
+        assert result.per_structure["rob"][0] > 1000
+
+    def test_deterministic_per_seed(self):
+        injector = _injector()
+        a = injector.inject(trials=5_000, seed=7)
+        b = injector.inject(trials=5_000, seed=7)
+        c = injector.inject(trials=5_000, seed=8)
+        assert a.ace_hits == b.ace_hits
+        assert a.ace_hits != c.ace_hits
+
+    def test_confidence_interval_shrinks_with_trials(self):
+        injector = _injector()
+        small = injector.inject(trials=1_000, seed=4)
+        large = injector.inject(trials=30_000, seed=4)
+        width = lambda r: r.confidence_interval()[1] - r.confidence_interval()[0]
+        assert width(large) < width(small)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            _injector().inject(trials=0)
+
+    def test_avf_estimate_requires_trials(self):
+        from repro.ace.faultinject import FaultInjectionResult
+        with pytest.raises(ValueError):
+            FaultInjectionResult(trials=0, ace_hits=0).avf_estimate

@@ -1,0 +1,72 @@
+"""Tests for the ACE counter hardware-cost arithmetic (Section 4.2).
+
+The paper's exact numbers: baseline 7,232 bit equivalents = 904 bytes;
+ROB-only 2,368 = 296 bytes; in-order 532 = 67 bytes.
+"""
+
+import pytest
+
+from repro.ace.hardware_cost import (
+    CounterCost,
+    baseline_big_core_cost,
+    in_order_core_cost,
+    rob_only_big_core_cost,
+)
+from repro.config.cores import big_core_config, small_core_config
+from repro.config.structures import StructureConfig, StructureKind
+from dataclasses import replace
+
+
+class TestPaperNumbers:
+    def test_baseline_904_bytes(self, big_core):
+        cost = baseline_big_core_cost(big_core)
+        assert cost.storage_bits == 3072 + 160
+        assert cost.adders == 20
+        assert cost.bit_equivalents == 7232
+        assert cost.bytes == 904
+
+    def test_rob_only_296_bytes(self, big_core):
+        cost = rob_only_big_core_cost(big_core)
+        assert cost.storage_bits == 1536 + 32
+        assert cost.adders == 4
+        assert cost.bit_equivalents == 2368
+        assert cost.bytes == 296
+
+    def test_in_order_67_bytes(self, small_core):
+        cost = in_order_core_cost(small_core)
+        assert cost.storage_bits == 132
+        assert cost.adders == 2
+        assert cost.bit_equivalents == 532
+        assert cost.bytes == 67
+
+    def test_area_optimization_factor_three(self, big_core):
+        baseline = baseline_big_core_cost(big_core).bit_equivalents
+        optimized = rob_only_big_core_cost(big_core).bit_equivalents
+        assert baseline / optimized == pytest.approx(3.05, abs=0.1)
+
+
+class TestScaling:
+    def test_cost_scales_with_rob_size(self, big_core):
+        bigger = replace(
+            big_core, rob=StructureConfig(StructureKind.ROB, 256, 76)
+        )
+        assert (
+            rob_only_big_core_cost(bigger).storage_bits
+            == 12 * 256 + 32
+        )
+
+    def test_wrong_core_type_rejected(self, big_core, small_core):
+        with pytest.raises(ValueError):
+            baseline_big_core_cost(small_core)
+        with pytest.raises(ValueError):
+            in_order_core_cost(big_core)
+
+
+class TestCounterCost:
+    def test_byte_rounding_up(self):
+        assert CounterCost(storage_bits=1, adders=0).bytes == 1
+        assert CounterCost(storage_bits=8, adders=0).bytes == 1
+        assert CounterCost(storage_bits=9, adders=0).bytes == 2
+
+    def test_adder_equivalence(self):
+        assert CounterCost(storage_bits=0, adders=1).bit_equivalents == 200

@@ -1,0 +1,83 @@
+"""Tests for counter-free ABC prediction and the predicted scheduler."""
+
+import pytest
+
+from repro.ace.predictor import (
+    AbcPredictor,
+    PredictedReliabilityScheduler,
+    train_predictor,
+)
+from repro.config import BIG, SMALL, machine_2b2s
+from repro.cores.base import ISOLATED
+from repro.cores.mechanistic import MechanisticCoreModel
+from repro.config.cores import big_core_config
+from repro.config.machines import MemoryConfig
+from repro.sim.experiment import run_workload
+from repro.sim.multicore import MulticoreSimulation
+from repro.workloads.spec2006 import SUITE, benchmark
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return train_predictor()
+
+
+class TestTraining:
+    def test_fits_both_core_types(self, predictor):
+        assert set(predictor.coefficients) == {BIG, SMALL}
+        assert all(len(c) == 7 for c in predictor.coefficients.values())
+
+    def test_training_fit_is_strong(self, predictor):
+        """Walcott et al. report high regression accuracy; the linear
+        model must explain most of the ABC variance here too."""
+        assert predictor.training_r2[BIG] > 0.85
+        assert predictor.training_r2[SMALL] > 0.6
+
+    def test_predictions_nonnegative(self, predictor):
+        assert predictor.predict_abc_per_cycle(BIG, 0.0, 0.0, 0.0, 0.0) >= 0.0
+
+    def test_prediction_tracks_model_per_benchmark(self, predictor):
+        model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+        errors = []
+        for name in ("gobmk", "povray", "milc", "mcf", "hmmer"):
+            chars = benchmark(name).phases[0][1]
+            analysis = model.analyze(chars, ISOLATED)
+            predicted = predictor.predict_abc_per_cycle(
+                BIG,
+                analysis.ipc,
+                1000.0 * analysis.l3_accesses_per_instruction,
+                1000.0 * analysis.dram_accesses_per_instruction,
+                chars.branch_mpki,
+            )
+            errors.append(
+                abs(predicted - analysis.total_ace_bits_per_cycle)
+                / analysis.total_ace_bits_per_cycle
+            )
+        assert sum(errors) / len(errors) < 0.30
+
+
+class TestPredictedScheduler:
+    def test_schedules_without_ace_counters(self, predictor):
+        machine = machine_2b2s()
+        names = ("milc", "lbm", "mcf", "gobmk")
+        profiles = [benchmark(n).scaled(30_000_000) for n in names]
+        predicted = MulticoreSimulation(
+            machine, profiles,
+            PredictedReliabilityScheduler(machine, 4, predictor),
+        ).run()
+        random_run = run_workload(machine, names, "random",
+                                  instructions=30_000_000)
+        # The counter-free scheduler still reduces SSER substantially.
+        assert predicted.sser < 0.9 * random_run.sser
+
+    def test_close_to_measured_counters(self, predictor):
+        machine = machine_2b2s()
+        names = ("milc", "lbm", "mcf", "gobmk")
+        profiles = [benchmark(n).scaled(30_000_000) for n in names]
+        predicted = MulticoreSimulation(
+            machine, profiles,
+            PredictedReliabilityScheduler(machine, 4, predictor),
+        ).run()
+        measured = run_workload(machine, names, "reliability",
+                                instructions=30_000_000)
+        assert predicted.sser <= measured.sser * 1.25

@@ -1,0 +1,53 @@
+"""Tests for ABC stacks (Figure 5)."""
+
+import pytest
+
+from repro.ace.stacks import abc_stack, rob_core_correlation, rob_fraction
+from repro.config import MemoryConfig, big_core_config
+from repro.config.structures import StructureKind
+from repro.cores.base import ISOLATED, QuantumResult
+from repro.cores.mechanistic import MechanisticCoreModel
+from repro.workloads.spec2006 import SUITE
+
+
+def _suite_results():
+    model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+    results = []
+    for profile in SUITE.values():
+        result = model.run_cycles(profile.scaled(1_000_000), 0, 500_000, ISOLATED)
+        results.append(result)
+    return results
+
+
+class TestAbcStack:
+    def test_fractions_sum_to_one(self):
+        for result in _suite_results()[:5]:
+            stack = abc_stack(result)
+            assert sum(stack.values()) == pytest.approx(1.0)
+            assert all(v >= 0 for v in stack.values())
+
+    def test_rob_contributes_large_share(self):
+        """Paper: the ROB contributes almost half of total occupancy."""
+        fractions = [rob_fraction(r) for r in _suite_results()]
+        mean = sum(fractions) / len(fractions)
+        assert 0.3 < mean < 0.7
+
+    def test_rob_core_correlation_high(self):
+        """Paper: ROB ABC correlates with core ABC at 0.99."""
+        assert rob_core_correlation(_suite_results()) > 0.95
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            abc_stack(QuantumResult(instructions=0, cycles=1.0))
+
+    def test_correlation_needs_two(self):
+        with pytest.raises(ValueError):
+            rob_core_correlation(_suite_results()[:1])
+
+    def test_correlation_degenerate_inputs(self):
+        same = QuantumResult(
+            instructions=1, cycles=1.0,
+            ace_bit_cycles={StructureKind.ROB: 1.0},
+        )
+        with pytest.raises(ValueError):
+            rob_core_correlation([same, same])

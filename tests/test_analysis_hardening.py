@@ -1,0 +1,77 @@
+"""Tests for the selective-hardening analysis."""
+
+import pytest
+
+from repro.analysis.hardening import (
+    greedy_plan,
+    hardening_options,
+    suite_ace_profile,
+)
+from repro.config import big_core_config
+from repro.config.structures import StructureKind
+
+
+@pytest.fixture(scope="module")
+def options():
+    return hardening_options()
+
+
+class TestSuiteProfile:
+    def test_totals_positive(self):
+        ace, cycles = suite_ace_profile(instructions=1_000_000)
+        assert cycles > 0
+        assert all(v >= 0 for v in ace.values())
+        assert StructureKind.ROB in ace
+
+
+class TestOptions:
+    def test_sorted_by_efficiency(self, options):
+        efficiencies = [o.efficiency for o in options]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_ace_shares_sum_to_one(self, options):
+        assert sum(o.ace_share for o in options) == pytest.approx(1.0)
+
+    def test_rob_is_a_top_target(self, options):
+        """The ROB holds ~half the ACE state (Figure 5), so it must be
+        among the most efficient hardening targets."""
+        top_three = [o.kind for o in options[:3]]
+        assert StructureKind.ROB in top_three
+
+    def test_register_file_is_inefficient(self, options):
+        """The physical register file is large but mostly dead state:
+        poor AVF return per protected bit."""
+        by_kind = {o.kind: o for o in options}
+        rob = by_kind[StructureKind.ROB]
+        rf = by_kind[StructureKind.REGISTER_FILE]
+        assert rob.efficiency > rf.efficiency
+
+
+class TestGreedyPlan:
+    def test_zero_budget(self, options):
+        plan = greedy_plan(0, options)
+        assert plan.chosen == ()
+        assert plan.avf_reduction == 0.0
+
+    def test_unlimited_budget_hardens_everything(self, options):
+        core = big_core_config()
+        plan = greedy_plan(core.total_ace_capacity_bits, options)
+        assert len(plan.chosen) == len(options)
+        assert plan.avf_after == pytest.approx(0.0, abs=1e-12)
+
+    def test_budget_respected(self, options):
+        budget = 12_000
+        plan = greedy_plan(budget, options)
+        assert plan.protected_bits <= budget
+        assert plan.avf_after < plan.avf_before
+
+    def test_monotone_in_budget(self, options):
+        reductions = [
+            greedy_plan(b, options).avf_reduction
+            for b in (5_000, 15_000, 30_000)
+        ]
+        assert reductions == sorted(reductions)
+
+    def test_negative_budget_rejected(self, options):
+        with pytest.raises(ValueError):
+            greedy_plan(-1, options)

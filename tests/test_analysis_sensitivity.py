@@ -1,0 +1,49 @@
+"""Tests for the assumption-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import SensitivityPoint, sweep_assumptions
+
+
+@pytest.fixture(scope="module")
+def points():
+    # Small but meaningful sweep: 4 workloads, 20 M instructions.
+    return sweep_assumptions(
+        instructions=20_000_000,
+        workload_count=4,
+        quantum_seconds=(5e-4, 1e-3),
+        migration_overhead_seconds=(0.0, 2e-5),
+        swap_thresholds=(0.0, 0.02),
+        llc_share_exponents=(0.25, 1.0),
+        workload_seeds=(42, 7),
+    )
+
+
+class TestSweepAssumptions:
+    def test_covers_every_assumption(self, points):
+        assumptions = {p.assumption for p in points}
+        assert assumptions == {
+            "quantum_seconds",
+            "migration_overhead_seconds",
+            "swap_threshold",
+            "llc_share_exponent",
+            "workload_seed",
+        }
+        assert len(points) == 10
+
+    def test_conclusion_robust(self, points):
+        """The headline conclusion must hold at every point: the
+        reliability scheduler reduces SSER vs random at a bounded STP
+        cost."""
+        for p in points:
+            assert p.sser_vs_random < 1.0, p
+            assert p.stp_vs_performance > 0.80, p
+
+    def test_llc_exponent_restored(self, points):
+        from repro.memory import interference
+        assert interference.LLC_SHARE_EXPONENT == 0.5
+
+    def test_point_fields(self, points):
+        p = points[0]
+        assert isinstance(p, SensitivityPoint)
+        assert p.value in (5e-4, 1e-3)

@@ -1,0 +1,72 @@
+"""Tests for branch-misprediction counting across the model stack."""
+
+import pytest
+
+from repro.config import MemoryConfig, big_core_config, small_core_config
+from repro.cores.base import ISOLATED, QuantumResult
+from repro.cores.inorder import InOrderCoreModel
+from repro.cores.mechanistic import MechanisticCoreModel
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.sched.base import Observation
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2006 import benchmark
+
+
+class TestMechanisticCounting:
+    def test_matches_profile_rate(self, memory):
+        model = MechanisticCoreModel(big_core_config(), memory)
+        prof = benchmark("gobmk").scaled(10_000_000)  # 13 branch MPKI
+        result = model.run_cycles(prof, 0, 1_000_000, ISOLATED)
+        mpki = 1000.0 * result.branch_mispredictions / result.instructions
+        assert mpki == pytest.approx(13.0, rel=0.01)
+
+
+class TestTraceDrivenCounting:
+    def test_big_core_counts_committed_mispredicts(self, memory):
+        model = OutOfOrderCoreModel(big_core_config(), memory)
+        trace = generate_trace(benchmark("gobmk"), 20_000, seed=4)
+        expected = float(trace.mispredicted.sum())
+        result = model.run_cycles(
+            TraceApplication(trace), 0, 10_000_000, ISOLATED
+        )
+        assert result.branch_mispredictions == pytest.approx(expected)
+
+    def test_small_core_counts_committed_mispredicts(self, memory):
+        model = InOrderCoreModel(small_core_config(), memory)
+        trace = generate_trace(benchmark("sjeng"), 20_000, seed=4)
+        expected = float(trace.mispredicted.sum())
+        result = model.run_cycles(
+            TraceApplication(trace), 0, 10_000_000, ISOLATED
+        )
+        assert result.branch_mispredictions == pytest.approx(expected)
+
+
+class TestPlumbing:
+    def test_merged_with_sums_mispredictions(self):
+        a = QuantumResult(1, 1.0, branch_mispredictions=3.0)
+        b = QuantumResult(1, 1.0, branch_mispredictions=4.0)
+        assert a.merged_with(b).branch_mispredictions == pytest.approx(7.0)
+
+    def test_observation_branch_mpki(self):
+        obs = Observation(0, 0, "big", 1e-3, 1000, 0.0,
+                          branch_mispredictions=5.0)
+        assert obs.branch_mpki == pytest.approx(5.0)
+        empty = Observation(0, 0, "big", 1e-3, 0, 0.0)
+        assert empty.branch_mpki == 0.0
+
+    def test_simulation_feeds_scheduler_branch_counters(self):
+        """The sampling scheduler's samples carry branch MPKI."""
+        from repro.config import BIG, machine_2b2s
+        from repro.sched.reliability import ReliabilityScheduler
+        from repro.sim.multicore import MulticoreSimulation
+
+        machine = machine_2b2s()
+        profiles = [benchmark(n).scaled(2_000_000)
+                    for n in ("gobmk", "milc", "povray", "bzip2")]
+        scheduler = ReliabilityScheduler(machine, 4)
+        MulticoreSimulation(machine, profiles, scheduler).run()
+        gobmk_sample = scheduler.sample(0, BIG)
+        milc_sample = scheduler.sample(1, BIG)
+        assert gobmk_sample.branch_mpki > 5.0
+        assert milc_sample.branch_mpki < 2.0

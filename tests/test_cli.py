@@ -1,0 +1,116 @@
+"""Tests for the `repro` command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--benchmarks", "milc,mcf"]
+        )
+        args.machine == "2B2S"
+        assert args.scheduler == "reliability"
+        assert not args.rob_only
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--benchmarks", "milc", "--scheduler", "fifo"]
+            )
+
+
+class TestCommands:
+    ARGS = ["--benchmarks", "povray,milc,gobmk,bzip2",
+            "--instructions", "2000000"]
+
+    def test_run(self, capsys):
+        assert main(["run", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "SSER" in out and "milc" in out
+
+    def test_run_with_power_and_rob_only(self, capsys):
+        assert main(["run", *self.ARGS, "--power", "--rob-only"]) == 0
+        assert "chip" in capsys.readouterr().out
+
+    def test_run_unknown_benchmark(self, capsys):
+        code = main(["run", "--benchmarks", "doom3"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_run_unknown_machine(self, capsys):
+        code = main(["run", *self.ARGS, "--machine", "9B9S"])
+        assert code == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "SSER (lower is better)" in out
+        assert "reliability" in out
+
+    def test_avf(self, capsys):
+        assert main(["avf", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "milc" in out
+        assert "|" in out  # the chart
+
+    def test_oracle(self, capsys):
+        assert main(["oracle", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "reliability oracle" in out
+        assert "SER gain" in out
+
+    def test_oracle_wrong_count(self, capsys):
+        code = main(["oracle", "--benchmarks", "milc,mcf",
+                     "--instructions", "1000000"])
+        assert code == 2
+
+    def test_workloads(self, capsys):
+        assert main(["workloads", "--programs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "HH" in out
+        assert out.count("\n") >= 36
+
+    def test_trace(self, capsys):
+        assert main(["trace", "mcf", "--length", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "branch MPKI" in out
+
+    def test_trace_simulate(self, capsys):
+        assert main(["trace", "povray", "--length", "5000",
+                     "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "AVF %" in out
+
+    def test_trace_unknown(self, capsys):
+        assert main(["trace", "doom3"]) == 2
+
+    def test_inject(self, capsys):
+        assert main(["inject", "mcf", "--length", "4000",
+                     "--trials", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-injection AVF" in out
+        assert "rob" in out
+
+    def test_inject_unknown_benchmark(self, capsys):
+        assert main(["inject", "doom3"]) == 2
+
+    def test_cost(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "904" in out and "296" in out and "67" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--machine", "1B1S", "--programs", "2",
+                     "--instructions", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "SSER mean" in out
+
+    def test_small_frequency_flag(self, capsys):
+        assert main(["run", *self.ARGS, "--small-frequency", "1.33"]) == 0

@@ -1,0 +1,85 @@
+"""Tests for core configurations (Table 2)."""
+
+import pytest
+
+from repro.config.cores import big_core_config, small_core_config
+from repro.config.structures import StructureKind
+from repro.isa.instruction import InstructionClass
+
+
+class TestBigCore:
+    def test_table2_geometry(self, big_core):
+        assert big_core.out_of_order
+        assert big_core.width == 4
+        assert big_core.frontend_depth == 8
+        assert big_core.rob.entries == 128
+        assert big_core.rob.bits_per_entry == 76
+        assert big_core.issue_queue.entries == 64
+        assert big_core.load_queue.entries == 64
+        assert big_core.store_queue.entries == 64
+        assert big_core.register_file.int_registers == 120
+        assert big_core.register_file.fp_registers == 96
+
+    def test_default_frequency(self, big_core):
+        assert big_core.frequency_ghz == pytest.approx(2.66)
+        assert big_core.frequency_hz == pytest.approx(2.66e9)
+
+    def test_functional_units_match_table2(self, big_core):
+        counts = {p.instruction_class: p.count for p in big_core.functional_units}
+        assert counts[InstructionClass.INT_ALU] == 3
+        assert counts[InstructionClass.INT_MUL] == 1
+        latencies = {
+            p.instruction_class: p.latency for p in big_core.functional_units
+        }
+        assert latencies[InstructionClass.INT_DIV] == 18
+        assert latencies[InstructionClass.FP_MUL] == 5
+
+    def test_dividers_unpipelined(self, big_core):
+        for pool in big_core.functional_units:
+            if pool.instruction_class in (
+                InstructionClass.INT_DIV,
+                InstructionClass.FP_DIV,
+            ):
+                assert not pool.pipelined
+                assert pool.throughput == pytest.approx(1 / pool.latency)
+            else:
+                assert pool.pipelined
+                assert pool.throughput == pool.count
+
+    def test_total_ace_capacity(self, big_core):
+        # ROB + IQ + LQ + SQ + RF + FU
+        expected = 9728 + 64 * 32 + 64 * 80 + 64 * 144 + 19968
+        expected += big_core.fu_total_bits
+        assert big_core.total_ace_capacity_bits == expected
+
+    def test_fu_pool_fallback_to_alu(self, big_core):
+        pool = big_core.fu_pool(InstructionClass.LOAD)
+        assert pool.instruction_class == InstructionClass.INT_ALU
+
+    def test_with_frequency(self, big_core):
+        slow = big_core.with_frequency(1.33)
+        assert slow.frequency_ghz == pytest.approx(1.33)
+        assert big_core.frequency_ghz == pytest.approx(2.66)  # unchanged
+
+
+class TestSmallCore:
+    def test_table2_geometry(self, small_core):
+        assert not small_core.out_of_order
+        assert small_core.width == 2
+        assert small_core.frontend_depth == 5
+        assert small_core.rob is None
+        assert small_core.issue_queue.entries == 4
+        assert small_core.store_queue.entries == 10
+        assert small_core.pipeline_latches.entries == 10
+        assert small_core.pipeline_latches.bits_per_entry == 76
+
+    def test_tracked_structures(self, small_core):
+        kinds = set(small_core.tracked_structures())
+        assert StructureKind.PIPELINE_LATCHES in kinds
+        assert StructureKind.ROB not in kinds
+
+    def test_capacity_smaller_than_big(self, big_core, small_core):
+        assert (
+            small_core.total_ace_capacity_bits
+            < big_core.total_ace_capacity_bits / 4
+        )

@@ -1,0 +1,85 @@
+"""Tests for HCMP machine configurations."""
+
+import pytest
+
+from repro.config.machines import (
+    BIG,
+    SMALL,
+    STANDARD_MACHINES,
+    CacheLevelConfig,
+    MachineConfig,
+    MemoryConfig,
+    machine_1b3s,
+    machine_2b2s,
+    machine_4b4s,
+)
+
+
+class TestCacheLevelConfig:
+    def test_num_sets(self):
+        l1 = CacheLevelConfig(32 * 1024, 8, 4)
+        assert l1.num_sets == 32 * 1024 // (8 * 64) == 64
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(1000, 3, 1)
+
+
+class TestMemoryConfig:
+    def test_table2_defaults(self, memory):
+        assert memory.l1i.size_bytes == 32 * 1024
+        assert memory.l1d.associativity == 8
+        assert memory.l2.size_bytes == 256 * 1024
+        assert memory.l3.size_bytes == 8 * 1024 * 1024
+        assert memory.l3.latency_cycles == 30
+        assert memory.dram_bandwidth_gbps == pytest.approx(25.6)
+
+    def test_dram_latency_cycles_scales_with_frequency(self, memory):
+        at_266 = memory.dram_latency_cycles(2.66)
+        at_133 = memory.dram_latency_cycles(1.33)
+        assert at_266 == pytest.approx(45 * 2.66)
+        assert at_133 == pytest.approx(at_266 / 2)
+
+
+class TestMachineConfig:
+    def test_standard_names(self):
+        for name, factory in STANDARD_MACHINES.items():
+            assert factory().name == name
+
+    def test_core_types_by_index(self):
+        m = machine_1b3s()
+        assert m.core_type(0) == BIG
+        assert [m.core_type(i) for i in range(1, 4)] == [SMALL] * 3
+
+    def test_core_type_out_of_range(self):
+        with pytest.raises(IndexError):
+            machine_2b2s().core_type(4)
+
+    def test_quantum_cycles(self):
+        m = machine_2b2s()
+        assert m.quantum_cycles(BIG) == int(round(1e-3 * 2.66e9))
+        assert m.sampling_quantum_cycles(BIG) == int(round(1e-4 * 2.66e9))
+
+    def test_with_small_frequency(self):
+        m = machine_2b2s().with_small_frequency(1.33)
+        assert m.small.frequency_ghz == pytest.approx(1.33)
+        assert m.big.frequency_ghz == pytest.approx(2.66)
+        assert m.quantum_cycles(SMALL) == int(round(1e-3 * 1.33e9))
+
+    def test_with_sampling(self):
+        m = machine_2b2s().with_sampling(100, 5e-5)
+        assert m.sampling_period_quanta == 100
+        assert m.sampling_quantum_seconds == pytest.approx(5e-5)
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ValueError):
+            MachineConfig(big_cores=0, small_cores=0)
+
+    def test_rejects_sampling_longer_than_quantum(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                big_cores=1, small_cores=1, sampling_quantum_seconds=2e-3
+            )
+
+    def test_num_cores(self):
+        assert machine_4b4s().num_cores == 8

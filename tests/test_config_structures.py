@@ -1,0 +1,43 @@
+"""Tests for structure geometry (Table 2 bit accounting)."""
+
+import pytest
+
+from repro.config.structures import (
+    RegisterFileConfig,
+    StructureConfig,
+    StructureKind,
+)
+
+
+class TestStructureConfig:
+    def test_total_bits(self):
+        rob = StructureConfig(StructureKind.ROB, 128, 76)
+        assert rob.total_bits == 128 * 76 == 9728
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            StructureConfig(StructureKind.ROB, 0, 76)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            StructureConfig(StructureKind.ROB, 128, 0)
+
+
+class TestRegisterFileConfig:
+    def test_total_bits_matches_table2(self):
+        rf = RegisterFileConfig(
+            int_registers=120, int_bits=64, fp_registers=96, fp_bits=128
+        )
+        assert rf.total_bits == 120 * 64 + 96 * 128 == 19968
+
+    def test_arch_bits(self):
+        rf = RegisterFileConfig(
+            int_registers=120, int_bits=64, fp_registers=96, fp_bits=128
+        )
+        assert rf.arch_bits == 16 * 64 + 16 * 128 == 3072
+
+    def test_rejects_fewer_physical_than_architectural(self):
+        with pytest.raises(ValueError):
+            RegisterFileConfig(
+                int_registers=8, int_bits=64, fp_registers=96, fp_bits=128
+            )

@@ -1,0 +1,201 @@
+"""Tests for the mechanistic core model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from dataclasses import replace
+
+from repro.config import MemoryConfig, big_core_config, small_core_config
+from repro.config.structures import StructureKind
+from repro.cores.base import ISOLATED, MemoryEnvironment
+from repro.cores.mechanistic import (
+    MechanisticCoreModel,
+    analyze_big_phase,
+    analyze_phase,
+    analyze_small_phase,
+)
+from repro.workloads.characteristics import (
+    BenchmarkProfile,
+    PhaseCharacteristics,
+)
+from repro.workloads.spec2006 import benchmark
+
+
+def _chars(**kwargs):
+    return PhaseCharacteristics(**kwargs)
+
+
+class TestBigCoreCpi:
+    def test_cpi_components_present(self, big_core, memory):
+        analysis = analyze_big_phase(_chars(), big_core, memory, ISOLATED)
+        assert set(analysis.cpi_components) == {
+            "base", "resource", "bpred", "icache", "l2", "llc", "mem",
+        }
+        assert analysis.cpi == pytest.approx(1.0 / analysis.ipc)
+
+    def test_base_cpi_floor_is_width(self, big_core, memory):
+        analysis = analyze_big_phase(_chars(), big_core, memory, ISOLATED)
+        assert analysis.cpi_components["base"] == pytest.approx(0.25)
+
+    def test_more_mispredicts_higher_cpi(self, big_core, memory):
+        low = analyze_big_phase(_chars(branch_mpki=1.0), big_core, memory, ISOLATED)
+        high = analyze_big_phase(_chars(branch_mpki=15.0), big_core, memory, ISOLATED)
+        assert high.cpi > low.cpi
+
+    def test_more_l3_misses_higher_memory_cpi(self, big_core, memory):
+        low = analyze_big_phase(
+            _chars(l1d_mpki=20, l2_mpki=10, l3_mpki=1), big_core, memory, ISOLATED
+        )
+        high = analyze_big_phase(
+            _chars(l1d_mpki=20, l2_mpki=10, l3_mpki=8), big_core, memory, ISOLATED
+        )
+        assert high.cpi_components["mem"] > low.cpi_components["mem"]
+        assert high.dram_accesses_per_instruction > low.dram_accesses_per_instruction
+
+    def test_mlp_hides_memory_latency(self, big_core, memory):
+        serial = analyze_big_phase(
+            _chars(l1d_mpki=20, l2_mpki=10, l3_mpki=5, mlp=1.0),
+            big_core, memory, ISOLATED,
+        )
+        parallel = analyze_big_phase(
+            _chars(l1d_mpki=20, l2_mpki=10, l3_mpki=5, mlp=4.0),
+            big_core, memory, ISOLATED,
+        )
+        assert parallel.cpi_components["mem"] == pytest.approx(
+            serial.cpi_components["mem"] / 4.0
+        )
+
+    def test_higher_ilp_lower_resource_stall(self, big_core, memory):
+        chained = analyze_big_phase(_chars(dep_distance_mean=2.0),
+                                    big_core, memory, ISOLATED)
+        parallel = analyze_big_phase(_chars(dep_distance_mean=8.0),
+                                     big_core, memory, ISOLATED)
+        assert parallel.cpi_components["resource"] < chained.cpi_components["resource"]
+
+    def test_contention_environment_raises_cpi(self, big_core, memory):
+        chars = _chars(l1d_mpki=20, l2_mpki=10, l3_mpki=2, cache_sensitivity=0.8)
+        contended = MemoryEnvironment(
+            l3_share_fraction=0.25, dram_latency_multiplier=1.5
+        )
+        iso = analyze_big_phase(chars, big_core, memory, ISOLATED)
+        shared = analyze_big_phase(chars, big_core, memory, contended)
+        assert shared.cpi > iso.cpi
+        assert shared.dram_accesses_per_instruction > iso.dram_accesses_per_instruction
+
+    def test_wrong_core_type_rejected(self, big_core, small_core, memory):
+        with pytest.raises(ValueError):
+            analyze_big_phase(_chars(), small_core, memory, ISOLATED)
+        with pytest.raises(ValueError):
+            analyze_small_phase(_chars(), big_core, memory, ISOLATED)
+
+    def test_analyze_phase_dispatches(self, big_core, small_core, memory):
+        big = analyze_phase(_chars(), big_core, memory, ISOLATED)
+        small = analyze_phase(_chars(), small_core, memory, ISOLATED)
+        assert big.ipc > small.ipc
+
+
+class TestOccupancyAndAce:
+    def test_rob_dominates_big_core_ace(self, big_core, memory):
+        analysis = analyze_big_phase(_chars(branch_mpki=0.5), big_core,
+                                     memory, ISOLATED)
+        rob = analysis.ace_bits_per_cycle[StructureKind.ROB]
+        assert rob / analysis.total_ace_bits_per_cycle > 0.3
+
+    def test_ace_never_exceeds_occupancy(self, big_core, memory):
+        analysis = analyze_big_phase(_chars(), big_core, memory, ISOLATED)
+        for kind, ace in analysis.ace_bits_per_cycle.items():
+            assert ace <= analysis.occupancy_bits_per_cycle[kind] + 1e-9
+
+    def test_avf_in_unit_range(self, big_core, memory):
+        for name in ("milc", "mcf", "povray"):
+            chars = benchmark(name).phases[0][1]
+            analysis = analyze_big_phase(chars, big_core, memory, ISOLATED)
+            assert 0.0 < analysis.avf(big_core) < 1.0
+
+    def test_front_end_misses_reduce_ace(self, big_core, memory):
+        clean = analyze_big_phase(_chars(branch_mpki=0.5), big_core,
+                                  memory, ISOLATED)
+        noisy = analyze_big_phase(_chars(branch_mpki=15.0), big_core,
+                                  memory, ISOLATED)
+        assert noisy.total_ace_bits_per_cycle < clean.total_ace_bits_per_cycle
+
+    def test_wrong_path_under_miss_reduces_ace(self, big_core, memory):
+        """The mcf effect: branches depending on missing loads fill the
+        ROB with un-ACE wrong-path state."""
+        base = dict(l1d_mpki=40, l2_mpki=30, l3_mpki=20, branch_mpki=10)
+        independent = analyze_big_phase(
+            _chars(**base, branch_depends_on_load_prob=0.0),
+            big_core, memory, ISOLATED,
+        )
+        dependent = analyze_big_phase(
+            _chars(**base, branch_depends_on_load_prob=0.9),
+            big_core, memory, ISOLATED,
+        )
+        assert (
+            dependent.total_ace_bits_per_cycle
+            < independent.total_ace_bits_per_cycle
+        )
+
+    def test_small_core_ace_much_smaller(self, big_core, small_core, memory):
+        chars = benchmark("milc").phases[0][1]
+        big = analyze_big_phase(chars, big_core, memory, ISOLATED)
+        small = analyze_small_phase(chars, small_core, memory, ISOLATED)
+        assert big.total_ace_bits_per_cycle > 5 * small.total_ace_bits_per_cycle
+
+    def test_big_core_faster(self, big_core, small_core, memory):
+        for name in ("milc", "mcf", "povray", "hmmer"):
+            chars = benchmark(name).phases[0][1]
+            big = analyze_big_phase(chars, big_core, memory, ISOLATED)
+            small = analyze_small_phase(chars, small_core, memory, ISOLATED)
+            assert big.ipc > small.ipc
+
+
+class TestFrequencyScaling:
+    def test_lower_frequency_fewer_dram_cycles(self, memory):
+        chars = _chars(l1d_mpki=20, l2_mpki=10, l3_mpki=5)
+        fast = analyze_small_phase(chars, small_core_config(2.66), memory, ISOLATED)
+        slow = analyze_small_phase(chars, small_core_config(1.33), memory, ISOLATED)
+        # Fewer cycles of DRAM wait at lower clock => lower memory CPI.
+        assert slow.cpi_components["mem"] < fast.cpi_components["mem"]
+        # But wall-clock performance is still worse at half the clock.
+        assert slow.ipc * 1.33 < fast.ipc * 2.66
+
+
+class TestRunCycles:
+    def test_respects_cycle_budget(self, big_core, memory):
+        model = MechanisticCoreModel(big_core, memory)
+        prof = benchmark("povray").scaled(10_000_000)
+        result = model.run_cycles(prof, 0, 100_000, ISOLATED)
+        assert result.cycles == pytest.approx(100_000, rel=0.01)
+        assert result.instructions > 0
+
+    def test_zero_budget(self, big_core, memory):
+        model = MechanisticCoreModel(big_core, memory)
+        result = model.run_cycles(benchmark("povray"), 0, 0, ISOLATED)
+        assert result.instructions == 0
+
+    def test_crosses_phase_boundary(self, big_core, memory):
+        model = MechanisticCoreModel(big_core, memory)
+        prof = benchmark("calculix").scaled(10_000)
+        # Start just before the 75% boundary and run far past it.
+        result = model.run_cycles(prof, 7_400, 1_000_000, ISOLATED)
+        assert result.instructions > 200
+
+    def test_abc_accumulates_with_budget(self, big_core, memory):
+        model = MechanisticCoreModel(big_core, memory)
+        prof = benchmark("milc").scaled(100_000_000)
+        small = model.run_cycles(prof, 0, 50_000, ISOLATED)
+        large = model.run_cycles(prof, 0, 500_000, ISOLATED)
+        assert large.total_ace_bit_cycles == pytest.approx(
+            10 * small.total_ace_bit_cycles, rel=0.05
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1000, 500_000), st.integers(0, 9_000_000))
+    def test_result_invariants(self, budget, start):
+        model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+        prof = benchmark("soplex").scaled(10_000_000)
+        result = model.run_cycles(prof, start, budget, ISOLATED)
+        assert result.instructions >= 0
+        assert result.cycles <= budget * 1.01 + 1
+        assert result.total_ace_bit_cycles >= 0
+        assert all(v >= 0 for v in result.ace_bit_cycles.values())

@@ -1,0 +1,99 @@
+"""Focused tests for the small-core mechanistic model."""
+
+import pytest
+
+from repro.config import MemoryConfig, small_core_config
+from repro.config.structures import StructureKind
+from repro.cores.base import ISOLATED, MemoryEnvironment
+from repro.cores.mechanistic import MechanisticCoreModel, analyze_small_phase
+from repro.workloads.characteristics import PhaseCharacteristics
+from repro.workloads.spec2006 import benchmark
+
+
+def _chars(**kwargs):
+    return PhaseCharacteristics(**kwargs)
+
+
+class TestSmallCoreCpi:
+    def test_base_cpi_is_half(self, small_core, memory):
+        analysis = analyze_small_phase(_chars(), small_core, memory, ISOLATED)
+        assert analysis.cpi_components["base"] == pytest.approx(0.5)
+
+    def test_misses_fully_exposed(self, small_core, memory):
+        """In-order stall-on-use: L2-hit latency is fully exposed,
+        unlike the out-of-order core which hides most of it."""
+        chars = _chars(l1d_mpki=20, l2_mpki=0.0, l3_mpki=0.0)
+        analysis = analyze_small_phase(chars, small_core, memory, ISOLATED)
+        expected = 0.02 * memory.l2.latency_cycles
+        assert analysis.cpi_components["l2"] == pytest.approx(expected)
+
+    def test_no_memory_level_parallelism(self, small_core, memory):
+        """The in-order core cannot overlap DRAM accesses: its memory
+        CPI is independent of the profile's (big-core) MLP."""
+        base = dict(l1d_mpki=20, l2_mpki=10, l3_mpki=5)
+        serial = analyze_small_phase(
+            _chars(**base, mlp=1.0), small_core, memory, ISOLATED
+        )
+        deep = analyze_small_phase(
+            _chars(**base, mlp=6.0), small_core, memory, ISOLATED
+        )
+        assert serial.cpi_components["mem"] == pytest.approx(
+            deep.cpi_components["mem"]
+        )
+
+    def test_shallow_mispredict_penalty(self, small_core, memory):
+        clean = analyze_small_phase(_chars(branch_mpki=0.0), small_core,
+                                    memory, ISOLATED)
+        noisy = analyze_small_phase(_chars(branch_mpki=10.0), small_core,
+                                    memory, ISOLATED)
+        penalty = (noisy.cpi_components["bpred"] -
+                   clean.cpi_components["bpred"]) / 0.010
+        assert penalty == pytest.approx(small_core.frontend_depth)
+
+
+class TestSmallCoreAce:
+    def test_pipeline_latches_dominate_structures(self, small_core, memory):
+        analysis = analyze_small_phase(_chars(), small_core, memory, ISOLATED)
+        latches = analysis.ace_bits_per_cycle[StructureKind.PIPELINE_LATCHES]
+        queues = (
+            analysis.ace_bits_per_cycle[StructureKind.ISSUE_QUEUE]
+            + analysis.ace_bits_per_cycle[StructureKind.STORE_QUEUE]
+        )
+        assert latches > queues
+
+    def test_stalls_fill_the_latches(self, small_core, memory):
+        flowing = analyze_small_phase(
+            _chars(l1d_mpki=0.5, l2_mpki=0.2, l3_mpki=0.0),
+            small_core, memory, ISOLATED,
+        )
+        stalled = analyze_small_phase(
+            _chars(l1d_mpki=40, l2_mpki=30, l3_mpki=20),
+            small_core, memory, ISOLATED,
+        )
+        assert (
+            stalled.ace_bits_per_cycle[StructureKind.PIPELINE_LATCHES]
+            > flowing.ace_bits_per_cycle[StructureKind.PIPELINE_LATCHES]
+        )
+
+    def test_register_file_floor_present(self, small_core, memory):
+        analysis = analyze_small_phase(_chars(), small_core, memory, ISOLATED)
+        assert analysis.ace_bits_per_cycle[StructureKind.REGISTER_FILE] > 0
+
+    def test_environment_affects_small_core_too(self, small_core, memory):
+        chars = _chars(l1d_mpki=25, l2_mpki=15, l3_mpki=4,
+                       cache_sensitivity=0.8)
+        contended = MemoryEnvironment(l3_share_fraction=0.2,
+                                      dram_latency_multiplier=2.0)
+        iso = analyze_small_phase(chars, small_core, memory, ISOLATED)
+        shared = analyze_small_phase(chars, small_core, memory, contended)
+        assert shared.ipc < iso.ipc
+
+
+class TestSmallCoreRunCycles:
+    def test_budget_and_phases(self, memory):
+        model = MechanisticCoreModel(small_core_config(), memory)
+        prof = benchmark("calculix").scaled(5_000_000)
+        result = model.run_cycles(prof, 0, 200_000, ISOLATED)
+        assert result.cycles == pytest.approx(200_000, rel=0.01)
+        assert result.instructions > 0
+        assert StructureKind.PIPELINE_LATCHES in result.ace_bit_cycles

@@ -1,0 +1,87 @@
+"""Tests for trace-application windows and hierarchy management."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryConfig, big_core_config
+from repro.cores.tracebase import TraceApplication, TraceDrivenModel
+from repro.isa.instruction import InstructionClass
+from repro.isa.trace import Trace
+
+
+def _trace(n=100):
+    return Trace(
+        classes=np.full(n, InstructionClass.INT_ALU, dtype=np.int8),
+        dep1=np.zeros(n, dtype=np.int32),
+        dep2=np.zeros(n, dtype=np.int32),
+        addresses=np.zeros(n, dtype=np.int64),
+        mispredicted=np.zeros(n, dtype=bool),
+        icache_miss=np.zeros(n, dtype=bool),
+        name="unit",
+    )
+
+
+class _NullModel(TraceDrivenModel):
+    def run_cycles(self, app, start_instruction, cycles, env):
+        raise NotImplementedError
+
+
+class TestTraceApplication:
+    def test_name_defaults_to_trace_name(self):
+        app = TraceApplication(_trace())
+        assert app.name == "unit"
+        assert app.instructions == 100
+
+    def test_explicit_name(self):
+        assert TraceApplication(_trace(), name="x").name == "x"
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceApplication(Trace.empty())
+
+    def test_window_basic(self):
+        app = TraceApplication(_trace(100))
+        window = app.window(10, 20)
+        assert len(window) == 20
+
+    def test_window_clipped_at_trace_end(self):
+        app = TraceApplication(_trace(100))
+        assert len(app.window(90, 50)) == 10
+
+    def test_window_wraps_position(self):
+        app = TraceApplication(_trace(100))
+        # Position 250 is 50 into the third pass.
+        assert len(app.window(250, 30)) == 30
+        assert len(app.window(250, 100)) == 50  # to the trace end
+
+    def test_identity_semantics(self):
+        a, b = TraceApplication(_trace()), TraceApplication(_trace())
+        assert a != b  # eq=False: identity, usable as weak dict key
+
+
+class TestHierarchyManagement:
+    def test_one_hierarchy_per_app(self):
+        model = _NullModel(big_core_config(), MemoryConfig())
+        a, b = TraceApplication(_trace()), TraceApplication(_trace())
+        ha, hb = model.hierarchy_for(a), model.hierarchy_for(b)
+        assert ha is not hb
+        assert model.hierarchy_for(a) is ha
+
+    def test_hierarchy_released_with_app(self):
+        model = _NullModel(big_core_config(), MemoryConfig())
+        app = TraceApplication(_trace())
+        model.hierarchy_for(app)
+        assert len(model._hierarchies) == 1
+        del app
+        import gc
+        gc.collect()
+        assert len(model._hierarchies) == 0
+
+    def test_dram_latency_scaling(self):
+        from repro.cores.base import ISOLATED, MemoryEnvironment
+        model = _NullModel(big_core_config(), MemoryConfig())
+        base = model.dram_latency_cycles(ISOLATED)
+        doubled = model.dram_latency_cycles(
+            MemoryEnvironment(dram_latency_multiplier=2.0)
+        )
+        assert doubled == pytest.approx(2 * base)

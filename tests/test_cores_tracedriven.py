@@ -1,0 +1,211 @@
+"""Tests for the trace-driven out-of-order and in-order core models."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryConfig, big_core_config, small_core_config
+from repro.config.structures import StructureKind
+from repro.cores.base import ISOLATED, MemoryEnvironment
+from repro.cores.inorder import InOrderCoreModel
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.isa.instruction import InstructionClass
+from repro.isa.trace import Trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2006 import benchmark
+
+
+def _trace(classes, dep1=None, mispredicted=None, addresses=None):
+    n = len(classes)
+    return Trace(
+        classes=np.array(classes, dtype=np.int8),
+        dep1=np.array(dep1 if dep1 else [0] * n, dtype=np.int32),
+        dep2=np.zeros(n, dtype=np.int32),
+        addresses=np.array(addresses if addresses else [0] * n, dtype=np.int64),
+        mispredicted=np.array(
+            mispredicted if mispredicted else [False] * n, dtype=bool
+        ),
+        icache_miss=np.zeros(n, dtype=bool),
+        name="unit",
+    )
+
+
+@pytest.fixture
+def ooo(memory):
+    return OutOfOrderCoreModel(big_core_config(), memory)
+
+
+@pytest.fixture
+def inorder(memory):
+    return InOrderCoreModel(small_core_config(), memory)
+
+
+class TestOutOfOrderTiming:
+    def test_independent_alus_reach_full_width(self, ooo):
+        app = TraceApplication(_trace([InstructionClass.INT_ALU] * 4000))
+        result = ooo.run_cycles(app, 0, 100_000, ISOLATED)
+        assert result.instructions == 4000
+        assert result.ipc > 2.5  # 4-wide minus startup
+
+    def test_dependence_chain_serializes(self, ooo):
+        n = 2000
+        app = TraceApplication(
+            _trace([InstructionClass.INT_ALU] * n, dep1=[1] * n)
+        )
+        result = ooo.run_cycles(app, 0, 100_000, ISOLATED)
+        assert result.ipc == pytest.approx(1.0, rel=0.05)
+
+    def test_mispredicts_cost_cycles(self, ooo):
+        n = 2000
+        classes = [InstructionClass.BRANCH] * n
+        clean = TraceApplication(_trace(classes))
+        noisy = TraceApplication(
+            _trace(classes, mispredicted=[i % 10 == 0 for i in range(n)])
+        )
+        fast = ooo.run_cycles(clean, 0, 200_000, ISOLATED)
+        slow = ooo.run_cycles(noisy, 0, 200_000, ISOLATED)
+        assert slow.ipc < fast.ipc * 0.7
+
+    def test_dram_misses_stall_window(self, ooo):
+        n = 2000
+        # Every load streams to a fresh line: all DRAM.
+        classes = [InstructionClass.LOAD] * n
+        addresses = [i * 64 for i in range(n)]
+        dependent = TraceApplication(
+            _trace(classes, dep1=[1] * n, addresses=addresses)
+        )
+        result = ooo.run_cycles(dependent, 0, 2_000_000, ISOLATED)
+        # Serialized DRAM accesses: ~latency cycles per instruction.
+        assert result.ipc < 0.02
+        assert result.memory_accesses == pytest.approx(n, rel=0.05)
+
+    def test_budget_respected(self, ooo):
+        app = TraceApplication(_trace([InstructionClass.INT_ALU] * 10_000))
+        result = ooo.run_cycles(app, 0, 500, ISOLATED)
+        assert result.cycles <= 500 * 1.01
+        assert 0 < result.instructions < 10_000
+
+    def test_env_multiplier_slows_dram(self, ooo, memory):
+        prof = benchmark("lbm")
+        trace = generate_trace(prof, 20_000, seed=0)
+        iso = ooo.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+        contended_model = OutOfOrderCoreModel(big_core_config(), memory)
+        contended = contended_model.run_cycles(
+            TraceApplication(trace), 0, 10_000_000,
+            MemoryEnvironment(dram_latency_multiplier=2.0),
+        )
+        assert contended.cycles > iso.cycles * 1.1
+
+
+class TestOutOfOrderAce:
+    def test_nops_are_un_ace_but_occupy(self, ooo):
+        app = TraceApplication(_trace([InstructionClass.NOP] * 1000))
+        result = ooo.run_cycles(app, 0, 100_000, ISOLATED)
+        rob_ace = result.ace_bit_cycles[StructureKind.ROB]
+        rob_occ = result.occupancy_bit_cycles[StructureKind.ROB]
+        assert rob_ace == 0.0
+        assert rob_occ > 0.0
+
+    def test_ace_bounded_by_occupancy(self, ooo):
+        trace = generate_trace(benchmark("soplex"), 10_000, seed=1)
+        result = ooo.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+        for kind, ace in result.ace_bit_cycles.items():
+            assert ace <= result.occupancy_bit_cycles[kind] + 1e-6
+
+    def test_wrong_path_under_miss_lowers_rob_ace(self, ooo, memory):
+        """A mispredicted branch that depends on a DRAM load keeps the
+        post-branch window un-ACE for the whole miss."""
+        n = 3000
+        classes = []
+        for i in range(n):
+            classes.append(
+                InstructionClass.LOAD if i % 50 == 0
+                else InstructionClass.BRANCH if i % 50 == 1
+                else InstructionClass.INT_ALU
+            )
+        addresses = [i * 64 if c == InstructionClass.LOAD else 0
+                     for i, c in enumerate(classes)]
+        dep_on_load = [1 if c == InstructionClass.BRANCH else 0 for c in classes]
+        mispredict = [c == InstructionClass.BRANCH for c in classes]
+        coupled = TraceApplication(_trace(classes, dep1=dep_on_load,
+                                          mispredicted=mispredict,
+                                          addresses=addresses))
+        uncoupled = TraceApplication(_trace(classes, addresses=addresses))
+        r_coupled = ooo.run_cycles(coupled, 0, 3_000_000, ISOLATED)
+        r_uncoupled = OutOfOrderCoreModel(big_core_config(), memory).run_cycles(
+            uncoupled, 0, 3_000_000, ISOLATED
+        )
+        ace_rate_coupled = (
+            r_coupled.ace_bit_cycles[StructureKind.ROB] / r_coupled.cycles
+        )
+        ace_rate_uncoupled = (
+            r_uncoupled.ace_bit_cycles[StructureKind.ROB] / r_uncoupled.cycles
+        )
+        assert ace_rate_coupled < ace_rate_uncoupled * 0.6
+
+
+class TestInOrder:
+    def test_width_two_limit(self, inorder):
+        app = TraceApplication(_trace([InstructionClass.INT_ALU] * 4000))
+        result = inorder.run_cycles(app, 0, 100_000, ISOLATED)
+        assert result.ipc <= 2.0
+        assert result.ipc > 1.5
+
+    def test_stall_on_use(self, inorder):
+        n = 2000
+        app = TraceApplication(
+            _trace([InstructionClass.FP_MUL] * n, dep1=[1] * n)
+        )
+        result = inorder.run_cycles(app, 0, 100_000, ISOLATED)
+        assert result.ipc == pytest.approx(1 / 5, rel=0.1)  # 5-cycle chain
+
+    def test_slower_than_big_core(self, inorder, ooo):
+        trace = generate_trace(benchmark("hmmer"), 20_000, seed=2)
+        big = ooo.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+        small = inorder.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+        assert big.ipc > small.ipc
+
+    def test_much_lower_ace_than_big_core(self, inorder, ooo):
+        trace = generate_trace(benchmark("milc"), 20_000, seed=3)
+        big = ooo.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+        small = inorder.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+        assert (
+            big.ace_bits_per_cycle() > 4 * small.ace_bits_per_cycle()
+        )
+
+    def test_pipeline_latch_ace_counted(self, inorder):
+        app = TraceApplication(_trace([InstructionClass.INT_ALU] * 1000))
+        result = inorder.run_cycles(app, 0, 100_000, ISOLATED)
+        assert result.ace_bit_cycles[StructureKind.PIPELINE_LATCHES] > 0
+
+
+class TestModelAgreement:
+    """Trace-driven and mechanistic models must agree on ranking."""
+
+    BENCHES = ("gobmk", "mcf", "hmmer", "milc", "lbm", "perlbench", "zeusmp")
+
+    def _both(self, memory):
+        from repro.cores.mechanistic import MechanisticCoreModel
+        ooo = OutOfOrderCoreModel(big_core_config(), memory)
+        mech = MechanisticCoreModel(big_core_config(), memory)
+        trace_abc, mech_abc, trace_ipc, mech_ipc = [], [], [], []
+        for name in self.BENCHES:
+            prof = benchmark(name)
+            trace = generate_trace(prof, 20_000, seed=5)
+            r = ooo.run_cycles(TraceApplication(trace), 0, 10_000_000, ISOLATED)
+            a = mech.analyze(prof.phases[0][1], ISOLATED)
+            trace_abc.append(r.ace_bits_per_cycle())
+            mech_abc.append(a.total_ace_bits_per_cycle)
+            trace_ipc.append(r.ipc)
+            mech_ipc.append(a.ipc)
+        return trace_abc, mech_abc, trace_ipc, mech_ipc
+
+    def test_abc_rank_agreement(self, memory):
+        from scipy.stats import spearmanr
+        trace_abc, mech_abc, _, _ = self._both(memory)
+        assert spearmanr(trace_abc, mech_abc).statistic > 0.7
+
+    def test_ipc_rank_agreement(self, memory):
+        from scipy.stats import spearmanr
+        _, _, trace_ipc, mech_ipc = self._both(memory)
+        assert spearmanr(trace_ipc, mech_ipc).statistic > 0.7

@@ -1,0 +1,83 @@
+"""Slow cross-model test: multiprogram static-schedule ordering.
+
+The ultimate validation of the mechanistic path: for one workload mix,
+the *ranking of static schedules by SSER* must agree between the
+mechanistic engine (paper-scale tool) and the trace-driven engine with
+a physically shared L3 (the detailed reference).
+"""
+
+import itertools
+
+import pytest
+
+from repro.config import machine_1b1s
+from repro.sched.oracle import StaticScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.sim.tracedriven import (
+    run_trace_workload,
+    trace_applications,
+    trace_driven_models,
+)
+from repro.sim.isolated import ReferenceTimes, run_isolated
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.workloads.spec2006 import benchmark
+
+# A pair with a *large* reliability contrast so the ordering is far
+# outside both engines' noise: milc (high AVF) vs gobmk (low AVF).
+MIX = ("milc", "gobmk")
+TRACE_LENGTH = 60_000
+
+
+@pytest.mark.slow
+class TestStaticOrderingAgreement:
+    def _mechanistic_ssers(self):
+        machine = machine_1b1s()
+        profiles = [benchmark(n).scaled(50_000_000) for n in MIX]
+        ssers = {}
+        for big_app in (0, 1):
+            run = MulticoreSimulation(
+                machine, profiles, StaticScheduler(machine, 2, (big_app,))
+            ).run()
+            ssers[big_app] = run.sser
+        return ssers
+
+    def _trace_driven_ssers(self):
+        machine = machine_1b1s()
+        ssers = {}
+        for big_app in (0, 1):
+            apps = trace_applications(MIX, TRACE_LENGTH, seed=9)
+            # Scale quantum like run_trace_workload does.
+            import dataclasses
+            quantum = TRACE_LENGTH / 50 / machine.big.frequency_hz
+            scaled = dataclasses.replace(
+                machine,
+                quantum_seconds=quantum,
+                sampling_quantum_seconds=quantum / 10,
+                migration_overhead_seconds=0.0,
+            )
+            reference_model = OutOfOrderCoreModel(scaled.big, scaled.memory)
+            references = []
+            for app in apps:
+                run_isolated(reference_model, app)
+                run = run_isolated(reference_model, app)
+                references.append(ReferenceTimes.uniform(
+                    app, run.cycles / scaled.big.frequency_hz
+                ))
+            result = MulticoreSimulation(
+                scaled, apps, StaticScheduler(scaled, 2, (big_app,)),
+                models=trace_driven_models(scaled),
+                reference_times=references,
+            ).run()
+            ssers[big_app] = result.sser
+        return ssers
+
+    def test_both_engines_prefer_gobmk_on_big(self):
+        mech = self._mechanistic_ssers()
+        trace = self._trace_driven_ssers()
+        # Placing low-AVF gobmk (index 1) on the big core must beat
+        # placing high-AVF milc (index 0) there, in both engines.
+        assert mech[1] < mech[0]
+        assert trace[1] < trace[0]
+        # And the contrast is substantial in both.
+        assert mech[0] / mech[1] > 1.15
+        assert trace[0] / trace[1] > 1.10

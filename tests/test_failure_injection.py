@@ -1,0 +1,131 @@
+"""Failure-injection and edge-case tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BIG,
+    MachineConfig,
+    MemoryConfig,
+    big_core_config,
+    machine_2b2s,
+    small_core_config,
+)
+from repro.cores.base import ISOLATED, CoreModel, QuantumResult
+from repro.cores.mechanistic import MechanisticCoreModel
+from repro.sched.base import Assignment, Observation, Scheduler, SegmentPlan
+from repro.sched.oracle import StaticScheduler
+from repro.sched.sampling import SamplingScheduler
+from repro.sim.isolated import run_isolated
+from repro.sim.multicore import MulticoreSimulation
+from repro.workloads.spec2006 import benchmark
+
+
+class StuckCoreModel(CoreModel):
+    """A core model that never makes progress."""
+
+    def run_cycles(self, app, start_instruction, cycles, env):
+        return QuantumResult(instructions=0, cycles=cycles)
+
+
+class BadFractionScheduler(Scheduler):
+    """Plans segments that do not cover the quantum."""
+
+    def plan_quantum(self, quantum_index):
+        return [SegmentPlan(0.5, self.identity_assignment(self.num_apps))]
+
+
+class TestRunIsolatedFailures:
+    def test_stuck_model_raises(self):
+        model = StuckCoreModel(big_core_config())
+        with pytest.raises(RuntimeError, match="no progress"):
+            run_isolated(model, benchmark("povray").scaled(1000))
+
+
+class TestSimulationFailures:
+    def test_partial_quantum_coverage_rejected(self, machine):
+        profiles = [benchmark(n).scaled(1_000_000)
+                    for n in ("povray", "milc", "gobmk", "bzip2")]
+        sim = MulticoreSimulation(
+            machine, profiles, BadFractionScheduler(machine, 4)
+        )
+        with pytest.raises(ValueError, match="segments cover"):
+            sim.run()
+
+    def test_invalid_assignment_core_rejected(self, machine):
+        class OutOfRange(Scheduler):
+            def plan_quantum(self, q):
+                return [SegmentPlan(1.0, Assignment((0, 1, 2, 9)))]
+
+        profiles = [benchmark(n).scaled(1_000_000)
+                    for n in ("povray", "milc", "gobmk", "bzip2")]
+        sim = MulticoreSimulation(machine, profiles, OutOfRange(machine, 4))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestSchedulerRobustness:
+    class ConstantScheduler(SamplingScheduler):
+        def objective_value(self, app_index, core_type):
+            return 1.0
+
+    def test_zero_instruction_observations_ignored(self):
+        m = machine_2b2s()
+        sched = self.ConstantScheduler(m, 4)
+        plan = sched.plan_quantum(0)[0]
+        # An application that executed nothing must not poison samples.
+        obs = [Observation(0, 0, BIG, 1e-3, 0, 0.0)]
+        sched.observe(plan, obs)
+        assert sched.sample(0, BIG) is None
+
+    def test_survives_migration_heavy_tiny_quanta(self):
+        """Migration overhead larger than a sampling quantum must not
+        produce negative execution budgets."""
+        m = MachineConfig(
+            big_cores=1, small_cores=1,
+            quantum_seconds=1e-4,
+            sampling_quantum_seconds=1e-5,  # < 20 us migration cost
+            migration_overhead_seconds=2e-5,
+        )
+        profiles = [benchmark("povray").scaled(500_000),
+                    benchmark("milc").scaled(500_000)]
+        from repro.sched.reliability import ReliabilityScheduler
+        result = MulticoreSimulation(
+            m, profiles, ReliabilityScheduler(m, 2)
+        ).run()
+        assert result.sser > 0
+
+    def test_mechanistic_model_handles_extreme_environment(self):
+        from repro.cores.base import MemoryEnvironment
+        model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+        env = MemoryEnvironment(
+            l3_share_fraction=0.005, dram_latency_multiplier=20.0
+        )
+        result = model.run_cycles(
+            benchmark("mcf").scaled(1_000_000), 0, 100_000, env
+        )
+        assert result.instructions >= 0
+        assert all(v >= 0 for v in result.ace_bit_cycles.values())
+
+    def test_single_phase_profile_with_one_instruction_budget(self):
+        model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+        result = model.run_cycles(benchmark("povray").scaled(100), 0, 3, ISOLATED)
+        assert result.instructions >= 0
+
+
+class TestStaticSchedulerEdge:
+    def test_all_small_machine_static(self):
+        m = MachineConfig(big_cores=0, small_cores=4)
+        sched = StaticScheduler(m, 4, big_apps=())
+        profiles = [benchmark(n).scaled(1_000_000)
+                    for n in ("povray", "milc", "gobmk", "bzip2")]
+        result = MulticoreSimulation(m, profiles, sched).run()
+        assert all(a.time_big_seconds == 0 for a in result.apps)
+
+    def test_all_big_machine_static(self):
+        m = MachineConfig(big_cores=4, small_cores=0)
+        sched = StaticScheduler(m, 4, big_apps=(0, 1, 2, 3))
+        profiles = [benchmark(n).scaled(1_000_000)
+                    for n in ("povray", "milc", "gobmk", "bzip2")]
+        result = MulticoreSimulation(m, profiles, sched).run()
+        assert all(a.time_small_seconds == 0 for a in result.apps)

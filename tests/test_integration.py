@@ -1,0 +1,159 @@
+"""End-to-end integration tests: the paper's headline claims in shape.
+
+These run the full pipeline (workload generation -> mechanistic cores
+-> interference -> schedulers -> SSER/STP) at reduced scale (tens of
+millions of instructions instead of one billion), so the asserted
+bounds are intentionally looser than the paper's full-scale numbers;
+the benchmarks in `benchmarks/` reproduce the full-scale figures.
+"""
+
+import statistics
+
+import pytest
+
+from repro.ace.counters import AceCounterMode
+from repro.config import machine_1b3s, machine_2b2s, machine_3b1s
+from repro.power import PowerModel
+from repro.sched.oracle import best_sser_schedule, best_stp_schedule
+from repro.sim.experiment import run_workload
+from repro.sim.isolated import isolated_stats
+from repro.sim.multicore import default_models
+from repro.workloads.mixes import generate_workloads
+from repro.workloads.spec2006 import benchmark
+
+SCALE = 50_000_000
+
+# A category-diverse sample of the 36 four-program mixes (indices into
+# the canonical workload list: one per category).
+SAMPLE = [0, 7, 13, 19, 25, 31]
+
+
+@pytest.fixture(scope="module")
+def four_program_results():
+    machine = machine_2b2s()
+    workloads = generate_workloads(4)
+    results = {}
+    for idx in SAMPLE:
+        mix = workloads[idx]
+        results[mix] = {
+            name: run_workload(machine, mix, name, instructions=SCALE, seed=idx)
+            for name in ("random", "performance", "reliability")
+        }
+    return results
+
+
+class TestHeadlineClaims:
+    def test_reliability_scheduler_reduces_sser_vs_random(
+        self, four_program_results
+    ):
+        ratios = [
+            rr["reliability"].sser / rr["random"].sser
+            for rr in four_program_results.values()
+        ]
+        assert statistics.mean(ratios) < 0.90
+        assert min(ratios) < 0.75  # the HHLL-like mixes gain a lot
+
+    def test_reliability_beats_performance_on_sser_on_average(
+        self, four_program_results
+    ):
+        ratios = [
+            rr["reliability"].sser / rr["performance"].sser
+            for rr in four_program_results.values()
+        ]
+        assert statistics.mean(ratios) < 0.95
+
+    def test_performance_scheduler_inconsistent_on_sser(
+        self, four_program_results
+    ):
+        """Paper Section 6.1: perf-opt sometimes makes reliability
+        worse than random."""
+        ratios = [
+            rr["performance"].sser / rr["random"].sser
+            for rr in four_program_results.values()
+        ]
+        assert statistics.mean(ratios) < 1.0
+
+    def test_reliability_stp_close_to_random(self, four_program_results):
+        ratios = [
+            rr["reliability"].stp / rr["random"].stp
+            for rr in four_program_results.values()
+        ]
+        assert 0.90 < statistics.mean(ratios) < 1.10
+
+    def test_reliability_stp_cost_vs_performance_bounded(
+        self, four_program_results
+    ):
+        ratios = [
+            rr["reliability"].stp / rr["performance"].stp
+            for rr in four_program_results.values()
+        ]
+        assert statistics.mean(ratios) > 0.85  # paper: -6.3% average
+
+    def test_hhll_benefits_most(self, four_program_results):
+        by_cat = {
+            mix.category: rr["reliability"].sser / rr["random"].sser
+            for mix, rr in four_program_results.items()
+        }
+        assert by_cat["HHLL"] == min(by_cat.values())
+
+
+class TestOracle:
+    def test_oracle_tradeoff(self):
+        """Figure 3's shape: the SER gain of the reliability oracle
+        dwarfs its STP loss."""
+        machine = machine_2b2s()
+        models = default_models(machine)
+        mix = generate_workloads(4)[13]  # HHLL
+        stats = [
+            isolated_stats(benchmark(n).scaled(SCALE), models["big"],
+                           models["small"])
+            for n in mix.benchmarks
+        ]
+        sser_best = best_sser_schedule(stats, machine)
+        stp_best = best_stp_schedule(stats, machine)
+        ser_gain = 1.0 - sser_best.sser / stp_best.sser
+        stp_loss = 1.0 - sser_best.stp / stp_best.stp
+        assert ser_gain > stp_loss
+        assert ser_gain > 0.10
+
+
+class TestRobustness:
+    def test_rob_only_counter_close_to_full(self):
+        machine = machine_2b2s()
+        mix = generate_workloads(4)[13]
+        full = run_workload(machine, mix, "reliability",
+                            instructions=SCALE,
+                            counter_mode=AceCounterMode.FULL)
+        rob = run_workload(machine, mix, "reliability",
+                           instructions=SCALE,
+                           counter_mode=AceCounterMode.ROB_ONLY)
+        assert rob.sser / full.sser == pytest.approx(1.0, abs=0.15)
+
+    def test_symmetric_beats_highly_asymmetric(self):
+        """Figure 8: 2B2S offers more scheduling freedom than 3B1S."""
+        mix = generate_workloads(4)[13]
+        reductions = {}
+        for machine in (machine_2b2s(), machine_3b1s()):
+            rnd = run_workload(machine, mix, "random", instructions=SCALE)
+            rel = run_workload(machine, mix, "reliability", instructions=SCALE)
+            reductions[machine.name] = 1.0 - rel.sser / rnd.sser
+        assert reductions["2B2S"] > reductions["3B1S"]
+
+    def test_low_frequency_small_core_still_helps(self):
+        """Figure 9: the scheduler is robust to small-core frequency."""
+        machine = machine_2b2s().with_small_frequency(1.33)
+        mix = generate_workloads(4)[13]
+        rnd = run_workload(machine, mix, "random", instructions=SCALE)
+        rel = run_workload(machine, mix, "reliability", instructions=SCALE)
+        assert rel.sser < rnd.sser * 0.9
+
+    def test_power_reduction_vs_performance(self, four_program_results):
+        """Figure 12's direction: rel-opt consumes no more chip power
+        than perf-opt on average."""
+        pm = PowerModel(machine_2b2s())
+        ratios = [
+            pm.run_power(rr["reliability"]).chip_watts
+            / pm.run_power(rr["performance"]).chip_watts
+            for rr in four_program_results.values()
+        ]
+        assert statistics.mean(ratios) < 1.01

@@ -1,0 +1,41 @@
+"""Tests for instruction classes and latency tables."""
+
+import numpy as np
+
+from repro.isa.instruction import (
+    EXECUTION_LATENCY,
+    FP_WRITERS,
+    INT_WRITERS,
+    NUM_CLASSES,
+    InstructionClass,
+    fu_bits_table,
+    latency_table,
+)
+
+
+class TestClasses:
+    def test_dense_values(self):
+        values = sorted(c.value for c in InstructionClass)
+        assert values == list(range(NUM_CLASSES))
+
+    def test_latencies_match_table2(self):
+        assert EXECUTION_LATENCY[InstructionClass.INT_ALU] == 1
+        assert EXECUTION_LATENCY[InstructionClass.INT_MUL] == 3
+        assert EXECUTION_LATENCY[InstructionClass.INT_DIV] == 18
+        assert EXECUTION_LATENCY[InstructionClass.FP_ADD] == 3
+        assert EXECUTION_LATENCY[InstructionClass.FP_MUL] == 5
+        assert EXECUTION_LATENCY[InstructionClass.FP_DIV] == 6
+
+    def test_writer_sets_disjoint(self):
+        assert not (INT_WRITERS & FP_WRITERS)
+        assert InstructionClass.STORE not in INT_WRITERS | FP_WRITERS
+        assert InstructionClass.BRANCH not in INT_WRITERS | FP_WRITERS
+
+    def test_tables_dense(self):
+        lat = latency_table()
+        bits = fu_bits_table()
+        assert len(lat) == len(bits) == NUM_CLASSES
+        assert lat[InstructionClass.INT_DIV] == 18
+        assert bits[InstructionClass.NOP] == 0
+        assert bits[InstructionClass.FP_MUL] == 128
+        assert lat.dtype == np.int32

@@ -1,0 +1,87 @@
+"""Tests for the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instruction import InstructionClass
+from repro.isa.trace import Trace
+
+
+def _trace(n=10, name="t"):
+    return Trace(
+        classes=np.full(n, InstructionClass.INT_ALU, dtype=np.int8),
+        dep1=np.ones(n, dtype=np.int32),
+        dep2=np.zeros(n, dtype=np.int32),
+        addresses=np.zeros(n, dtype=np.int64),
+        mispredicted=np.zeros(n, dtype=bool),
+        icache_miss=np.zeros(n, dtype=bool),
+        name=name,
+    )
+
+
+class TestTrace:
+    def test_length(self):
+        assert len(_trace(7)) == 7
+
+    def test_mismatched_lengths_rejected(self):
+        t = _trace(5)
+        with pytest.raises(ValueError):
+            Trace(
+                classes=t.classes,
+                dep1=t.dep1[:3],
+                dep2=t.dep2,
+                addresses=t.addresses,
+                mispredicted=t.mispredicted,
+                icache_miss=t.icache_miss,
+            )
+
+    def test_slice_clamps_out_of_window_dependencies(self):
+        t = _trace(10)
+        t.dep1[:] = 5  # everything depends 5 back
+        window = t.slice(4, 10)
+        # Instructions 0..4 of the window would reach before the start.
+        assert list(window.dep1[:5]) == [0, 0, 0, 0, 0]
+        assert window.dep1[5] == 5
+
+    def test_negative_dependencies_rejected(self):
+        t = _trace(5)
+        bad = t.dep1.copy()
+        bad[3] = -2
+        with pytest.raises(ValueError):
+            Trace(
+                classes=t.classes, dep1=bad, dep2=t.dep2,
+                addresses=t.addresses, mispredicted=t.mispredicted,
+                icache_miss=t.icache_miss,
+            )
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(IndexError):
+            _trace(5).slice(3, 9)
+
+    def test_class_fraction(self):
+        t = _trace(8)
+        t.classes[:2] = InstructionClass.NOP
+        assert t.nop_fraction == pytest.approx(0.25)
+        assert t.class_fraction(InstructionClass.INT_ALU) == pytest.approx(0.75)
+
+    def test_branch_and_icache_mpki(self):
+        t = _trace(1000)
+        t.classes[:100] = InstructionClass.BRANCH
+        t.mispredicted[:5] = True
+        t.icache_miss[:20] = True
+        assert t.branch_mpki == pytest.approx(5.0)
+        assert t.icache_mpki == pytest.approx(20.0)
+
+    def test_concatenate(self):
+        joined = Trace.concatenate([_trace(4), _trace(6)], name="j")
+        assert len(joined) == 10
+        assert joined.name == "j"
+
+    def test_concatenate_empty(self):
+        assert len(Trace.concatenate([])) == 0
+
+    def test_empty(self):
+        t = Trace.empty("x")
+        assert len(t) == 0
+        assert t.nop_fraction == 0.0
+        assert t.branch_mpki == 0.0

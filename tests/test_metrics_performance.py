@@ -1,0 +1,87 @@
+"""Tests for performance metrics (STP, ANTT, CPI stacks)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.performance import (
+    ApplicationPerformance,
+    average_normalized_turnaround,
+    ipc,
+    normalize_cpi_stack,
+    system_throughput,
+)
+
+
+def _app(t, tref, name="a", instructions=100):
+    return ApplicationPerformance(
+        name=name,
+        instructions=instructions,
+        time_seconds=t,
+        reference_time_seconds=tref,
+    )
+
+
+class TestStp:
+    def test_no_slowdown_gives_app_count(self):
+        apps = [_app(1.0, 1.0), _app(2.0, 2.0), _app(3.0, 3.0)]
+        assert system_throughput(apps) == pytest.approx(3.0)
+
+    def test_slowdown_reduces_stp(self):
+        apps = [_app(2.0, 1.0), _app(1.0, 1.0)]
+        assert system_throughput(apps) == pytest.approx(1.5)
+
+    def test_stp_antt_reciprocal_relation_single_app(self):
+        apps = [_app(4.0, 1.0)]
+        assert system_throughput(apps) == pytest.approx(
+            1.0 / average_normalized_turnaround(apps)
+        )
+
+
+class TestAntt:
+    def test_average_of_slowdowns(self):
+        apps = [_app(2.0, 1.0), _app(4.0, 1.0)]
+        assert average_normalized_turnaround(apps) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_normalized_turnaround([])
+
+
+class TestIpc:
+    def test_basic(self):
+        assert ipc(100, 50.0) == pytest.approx(2.0)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ipc(100, 0.0)
+
+
+class TestCpiStack:
+    def test_normalizes_to_one(self):
+        stack = normalize_cpi_stack({"base": 0.25, "mem": 0.75})
+        assert sum(stack.values()) == pytest.approx(1.0)
+        assert stack["mem"] == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_cpi_stack({})
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+                    min_size=1, max_size=8))
+    def test_stp_bounded_by_app_count_when_slowdowns_ge_one(self, pairs):
+        # If every app is slowed down (t >= tref), STP <= n.
+        apps = [_app(max(t, tref), tref) for t, tref in pairs]
+        assert system_throughput(apps) <= len(apps) + 1e-9
+
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c", "d"]),
+                           st.floats(0.01, 10), min_size=1))
+    def test_stack_normalization_preserves_ratios(self, components):
+        stack = normalize_cpi_stack(components)
+        keys = list(components)
+        if len(keys) >= 2:
+            a, b = keys[0], keys[1]
+            assert stack[a] / stack[b] == pytest.approx(
+                components[a] / components[b], rel=1e-9
+            )

@@ -1,0 +1,137 @@
+"""Tests for reliability metrics, including the Table 1 examples."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.reliability import (
+    ApplicationReliability,
+    avf,
+    mttf,
+    soft_error_rate,
+    sser,
+    system_ser,
+    weighted_ser,
+)
+
+
+class TestEquations:
+    def test_ser_equation1(self):
+        # 100 ACE-bit-seconds over 10 seconds at IFR 1e-6
+        assert soft_error_rate(100.0, 10.0, ifr=1e-6) == pytest.approx(1e-5)
+
+    def test_wser_equation2_time_cancels(self):
+        # wSER depends only on ABC and the reference time.
+        assert weighted_ser(100.0, 10.0, ifr=1.0) == pytest.approx(10.0)
+
+    def test_sser_equation3_sums(self):
+        assert system_ser([10.0, 20.0], [1.0, 2.0], ifr=1.0) == pytest.approx(
+            10.0 + 10.0
+        )
+
+    def test_system_ser_length_mismatch(self):
+        with pytest.raises(ValueError):
+            system_ser([1.0], [1.0, 2.0])
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ValueError):
+            soft_error_rate(1.0, 0.0)
+        with pytest.raises(ValueError):
+            weighted_ser(1.0, -1.0)
+
+
+class TestTable1Examples:
+    """The paper's illustrative SSER examples, reproduced exactly."""
+
+    def _app(self, ser, slowdown, ref=1.0):
+        # SER and slowdown determine ABC: ABC = SER * T, T = slowdown * ref.
+        time = slowdown * ref
+        return ApplicationReliability(
+            name="x", abc=ser * time, time_seconds=time,
+            reference_time_seconds=ref,
+        )
+
+    def test_example_a_homogeneous_no_slowdown(self):
+        apps = [self._app(1.0, 1.0), self._app(1.0, 1.0)]
+        assert sser(apps, ifr=1.0) == pytest.approx(2.0)
+
+    def test_example_b_one_app_slows_down(self):
+        apps = [self._app(1.0, 2.0), self._app(1.0, 1.0)]
+        assert sser(apps, ifr=1.0) == pytest.approx(3.0)
+        assert apps[0].wser_at(1.0) == pytest.approx(2.0)
+
+    def test_example_c_heterogeneous(self):
+        # Small core: SER 1/8, slowdown 4 -> wSER 0.5.
+        apps = [self._app(1.0 / 8.0, 4.0), self._app(1.0, 1.0)]
+        assert apps[0].wser_at(1.0) == pytest.approx(0.5)
+        assert sser(apps, ifr=1.0) == pytest.approx(1.5)
+
+
+class TestApplicationReliability:
+    def test_slowdown_and_ser(self):
+        app = ApplicationReliability("a", abc=8.0, time_seconds=4.0,
+                                     reference_time_seconds=2.0)
+        assert app.slowdown == pytest.approx(2.0)
+        assert app.ser == pytest.approx(8.0 / 4.0 * 1e-25)
+
+    def test_wser_equals_ser_times_slowdown(self):
+        app = ApplicationReliability("a", abc=8.0, time_seconds=4.0,
+                                     reference_time_seconds=2.0)
+        assert app.wser == pytest.approx(app.ser * app.slowdown)
+
+
+class TestAvfMttf:
+    def test_avf(self):
+        assert avf(500.0, 100, 10.0) == pytest.approx(0.5)
+
+    def test_avf_rejects_zero(self):
+        with pytest.raises(ValueError):
+            avf(1.0, 0, 1.0)
+
+    def test_mttf_reciprocal(self):
+        assert mttf(0.01) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            mttf(0.0)
+
+
+class TestProperties:
+    @given(
+        abc=st.floats(1e-6, 1e6),
+        tref=st.floats(1e-6, 1e6),
+        ifr=st.floats(1e-30, 1.0),
+    )
+    def test_wser_linear_in_ifr(self, abc, tref, ifr):
+        assert weighted_ser(abc, tref, ifr) == pytest.approx(
+            ifr * weighted_ser(abc, tref, 1.0)
+        )
+
+    @given(
+        abcs=st.lists(st.floats(1e-6, 1e3), min_size=1, max_size=8),
+        ref=st.floats(0.1, 10.0),
+    )
+    def test_sser_monotone_in_abc(self, abcs, ref):
+        refs = [ref] * len(abcs)
+        base = system_ser(abcs, refs, ifr=1.0)
+        bumped = system_ser([a * 2 for a in abcs], refs, ifr=1.0)
+        assert bumped >= base
+
+    @given(
+        abc=st.floats(1e-3, 1e3),
+        t=st.floats(1e-3, 1e3),
+        tref=st.floats(1e-3, 1e3),
+    )
+    def test_wser_equals_ser_times_slowdown_identity(self, abc, t, tref):
+        """Equation 2: wSER = SER * slowdown."""
+        ser = soft_error_rate(abc, t, ifr=1.0)
+        slowdown = t / tref
+        assert weighted_ser(abc, tref, ifr=1.0) == pytest.approx(
+            ser * slowdown, rel=1e-9
+        )
+
+    @given(st.lists(st.tuples(st.floats(1e-3, 1e3), st.floats(1e-3, 1e3)),
+                    min_size=1, max_size=6))
+    def test_sser_permutation_invariant(self, pairs):
+        abcs = [p[0] for p in pairs]
+        refs = [p[1] for p in pairs]
+        forward = system_ser(abcs, refs, ifr=1.0)
+        backward = system_ser(abcs[::-1], refs[::-1], ifr=1.0)
+        assert forward == pytest.approx(backward, rel=1e-9)

@@ -1,0 +1,91 @@
+"""Component-level tests for the power model arithmetic."""
+
+import pytest
+
+from repro.config import machine_2b2s, machine_4b4s
+from repro.power.model import (
+    BIG_EPI_J,
+    BIG_STATIC_W,
+    DRAM_ACCESS_J,
+    DRAM_BACKGROUND_W,
+    L3_STATIC_W,
+    OCCUPANCY_W_PER_BIT,
+    SMALL_EPI_J,
+    SMALL_STATIC_W,
+    PowerModel,
+)
+from repro.sim.results import AppRunRecord, RunResult
+
+
+def _result(duration=1.0, **record_overrides):
+    record = AppRunRecord(
+        name="app",
+        instructions=record_overrides.pop("instructions", 0),
+        time_seconds=duration,
+        reference_time_seconds=duration,
+        **record_overrides,
+    )
+    return RunResult(
+        machine_name="2B2S", scheduler_name="x", quanta=1,
+        duration_seconds=duration, apps=[record],
+    )
+
+
+class TestArithmetic:
+    def test_static_only_when_idle(self):
+        power = PowerModel(machine_2b2s()).run_power(_result())
+        expected_static = 2 * BIG_STATIC_W + 2 * SMALL_STATIC_W
+        assert power.core_static_watts == pytest.approx(expected_static)
+        assert power.core_dynamic_watts == 0.0
+        assert power.l3_watts == pytest.approx(L3_STATIC_W)
+        assert power.dram_watts == pytest.approx(DRAM_BACKGROUND_W)
+
+    def test_dynamic_energy_per_core_type(self):
+        result = _result(
+            instructions_big=1_000_000_000,
+            instructions_small=2_000_000_000,
+        )
+        power = PowerModel(machine_2b2s()).run_power(result)
+        expected = 1e9 * BIG_EPI_J + 2e9 * SMALL_EPI_J
+        assert power.core_dynamic_watts == pytest.approx(expected)
+
+    def test_occupancy_power(self):
+        result = _result(occupancy_bit_seconds=10_000.0)
+        power = PowerModel(machine_2b2s()).run_power(result)
+        assert power.occupancy_watts == pytest.approx(
+            10_000.0 * OCCUPANCY_W_PER_BIT
+        )
+
+    def test_dram_traffic_energy(self):
+        result = _result(dram_accesses=1e8)
+        power = PowerModel(machine_2b2s()).run_power(result)
+        assert power.dram_watts == pytest.approx(
+            DRAM_BACKGROUND_W + 1e8 * DRAM_ACCESS_J
+        )
+
+    def test_duration_normalization(self):
+        """Same totals over twice the time = half the average power."""
+        busy = dict(instructions_big=1_000_000_000,
+                    occupancy_bit_seconds=5_000.0, dram_accesses=1e7)
+        one_second = PowerModel(machine_2b2s()).run_power(
+            _result(duration=1.0, **busy)
+        )
+        two_seconds = PowerModel(machine_2b2s()).run_power(
+            _result(duration=2.0, **busy)
+        )
+        assert two_seconds.core_dynamic_watts == pytest.approx(
+            one_second.core_dynamic_watts / 2
+        )
+        # Static power is duration-independent.
+        assert two_seconds.core_static_watts == pytest.approx(
+            one_second.core_static_watts
+        )
+
+    def test_more_cores_more_static(self):
+        p2 = PowerModel(machine_2b2s()).run_power(_result())
+        result8 = _result()
+        result8.machine_name = "4B4S"
+        p8 = PowerModel(machine_4b4s()).run_power(result8)
+        assert p8.core_static_watts == pytest.approx(
+            2 * p2.core_static_watts
+        )

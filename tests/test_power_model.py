@@ -1,0 +1,69 @@
+"""Tests for the activity-based power model."""
+
+import pytest
+
+from repro.config import machine_2b2s, machine_4b4s
+from repro.power.model import PowerBreakdown, PowerModel
+from repro.sched.oracle import StaticScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.sim.results import AppRunRecord, RunResult
+from repro.workloads.spec2006 import benchmark
+
+
+def _run(machine, big_apps=(0, 1), n=2_000_000):
+    profiles = [benchmark(b).scaled(n)
+                for b in ("povray", "milc", "gobmk", "bzip2")]
+    sim = MulticoreSimulation(
+        machine, profiles, StaticScheduler(machine, 4, big_apps)
+    )
+    return sim.run()
+
+
+class TestPowerBreakdown:
+    def test_chip_and_system_composition(self):
+        p = PowerBreakdown(
+            core_dynamic_watts=2.0,
+            core_static_watts=1.0,
+            occupancy_watts=0.5,
+            l3_watts=1.5,
+            dram_watts=2.0,
+        )
+        assert p.chip_watts == pytest.approx(5.0)
+        assert p.system_watts == pytest.approx(7.0)
+
+
+class TestPowerModel:
+    def test_positive_and_ordered(self, machine):
+        power = PowerModel(machine).run_power(_run(machine))
+        assert 0 < power.core_dynamic_watts
+        assert 0 < power.chip_watts < power.system_watts
+
+    def test_static_power_scales_with_cores(self):
+        small = PowerModel(machine_2b2s()).run_power(_run(machine_2b2s()))
+        # Same workload class but on an 8-core machine: static power up.
+        m8 = machine_4b4s()
+        profiles = [benchmark(b).scaled(2_000_000) for b in
+                    ("povray", "milc", "gobmk", "bzip2",
+                     "lbm", "mcf", "namd", "soplex")]
+        sim = MulticoreSimulation(
+            m8, profiles, StaticScheduler(m8, 8, (0, 1, 2, 3))
+        )
+        big = PowerModel(m8).run_power(sim.run())
+        assert big.core_static_watts > small.core_static_watts
+
+    def test_high_occupancy_apps_on_big_burn_more_power(self, machine):
+        """The Figure 12 mechanism: placing the high-ABC applications
+        on big cores raises chip power."""
+        pm = PowerModel(machine)
+        # milc (index 1) is the high-occupancy app here.
+        milc_on_big = pm.run_power(_run(machine, big_apps=(1, 3)))
+        milc_on_small = pm.run_power(_run(machine, big_apps=(0, 2)))
+        assert milc_on_big.occupancy_watts > milc_on_small.occupancy_watts
+
+    def test_zero_duration_rejected(self, machine):
+        empty = RunResult(
+            machine_name="2B2S", scheduler_name="x", quanta=0,
+            duration_seconds=0.0, apps=[AppRunRecord(name="a")],
+        )
+        with pytest.raises(ValueError):
+            PowerModel(machine).run_power(empty)

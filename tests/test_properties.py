@@ -1,0 +1,176 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the invariants the reproduction's correctness rests on:
+scheduler placement validity under arbitrary observation streams,
+mechanistic-model monotonicities, and the wSER time-slicing convexity
+that motivates the scheduler's swap hysteresis.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    BIG,
+    SMALL,
+    MemoryConfig,
+    big_core_config,
+    machine_2b2s,
+)
+from repro.cores.base import ISOLATED, MemoryEnvironment
+from repro.cores.mechanistic import analyze_big_phase
+from repro.sched.base import Observation
+from repro.sched.sampling import SamplingScheduler
+from repro.workloads.characteristics import PhaseCharacteristics
+
+
+class ValueScheduler(SamplingScheduler):
+    """Objective driven by an externally supplied table."""
+
+    def __init__(self, machine, num_apps, table):
+        super().__init__(machine, num_apps)
+        self.table = table
+
+    def objective_value(self, app_index, core_type):
+        return self.table[(app_index, 0 if core_type == BIG else 1)]
+
+
+@st.composite
+def objective_tables(draw):
+    return {
+        (i, t): draw(st.floats(0.1, 100.0))
+        for i in range(4)
+        for t in (0, 1)
+    }
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(objective_tables(), st.integers(3, 30))
+    def test_valid_placement_under_any_objective(self, table, quanta):
+        """Whatever the objective values, every plan places each app on
+        exactly one in-range core and quantum fractions sum to 1."""
+        machine = machine_2b2s()
+        sched = ValueScheduler(machine, 4, table)
+        for q in range(quanta):
+            plans = sched.plan_quantum(q)
+            assert math.isclose(sum(p.fraction for p in plans), 1.0)
+            for plan in plans:
+                plan.assignment.validate(machine)
+                assert sorted(plan.assignment.core_of) == [0, 1, 2, 3]
+            for plan in plans:
+                obs = [
+                    Observation(
+                        i, plan.assignment.core_of[i],
+                        plan.assignment.core_type_of(i, machine),
+                        plan.fraction * 1e-3, 1_000_000, 1.0,
+                    )
+                    for i in range(4)
+                ]
+                sched.observe(plan, obs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(objective_tables())
+    def test_converged_assignment_is_pair_swap_stable(self, table):
+        """Once the scheduler stops swapping, no single pair swap can
+        improve the objective beyond the hysteresis threshold."""
+        machine = machine_2b2s()
+        sched = ValueScheduler(machine, 4, table)
+        for q in range(6):
+            plans = sched.plan_quantum(q)
+            for plan in plans:
+                obs = [
+                    Observation(
+                        i, plan.assignment.core_of[i],
+                        plan.assignment.core_type_of(i, machine),
+                        plan.fraction * 1e-3, 1_000_000, 1.0,
+                    )
+                    for i in range(4)
+                ]
+                sched.observe(plan, obs)
+        final = sched.plan_quantum(7)[-1].assignment
+        types = {i: final.core_type_of(i, machine) for i in range(4)}
+        total = sum(sched.objective_value(i, types[i]) for i in range(4))
+        threshold = sched.swap_threshold * sum(
+            abs(sched.objective_value(i, types[i])) for i in range(4)
+        )
+        for a in range(4):
+            for b in range(4):
+                if types[a] == BIG and types[b] == SMALL:
+                    swapped = (
+                        total
+                        - sched.objective_value(a, BIG)
+                        - sched.objective_value(b, SMALL)
+                        + sched.objective_value(a, SMALL)
+                        + sched.objective_value(b, BIG)
+                    )
+                    assert swapped >= total - threshold - 1e-9
+
+
+class TestMechanisticMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        l3_a=st.floats(0.0, 8.0),
+        l3_b=st.floats(0.0, 8.0),
+        mlp=st.floats(1.0, 6.0),
+    )
+    def test_more_dram_misses_never_speed_up(self, l3_a, l3_b, mlp):
+        lo, hi = sorted((l3_a, l3_b))
+        core, mem = big_core_config(), MemoryConfig()
+        low = analyze_big_phase(
+            PhaseCharacteristics(l1d_mpki=20, l2_mpki=10, l3_mpki=lo, mlp=mlp),
+            core, mem, ISOLATED,
+        )
+        high = analyze_big_phase(
+            PhaseCharacteristics(l1d_mpki=20, l2_mpki=10, l3_mpki=hi, mlp=mlp),
+            core, mem, ISOLATED,
+        )
+        assert high.cpi >= low.cpi - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(share=st.floats(0.01, 1.0), mult=st.floats(1.0, 10.0))
+    def test_contention_never_helps(self, share, mult):
+        chars = PhaseCharacteristics(
+            l1d_mpki=20, l2_mpki=10, l3_mpki=3, cache_sensitivity=0.7
+        )
+        core, mem = big_core_config(), MemoryConfig()
+        iso = analyze_big_phase(chars, core, mem, ISOLATED)
+        contended = analyze_big_phase(
+            chars, core, mem,
+            MemoryEnvironment(l3_share_fraction=share,
+                              dram_latency_multiplier=mult),
+        )
+        assert contended.ipc <= iso.ipc + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(brm=st.floats(0.0, 20.0))
+    def test_avf_in_unit_interval(self, brm):
+        chars = PhaseCharacteristics(branch_mpki=brm)
+        core, mem = big_core_config(), MemoryConfig()
+        analysis = analyze_big_phase(chars, core, mem, ISOLATED)
+        assert 0.0 < analysis.avf(core) < 1.0
+
+
+class TestWserTimeSlicing:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        r_big=st.floats(1.0, 100.0),
+        r_small_frac=st.floats(0.01, 0.5),
+        w_small_frac=st.floats(0.1, 0.9),
+        f=st.floats(0.05, 0.95),
+    )
+    def test_time_slicing_never_beats_best_static(
+        self, r_big, r_small_frac, w_small_frac, f
+    ):
+        """wSER of a big/small time-slice is never below the better of
+        the two static placements -- the property behind the swap
+        hysteresis (DESIGN.md Section 5)."""
+        r_small = r_big * r_small_frac  # ABC rate small < big
+        w_big, w_small = 1.0, w_small_frac  # work rates (ref work/s)
+        static_big = r_big / w_big
+        static_small = r_small / w_small
+        mixed = (f * r_big + (1 - f) * r_small) / (
+            f * w_big + (1 - f) * w_small
+        )
+        assert mixed >= min(static_big, static_small) - 1e-9

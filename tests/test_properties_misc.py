@@ -1,0 +1,84 @@
+"""Property-based tests for analysis and serialization utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.hardening import HardeningOption, greedy_plan
+from repro.config.structures import StructureKind
+from repro.sim.results import AppRunRecord, RunResult
+from repro.sim.serialize import run_result_from_dict, run_result_to_dict
+
+_KINDS = list(StructureKind)
+
+
+@st.composite
+def option_lists(draw):
+    n = draw(st.integers(1, len(_KINDS)))
+    kinds = _KINDS[:n]
+    options = [
+        HardeningOption(
+            kind=kind,
+            capacity_bits=draw(st.integers(100, 50_000)),
+            ace_share=draw(st.floats(0.01, 1.0)),
+            avf_reduction=draw(st.floats(0.001, 0.2)),
+        )
+        for kind in kinds
+    ]
+    return sorted(options, key=lambda o: o.efficiency, reverse=True)
+
+
+class TestHardeningProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(option_lists(), st.integers(0, 200_000))
+    def test_plan_respects_budget_and_accounting(self, options, budget):
+        plan = greedy_plan(budget, options)
+        assert plan.protected_bits <= budget
+        assert 0 <= plan.avf_after <= plan.avf_before + 1e-12
+        chosen_reduction = sum(
+            o.avf_reduction for o in options if o.kind in plan.chosen
+        )
+        assert plan.avf_reduction == pytest.approx(chosen_reduction)
+
+    @settings(max_examples=30, deadline=None)
+    @given(option_lists(), st.integers(0, 100_000), st.integers(0, 100_000))
+    def test_plan_monotone_in_budget(self, options, a, b):
+        lo, hi = sorted((a, b))
+        assert (
+            greedy_plan(lo, options).avf_reduction
+            <= greedy_plan(hi, options).avf_reduction + 1e-12
+        )
+
+
+@st.composite
+def run_results(draw):
+    apps = [
+        AppRunRecord(
+            name=f"app{i}",
+            instructions=draw(st.integers(1, 10**9)),
+            time_seconds=draw(st.floats(1e-4, 10.0)),
+            abc_seconds=draw(st.floats(0.0, 1e3)),
+            reference_time_seconds=draw(st.floats(1e-4, 10.0)),
+            migrations=draw(st.integers(0, 1000)),
+        )
+        for i in range(draw(st.integers(1, 6)))
+    ]
+    return RunResult(
+        machine_name="2B2S",
+        scheduler_name="any",
+        quanta=draw(st.integers(1, 10**6)),
+        duration_seconds=draw(st.floats(1e-4, 10.0)),
+        apps=apps,
+    )
+
+
+class TestSerializationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(run_results())
+    def test_round_trip_exact(self, result):
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.sser == pytest.approx(result.sser, rel=1e-12)
+        assert restored.stp == pytest.approx(result.stp, rel=1e-12)
+        assert restored.quanta == result.quanta
+        assert [a.name for a in restored.apps] == [
+            a.name for a in result.apps
+        ]

@@ -1,0 +1,86 @@
+"""Property-based tests for oversubscription invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import machine_2b2s
+from repro.sched.base import Observation
+from repro.sched.oversubscribed import OversubscribedReliabilityScheduler
+from repro.sched.random_sched import RandomScheduler
+
+
+def _drive(sched, machine, plan, abc_by_app):
+    observations = []
+    for i in range(sched.num_apps):
+        if plan.assignment.is_parked(i):
+            observations.append(Observation(i, -1, "parked", 0.0, 0, 0.0))
+            continue
+        core_type = plan.assignment.core_type_of(i, machine)
+        # Small cores expose a tenth of the big-core ACE rate.
+        abc = abc_by_app[i] * (1.0 if core_type == "big" else 0.1)
+        observations.append(Observation(
+            app_index=i,
+            core_id=plan.assignment.core_of[i],
+            core_type=core_type,
+            duration_seconds=1e-3,
+            instructions=1_000_000,
+            measured_abc_seconds=abc * 1e-3,
+        ))
+    sched.observe(plan, observations)
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_apps=st.integers(4, 9),
+        abc_values=st.lists(st.floats(1.0, 1e5), min_size=9, max_size=9),
+        quanta=st.integers(5, 40),
+    )
+    def test_exact_parking_count_and_no_starvation(
+        self, num_apps, abc_values, quanta
+    ):
+        machine = machine_2b2s()
+        sched = OversubscribedReliabilityScheduler(machine, num_apps)
+        ran = [0] * num_apps
+        for q in range(quanta):
+            plan = sched.plan_quantum(q)[0]
+            parked = sum(
+                1 for i in range(num_apps) if plan.assignment.is_parked(i)
+            )
+            assert parked == num_apps - machine.num_cores
+            plan.assignment.validate(machine)
+            for i in range(num_apps):
+                if not plan.assignment.is_parked(i):
+                    ran[i] += 1
+            _drive(sched, machine, plan, abc_values)
+        # Deficit round-robin: every application runs a fair share.
+        expected = quanta * machine.num_cores / num_apps
+        for count in ran:
+            assert count >= int(expected) - 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_apps=st.integers(4, 8), seed=st.integers(0, 50))
+    def test_random_scheduler_parks_exact_count(self, num_apps, seed):
+        machine = machine_2b2s()
+        sched = RandomScheduler(machine, num_apps, seed=seed)
+        for q in range(10):
+            plan = sched.plan_quantum(q)[0]
+            parked = sum(
+                1 for i in range(num_apps) if plan.assignment.is_parked(i)
+            )
+            assert parked == num_apps - machine.num_cores
+            plan.assignment.validate(machine)
+
+    def test_placement_follows_estimates(self):
+        """Once all samples exist, the highest wSER-saving apps sit on
+        small cores among whichever subset runs."""
+        machine = machine_2b2s()
+        sched = OversubscribedReliabilityScheduler(machine, 4)  # 1:1 case
+        # Apps 2 and 3 save the most by running small.
+        abc = [1e3, 2e3, 9e5, 8e5]
+        for q in range(6):
+            plan = sched.plan_quantum(q)[0]
+            _drive(sched, machine, plan, abc)
+        plan = sched.plan_quantum(10)[0]
+        assert plan.assignment.core_type_of(2, machine) == "small"
+        assert plan.assignment.core_type_of(3, machine) == "small"

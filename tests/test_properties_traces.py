@@ -1,0 +1,89 @@
+"""Property-based tests on trace containers and generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import InstructionClass
+from repro.isa.trace import Trace
+from repro.workloads.generator import generate_phase_trace
+from repro.workloads.characteristics import PhaseCharacteristics
+
+
+def _random_trace(n, seed):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        classes=rng.integers(0, 10, size=n).astype(np.int8),
+        dep1=np.minimum(
+            rng.geometric(0.3, size=n), np.arange(n)
+        ).astype(np.int32),
+        dep2=np.zeros(n, dtype=np.int32),
+        addresses=rng.integers(0, 1 << 20, size=n).astype(np.int64),
+        mispredicted=rng.random(n) < 0.02,
+        icache_miss=rng.random(n) < 0.01,
+        name="prop",
+    )
+
+
+class TestSliceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 500),
+        seed=st.integers(0, 100),
+        data=st.data(),
+    )
+    def test_slice_dependencies_stay_in_window(self, n, seed, data):
+        trace = _random_trace(n, seed)
+        start = data.draw(st.integers(0, n - 1))
+        stop = data.draw(st.integers(start + 1, n))
+        window = trace.slice(start, stop)
+        index = np.arange(len(window))
+        assert (window.dep1 <= index).all()
+        assert (window.dep2 <= index).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 300), seed=st.integers(0, 50))
+    def test_full_slice_preserves_content(self, n, seed):
+        trace = _random_trace(n, seed)
+        window = trace.slice(0, n)
+        assert np.array_equal(window.classes, trace.classes)
+        assert np.array_equal(window.dep1, trace.dep1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        parts=st.lists(st.integers(1, 100), min_size=1, max_size=5),
+        seed=st.integers(0, 20),
+    )
+    def test_concatenation_length(self, parts, seed):
+        traces = [_random_trace(k, seed + i) for i, k in enumerate(parts)]
+        joined = Trace.concatenate(traces)
+        assert len(joined) == sum(parts)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        brm=st.floats(0.0, 15.0),
+        icm=st.floats(0.0, 10.0),
+        seed=st.integers(0, 30),
+    )
+    def test_rates_track_targets(self, brm, icm, seed):
+        chars = PhaseCharacteristics(branch_mpki=brm, icache_mpki=icm)
+        rng = np.random.default_rng(seed)
+        trace = generate_phase_trace(chars, 40_000, rng)
+        assert trace.branch_mpki == pytest.approx(brm, abs=2.0)
+        assert trace.icache_mpki == pytest.approx(icm, abs=2.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 30))
+    def test_memory_ops_have_line_aligned_reuse(self, seed):
+        chars = PhaseCharacteristics(l1d_mpki=20, l2_mpki=10, l3_mpki=3)
+        rng = np.random.default_rng(seed)
+        trace = generate_phase_trace(chars, 20_000, rng)
+        mem = np.isin(trace.classes, np.array(
+            [InstructionClass.LOAD, InstructionClass.STORE], dtype=np.int8
+        ))
+        addresses = trace.addresses[mem]
+        # Substantial reuse: far fewer distinct lines than accesses.
+        lines = set(int(a) // 64 for a in addresses)
+        assert len(lines) < 0.6 * len(addresses)

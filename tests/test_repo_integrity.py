@@ -1,0 +1,65 @@
+"""Repository integrity: docs, benches and examples stay in sync."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDocsReferences:
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.findall(r"`examples/([\w_]+\.py)`", readme):
+            assert (ROOT / "examples" / match).exists(), match
+
+    def test_design_benches_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in re.findall(r"benchmarks/(bench_[\w]+\.py)", design):
+            assert (ROOT / "benchmarks" / match).exists(), match
+
+    def test_experiments_benches_exist(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for match in re.findall(r"`(bench_[\w]+)`", experiments):
+            assert (ROOT / "benchmarks" / f"{match}.py").exists(), match
+
+    def test_every_bench_is_documented(self):
+        """Each bench file appears in DESIGN.md or EXPERIMENTS.md."""
+        docs = (ROOT / "DESIGN.md").read_text() + (
+            ROOT / "EXPERIMENTS.md"
+        ).read_text()
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert bench.stem in docs, bench.stem
+
+    def test_docs_directory_complete(self):
+        expected = {"architecture.md", "modeling.md", "metrics.md",
+                    "scheduling.md", "workloads.md", "extensions.md"}
+        present = {p.name for p in (ROOT / "docs").glob("*.md")}
+        assert expected <= present
+
+
+class TestPackagingIntegrity:
+    def test_every_package_has_init(self):
+        for directory in (ROOT / "src" / "repro").rglob("*"):
+            if directory.is_dir() and list(directory.glob("*.py")):
+                assert (directory / "__init__.py").exists(), directory
+
+    def test_every_module_has_docstring(self):
+        import ast
+        for module in (ROOT / "src" / "repro").rglob("*.py"):
+            tree = ast.parse(module.read_text())
+            assert ast.get_docstring(tree), f"{module} lacks a docstring"
+
+    def test_every_test_module_mirrors_a_concern(self):
+        """Test files follow the test_<area>*.py convention."""
+        for test in (ROOT / "tests").glob("*.py"):
+            if test.name in ("__init__.py", "conftest.py"):
+                continue
+            assert test.name.startswith("test_"), test.name
+
+    def test_py_typed_marker(self):
+        assert (ROOT / "src" / "repro" / "py.typed").exists()
+
+    def test_license_present(self):
+        assert "MIT License" in (ROOT / "LICENSE").read_text()

@@ -1,0 +1,96 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.report.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram,
+    series_plot,
+)
+
+
+class TestBarChart:
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 20
+
+    def test_custom_scale(self):
+        chart = bar_chart({"a": 1.0}, width=10, max_value=2.0)
+        assert chart.count("#") == 5
+
+    def test_values_clipped_at_scale(self):
+        chart = bar_chart({"a": 5.0}, width=10, max_value=1.0)
+        assert chart.count("#") == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_all_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_and_legend(self):
+        chart = grouped_bar_chart({
+            "HHLL": {"random": 1.0, "rel": 0.6},
+            "LLLL": {"random": 1.0, "rel": 0.9},
+        })
+        assert "HHLL:" in chart
+        assert "legend:" in chart
+        assert "#=random" in chart
+
+    def test_missing_series_in_group_skipped(self):
+        chart = grouped_bar_chart({
+            "g1": {"a": 1.0},
+            "g2": {"a": 1.0, "b": 0.5},
+        })
+        assert chart.count("b ") >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestSeriesPlot:
+    def test_markers_present(self):
+        plot = series_plot({"x": [0.0, 0.5, 1.0], "y": [1.0, 0.5, 0.0]},
+                           width=30, height=8)
+        assert "*" in plot and "o" in plot
+        assert "legend: *=x  o=y" in plot
+
+    def test_constant_series(self):
+        plot = series_plot({"flat": [2.0, 2.0, 2.0]})
+        assert "*" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_plot({})
+        with pytest.raises(ValueError):
+            series_plot({"x": []})
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        text = histogram([1, 2, 2, 3, 3, 3], bins=3, width=10)
+        lines = text.splitlines()
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert sum(counts) == 6
+
+    def test_single_value(self):
+        text = histogram([5.0], bins=4)
+        assert "1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

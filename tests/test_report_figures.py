@@ -1,0 +1,75 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.config import machine_2b2s
+from repro.report.figures import render_fig06, render_fig07, render_fig12
+from repro.sim.experiment import run_workload
+from repro.workloads.mixes import WorkloadMix
+
+MIXES = [
+    WorkloadMix("MHLM", ("povray", "milc", "gobmk", "bzip2")),
+    WorkloadMix("HHLM", ("lbm", "zeusmp", "mcf", "soplex")),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    machine = machine_2b2s()
+    return {
+        name: [
+            run_workload(machine, mix, name, instructions=2_000_000, seed=i)
+            for i, mix in enumerate(MIXES)
+        ]
+        for name in ("random", "performance", "reliability")
+    }
+
+
+class TestRenderers:
+    def test_fig06(self, results):
+        text = render_fig06(results)
+        assert "Figure 6a" in text and "Figure 6b" in text
+        assert "legend:" in text
+
+    def test_fig07(self, results):
+        text = render_fig07(results, MIXES)
+        assert "MHLM:" in text and "HHLM:" in text
+        assert "reliability" in text
+
+    def test_fig12(self, results):
+        text = render_fig12(results, machine_2b2s())
+        assert "chip" in text and "system" in text
+
+    def test_missing_scheduler_rejected(self, results):
+        partial = {"random": results["random"]}
+        with pytest.raises(ValueError):
+            render_fig06(partial)
+
+    def test_workload_count_mismatch(self, results):
+        with pytest.raises(ValueError):
+            render_fig07(results, MIXES[:1])
+
+    def test_length_mismatch_rejected(self, results):
+        broken = dict(results)
+        broken["reliability"] = results["reliability"][:1]
+        with pytest.raises(ValueError):
+            render_fig06(broken)
+
+
+class TestCli:
+    def test_figure_command(self, tmp_path, capsys):
+        from repro.cli.main import main
+        code = main([
+            "figure", "fig12", "--programs", "2", "--machine", "1B1S",
+            "--instructions", "1000000", "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        # Second invocation is fully cached.
+        main([
+            "figure", "fig12", "--programs", "2", "--machine", "1B1S",
+            "--instructions", "1000000", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert "0 simulated" in out

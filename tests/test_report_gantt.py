@@ -1,0 +1,62 @@
+"""Tests for the ASCII schedule chart."""
+
+import pytest
+
+from repro.config import machine_2b2s
+from repro.report.gantt import migration_summary, schedule_chart, schedule_strips
+from repro.sim.experiment import run_workload
+from repro.sim.multicore import MulticoreSimulation
+from repro.sched.oversubscribed import OversubscribedReliabilityScheduler
+from repro.workloads.spec2006 import benchmark
+
+NAMES = ("milc", "zeusmp", "mcf", "gobmk")
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_workload(machine_2b2s(), NAMES, "reliability",
+                        instructions=10_000_000, record_timeline=True)
+
+
+class TestScheduleStrips:
+    def test_one_strip_per_app(self, run):
+        strips = schedule_strips(run.timeline, width=40)
+        assert set(strips) == set(NAMES)
+        assert all(0 < len(s) <= 40 for s in strips.values())
+        assert all(set(s) <= {"B", "s", "."} for s in strips.values())
+
+    def test_vulnerable_apps_mostly_small(self, run):
+        strips = schedule_strips(run.timeline, width=40)
+        assert strips["milc"].count("s") > strips["milc"].count("B")
+        assert strips["gobmk"].count("B") > strips["gobmk"].count("s")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_strips([])
+
+
+class TestScheduleChart:
+    def test_renders(self, run):
+        chart = schedule_chart(run, width=50)
+        assert "B=big, s=small" in chart
+        for name in NAMES:
+            assert name in chart
+
+    def test_parked_symbol_under_oversubscription(self):
+        machine = machine_2b2s()
+        profiles = [benchmark(n).scaled(2_000_000)
+                    for n in (*NAMES, "povray", "bzip2")]
+        result = MulticoreSimulation(
+            machine, profiles,
+            OversubscribedReliabilityScheduler(machine, 6),
+            record_timeline=True,
+        ).run()
+        chart = schedule_chart(result, width=60)
+        assert "." in chart  # parked periods visible
+
+
+class TestMigrationSummary:
+    def test_one_line_per_app(self, run):
+        text = migration_summary(run)
+        assert len(text.splitlines()) == len(NAMES)
+        assert "migrations" in text

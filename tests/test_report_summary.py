@@ -1,0 +1,72 @@
+"""Tests for the high-level report builders."""
+
+import pytest
+
+from repro.config import machine_2b2s
+from repro.power import PowerModel
+from repro.report.summary import (
+    comparison_summary,
+    run_summary,
+    sweep_summary,
+)
+from repro.sim.experiment import run_workload
+
+NAMES = ("povray", "milc", "gobmk", "bzip2")
+
+
+@pytest.fixture(scope="module")
+def results():
+    machine = machine_2b2s()
+    return {
+        name: run_workload(machine, NAMES, name, instructions=2_000_000)
+        for name in ("random", "reliability")
+    }
+
+
+class TestRunSummary:
+    def test_contains_metrics_and_apps(self, results):
+        text = run_summary(results["reliability"])
+        assert "SSER" in text and "STP" in text
+        for name in NAMES:
+            assert name in text
+
+    def test_power_included_when_model_given(self, results):
+        text = run_summary(
+            results["reliability"], PowerModel(machine_2b2s())
+        )
+        assert "chip" in text and "W" in text
+
+
+class TestComparisonSummary:
+    def test_normalized_to_first(self, results):
+        text = comparison_summary(results)
+        assert "SSER/random" in text
+        # The baseline row is 1.000 in every normalized column.
+        random_row = next(
+            line for line in text.splitlines() if line.startswith("random")
+        )
+        assert random_row.count("1.000") >= 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_summary({})
+
+
+class TestSweepSummary:
+    def test_shape(self, results):
+        sweeps = {name: [r] for name, r in results.items()}
+        text = sweep_summary(sweeps, baseline="random")
+        assert "SSER mean" in text
+        assert "reliability" in text
+
+    def test_missing_baseline(self, results):
+        with pytest.raises(ValueError):
+            sweep_summary({"reliability": [results["reliability"]]})
+
+    def test_length_mismatch(self, results):
+        sweeps = {
+            "random": [results["random"]],
+            "reliability": [results["reliability"]] * 2,
+        }
+        with pytest.raises(ValueError):
+            sweep_summary(sweeps)

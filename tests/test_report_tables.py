@@ -1,0 +1,50 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.report.tables import format_percent, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("alpha")
+        # All lines have equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x", "v"], [["a", 0.123456]],
+                            float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["x", "n", "flag"], [["a", 42, True]])
+        assert "42" in text
+        assert "True" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatPercent:
+    def test_signed(self):
+        assert format_percent(0.254) == "+25.4%"
+        assert format_percent(-0.063) == "-6.3%"
+
+    def test_unsigned(self):
+        assert format_percent(0.5, signed=False) == "50.0%"

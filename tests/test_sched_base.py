@@ -1,0 +1,68 @@
+"""Tests for scheduler base types."""
+
+import pytest
+
+from repro.config import BIG, SMALL, machine_1b3s, machine_2b2s
+from repro.sched.base import Assignment, Observation, Scheduler, SegmentPlan
+
+
+class TestAssignment:
+    def test_rejects_shared_core(self):
+        with pytest.raises(ValueError):
+            Assignment((0, 0, 1, 2))
+
+    def test_validate_range(self):
+        Assignment((0, 1, 2, 3)).validate(machine_2b2s())
+        with pytest.raises(ValueError):
+            Assignment((0, 1, 2, 4)).validate(machine_2b2s())
+
+    def test_core_type_of(self):
+        m = machine_2b2s()
+        a = Assignment((0, 2, 1, 3))
+        assert a.core_type_of(0, m) == BIG
+        assert a.core_type_of(1, m) == SMALL
+
+    def test_with_swap(self):
+        a = Assignment((0, 1, 2, 3)).with_swap(0, 3)
+        assert a.core_of == (3, 1, 2, 0)
+
+    def test_with_swap_is_pure(self):
+        a = Assignment((0, 1))
+        a.with_swap(0, 1)
+        assert a.core_of == (0, 1)
+
+
+class TestSegmentPlan:
+    def test_fraction_bounds(self):
+        SegmentPlan(1.0, Assignment((0,)))
+        with pytest.raises(ValueError):
+            SegmentPlan(0.0, Assignment((0,)))
+        with pytest.raises(ValueError):
+            SegmentPlan(1.5, Assignment((0,)))
+
+
+class TestObservation:
+    def test_rates(self):
+        obs = Observation(
+            app_index=0, core_id=1, core_type=BIG,
+            duration_seconds=2.0, instructions=100,
+            measured_abc_seconds=50.0,
+        )
+        assert obs.instructions_per_second == pytest.approx(50.0)
+        assert obs.abc_per_second == pytest.approx(25.0)
+
+    def test_zero_duration_rates(self):
+        obs = Observation(0, 0, BIG, 0.0, 0, 0.0)
+        assert obs.instructions_per_second == 0.0
+        assert obs.abc_per_second == 0.0
+
+
+class TestSchedulerContract:
+    def test_app_count_must_match_cores(self):
+        class Dummy(Scheduler):
+            def plan_quantum(self, q):
+                return []
+
+        with pytest.raises(ValueError):
+            Dummy(machine_2b2s(), 3)
+        Dummy(machine_1b3s(), 4)  # 4 cores, 4 apps: fine

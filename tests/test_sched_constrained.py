@@ -1,0 +1,107 @@
+"""Tests for the STP-constrained reliability scheduler extension."""
+
+import pytest
+
+from repro.config import BIG, SMALL, machine_2b2s
+from repro.sched.base import Observation
+from repro.sched.constrained import ConstrainedReliabilityScheduler
+from repro.sim.experiment import run_workload
+from repro.sim.multicore import MulticoreSimulation
+from repro.workloads.spec2006 import benchmark
+
+
+def _feed(sched, m, abc_big, abc_small, ips_big, ips_small):
+    for q in range(2):
+        plans = sched.plan_quantum(q)
+        for plan in plans:
+            obs = []
+            for i in range(sched.num_apps):
+                t = plan.assignment.core_type_of(i, m)
+                ips = ips_big[i] if t == BIG else ips_small[i]
+                abc = abc_big[i] if t == BIG else abc_small[i]
+                obs.append(Observation(
+                    app_index=i, core_id=plan.assignment.core_of[i],
+                    core_type=t, duration_seconds=1e-3,
+                    instructions=int(ips * 1e-3),
+                    measured_abc_seconds=abc * 1e-3,
+                ))
+            sched.observe(plan, obs)
+
+
+class TestConstruction:
+    def test_loss_bound_validated(self):
+        m = machine_2b2s()
+        ConstrainedReliabilityScheduler(m, 4, max_stp_loss=0.0)
+        ConstrainedReliabilityScheduler(m, 4, max_stp_loss=1.0)
+        with pytest.raises(ValueError):
+            ConstrainedReliabilityScheduler(m, 4, max_stp_loss=-0.1)
+        with pytest.raises(ValueError):
+            ConstrainedReliabilityScheduler(m, 4, max_stp_loss=1.5)
+
+
+class TestConstraintBehaviour:
+    # Apps 0, 1: big speedup 4x, high big-core ABC.
+    # Apps 2, 3: big speedup 1.1x, low big-core ABC.
+    IPS_BIG = [4e9, 4e9, 1.1e9, 1.1e9]
+    IPS_SMALL = [1e9, 1e9, 1e9, 1e9]
+    ABC_BIG = [50e3, 50e3, 5e3, 5e3]
+    ABC_SMALL = [2e3, 2e3, 2e3, 2e3]
+
+    def _assignment(self, max_stp_loss):
+        m = machine_2b2s()
+        sched = ConstrainedReliabilityScheduler(
+            m, 4, max_stp_loss=max_stp_loss
+        )
+        _feed(sched, m, self.ABC_BIG, self.ABC_SMALL,
+              self.IPS_BIG, self.IPS_SMALL)
+        return sched.plan_quantum(2)[-1].assignment, m
+
+    def test_zero_loss_is_performance_optimal(self):
+        assignment, m = self._assignment(max_stp_loss=0.0)
+        # Performance demands the 4x-speedup apps on big.
+        assert assignment.core_type_of(0, m) == BIG
+        assert assignment.core_type_of(1, m) == BIG
+
+    def test_unbounded_loss_is_reliability_optimal(self):
+        assignment, m = self._assignment(max_stp_loss=1.0)
+        # Reliability demands the low-ABC apps on big.
+        assert assignment.core_type_of(2, m) == BIG
+        assert assignment.core_type_of(3, m) == BIG
+
+    def test_intermediate_bound_respected(self):
+        """With a tight bound the scheduler may not fully sacrifice
+        throughput: its chosen assignment's estimated STP stays within
+        the bound of the best."""
+        m = machine_2b2s()
+        sched = ConstrainedReliabilityScheduler(m, 4, max_stp_loss=0.10)
+        _feed(sched, m, self.ABC_BIG, self.ABC_SMALL,
+              self.IPS_BIG, self.IPS_SMALL)
+        assignment = sched.plan_quantum(2)[-1].assignment
+        types = [assignment.core_type_of(i, m) for i in range(4)]
+        stp = sum(
+            (self.IPS_BIG[i] if types[i] == BIG else self.IPS_SMALL[i])
+            / self.IPS_BIG[i]
+            for i in range(4)
+        )
+        best_stp = 2.0 + 2 * (1e9 / 1.1e9)  # apps 0,1 big; 2,3 small
+        assert stp >= 0.90 * best_stp - 1e-9
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_interpolates_between_schedulers(self, machine):
+        names = ("milc", "lbm", "mcf", "gobmk")
+        n = 50_000_000
+        profiles = [benchmark(x).scaled(n) for x in names]
+        rel = run_workload(machine, names, "reliability", instructions=n)
+        perf = run_workload(machine, names, "performance", instructions=n)
+        constrained = MulticoreSimulation(
+            machine, profiles,
+            ConstrainedReliabilityScheduler(machine, 4, max_stp_loss=0.03),
+        ).run()
+        # STP within the bound's ballpark of the performance scheduler,
+        # SSER no worse than the performance scheduler.
+        assert constrained.stp >= 0.90 * perf.stp
+        assert constrained.sser <= perf.sser * 1.02
+        # And the unconstrained scheduler remains the SSER lower bound.
+        assert rel.sser <= constrained.sser * 1.05

@@ -1,0 +1,103 @@
+"""Tests for the offline oracle schedules (Section 2.4)."""
+
+import math
+
+import pytest
+
+from repro.config import BIG, SMALL, machine_1b3s, machine_2b2s
+from repro.sched.base import SegmentPlan
+from repro.sched.oracle import (
+    StaticScheduler,
+    best_sser_schedule,
+    best_stp_schedule,
+    enumerate_schedules,
+    predict,
+)
+from repro.sim.isolated import IsolatedRun, IsolatedStats
+
+
+def _stats(name, big_time, big_abc, small_time, small_abc, instr=1000):
+    return IsolatedStats(
+        name=name,
+        big=IsolatedRun(BIG, big_time, big_abc, instr),
+        small=IsolatedRun(SMALL, small_time, small_abc, instr),
+    )
+
+
+@pytest.fixture
+def four_apps():
+    # App 0: tiny ABC, big speedup -> belongs on big for both oracles.
+    # App 3: huge big-core ABC, small slowdown -> small core for SSER.
+    return [
+        _stats("a0", 1.0, 10.0, 3.0, 2.0),
+        _stats("a1", 1.0, 20.0, 2.5, 3.0),
+        _stats("a2", 1.0, 90.0, 1.5, 4.0),
+        _stats("a3", 1.0, 100.0, 1.2, 5.0),
+    ]
+
+
+class TestPrediction:
+    def test_all_big_prediction(self, four_apps):
+        m = machine_2b2s()
+        p = predict(four_apps, (0, 1))
+        # SSER: apps 0,1 on big contribute ABC/T_big; 2,3 on small.
+        expected_sser = 10.0 + 20.0 + 4.0 + 5.0
+        assert p.sser == pytest.approx(expected_sser)
+        expected_stp = 1.0 + 1.0 + 1.0 / 1.5 + 1.0 / 1.2
+        assert p.stp == pytest.approx(expected_stp)
+
+    def test_core_type_of(self, four_apps):
+        p = predict(four_apps, (1, 3))
+        assert p.core_type_of(1) == BIG
+        assert p.core_type_of(0) == SMALL
+
+
+class TestEnumeration:
+    def test_six_schedules_for_2b2s(self, four_apps):
+        schedules = enumerate_schedules(four_apps, machine_2b2s())
+        assert len(schedules) == math.comb(4, 2) == 6
+
+    def test_four_schedules_for_1b3s(self, four_apps):
+        schedules = enumerate_schedules(four_apps, machine_1b3s())
+        assert len(schedules) == 4
+
+    def test_app_count_mismatch(self, four_apps):
+        with pytest.raises(ValueError):
+            enumerate_schedules(four_apps[:3], machine_2b2s())
+
+    def test_best_sser_puts_vulnerable_apps_on_small(self, four_apps):
+        best = best_sser_schedule(four_apps, machine_2b2s())
+        assert best.big_apps == (0, 1)
+
+    def test_best_stp_maximizes_throughput(self, four_apps):
+        best = best_stp_schedule(four_apps, machine_2b2s())
+        # Apps 0 and 1 have the largest big/small speedups (3x, 2.5x).
+        assert best.big_apps == (0, 1)
+
+    def test_oracles_bound_all_schedules(self, four_apps):
+        m = machine_2b2s()
+        schedules = enumerate_schedules(four_apps, m)
+        assert best_sser_schedule(four_apps, m).sser == min(
+            s.sser for s in schedules
+        )
+        assert best_stp_schedule(four_apps, m).stp == max(
+            s.stp for s in schedules
+        )
+
+
+class TestStaticScheduler:
+    def test_fixed_assignment(self):
+        m = machine_2b2s()
+        sched = StaticScheduler(m, 4, big_apps=(1, 2))
+        plans = [sched.plan_quantum(q) for q in range(3)]
+        for p in plans:
+            assert len(p) == 1
+            a = p[0].assignment
+            assert a.core_type_of(1, m) == BIG
+            assert a.core_type_of(2, m) == BIG
+            assert a.core_type_of(0, m) == SMALL
+            assert a.core_type_of(3, m) == SMALL
+
+    def test_too_many_big_apps(self):
+        with pytest.raises(ValueError):
+            StaticScheduler(machine_2b2s(), 4, big_apps=(0, 1, 2))

@@ -1,0 +1,124 @@
+"""Tests for oversubscription: parking and fair-share scheduling."""
+
+import pytest
+
+from repro.config import BIG, SMALL, machine_1b1s, machine_2b2s
+from repro.sched.base import PARKED, Assignment
+from repro.sched.oversubscribed import OversubscribedReliabilityScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.workloads.spec2006 import benchmark
+
+SIX = ("milc", "zeusmp", "mcf", "gobmk", "povray", "bzip2")
+
+
+def _profiles(n=2_000_000):
+    return [benchmark(name).scaled(n) for name in SIX]
+
+
+class TestAssignmentParking:
+    def test_parked_entries_allowed(self):
+        a = Assignment((0, 1, PARKED, 2, PARKED, 3))
+        assert a.is_parked(2)
+        assert not a.is_parked(0)
+        a.validate(machine_2b2s())
+
+    def test_duplicate_running_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment((0, 0, PARKED))
+
+    def test_core_type_of_parked_raises(self):
+        a = Assignment((0, PARKED))
+        with pytest.raises(ValueError):
+            a.core_type_of(1, machine_2b2s())
+
+
+class TestSchedulerContracts:
+    def test_one_per_core_scheduler_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            ReliabilityScheduler(machine_2b2s(), 6)
+
+    def test_too_few_apps_rejected(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(machine_2b2s(), 3)
+
+    def test_random_parks_the_excess(self):
+        sched = RandomScheduler(machine_2b2s(), 6, seed=1)
+        plan = sched.plan_quantum(0)[0]
+        parked = [i for i in range(6) if plan.assignment.is_parked(i)]
+        running = [i for i in range(6) if not plan.assignment.is_parked(i)]
+        assert len(parked) == 2
+        assert len(running) == 4
+
+    def test_random_rotates_parked_set(self):
+        sched = RandomScheduler(machine_2b2s(), 6, seed=2)
+        parked_sets = {
+            tuple(
+                i for i in range(6)
+                if sched.plan_quantum(q)[0].assignment.is_parked(i)
+            )
+            for q in range(20)
+        }
+        assert len(parked_sets) > 3
+
+
+class TestOversubscribedReliability:
+    def test_requires_both_core_types(self):
+        from repro.config import MachineConfig
+        with pytest.raises(ValueError):
+            OversubscribedReliabilityScheduler(
+                MachineConfig(big_cores=2, small_cores=0), 4
+            )
+
+    def test_end_to_end_six_on_four(self):
+        machine = machine_2b2s()
+        result = MulticoreSimulation(
+            machine, _profiles(),
+            OversubscribedReliabilityScheduler(machine, 6),
+        ).run()
+        assert all(a.completed_runs >= 1 for a in result.apps)
+        # Each application only runs a fraction of the wall clock.
+        for app in result.apps:
+            running = app.time_big_seconds + app.time_small_seconds
+            assert running < result.duration_seconds
+
+    def test_fair_sharing(self):
+        machine = machine_2b2s()
+        result = MulticoreSimulation(
+            machine, _profiles(),
+            OversubscribedReliabilityScheduler(machine, 6),
+        ).run()
+        running = [
+            a.time_big_seconds + a.time_small_seconds for a in result.apps
+        ]
+        # Deficit round-robin: no application starves or hogs.
+        assert max(running) < 2.5 * min(running)
+
+    def test_beats_random_on_sser(self):
+        machine = machine_2b2s()
+        profiles = _profiles(10_000_000)
+        rel = MulticoreSimulation(
+            machine, profiles,
+            OversubscribedReliabilityScheduler(machine, 6),
+        ).run()
+        rnd = MulticoreSimulation(
+            machine, profiles, RandomScheduler(machine, 6, seed=0)
+        ).run()
+        assert rel.sser < rnd.sser
+
+    def test_vulnerable_apps_prefer_small_cores(self):
+        machine = machine_2b2s()
+        result = MulticoreSimulation(
+            machine, _profiles(10_000_000),
+            OversubscribedReliabilityScheduler(machine, 6),
+        ).run()
+        milc = result.app("milc")
+        gobmk = result.app("gobmk")
+        milc_small = milc.time_small_seconds / (
+            milc.time_big_seconds + milc.time_small_seconds
+        )
+        gobmk_small = gobmk.time_small_seconds / (
+            gobmk.time_big_seconds + gobmk.time_small_seconds
+        )
+        assert milc_small > gobmk_small

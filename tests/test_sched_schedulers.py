@@ -1,0 +1,118 @@
+"""Tests for the concrete schedulers: random, reliability, performance."""
+
+import pytest
+
+from repro.config import BIG, SMALL, machine_2b2s
+from repro.sched.base import Observation
+from repro.sched.performance import PerformanceScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.reliability import ReliabilityScheduler
+
+
+def _feed_samples(sched, machine, samples):
+    """Inject (ips, abc_rate) samples for both core types per app.
+
+    ``samples[(i, type)] = (ips, abc_per_second)``.
+    """
+    for (i, core_type), (ips, abc) in samples.items():
+        core = 0 if core_type == BIG else machine.big_cores
+        obs = Observation(
+            app_index=i, core_id=core, core_type=core_type,
+            duration_seconds=1e-3, instructions=int(ips * 1e-3),
+            measured_abc_seconds=abc * 1e-3,
+        )
+        plan = sched.plan_quantum(0)[0]
+        sched.observe(plan, [obs])
+
+
+class TestRandomScheduler:
+    def test_reshuffles_every_quantum(self):
+        m = machine_2b2s()
+        sched = RandomScheduler(m, 4, seed=3)
+        assignments = {sched.plan_quantum(q)[0].assignment.core_of
+                       for q in range(20)}
+        assert len(assignments) > 3
+
+    def test_deterministic_per_seed(self):
+        m = machine_2b2s()
+        a = [RandomScheduler(m, 4, seed=5).plan_quantum(q)[0].assignment.core_of
+             for q in range(5)]
+        b = [RandomScheduler(m, 4, seed=5).plan_quantum(q)[0].assignment.core_of
+             for q in range(5)]
+        assert a == b
+
+    def test_single_full_segment(self):
+        plans = RandomScheduler(machine_2b2s(), 4).plan_quantum(0)
+        assert len(plans) == 1
+        assert plans[0].fraction == 1.0
+
+
+class TestObjectives:
+    def _reliability_with_samples(self, m):
+        sched = ReliabilityScheduler(m, 4)
+        # Run the two initial sampling quanta with controlled data:
+        # app i on big has ABC rate (i+1)*1000, all IPS equal.
+        for q in range(2):
+            plans = sched.plan_quantum(q)
+            for plan in plans:
+                obs = []
+                for i in range(4):
+                    t = plan.assignment.core_type_of(i, m)
+                    abc = (i + 1) * 1000.0 if t == BIG else (i + 1) * 100.0
+                    obs.append(Observation(
+                        app_index=i,
+                        core_id=plan.assignment.core_of[i],
+                        core_type=t,
+                        duration_seconds=1e-3,
+                        instructions=1_000_000,
+                        measured_abc_seconds=abc * 1e-3,
+                    ))
+                sched.observe(plan, obs)
+        return sched
+
+    def test_reliability_objective_is_wser_estimate(self):
+        m = machine_2b2s()
+        sched = self._reliability_with_samples(m)
+        # wSER estimate = abc_per_instruction(type) * big-core IPS.
+        # IPS = 1e9 everywhere, so value(i, BIG) = (i+1)*1000.
+        for i in range(4):
+            assert sched.objective_value(i, BIG) == pytest.approx((i + 1) * 1000)
+            assert sched.objective_value(i, SMALL) == pytest.approx((i + 1) * 100)
+
+    def test_reliability_puts_highest_abc_apps_on_small(self):
+        m = machine_2b2s()
+        sched = self._reliability_with_samples(m)
+        assignment = sched.plan_quantum(2)[-1].assignment
+        # Apps 2 and 3 (highest ABC) must be on small cores.
+        assert assignment.core_type_of(3, m) == SMALL
+        assert assignment.core_type_of(2, m) == SMALL
+        assert assignment.core_type_of(0, m) == BIG
+        assert assignment.core_type_of(1, m) == BIG
+
+    def test_performance_puts_highest_speedup_apps_on_big(self):
+        m = machine_2b2s()
+        sched = PerformanceScheduler(m, 4)
+        # App i runs at IPS 1e9 on big; small-core IPS varies: apps
+        # 0, 1 lose the most on small -> they belong on big.
+        small_ips = {0: 2e8, 1: 3e8, 2: 8e8, 3: 9e8}
+        for q in range(2):
+            plans = sched.plan_quantum(q)
+            for plan in plans:
+                obs = []
+                for i in range(4):
+                    t = plan.assignment.core_type_of(i, m)
+                    ips = 1e9 if t == BIG else small_ips[i]
+                    obs.append(Observation(
+                        app_index=i,
+                        core_id=plan.assignment.core_of[i],
+                        core_type=t,
+                        duration_seconds=1e-3,
+                        instructions=int(ips * 1e-3),
+                        measured_abc_seconds=1e-3,
+                    ))
+                sched.observe(plan, obs)
+        assignment = sched.plan_quantum(2)[-1].assignment
+        assert assignment.core_type_of(0, m) == BIG
+        assert assignment.core_type_of(1, m) == BIG
+        assert assignment.core_type_of(2, m) == SMALL
+        assert assignment.core_type_of(3, m) == SMALL

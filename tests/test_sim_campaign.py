@@ -1,0 +1,73 @@
+"""Tests for the disk-cached campaign runner."""
+
+import pytest
+
+from repro.sim.campaign import Campaign, RunSpec
+from repro.workloads.mixes import WorkloadMix
+
+NAMES = ("povray", "milc", "gobmk", "bzip2")
+
+
+def _spec(**overrides):
+    base = dict(
+        machine="2B2S",
+        benchmarks=NAMES,
+        scheduler="reliability",
+        instructions=2_000_000,
+        seed=0,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRunSpec:
+    def test_key_stable(self):
+        assert _spec().key() == _spec().key()
+
+    def test_key_sensitive_to_every_field(self):
+        base = _spec().key()
+        assert _spec(scheduler="random").key() != base
+        assert _spec(seed=1).key() != base
+        assert _spec(instructions=3_000_000).key() != base
+        assert _spec(small_frequency_ghz=1.33).key() != base
+        assert _spec(sampling=(5, 1e-4)).key() != base
+
+    def test_build_machine_applies_overrides(self):
+        machine = _spec(
+            small_frequency_ghz=1.33, sampling=(20, 5e-5)
+        ).build_machine()
+        assert machine.small.frequency_ghz == pytest.approx(1.33)
+        assert machine.sampling_period_quanta == 20
+
+
+class TestCampaign:
+    def test_cache_hit_on_second_run(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        spec = _spec()
+        first = campaign.run(spec)
+        assert campaign.misses == 1 and campaign.hits == 0
+        second = campaign.run(spec)
+        assert campaign.hits == 1
+        assert second.sser == pytest.approx(first.sser)
+        assert campaign.is_cached(spec)
+
+    def test_cache_persists_across_instances(self, tmp_path):
+        Campaign(tmp_path).run(_spec())
+        again = Campaign(tmp_path)
+        again.run(_spec())
+        assert again.hits == 1 and again.misses == 0
+
+    def test_sweep_shapes(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        workloads = [WorkloadMix("MHLM", NAMES)]
+        results = campaign.sweep(
+            "2B2S", workloads, ("random", "reliability"), 2_000_000
+        )
+        assert set(results) == {"random", "reliability"}
+        assert len(results["random"]) == 1
+
+    def test_clear(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.run(_spec())
+        assert campaign.clear() == 1
+        assert not campaign.is_cached(_spec())

@@ -1,0 +1,82 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.config import machine_2b2s
+from repro.sched.performance import PerformanceScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sim.experiment import (
+    average_ratio,
+    geomean_ratio,
+    make_scheduler,
+    run_workload,
+    sweep,
+)
+from repro.workloads.mixes import WorkloadMix
+
+
+class TestMakeScheduler:
+    def test_by_name(self, machine):
+        assert isinstance(make_scheduler("random", machine, 4), RandomScheduler)
+        assert isinstance(
+            make_scheduler("performance", machine, 4), PerformanceScheduler
+        )
+        assert isinstance(
+            make_scheduler("reliability", machine, 4), ReliabilityScheduler
+        )
+
+    def test_unknown_rejected(self, machine):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo", machine, 4)
+
+
+class TestRunWorkload:
+    def test_accepts_mix_or_names(self, machine):
+        names = ("povray", "milc", "gobmk", "bzip2")
+        mix = WorkloadMix("MHLM", names)
+        by_mix = run_workload(machine, mix, "random",
+                              instructions=2_000_000, seed=1)
+        by_names = run_workload(machine, names, "random",
+                                instructions=2_000_000, seed=1)
+        assert by_mix.sser == pytest.approx(by_names.sser, rel=1e-9)
+        assert by_mix.scheduler_name == "random"
+
+    def test_instruction_override(self, machine):
+        result = run_workload(
+            machine, ("povray", "milc", "gobmk", "bzip2"), "random",
+            instructions=1_000_000,
+        )
+        assert all(a.completed_runs >= 1 for a in result.apps)
+
+
+class TestSweep:
+    def test_sweep_shape(self, machine):
+        workloads = [
+            WorkloadMix("MH", ("povray", "milc")),
+            WorkloadMix("LM", ("gobmk", "bzip2")),
+        ]
+        from repro.config import machine_1b1s
+        m = machine_1b1s()
+        results = sweep(m, workloads, ("random", "reliability"),
+                        instructions=1_000_000)
+        assert set(results) == {"random", "reliability"}
+        assert len(results["random"]) == 2
+        assert results["reliability"][0].scheduler_name == "reliability"
+
+
+class TestRatios:
+    def test_geomean(self):
+        assert geomean_ratio([4.0, 1.0], [1.0, 4.0]) == pytest.approx(1.0)
+        assert geomean_ratio([2.0], [1.0]) == pytest.approx(2.0)
+
+    def test_average(self):
+        assert average_ratio([2.0, 4.0], [1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geomean_ratio([], [])
+        with pytest.raises(ValueError):
+            geomean_ratio([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            geomean_ratio([0.0], [1.0])

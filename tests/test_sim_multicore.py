@@ -1,0 +1,157 @@
+"""Tests for the multicore simulation engine."""
+
+import pytest
+
+from repro.ace.counters import AceCounterMode
+from repro.config import machine_1b3s, machine_2b2s
+from repro.sched.oracle import StaticScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sim.multicore import MulticoreSimulation
+from repro.sim.results import RunResult
+from repro.workloads.spec2006 import benchmark
+
+FOUR = ("povray", "milc", "gobmk", "bzip2")
+
+
+def _profiles(names=FOUR, n=3_000_000):
+    return [benchmark(name).scaled(n) for name in names]
+
+
+class TestBasicRun:
+    def test_runs_to_completion(self, machine):
+        profiles = _profiles()
+        sim = MulticoreSimulation(
+            machine, profiles, StaticScheduler(machine, 4, (0, 1))
+        )
+        result = sim.run()
+        assert isinstance(result, RunResult)
+        assert result.quanta > 0
+        assert all(a.instructions >= p.instructions
+                   for a, p in zip(result.apps, profiles))
+        assert all(a.completed_runs >= 1 for a in result.apps)
+
+    def test_app_count_enforced(self, machine):
+        with pytest.raises(ValueError):
+            MulticoreSimulation(
+                machine, _profiles()[:3], StaticScheduler(machine, 4, (0, 1))
+            )
+
+    def test_static_scheduler_infeasible_split_rejected(self, machine):
+        with pytest.raises(ValueError):
+            StaticScheduler(machine, 4, (0,))  # 3 apps, 2 small cores
+
+    def test_time_accounting_consistent(self, machine):
+        sim = MulticoreSimulation(
+            machine, _profiles(), StaticScheduler(machine, 4, (0, 1))
+        )
+        result = sim.run()
+        for app in result.apps:
+            assert app.time_seconds == pytest.approx(result.duration_seconds)
+            assert (
+                app.time_big_seconds + app.time_small_seconds
+                == pytest.approx(result.duration_seconds)
+            )
+
+    def test_static_schedule_never_migrates(self, machine):
+        sim = MulticoreSimulation(
+            machine, _profiles(), StaticScheduler(machine, 4, (0, 1))
+        )
+        result = sim.run()
+        assert all(a.migrations == 0 for a in result.apps)
+
+    def test_random_schedule_migrates(self, machine):
+        sim = MulticoreSimulation(
+            machine, _profiles(), RandomScheduler(machine, 4, seed=0)
+        )
+        result = sim.run()
+        assert sum(a.migrations for a in result.apps) > result.quanta / 2
+
+    def test_metrics_positive(self, machine):
+        sim = MulticoreSimulation(
+            machine, _profiles(), StaticScheduler(machine, 4, (0, 1))
+        )
+        result = sim.run()
+        assert result.sser > 0
+        assert 0 < result.stp <= 4.0
+        assert result.antt >= 1.0
+
+    def test_max_quanta_guard(self, machine):
+        sim = MulticoreSimulation(
+            machine,
+            _profiles(n=50_000_000),
+            StaticScheduler(machine, 4, (0, 1)),
+            max_quanta=3,
+        )
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+class TestBigCoresMatter:
+    def test_big_assignment_changes_outcome(self, machine):
+        """Putting milc on big vs small must change SSER and STP."""
+        profiles = _profiles()
+        on_big = MulticoreSimulation(
+            machine, profiles, StaticScheduler(machine, 4, (1, 2))
+        ).run()
+        on_small = MulticoreSimulation(
+            machine, profiles, StaticScheduler(machine, 4, (0, 3))
+        ).run()
+        # Compare as a ratio: SSER magnitudes (~1e-21) are far below
+        # pytest.approx's default absolute tolerance.
+        assert abs(on_big.sser / on_small.sser - 1.0) > 0.02
+
+    def test_asymmetric_machine(self):
+        m = machine_1b3s()
+        sim = MulticoreSimulation(
+            m, _profiles(), StaticScheduler(m, 4, (1,))
+        )
+        result = sim.run()
+        assert result.machine_name == "1B3S"
+        milc = result.app("milc")
+        assert milc.time_big_seconds == pytest.approx(result.duration_seconds)
+
+
+class TestTimeline:
+    def test_timeline_recorded(self, machine):
+        sim = MulticoreSimulation(
+            machine,
+            _profiles(),
+            StaticScheduler(machine, 4, (0, 1)),
+            record_timeline=True,
+        )
+        result = sim.run()
+        assert len(result.timeline) == 4 * result.quanta
+        point = result.timeline[0]
+        assert point.abc_per_second > 0
+        times = [p.time_seconds for p in result.timeline]
+        assert times == sorted(times)
+
+    def test_timeline_off_by_default(self, machine):
+        sim = MulticoreSimulation(
+            machine, _profiles(), StaticScheduler(machine, 4, (0, 1))
+        )
+        assert sim.run().timeline == []
+
+
+class TestCounterModes:
+    def test_rob_only_changes_observations_not_ground_truth(self, machine):
+        profiles = _profiles()
+        full = MulticoreSimulation(
+            machine, profiles, StaticScheduler(machine, 4, (0, 1)),
+            counter_mode=AceCounterMode.FULL,
+        ).run()
+        rob = MulticoreSimulation(
+            machine, profiles, StaticScheduler(machine, 4, (0, 1)),
+            counter_mode=AceCounterMode.ROB_ONLY,
+        ).run()
+        # Ground truth SSER is identical under a static schedule; only
+        # what the scheduler *sees* changes.
+        assert full.sser == pytest.approx(rob.sser, rel=1e-6)
+
+    def test_app_lookup(self, machine):
+        result = MulticoreSimulation(
+            machine, _profiles(), StaticScheduler(machine, 4, (0, 1))
+        ).run()
+        assert result.app("milc").name == "milc"
+        with pytest.raises(KeyError):
+            result.app("doom3")

@@ -1,0 +1,63 @@
+"""Tests for run-result containers."""
+
+import pytest
+
+from repro.metrics.reliability import DEFAULT_IFR
+from repro.sim.results import AppRunRecord, RunResult
+
+
+def _record(name="a", abc=10.0, time=2.0, ref=1.0):
+    return AppRunRecord(
+        name=name,
+        instructions=1000,
+        time_seconds=time,
+        abc_seconds=abc,
+        reference_time_seconds=ref,
+    )
+
+
+class TestAppRunRecord:
+    def test_wser(self):
+        rec = _record(abc=10.0, ref=2.0)
+        assert rec.wser == pytest.approx(5.0 * DEFAULT_IFR)
+
+    def test_slowdown_and_progress(self):
+        rec = _record(time=4.0, ref=2.0)
+        assert rec.slowdown == pytest.approx(2.0)
+        assert rec.normalized_progress == pytest.approx(0.5)
+
+    def test_ser_vs_wser_relation(self):
+        rec = _record(abc=10.0, time=4.0, ref=2.0)
+        assert rec.wser == pytest.approx(rec.ser * rec.slowdown)
+
+
+class TestRunResult:
+    def _result(self):
+        return RunResult(
+            machine_name="2B2S",
+            scheduler_name="test",
+            quanta=10,
+            duration_seconds=2.0,
+            apps=[
+                _record("a", abc=10.0, time=2.0, ref=1.0),
+                _record("b", abc=4.0, time=2.0, ref=2.0),
+            ],
+        )
+
+    def test_sser_sums_wser(self):
+        result = self._result()
+        assert result.sser == pytest.approx(
+            sum(a.wser for a in result.apps)
+        )
+
+    def test_stp(self):
+        assert self._result().stp == pytest.approx(0.5 + 1.0)
+
+    def test_antt(self):
+        assert self._result().antt == pytest.approx((2.0 + 1.0) / 2)
+
+    def test_app_lookup(self):
+        result = self._result()
+        assert result.app("b").name == "b"
+        with pytest.raises(KeyError):
+            result.app("z")

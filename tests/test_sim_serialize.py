@@ -1,0 +1,75 @@
+"""Tests for run-result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.config import machine_2b2s
+from repro.sim.experiment import run_workload
+from repro.sim.serialize import (
+    load_run,
+    load_sweep,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run,
+    save_sweep,
+)
+
+NAMES = ("povray", "milc", "gobmk", "bzip2")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workload(machine_2b2s(), NAMES, "reliability",
+                        instructions=2_000_000, record_timeline=True)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_metrics(self, result):
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.sser == pytest.approx(result.sser)
+        assert restored.stp == pytest.approx(result.stp)
+        assert restored.machine_name == result.machine_name
+        assert len(restored.apps) == len(result.apps)
+        assert len(restored.timeline) == len(result.timeline)
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = save_run(result, tmp_path / "run.json")
+        restored = load_run(path)
+        assert restored.sser == pytest.approx(result.sser)
+        assert restored.app("milc").migrations == result.app("milc").migrations
+
+    def test_json_is_plain(self, result, tmp_path):
+        path = save_run(result, tmp_path / "run.json")
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert isinstance(data["apps"], list)
+
+
+class TestSweepRoundTrip:
+    def test_sweep_file(self, result, tmp_path):
+        sweep = {"reliability": [result], "random": [result]}
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        restored = load_sweep(path)
+        assert set(restored) == {"reliability", "random"}
+        assert restored["reliability"][0].sser == pytest.approx(result.sser)
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, result):
+        data = run_result_to_dict(result)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            run_result_from_dict(data)
+
+    def test_malformed_rejected(self, result):
+        data = run_result_to_dict(result)
+        del data["apps"]
+        with pytest.raises(ValueError, match="malformed"):
+            run_result_from_dict(data)
+
+    def test_unknown_field_rejected(self, result):
+        data = run_result_to_dict(result)
+        data["apps"][0]["bogus_field"] = 1
+        with pytest.raises(ValueError, match="malformed"):
+            run_result_from_dict(data)

@@ -1,0 +1,71 @@
+"""Tests for the trace-driven multiprogram simulation path."""
+
+import pytest
+
+from repro.config import machine_1b1s, machine_2b2s
+from repro.memory.cache import SetAssociativeCache
+from repro.sim.tracedriven import (
+    run_trace_workload,
+    trace_applications,
+    trace_driven_models,
+)
+
+
+class TestTraceDrivenModels:
+    def test_l3_is_shared(self):
+        models = trace_driven_models(machine_2b2s())
+        assert models["big"]._shared_l3 is models["small"]._shared_l3
+        assert isinstance(models["big"]._shared_l3, SetAssociativeCache)
+
+    def test_separate_calls_get_separate_l3(self):
+        a = trace_driven_models(machine_2b2s())
+        b = trace_driven_models(machine_2b2s())
+        assert a["big"]._shared_l3 is not b["big"]._shared_l3
+
+
+class TestTraceApplications:
+    def test_shapes_and_determinism(self):
+        apps = trace_applications(("milc", "mcf"), 5000, seed=3)
+        assert [a.name for a in apps] == ["milc", "mcf"]
+        assert all(a.instructions == 5000 for a in apps)
+        again = trace_applications(("milc", "mcf"), 5000, seed=3)
+        assert (apps[0].trace.addresses == again[0].trace.addresses).all()
+
+    def test_distinct_seeds_per_slot(self):
+        apps = trace_applications(("milc", "milc"), 5000, seed=0)
+        assert not (apps[0].trace.addresses == apps[1].trace.addresses).all()
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def results(self):
+        machine = machine_1b1s()
+        mix = ("milc", "gobmk")
+        return {
+            name: run_trace_workload(machine, mix, name,
+                                     instructions=40_000, seed=2)
+            for name in ("random", "reliability")
+        }
+
+    def test_runs_complete(self, results):
+        for result in results.values():
+            assert result.quanta > 20
+            assert all(a.completed_runs >= 1 for a in result.apps)
+
+    def test_metrics_sane(self, results):
+        for result in results.values():
+            assert result.sser > 0
+            assert 0 < result.stp <= 2.05
+            assert result.antt >= 0.95
+
+    def test_reliability_no_worse_than_random(self, results):
+        assert results["reliability"].sser <= results["random"].sser * 1.05
+
+    def test_vulnerable_app_prefers_small_core(self, results):
+        rel = results["reliability"]
+        milc = rel.app("milc")
+        gobmk = rel.app("gobmk")
+        milc_big = milc.time_big_seconds / milc.time_seconds
+        gobmk_big = gobmk.time_big_seconds / gobmk.time_seconds
+        assert milc_big < gobmk_big

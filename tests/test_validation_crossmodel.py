@@ -1,0 +1,42 @@
+"""Tests for the cross-model validation machinery."""
+
+import pytest
+
+from repro.validation.crossmodel import (
+    DEFAULT_BENCHMARKS,
+    compare_models,
+)
+
+
+@pytest.fixture(scope="module")
+def agreement():
+    return compare_models(trace_instructions=15_000)
+
+
+class TestCompareModels:
+    def test_row_coverage(self, agreement):
+        assert len(agreement.rows) == 2 * len(DEFAULT_BENCHMARKS)
+        assert {r.core_type for r in agreement.rows} == {"big", "small"}
+
+    def test_rank_agreement_strong(self, agreement):
+        assert agreement.spearman_ipc("big") > 0.7
+        assert agreement.spearman_abc("big") > 0.7
+        assert agreement.spearman_ipc("small") > 0.7
+
+    def test_small_core_abc_agrees_in_value(self, agreement):
+        """Small-core ABC has a narrow dynamic range in both models
+        (the latches are nearly always full), so rank correlation is
+        noise-dominated; the meaningful check is value agreement."""
+        for row in agreement.per_core("small"):
+            assert 0.7 < row.abc_ratio < 1.4, row
+
+    def test_magnitudes_in_same_ballpark(self, agreement):
+        for row in agreement.rows:
+            assert 0.3 < row.ipc_ratio < 3.0, row
+            assert 0.3 < row.abc_ratio < 3.0, row
+
+    def test_validation_inputs(self):
+        with pytest.raises(ValueError):
+            compare_models(["doom3", "milc", "mcf"])
+        with pytest.raises(ValueError):
+            compare_models(["milc", "mcf"])

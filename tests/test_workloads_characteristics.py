@@ -1,0 +1,135 @@
+"""Tests for workload characteristics and benchmark profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import InstructionClass
+from repro.workloads.characteristics import (
+    BenchmarkProfile,
+    InstructionMix,
+    PhaseCharacteristics,
+    uniform_profile,
+)
+
+
+class TestInstructionMix:
+    def test_default_sums_to_one(self):
+        mix = InstructionMix()
+        assert sum(mix.as_dict().values()) == pytest.approx(1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            InstructionMix(nop=0.5)  # default others push the sum past 1
+
+    def test_memory_fraction(self):
+        mix = InstructionMix()
+        assert mix.memory_fraction == pytest.approx(mix.load + mix.store)
+
+    def test_average_execution_latency_weighted(self):
+        mix = InstructionMix()
+        latency = mix.average_execution_latency()
+        assert 1.0 <= latency <= 3.0  # mostly unit-latency classes
+
+
+class TestPhaseCharacteristics:
+    def test_defaults_valid(self):
+        PhaseCharacteristics()
+
+    def test_miss_rate_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PhaseCharacteristics(l1d_mpki=1.0, l2_mpki=5.0, l3_mpki=0.1)
+        with pytest.raises(ValueError):
+            PhaseCharacteristics(l1d_mpki=10.0, l2_mpki=5.0, l3_mpki=6.0)
+
+    def test_cannot_mispredict_more_branches_than_exist(self):
+        with pytest.raises(ValueError):
+            PhaseCharacteristics(branch_mpki=500.0)  # default 20% branches
+
+    def test_l3_mpki_at_share_full_capacity(self):
+        chars = PhaseCharacteristics(l1d_mpki=10, l2_mpki=6, l3_mpki=2,
+                                     cache_sensitivity=0.8)
+        assert chars.l3_mpki_at_share(1.0) == pytest.approx(2.0)
+
+    def test_l3_mpki_grows_as_share_shrinks(self):
+        chars = PhaseCharacteristics(l1d_mpki=10, l2_mpki=6, l3_mpki=2,
+                                     cache_sensitivity=0.8)
+        quarter = chars.l3_mpki_at_share(0.25)
+        assert 2.0 < quarter <= 6.0
+
+    def test_insensitive_app_unaffected(self):
+        chars = PhaseCharacteristics(l1d_mpki=10, l2_mpki=6, l3_mpki=2,
+                                     cache_sensitivity=0.0)
+        assert chars.l3_mpki_at_share(0.01) == pytest.approx(2.0)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_l3_mpki_monotone_in_share(self, a, b):
+        chars = PhaseCharacteristics(l1d_mpki=20, l2_mpki=10, l3_mpki=3,
+                                     cache_sensitivity=0.6)
+        lo, hi = min(a, b), max(a, b)
+        assert chars.l3_mpki_at_share(lo) >= chars.l3_mpki_at_share(hi) - 1e-12
+
+    @given(st.floats(-1.0, 2.0))
+    def test_l3_mpki_never_exceeds_l2(self, share):
+        chars = PhaseCharacteristics(l1d_mpki=20, l2_mpki=10, l3_mpki=3,
+                                     cache_sensitivity=1.0)
+        assert chars.l3_mpki_at_share(share) <= 10.0 + 1e-9
+
+
+class TestBenchmarkProfile:
+    def _two_phase(self, n=1000):
+        return BenchmarkProfile(
+            name="x",
+            instructions=n,
+            phases=(
+                (0.75, PhaseCharacteristics(branch_mpki=1.0)),
+                (0.25, PhaseCharacteristics(branch_mpki=9.0)),
+            ),
+        )
+
+    def test_phase_boundaries(self):
+        prof = self._two_phase(1000)
+        assert prof.phase_boundaries() == [0, 750, 1000]
+
+    def test_phase_at(self):
+        prof = self._two_phase(1000)
+        assert prof.phase_at(0).branch_mpki == 1.0
+        assert prof.phase_at(749).branch_mpki == 1.0
+        assert prof.phase_at(750).branch_mpki == 9.0
+        assert prof.phase_at(999).branch_mpki == 9.0
+
+    def test_phase_at_wraps_for_restarts(self):
+        prof = self._two_phase(1000)
+        assert prof.phase_at(1000).branch_mpki == 1.0
+        assert prof.phase_at(1750).branch_mpki == 9.0
+
+    def test_instructions_until_phase_change(self):
+        prof = self._two_phase(1000)
+        assert prof.instructions_until_phase_change(0) == 750
+        assert prof.instructions_until_phase_change(700) == 50
+        assert prof.instructions_until_phase_change(750) == 250
+
+    def test_scaled(self):
+        scaled = self._two_phase(1000).scaled(100)
+        assert scaled.instructions == 100
+        assert scaled.phase_boundaries() == [0, 75, 100]
+
+    def test_fraction_sum_enforced(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="bad", instructions=10,
+                phases=((0.5, PhaseCharacteristics()),),
+            )
+
+    def test_uniform_profile(self):
+        prof = uniform_profile("u", PhaseCharacteristics(), 500)
+        assert len(prof.phases) == 1
+        assert prof.instructions == 500
+
+    @given(st.integers(0, 5000))
+    def test_phase_at_consistent_with_boundaries(self, pos):
+        prof = self._two_phase(1000)
+        boundaries = prof.phase_boundaries()
+        chars = prof.phase_at(pos)
+        wrapped = pos % 1000
+        expected = 1.0 if wrapped < boundaries[1] else 9.0
+        assert chars.branch_mpki == expected

@@ -1,0 +1,121 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import InstructionClass
+from repro.workloads.characteristics import PhaseCharacteristics
+from repro.workloads.generator import generate_phase_trace, generate_trace
+from repro.workloads.spec2006 import benchmark
+
+
+def _chars(**kwargs):
+    return PhaseCharacteristics(**kwargs)
+
+
+class TestPhaseTrace:
+    def test_length(self):
+        rng = np.random.default_rng(0)
+        trace = generate_phase_trace(_chars(), 5000, rng)
+        assert len(trace) == 5000
+
+    def test_deterministic_given_seed(self):
+        t1 = generate_trace(benchmark("mcf"), 2000, seed=7)
+        t2 = generate_trace(benchmark("mcf"), 2000, seed=7)
+        assert np.array_equal(t1.classes, t2.classes)
+        assert np.array_equal(t1.addresses, t2.addresses)
+        t3 = generate_trace(benchmark("mcf"), 2000, seed=8)
+        assert not np.array_equal(t1.addresses, t3.addresses)
+
+    def test_mix_statistics(self):
+        rng = np.random.default_rng(1)
+        chars = _chars()
+        trace = generate_phase_trace(chars, 50_000, rng)
+        assert trace.class_fraction(InstructionClass.LOAD) == pytest.approx(
+            chars.mix.load, abs=0.01
+        )
+        assert trace.nop_fraction == pytest.approx(chars.mix.nop, abs=0.01)
+
+    def test_branch_mpki_realized(self):
+        rng = np.random.default_rng(2)
+        chars = _chars(branch_mpki=10.0)
+        trace = generate_phase_trace(chars, 100_000, rng)
+        assert trace.branch_mpki == pytest.approx(10.0, rel=0.2)
+
+    def test_icache_mpki_realized(self):
+        rng = np.random.default_rng(3)
+        chars = _chars(icache_mpki=5.0)
+        trace = generate_phase_trace(chars, 100_000, rng)
+        assert trace.icache_mpki == pytest.approx(5.0, rel=0.2)
+
+    def test_mispredictions_only_on_branches(self):
+        rng = np.random.default_rng(4)
+        trace = generate_phase_trace(_chars(branch_mpki=20.0), 20_000, rng)
+        assert not trace.mispredicted[
+            trace.classes != InstructionClass.BRANCH
+        ].any()
+
+    def test_dependency_distance_mean(self):
+        rng = np.random.default_rng(5)
+        chars = _chars(dep_distance_mean=6.0)
+        trace = generate_phase_trace(chars, 50_000, rng)
+        # Ignore start-of-trace clamping and NOPs.
+        deps = trace.dep1[1000:]
+        cls = trace.classes[1000:]
+        valid = deps[(deps > 0) & (cls != InstructionClass.NOP)]
+        assert valid.mean() == pytest.approx(6.0, rel=0.15)
+
+    def test_nops_have_no_dependencies(self):
+        rng = np.random.default_rng(6)
+        trace = generate_phase_trace(_chars(), 20_000, rng)
+        nops = trace.classes == InstructionClass.NOP
+        assert not trace.dep1[nops].any()
+        assert not trace.dep2[nops].any()
+
+    def test_addresses_only_on_memory_ops(self):
+        rng = np.random.default_rng(7)
+        trace = generate_phase_trace(_chars(), 20_000, rng)
+        mem = np.isin(
+            trace.classes,
+            [InstructionClass.LOAD, InstructionClass.STORE],
+        )
+        assert trace.addresses[mem].all()
+        assert not trace.addresses[~mem].any()
+
+    def test_branch_load_linkage(self):
+        rng = np.random.default_rng(8)
+        chars = _chars(branch_mpki=20.0, branch_depends_on_load_prob=1.0)
+        trace = generate_phase_trace(chars, 20_000, rng)
+        mispredicted = np.nonzero(trace.mispredicted)[0]
+        loads = set(np.nonzero(trace.classes == InstructionClass.LOAD)[0])
+        linked = sum(
+            1 for i in mispredicted if int(i - trace.dep1[i]) in loads
+        )
+        assert linked / max(len(mispredicted), 1) > 0.9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_phase_trace(_chars(), 0, np.random.default_rng(0))
+
+
+class TestFullTrace:
+    def test_phase_structure_preserved(self):
+        prof = benchmark("calculix")
+        trace = generate_trace(prof, 40_000, seed=0)
+        assert len(trace) == 40_000
+        # The late phase has far more mispredicted branches.
+        early = trace.slice(0, 30_000)
+        late = trace.slice(30_000, 40_000)
+        assert late.branch_mpki > 3 * early.branch_mpki
+
+    def test_default_length_is_profile_length(self):
+        prof = benchmark("povray").scaled(1234)
+        assert len(generate_trace(prof)) == 1234
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1000, 20000), st.integers(0, 100))
+    def test_any_benchmark_any_length(self, n, seed):
+        trace = generate_trace(benchmark("soplex"), n, seed=seed)
+        assert len(trace) == n
+        assert (trace.dep1 <= np.arange(n)).all()

@@ -1,0 +1,76 @@
+"""Tests for workload-mix generation (paper Section 5)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.mixes import (
+    CATEGORIES,
+    WORKLOADS_PER_CATEGORY,
+    WorkloadMix,
+    generate_workloads,
+)
+from repro.workloads.spec2006 import classify_benchmarks
+
+
+class TestWorkloadMix:
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("HH", ("milc", "milc"))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("HHL", ("milc", "lbm"))
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_thirty_six_workloads(self, n):
+        workloads = generate_workloads(n)
+        assert len(workloads) == 6 * WORKLOADS_PER_CATEGORY == 36
+        assert all(len(w.benchmarks) == n for w in workloads)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_six_per_category(self, n):
+        counts = Counter(w.category for w in generate_workloads(n))
+        assert set(counts) == set(CATEGORIES[n])
+        assert all(c == WORKLOADS_PER_CATEGORY for c in counts.values())
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_category_composition_respected(self, n):
+        classes = classify_benchmarks()
+        for w in generate_workloads(n):
+            for letter, bench in zip(w.category, w.benchmarks):
+                assert classes[bench] == letter, (w.category, bench)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_every_benchmark_occurs(self, n):
+        """Paper: "we also make sure that each benchmark occurs at
+        least once"."""
+        used = Counter(
+            b for w in generate_workloads(n) for b in w.benchmarks
+        )
+        assert len(used) == 29
+
+    def test_no_duplicates_within_workload(self):
+        for w in generate_workloads(8):
+            assert len(set(w.benchmarks)) == 8
+
+    def test_deterministic(self):
+        assert generate_workloads(4) == generate_workloads(4)
+        assert generate_workloads(4, seed=1) != generate_workloads(4, seed=2)
+
+    def test_invalid_program_count(self):
+        with pytest.raises(ValueError):
+            generate_workloads(3)
+
+    def test_custom_classes(self):
+        # A tiny custom pool still satisfies the constraints.
+        pools = {
+            "H": ["h1", "h2"],
+            "M": ["m1", "m2"],
+            "L": ["l1", "l2"],
+        }
+        workloads = generate_workloads(2, classes=pools)
+        used = {b for w in workloads for b in w.benchmarks}
+        assert used == {"h1", "h2", "m1", "m2", "l1", "l2"}

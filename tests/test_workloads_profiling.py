@@ -1,0 +1,98 @@
+"""Tests for trace phase profiling (the generator's inverse)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiling import (
+    IntervalStats,
+    measure_intervals,
+    profile_trace,
+)
+from repro.workloads.spec2006 import benchmark
+
+
+@pytest.fixture(scope="module")
+def calculix_trace():
+    return generate_trace(benchmark("calculix"), 80_000, seed=5)
+
+
+class TestMeasureIntervals:
+    def test_interval_count(self, calculix_trace):
+        stats = measure_intervals(calculix_trace, interval=10_000)
+        assert len(stats) == 8
+        assert all(s.length == 10_000 for s in stats)
+
+    def test_phase_change_visible(self, calculix_trace):
+        """calculix's final 25 % has far more mispredicted branches."""
+        stats = measure_intervals(calculix_trace, interval=10_000)
+        early = np.mean([s.branch_mpki for s in stats[:5]])
+        late = np.mean([s.branch_mpki for s in stats[-2:]])
+        assert late > 3 * early
+
+    def test_measured_mix_close_to_profile(self, calculix_trace):
+        stats = measure_intervals(calculix_trace, interval=10_000)
+        target = benchmark("calculix").phases[0][1].mix
+        assert stats[0].mix.load == pytest.approx(target.load, abs=0.03)
+        assert stats[0].mix.branch == pytest.approx(target.branch, abs=0.03)
+
+    def test_miss_rates_ordered(self, calculix_trace):
+        for s in measure_intervals(calculix_trace, interval=10_000):
+            assert s.l1d_mpki >= s.l2_mpki >= s.l3_mpki >= 0
+
+    def test_validation(self, calculix_trace):
+        with pytest.raises(ValueError):
+            measure_intervals(calculix_trace, interval=0)
+        with pytest.raises(ValueError):
+            measure_intervals(calculix_trace, interval=10_000_000)
+
+
+class TestProfileTrace:
+    def test_recovers_two_phases(self, calculix_trace):
+        profile = profile_trace(calculix_trace, phases=2, interval=5_000)
+        assert len(profile.phases) >= 2
+        # The dominant early segment must be low-mispredict; the final
+        # segment high-mispredict (calculix's signature).
+        first = profile.phases[0][1]
+        last = profile.phases[-1][1]
+        assert last.branch_mpki > 3 * first.branch_mpki
+        # The early region covers roughly 75 % of the profile.
+        early_fraction = sum(
+            frac for frac, chars in profile.phases
+            if chars.branch_mpki < 4.0
+        )
+        assert early_fraction == pytest.approx(0.75, abs=0.15)
+
+    def test_fraction_sum(self, calculix_trace):
+        profile = profile_trace(calculix_trace, phases=2, interval=5_000)
+        assert sum(f for f, _ in profile.phases) == pytest.approx(1.0)
+
+    def test_single_phase(self):
+        trace = generate_trace(benchmark("povray"), 30_000, seed=1)
+        profile = profile_trace(trace, phases=1, interval=5_000)
+        assert len(profile.phases) == 1
+
+    def test_instruction_extrapolation(self, calculix_trace):
+        profile = profile_trace(
+            calculix_trace, phases=2, interval=5_000,
+            instructions=1_000_000_000,
+        )
+        assert profile.instructions == 1_000_000_000
+
+    def test_round_trip_through_mechanistic_model(self, calculix_trace):
+        """A recovered profile must behave like the original in the
+        mechanistic model (same phase contrast in ABC)."""
+        from repro.config import MemoryConfig, big_core_config
+        from repro.cores import ISOLATED, MechanisticCoreModel
+
+        profile = profile_trace(calculix_trace, phases=2, interval=5_000)
+        model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+        first = model.analyze(profile.phases[0][1], ISOLATED)
+        last = model.analyze(profile.phases[-1][1], ISOLATED)
+        assert first.total_ace_bits_per_cycle > 1.5 * last.total_ace_bits_per_cycle
+
+    def test_validation(self, calculix_trace):
+        with pytest.raises(ValueError):
+            profile_trace(calculix_trace, phases=0)
+        with pytest.raises(ValueError):
+            profile_trace(calculix_trace, phases=50, interval=40_000)

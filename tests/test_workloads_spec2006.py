@@ -1,0 +1,80 @@
+"""Tests for the synthetic SPEC CPU2006 suite and its classification."""
+
+import pytest
+
+from repro.workloads.spec2006 import (
+    BENCHMARK_NAMES,
+    SIMPOINT_INSTRUCTIONS,
+    SUITE,
+    benchmark,
+    benchmarks_by_class,
+    big_core_avf,
+    classify_benchmarks,
+)
+
+
+class TestSuite:
+    def test_twenty_nine_benchmarks(self):
+        assert len(SUITE) == 29
+
+    def test_simpoint_length(self):
+        assert all(
+            p.instructions == SIMPOINT_INSTRUCTIONS for p in SUITE.values()
+        )
+
+    def test_expected_members(self):
+        for name in ("mcf", "libquantum", "milc", "zeusmp", "calculix",
+                     "povray", "xalancbmk", "lbm", "perlbench"):
+            assert name in SUITE
+
+    def test_lookup(self):
+        assert benchmark("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+    def test_calculix_has_late_low_phase(self):
+        """Figure 4: calculix's ABC drops in its final phase."""
+        prof = benchmark("calculix")
+        assert len(prof.phases) == 2
+        early, late = prof.phases[0][1], prof.phases[1][1]
+        # The late phase is front-end bound (high mispredicts, low ILP).
+        assert late.branch_mpki > early.branch_mpki
+        assert late.dep_distance_mean < early.dep_distance_mean
+
+    def test_povray_single_steady_phase(self):
+        assert len(benchmark("povray").phases) == 1
+
+
+class TestClassification:
+    def test_class_sizes(self):
+        classes = classify_benchmarks()
+        counts = {c: sum(1 for v in classes.values() if v == c) for c in "HML"}
+        assert counts == {"H": 8, "M": 13, "L": 8}
+
+    def test_paper_named_examples(self):
+        """Section 2.3 names milc/zeusmp as high and mcf/libquantum as
+        low AVF; the synthetic suite must reproduce that."""
+        classes = classify_benchmarks()
+        assert classes["milc"] == "H"
+        assert classes["zeusmp"] == "H"
+        assert classes["mcf"] == "L"
+        assert classes["libquantum"] == "L"
+
+    def test_by_class_sorted_by_avf(self):
+        grouped = benchmarks_by_class()
+        avfs = [big_core_avf(SUITE[n]) for n in grouped["H"]]
+        assert avfs == sorted(avfs)
+
+    def test_avf_spread(self):
+        """Figure 1: the AVF spectrum spans a wide range."""
+        avfs = {n: big_core_avf(p) for n, p in SUITE.items()}
+        assert max(avfs.values()) / min(avfs.values()) > 2.5
+        assert 0.05 < min(avfs.values()) < max(avfs.values()) < 0.60
+
+    def test_memory_intensity_does_not_determine_avf(self):
+        """Section 2.3's take-away: mcf and libquantum are memory
+        intensive yet low-AVF, while milc is memory intensive and
+        high-AVF."""
+        avfs = {n: big_core_avf(SUITE[n]) for n in ("mcf", "libquantum", "milc")}
+        assert avfs["milc"] > 2 * avfs["mcf"]
+        assert avfs["milc"] > 2 * avfs["libquantum"]

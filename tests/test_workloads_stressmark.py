@@ -1,0 +1,48 @@
+"""Tests for the AVF stressmark search."""
+
+import pytest
+
+from repro.workloads.spec2006 import SUITE, big_core_avf
+from repro.workloads.stressmark import search_stressmark
+
+
+@pytest.fixture(scope="module")
+def stressmark():
+    return search_stressmark(iterations=250, seed=3)
+
+
+class TestStressmark:
+    def test_beats_every_suite_benchmark(self, stressmark):
+        """A stressmark bounds the suite's AVF from above."""
+        suite_max = max(big_core_avf(p) for p in SUITE.values())
+        assert stressmark.avf > suite_max
+
+    def test_search_improves_on_start(self):
+        short = search_stressmark(iterations=1, seed=0)
+        long = search_stressmark(iterations=300, seed=0)
+        assert long.avf >= short.avf
+
+    def test_deterministic(self):
+        a = search_stressmark(iterations=60, seed=9)
+        b = search_stressmark(iterations=60, seed=9)
+        assert a.avf == pytest.approx(b.avf)
+        assert a.characteristics == b.characteristics
+
+    def test_result_is_valid_characteristics(self, stressmark):
+        chars = stressmark.characteristics
+        assert chars.l1d_mpki >= chars.l2_mpki >= chars.l3_mpki
+        assert chars.mlp >= 1.0
+        assert 0 <= chars.branch_depends_on_load_prob <= 1
+
+    def test_profile_packaging(self, stressmark):
+        profile = stressmark.profile(instructions=1_000_000)
+        assert profile.instructions == 1_000_000
+        assert profile.name == "avf-stressmark"
+        assert big_core_avf(profile) == pytest.approx(stressmark.avf, rel=1e-6)
+
+    def test_avf_below_one(self, stressmark):
+        assert stressmark.avf < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_stressmark(iterations=0)
