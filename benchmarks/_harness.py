@@ -13,6 +13,10 @@ same qualitative results.
 Sweeps are cached in-process so benches that share a configuration
 (Figures 6, 7 and 12 all use the 2B2S four-program sweep) compute it
 once; each bench's timed section is its own marginal work.
+
+Parallelism: sweeps execute through the :mod:`repro.runtime` engine;
+set ``REPRO_JOBS=N`` to fan each sweep out over N worker processes
+(results are identical to a serial run).
 """
 
 from __future__ import annotations
@@ -23,7 +27,8 @@ from typing import Sequence
 
 from repro.ace.counters import AceCounterMode
 from repro.config import STANDARD_MACHINES, MachineConfig
-from repro.sim.experiment import run_workload
+from repro.runtime.engine import default_jobs
+from repro.sim.experiment import sweep
 from repro.sim.results import RunResult
 from repro.workloads.mixes import WorkloadMix, generate_workloads
 
@@ -55,8 +60,13 @@ def cached_sweep(
     small_frequency_ghz: float | None = None,
     sampling: tuple[int, float] | None = None,
     cache_tag: str = "",
+    jobs: int | None = None,
 ) -> dict[str, list[RunResult]]:
     """Run (or fetch) a full 36-workload sweep.
+
+    Execution goes through the :mod:`repro.runtime` engine; set
+    ``REPRO_JOBS`` (or pass ``jobs``) to fan the sweep out across
+    worker processes.  Results are identical to a serial run.
 
     Args:
         machine: base machine configuration.
@@ -66,6 +76,7 @@ def cached_sweep(
         small_frequency_ghz: optional small-core frequency override.
         sampling: optional ``(period_quanta, sampling_quantum_seconds)``.
         cache_tag: extra cache-key component for custom machines.
+        jobs: worker processes (default: the ``REPRO_JOBS`` env var).
     """
     if small_frequency_ghz is not None:
         machine = machine.with_small_frequency(small_frequency_ghz)
@@ -85,19 +96,14 @@ def cached_sweep(
         return {
             name: _SWEEP_CACHE[key][name] for name in scheduler_names
         }
-    results: dict[str, list[RunResult]] = {n: [] for n in scheduler_names}
-    for index, mix in enumerate(workloads(num_programs)):
-        for name in scheduler_names:
-            results[name].append(
-                run_workload(
-                    machine,
-                    mix,
-                    name,
-                    instructions=SCALE,
-                    seed=index,
-                    counter_mode=counter_mode,
-                )
-            )
+    results = sweep(
+        machine,
+        workloads(num_programs),
+        scheduler_names,
+        instructions=SCALE,
+        counter_mode=counter_mode,
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
     _SWEEP_CACHE[key] = results
     return results
 

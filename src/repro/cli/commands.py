@@ -9,6 +9,13 @@ from __future__ import annotations
 import sys
 
 from repro.ace.counters import AceCounterMode
+from repro.runtime import (
+    CampaignError,
+    JsonlEventSink,
+    StderrProgressSink,
+    default_jobs,
+    replay_timings,
+)
 from repro.ace.hardware_cost import (
     baseline_big_core_cost,
     in_order_core_cost,
@@ -48,6 +55,28 @@ def _machine(args):
     if getattr(args, "small_frequency", None):
         machine = machine.with_small_frequency(args.small_frequency)
     return machine
+
+
+def _jobs(args) -> int:
+    """Worker count: ``--jobs`` flag, else the ``REPRO_JOBS`` env var."""
+    if getattr(args, "jobs", None):
+        return max(1, args.jobs)
+    return default_jobs()
+
+
+def _sinks(args, verbose: bool):
+    """Event sinks for a campaign command (progress + JSONL log)."""
+    sinks = []
+    if verbose:
+        sinks.append(StderrProgressSink())
+    if getattr(args, "event_log", None):
+        sinks.append(JsonlEventSink(args.event_log))
+    return sinks
+
+
+def _close_sinks(sinks) -> None:
+    for sink in sinks:
+        sink.close()
 
 
 def _benchmarks(args):
@@ -112,9 +141,16 @@ def cmd_sweep(args) -> int:
     if machine is None:
         return 2
     workloads = generate_workloads(args.programs, seed=args.workload_seed)
-    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
-    results = sweep(machine, workloads, SCHEDULER_NAMES,
-                    instructions=args.instructions, progress=progress)
+    sinks = _sinks(args, args.verbose)
+    try:
+        results = sweep(machine, workloads, SCHEDULER_NAMES,
+                        instructions=args.instructions,
+                        jobs=_jobs(args), sinks=sinks)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        _close_sinks(sinks)
     print(sweep_summary(results))
     return 0
 
@@ -218,16 +254,26 @@ def cmd_figure(args) -> int:
     from pathlib import Path
 
     from repro.report.figures import render_fig06, render_fig07, render_fig12
+    from repro.runtime import ExecutionEngine
     from repro.sim.campaign import Campaign
 
     workloads = generate_workloads(args.programs)
     campaign = Campaign(Path(args.cache_dir))
-    results = campaign.sweep(
-        args.machine,
-        workloads,
-        SCHEDULER_NAMES,
-        args.instructions,
-    )
+    sinks = _sinks(args, getattr(args, "verbose", False))
+    engine = ExecutionEngine(jobs=_jobs(args), sinks=sinks)
+    try:
+        results = campaign.sweep(
+            args.machine,
+            workloads,
+            SCHEDULER_NAMES,
+            args.instructions,
+            engine=engine,
+        )
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        _close_sinks(sinks)
     if args.id == "fig06":
         print(render_fig06(results))
     elif args.id == "fig07":
@@ -276,6 +322,29 @@ def cmd_inject(args) -> int:
     print(format_table(["structure", "trials", "ACE hits", "AVF %"], rows,
                        float_format="{:.1f}"))
     return 0
+
+
+def cmd_events(args) -> int:
+    """Replay a JSONL campaign event log to per-job timings."""
+    try:
+        timings = replay_timings(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot replay {args.path}: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        [t.index, t.label, t.status, t.attempts, float(t.wall_seconds)]
+        for t in timings
+    ]
+    print(format_table(["job", "label", "status", "attempts", "wall s"],
+                       rows, float_format="{:.3f}"))
+    executed = [t for t in timings if t.status == "ok"]
+    failed = sum(1 for t in timings if t.status == "failed")
+    cached = sum(1 for t in timings if t.status == "cached")
+    total_wall = sum(t.wall_seconds for t in executed)
+    print(f"\n{len(timings)} jobs: {len(executed)} executed "
+          f"({total_wall:.2f}s simulated wall time), "
+          f"{cached} cached, {failed} failed")
+    return 0 if failed == 0 else 1
 
 
 def cmd_cost(args) -> int:

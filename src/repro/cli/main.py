@@ -12,6 +12,12 @@ Subcommands:
 * ``repro cost``      -- ACE counter hardware cost (Section 4.2)
 * ``repro figure``    -- render an evaluation figure as an ASCII chart
 * ``repro inject``    -- fault-injection campaign vs ACE counting
+* ``repro events``    -- replay a campaign event log to job timings
+
+``repro sweep`` and ``repro figure`` execute through the
+:mod:`repro.runtime` engine: ``--jobs N`` (or ``REPRO_JOBS=N``) fans
+runs out over N worker processes, and ``--event-log FILE`` appends
+structured JSONL progress events for post-hoc analysis.
 """
 
 from __future__ import annotations
@@ -30,6 +36,15 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="HCMP topology: 1B1S, 2B2S, 1B3S, 3B1S, 4B4S")
     parser.add_argument("--small-frequency", type=float, default=None,
                         help="small-core frequency in GHz (default: 2.66)")
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for parallel execution "
+                             "(default: the REPRO_JOBS env var, else 1)")
+    parser.add_argument("--event-log", default=None, metavar="FILE",
+                        help="append structured JSONL progress events "
+                             "to FILE (replay with `repro events`)")
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_INSTRUCTIONS)
     sweep.add_argument("--workload-seed", type=int, default=42)
     sweep.add_argument("--verbose", action="store_true")
+    _add_runtime_arguments(sweep)
     sweep.set_defaults(func=commands.cmd_sweep)
 
     avf = subparsers.add_parser("avf", help="suite AVF spectrum")
@@ -118,7 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_INSTRUCTIONS)
     figure.add_argument("--cache-dir", default=".repro_cache/figures",
                         help="campaign cache directory")
+    figure.add_argument("--verbose", action="store_true")
+    _add_runtime_arguments(figure)
     figure.set_defaults(func=commands.cmd_figure)
+
+    events = subparsers.add_parser(
+        "events", help="replay a JSONL campaign event log"
+    )
+    events.add_argument("path", help="event log written with --event-log")
+    events.set_defaults(func=commands.cmd_events)
 
     inject = subparsers.add_parser(
         "inject", help="fault-injection campaign vs ACE counting"

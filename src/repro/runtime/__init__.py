@@ -1,0 +1,71 @@
+"""Campaign execution runtime: process-pool engine, events, retry.
+
+This package is the single execution path for campaigns, sweeps,
+benches and the CLI: it fans independent simulation runs out across
+CPU cores, retries transient worker failures, and narrates progress
+through a structured event stream.
+"""
+
+from repro.runtime.engine import (
+    ExecutionEngine,
+    ExecutionReport,
+    FaultPlan,
+    InjectedFault,
+    Job,
+    JobOutcome,
+    default_jobs,
+)
+from repro.runtime.events import (
+    CallbackSink,
+    CampaignFinished,
+    CampaignStarted,
+    Event,
+    EventSink,
+    JobCached,
+    JobFailed,
+    JobFinished,
+    JobStarted,
+    JobTiming,
+    JsonlEventSink,
+    StderrProgressSink,
+    event_from_dict,
+    read_events,
+    replay_timings,
+)
+from repro.runtime.retry import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    CampaignError,
+    FailurePolicy,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CallbackSink",
+    "CampaignError",
+    "CampaignFinished",
+    "CampaignStarted",
+    "DEFAULT_RETRY",
+    "Event",
+    "EventSink",
+    "ExecutionEngine",
+    "ExecutionReport",
+    "FailurePolicy",
+    "FaultPlan",
+    "InjectedFault",
+    "Job",
+    "JobCached",
+    "JobFailed",
+    "JobFinished",
+    "JobOutcome",
+    "JobStarted",
+    "JobTiming",
+    "JsonlEventSink",
+    "NO_RETRY",
+    "RetryPolicy",
+    "StderrProgressSink",
+    "default_jobs",
+    "event_from_dict",
+    "read_events",
+    "replay_timings",
+]

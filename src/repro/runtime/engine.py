@@ -1,0 +1,550 @@
+"""Parallel, fault-tolerant execution engine for simulation campaigns.
+
+The paper's evaluation is a large design-space sweep (36 workload
+mixes x 3 schedulers x topologies/frequencies/sampling rates); every
+run is independent, so the sweep parallelizes perfectly across CPU
+cores.  :class:`ExecutionEngine` fans :class:`~repro.sim.campaign.RunSpec`
+jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+retries transient worker failures with capped backoff, and narrates
+progress through the structured event stream in
+:mod:`repro.runtime.events`.
+
+Guarantees:
+
+* **Determinism** -- results are returned in submission order and are
+  identical to serial execution (every run is seeded; workers ship
+  results back through the same JSON codec used by the disk cache).
+* **Fault tolerance** -- a job failure is retried per
+  :class:`~repro.runtime.retry.RetryPolicy`; a permanent failure is
+  surfaced as a :class:`~repro.runtime.events.JobFailed` event and
+  handled per :class:`~repro.runtime.retry.FailurePolicy`, never as an
+  unhandled traceback from a worker.  A broken worker pool degrades to
+  in-process serial execution of the unfinished jobs, as does an
+  environment where process spawning is unavailable.
+* **Cache safety** -- cache entries are written atomically (temp file
+  + ``os.replace``) so concurrent engines sharing a campaign
+  directory never observe partial files; corrupt entries are treated
+  as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent import futures
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.ace.counters import AceCounterMode
+from repro.config.machines import MachineConfig
+from repro.runtime.events import (
+    CampaignFinished,
+    CampaignStarted,
+    Event,
+    EventSink,
+    JobCached,
+    JobFailed,
+    JobFinished,
+    JobStarted,
+)
+from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
+from repro.sim.campaign import RunSpec
+from repro.sim.experiment import run_workload
+from repro.sim.results import RunResult
+from repro.sim.serialize import (
+    ResultCacheError,
+    load_run,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run,
+)
+
+
+def default_jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    try:
+        return max(1, int(value)) if value else 1
+    except ValueError:
+        warnings.warn(f"ignoring invalid REPRO_JOBS={value!r}")
+        return 1
+
+
+class InjectedFault(RuntimeError):
+    """Failure raised by the engine's fault-injection hook."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection, for tests and chaos drills.
+
+    The plan travels to the workers with each job (it must stay
+    picklable), keyed by job index:
+
+    Attributes:
+        fail_attempts: job index -> number of leading attempts that
+            raise :class:`InjectedFault` (a value >= the retry
+            policy's ``max_attempts`` makes the job fail permanently).
+        sleep_seconds: job index -> delay injected before every
+            attempt (exercises timeouts and completion reordering).
+    """
+
+    fail_attempts: dict[int, int] = field(default_factory=dict)
+    sleep_seconds: dict[int, float] = field(default_factory=dict)
+
+    def apply(self, index: int, attempt: int) -> None:
+        delay = self.sleep_seconds.get(index, 0.0)
+        if delay > 0:
+            time.sleep(delay)
+        if attempt <= self.fail_attempts.get(index, 0):
+            raise InjectedFault(
+                f"injected fault (job {index}, attempt {attempt})"
+            )
+
+
+@dataclass(frozen=True)
+class Job:
+    """Picklable payload shipped to a worker process."""
+
+    index: int
+    spec: RunSpec
+    label: str
+    machine: MachineConfig | None = None
+    cache_path: str | None = None
+
+
+def _execute_job(
+    job: Job, retry: RetryPolicy, fault_plan: FaultPlan | None
+) -> tuple[int, dict, int, float]:
+    """Worker entry point: run one spec with retry, return plain data.
+
+    Returns ``(index, result_dict, attempts, wall_seconds)``; the
+    result travels as the JSON-codec dict so the payload is trivially
+    picklable and byte-identical to what the disk cache stores.
+    """
+    started = time.perf_counter()
+    # Configuration errors (e.g. an unknown machine tag) are not
+    # transient: build the machine once, outside the retry loop.
+    machine = job.machine if job.machine is not None else job.spec.build_machine()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            if fault_plan is not None:
+                fault_plan.apply(job.index, attempt)
+            result = run_workload(
+                machine,
+                job.spec.benchmarks,
+                job.spec.scheduler,
+                instructions=job.spec.instructions,
+                seed=job.spec.seed,
+                counter_mode=AceCounterMode(job.spec.counter_mode),
+            )
+            break
+        except Exception:
+            if attempt >= retry.max_attempts:
+                raise
+            time.sleep(retry.delay(attempt))
+    if job.cache_path is not None:
+        save_run(result, job.cache_path)
+    wall = time.perf_counter() - started
+    return job.index, run_result_to_dict(result), attempt, wall
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job."""
+
+    index: int
+    spec: RunSpec
+    label: str
+    result: RunResult | None = None
+    error: str | None = None
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the engine knows after a batch completes."""
+
+    outcomes: list[JobOutcome]
+    wall_seconds: float = 0.0
+
+    @property
+    def results(self) -> list[RunResult | None]:
+        """Results in submission order (``None`` for failed jobs)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_failure(self) -> "ExecutionReport":
+        if self.failures:
+            raise CampaignError(self)
+        return self
+
+
+class ExecutionEngine:
+    """Fan :class:`RunSpec` jobs out across worker processes.
+
+    Args:
+        jobs: worker-process count; ``1`` runs everything in-process
+            (no pool), which is also the graceful-degradation path
+            when process spawning is unavailable.
+        retry: per-job :class:`RetryPolicy` (applied inside workers).
+        failure_policy: what a permanent job failure means for the
+            batch (abort vs. collect partial results).
+        timeout_seconds: per-job wall-clock budget, measured from
+            submission to the pool; enforced in parallel mode (an
+            in-process job cannot be preempted).  Timed-out jobs fail
+            without retry.
+        sinks: event sinks receiving the progress stream.
+        fault_plan: optional deterministic fault injection hook.
+    """
+
+    #: Factory for the worker pool; replaceable in tests to simulate
+    #: environments without process support.
+    _executor_factory = staticmethod(futures.ProcessPoolExecutor)
+
+    #: Poll interval for the harvest loop when timeouts are armed.
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        retry: RetryPolicy | None = None,
+        failure_policy: FailurePolicy = FailurePolicy.FAIL_FAST,
+        timeout_seconds: float | None = None,
+        sinks: Sequence[EventSink] = (),
+        fault_plan: FaultPlan | None = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.failure_policy = failure_policy
+        self.timeout_seconds = timeout_seconds
+        self.sinks = list(sinks)
+        self.fault_plan = fault_plan
+
+    # -- events ------------------------------------------------------
+
+    def _emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    # -- public API --------------------------------------------------
+
+    def run_many(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        machines: MachineConfig | Sequence[MachineConfig | None] | None = None,
+        cache_paths: Sequence[str | Path | None] | None = None,
+        labels: Sequence[str] | None = None,
+    ) -> ExecutionReport:
+        """Execute a batch of specs; results come back in spec order.
+
+        Args:
+            specs: the runs to execute.
+            machines: optional machine override -- a single
+                :class:`MachineConfig` applied to every spec, or one
+                per spec (``None`` entries fall back to
+                ``spec.build_machine()``).  Required when
+                ``spec.machine`` is a custom tag rather than a
+                standard topology name.
+            cache_paths: optional per-spec result-cache paths;
+                existing valid entries are served without executing,
+                and executed results are written back atomically.
+            labels: optional per-spec display labels for events.
+        """
+        jobs_list = self._build_jobs(specs, machines, cache_paths, labels)
+        started = time.perf_counter()
+        self._emit(CampaignStarted(total=len(jobs_list)))
+
+        outcomes: dict[int, JobOutcome] = {}
+        to_run = []
+        for job in jobs_list:
+            cached = self._load_cached(job)
+            if cached is not None:
+                outcomes[job.index] = cached
+                self._emit(
+                    JobCached(
+                        index=job.index,
+                        label=job.label,
+                        wall_seconds=cached.wall_seconds,
+                    )
+                )
+            else:
+                to_run.append(job)
+
+        if to_run:
+            if self.jobs == 1 or len(to_run) == 1:
+                self._run_serial(to_run, outcomes)
+            else:
+                self._run_parallel(to_run, outcomes)
+
+        report = ExecutionReport(
+            outcomes=[outcomes[i] for i in sorted(outcomes)],
+            wall_seconds=time.perf_counter() - started,
+        )
+        self._emit(
+            CampaignFinished(
+                total=len(report.outcomes),
+                completed=sum(1 for o in report.outcomes if o.ok),
+                cached=report.cache_hits,
+                failed=len(report.failures),
+                wall_seconds=report.wall_seconds,
+            )
+        )
+        if self.failure_policy is FailurePolicy.FAIL_FAST:
+            report.raise_on_failure()
+        return report
+
+    # -- batch assembly ----------------------------------------------
+
+    def _build_jobs(self, specs, machines, cache_paths, labels) -> list[Job]:
+        count = len(specs)
+        if machines is None or isinstance(machines, MachineConfig):
+            machines = [machines] * count
+        if cache_paths is None:
+            cache_paths = [None] * count
+        if labels is None:
+            labels = [self._default_label(spec) for spec in specs]
+        if not (len(machines) == len(cache_paths) == len(labels) == count):
+            raise ValueError(
+                "specs, machines, cache_paths and labels must align"
+            )
+        return [
+            Job(
+                index=index,
+                spec=spec,
+                label=label,
+                machine=machine,
+                cache_path=str(path) if path is not None else None,
+            )
+            for index, (spec, machine, path, label) in enumerate(
+                zip(specs, machines, cache_paths, labels)
+            )
+        ]
+
+    @staticmethod
+    def _default_label(spec: RunSpec) -> str:
+        mix = "+".join(spec.benchmarks)
+        return f"{spec.machine}/{spec.scheduler}/{mix}#{spec.seed}"
+
+    def _load_cached(self, job: Job) -> JobOutcome | None:
+        if job.cache_path is None:
+            return None
+        path = Path(job.cache_path)
+        if not path.exists():
+            return None
+        started = time.perf_counter()
+        try:
+            result = load_run(path)
+        except ResultCacheError:
+            return None  # corrupt or partial entry: recompute
+        return JobOutcome(
+            index=job.index,
+            spec=job.spec,
+            label=job.label,
+            result=result,
+            attempts=0,
+            wall_seconds=time.perf_counter() - started,
+            cached=True,
+        )
+
+    # -- outcome recording -------------------------------------------
+
+    def _record_success(
+        self, job: Job, data: dict, attempts: int, wall: float, outcomes
+    ) -> None:
+        result = run_result_from_dict(data)
+        outcomes[job.index] = JobOutcome(
+            index=job.index,
+            spec=job.spec,
+            label=job.label,
+            result=result,
+            attempts=attempts,
+            wall_seconds=wall,
+        )
+        self._emit(
+            JobFinished(
+                index=job.index,
+                label=job.label,
+                wall_seconds=wall,
+                attempts=attempts,
+                sser=result.sser,
+                stp=result.stp,
+            )
+        )
+
+    def _record_failure(
+        self, job: Job, error: str, attempts: int, wall: float, outcomes
+    ) -> None:
+        outcomes[job.index] = JobOutcome(
+            index=job.index,
+            spec=job.spec,
+            label=job.label,
+            error=error,
+            attempts=attempts,
+            wall_seconds=wall,
+        )
+        self._emit(
+            JobFailed(
+                index=job.index,
+                label=job.label,
+                error=error,
+                attempts=attempts,
+                wall_seconds=wall,
+            )
+        )
+
+    # -- serial path -------------------------------------------------
+
+    def _run_serial(self, jobs_list: Sequence[Job], outcomes: dict) -> None:
+        aborted = False
+        for job in jobs_list:
+            if aborted:
+                self._record_failure(
+                    job, "skipped (fail-fast abort)", 0, 0.0, outcomes
+                )
+                continue
+            self._emit(JobStarted(index=job.index, label=job.label))
+            started = time.perf_counter()
+            try:
+                _, data, attempts, wall = _execute_job(
+                    job, self.retry, self.fault_plan
+                )
+            except Exception as error:
+                self._record_failure(
+                    job,
+                    f"{type(error).__name__}: {error}",
+                    self.retry.max_attempts,
+                    time.perf_counter() - started,
+                    outcomes,
+                )
+                if self.failure_policy is FailurePolicy.FAIL_FAST:
+                    aborted = True
+                continue
+            self._record_success(job, data, attempts, wall, outcomes)
+
+    # -- parallel path -----------------------------------------------
+
+    def _run_parallel(self, jobs_list: Sequence[Job], outcomes: dict) -> None:
+        try:
+            executor = self._executor_factory(
+                max_workers=min(self.jobs, len(jobs_list))
+            )
+        except (NotImplementedError, OSError, ImportError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); running serially"
+            )
+            self._run_serial(jobs_list, outcomes)
+            return
+
+        pending: dict[futures.Future, tuple[Job, float]] = {}
+        try:
+            for job in jobs_list:
+                self._emit(JobStarted(index=job.index, label=job.label))
+                future = executor.submit(
+                    _execute_job, job, self.retry, self.fault_plan
+                )
+                pending[future] = (job, time.monotonic())
+            self._harvest(pending, outcomes)
+        except futures.process.BrokenProcessPool:
+            remaining = [
+                job
+                for job, _ in pending.values()
+                if job.index not in outcomes
+            ]
+            warnings.warn(
+                f"worker pool broke; finishing {len(remaining)} "
+                f"job(s) in-process"
+            )
+            self._run_serial(remaining, outcomes)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _harvest(self, pending: dict, outcomes: dict) -> None:
+        poll = self._POLL_SECONDS if self.timeout_seconds is not None else None
+        while pending:
+            done, _ = futures.wait(
+                pending, timeout=poll, return_when=futures.FIRST_COMPLETED
+            )
+            for future in done:
+                job, _ = pending.pop(future)
+                if future.cancelled():
+                    self._record_failure(
+                        job, "cancelled (fail-fast abort)", 0, 0.0, outcomes
+                    )
+                    continue
+                try:
+                    _, data, attempts, wall = future.result()
+                except futures.process.BrokenProcessPool:
+                    # Put the job back so the caller's serial-fallback
+                    # path re-runs it alongside the other pending jobs.
+                    pending[future] = (job, 0.0)
+                    raise
+                except Exception as error:
+                    self._record_failure(
+                        job,
+                        f"{type(error).__name__}: {error}",
+                        self.retry.max_attempts,
+                        0.0,
+                        outcomes,
+                    )
+                    if self.failure_policy is FailurePolicy.FAIL_FAST:
+                        self._abort_pending(pending, outcomes)
+                        return
+                    continue
+                self._record_success(job, data, attempts, wall, outcomes)
+            if self.timeout_seconds is not None:
+                now = time.monotonic()
+                for future in list(pending):
+                    job, submitted = pending[future]
+                    if now - submitted > self.timeout_seconds:
+                        del pending[future]
+                        future.cancel()
+                        self._record_failure(
+                            job,
+                            f"timed out after {self.timeout_seconds:.1f}s",
+                            1,
+                            now - submitted,
+                            outcomes,
+                        )
+                        if self.failure_policy is FailurePolicy.FAIL_FAST:
+                            self._abort_pending(pending, outcomes)
+                            return
+
+    def _abort_pending(self, pending: dict, outcomes: dict) -> None:
+        for future in list(pending):
+            job, _ = pending.pop(future)
+            future.cancel()
+            self._record_failure(
+                job, "cancelled (fail-fast abort)", 0, 0.0, outcomes
+            )

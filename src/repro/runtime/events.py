@@ -1,0 +1,289 @@
+"""Structured progress events for campaign execution.
+
+The execution engine narrates a campaign as a stream of typed events
+(:class:`JobStarted`, :class:`JobCached`, :class:`JobFinished`,
+:class:`JobFailed`, bracketed by :class:`CampaignStarted` and
+:class:`CampaignFinished`).  Sinks consume the stream:
+:class:`StderrProgressSink` renders live one-line progress,
+:class:`JsonlEventSink` appends one JSON object per event for post-hoc
+analysis, and :func:`replay_timings` turns such a log back into
+per-job wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Sequence
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all campaign events."""
+
+    kind: ClassVar[str] = "event"
+
+    timestamp: float = field(
+        default_factory=time.time, kw_only=True, compare=False
+    )
+
+    def to_dict(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["event"] = self.kind
+        return data
+
+
+@dataclass(frozen=True)
+class CampaignStarted(Event):
+    """The engine accepted a batch of jobs."""
+
+    kind: ClassVar[str] = "campaign_started"
+
+    total: int
+
+
+@dataclass(frozen=True)
+class JobStarted(Event):
+    """A job was handed to a worker (or began executing in-process)."""
+
+    kind: ClassVar[str] = "job_started"
+
+    index: int
+    label: str
+
+
+@dataclass(frozen=True)
+class JobCached(Event):
+    """A job's result was served from the on-disk campaign cache."""
+
+    kind: ClassVar[str] = "job_cached"
+
+    index: int
+    label: str
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class JobFinished(Event):
+    """A job completed successfully.
+
+    ``sser``/``stp`` carry the run's headline metrics so event logs
+    are analyzable without reloading results.
+    """
+
+    kind: ClassVar[str] = "job_finished"
+
+    index: int
+    label: str
+    wall_seconds: float
+    attempts: int = 1
+    cached: bool = False
+    sser: float | None = None
+    stp: float | None = None
+
+
+@dataclass(frozen=True)
+class JobFailed(Event):
+    """A job failed permanently (retries exhausted, timeout, or
+    skipped by a fail-fast abort)."""
+
+    kind: ClassVar[str] = "job_failed"
+
+    index: int
+    label: str
+    error: str
+    attempts: int = 1
+    wall_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class CampaignFinished(Event):
+    """The batch is done; totals for the whole campaign."""
+
+    kind: ClassVar[str] = "campaign_finished"
+
+    total: int
+    completed: int
+    cached: int
+    failed: int
+    wall_seconds: float
+
+
+#: Terminal per-job events (exactly one per job).
+TERMINAL_EVENTS = (JobCached, JobFinished, JobFailed)
+
+_EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        CampaignStarted,
+        JobStarted,
+        JobCached,
+        JobFinished,
+        JobFailed,
+        CampaignFinished,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> Event:
+    """Rebuild an event from its :meth:`Event.to_dict` form."""
+    data = dict(data)
+    kind = data.pop("event", None)
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    return cls(**data)
+
+
+class EventSink:
+    """Consumer of campaign events.  Subclasses override :meth:`emit`."""
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources; safe to call twice."""
+
+
+class CallbackSink(EventSink):
+    """Adapter forwarding every event to a plain callable."""
+
+    def __init__(self, callback: Callable[[Event], None]):
+        self.callback = callback
+
+    def emit(self, event: Event) -> None:
+        self.callback(event)
+
+
+class StderrProgressSink(EventSink):
+    """Human-readable one-line-per-job progress on stderr."""
+
+    def __init__(self, stream=None, show_starts: bool = False):
+        self._stream = stream
+        self.show_starts = show_starts
+        self._total = 0
+        self._done = 0
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _print(self, message: str) -> None:
+        print(message, file=self.stream, flush=True)
+
+    def _counter(self) -> str:
+        if self._total:
+            width = len(str(self._total))
+            return f"[{self._done:>{width}}/{self._total}]"
+        return f"[{self._done}]"
+
+    def emit(self, event: Event) -> None:
+        if isinstance(event, CampaignStarted):
+            self._total, self._done = event.total, 0
+            self._print(f"campaign: {event.total} jobs")
+        elif isinstance(event, JobStarted):
+            if self.show_starts:
+                self._print(f"    start    {event.label}")
+        elif isinstance(event, JobCached):
+            self._done += 1
+            self._print(f"{self._counter()} cached   {event.label}")
+        elif isinstance(event, JobFinished):
+            self._done += 1
+            extra = f" sser={event.sser:.3e}" if event.sser is not None else ""
+            self._print(
+                f"{self._counter()} done     {event.label} "
+                f"({event.wall_seconds:.2f}s){extra}"
+            )
+        elif isinstance(event, JobFailed):
+            self._done += 1
+            self._print(
+                f"{self._counter()} FAILED   {event.label} "
+                f"after {event.attempts} attempt(s): {event.error}"
+            )
+        elif isinstance(event, CampaignFinished):
+            self._print(
+                f"campaign finished: {event.completed} ok, "
+                f"{event.cached} cached, {event.failed} failed "
+                f"in {event.wall_seconds:.2f}s"
+            )
+
+
+class JsonlEventSink(EventSink):
+    """Append events to a JSONL file, one JSON object per line."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = None
+
+    def emit(self, event: Event) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a")
+        self._file.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_events(path: str | Path) -> list[Event]:
+    """Read every event from a JSONL log written by
+    :class:`JsonlEventSink`."""
+    events = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Per-job timing recovered from an event log."""
+
+    index: int
+    label: str
+    wall_seconds: float
+    status: str  # "ok" | "cached" | "failed"
+    attempts: int = 1
+
+
+def replay_timings(
+    source: str | Path | Sequence[Event],
+) -> list[JobTiming]:
+    """Replay an event log (path or event list) to per-job timings.
+
+    Exactly one timing per job index is returned, in index order; if a
+    job has several terminal events (e.g. the campaign was re-run into
+    the same log), the last one wins.
+    """
+    events = read_events(source) if isinstance(source, (str, Path)) else source
+    timings: dict[int, JobTiming] = {}
+    for event in events:
+        if isinstance(event, JobCached):
+            timings[event.index] = JobTiming(
+                event.index, event.label, event.wall_seconds, "cached"
+            )
+        elif isinstance(event, JobFinished):
+            timings[event.index] = JobTiming(
+                event.index,
+                event.label,
+                event.wall_seconds,
+                "ok",
+                event.attempts,
+            )
+        elif isinstance(event, JobFailed):
+            timings[event.index] = JobTiming(
+                event.index,
+                event.label,
+                event.wall_seconds,
+                "failed",
+                event.attempts,
+            )
+    return [timings[index] for index in sorted(timings)]

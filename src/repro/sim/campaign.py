@@ -5,6 +5,12 @@ workload × scheduler × parameters).  Each run's result is persisted as
 JSON under the campaign directory the first time it executes;
 re-running the campaign loads cached results, so large sweeps can be
 built up incrementally and analyses re-run cheaply.
+
+Batch execution (:meth:`Campaign.run_all`, :meth:`Campaign.sweep`)
+goes through the :mod:`repro.runtime` engine, so campaigns
+parallelize across CPU cores with ``jobs=N`` and tolerate worker
+failures; cache writes are atomic, and corrupt or partial cache
+entries are treated as misses rather than raising.
 """
 
 from __future__ import annotations
@@ -13,14 +19,17 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.ace.counters import AceCounterMode
 from repro.config.machines import STANDARD_MACHINES, MachineConfig
 from repro.sim.experiment import run_workload
 from repro.sim.results import RunResult
-from repro.sim.serialize import load_run, save_run
+from repro.sim.serialize import ResultCacheError, load_run, save_run
 from repro.workloads.mixes import WorkloadMix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.engine import ExecutionEngine
 
 
 @dataclass(frozen=True)
@@ -32,7 +41,8 @@ class RunSpec:
             machine override is supplied at run time.
         benchmarks: benchmark names, one per core.
         scheduler: scheduler name.
-        instructions: per-benchmark instruction count.
+        instructions: per-benchmark instruction count (``None`` runs
+            each profile at its full length).
         seed: random-scheduler seed.
         counter_mode: ACE counter architecture.
         small_frequency_ghz: optional small-core frequency override.
@@ -42,7 +52,7 @@ class RunSpec:
     machine: str
     benchmarks: tuple[str, ...]
     scheduler: str
-    instructions: int
+    instructions: int | None
     seed: int = 0
     counter_mode: str = AceCounterMode.FULL.value
     small_frequency_ghz: float | None = None
@@ -66,7 +76,14 @@ class RunSpec:
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
     def build_machine(self) -> MachineConfig:
-        machine = STANDARD_MACHINES[self.machine]()
+        try:
+            machine = STANDARD_MACHINES[self.machine]()
+        except KeyError:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; known machines: "
+                f"{', '.join(STANDARD_MACHINES)}.  Specs with a custom "
+                f"tag need an explicit machine override at run time."
+            ) from None
         if self.small_frequency_ghz is not None:
             machine = machine.with_small_frequency(self.small_frequency_ghz)
         if self.sampling is not None:
@@ -89,14 +106,29 @@ class Campaign:
     def is_cached(self, spec: RunSpec) -> bool:
         return self._path(spec).exists()
 
-    def run(self, spec: RunSpec) -> RunResult:
-        """Execute a spec, or load its cached result."""
+    def run(
+        self, spec: RunSpec, machine: MachineConfig | None = None
+    ) -> RunResult:
+        """Execute a spec, or load its cached result.
+
+        Args:
+            spec: the run to execute.
+            machine: optional machine override; required when
+                ``spec.machine`` is a custom tag rather than one of
+                the standard topology names.
+        """
         path = self._path(spec)
         if path.exists():
-            self.hits += 1
-            return load_run(path)
+            try:
+                result = load_run(path)
+            except ResultCacheError:
+                pass  # corrupt or partial entry: fall through, re-run
+            else:
+                self.hits += 1
+                return result
         self.misses += 1
-        machine = spec.build_machine()
+        if machine is None:
+            machine = spec.build_machine()
         result = run_workload(
             machine,
             spec.benchmarks,
@@ -108,33 +140,72 @@ class Campaign:
         save_run(result, path)
         return result
 
-    def run_all(self, specs: Sequence[RunSpec]) -> list[RunResult]:
-        return [self.run(spec) for spec in specs]
+    def run_all(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        jobs: int = 1,
+        engine: "ExecutionEngine | None" = None,
+        machines: MachineConfig | Sequence[MachineConfig | None] | None = None,
+    ) -> list[RunResult]:
+        """Execute a batch of specs through the runtime engine.
+
+        Results come back in spec order, identically to running each
+        spec serially.  With the engine's default fail-fast policy a
+        permanent job failure raises
+        :class:`~repro.runtime.retry.CampaignError`; under a collect
+        policy, failed entries are ``None``.
+        """
+        from repro.runtime.engine import ExecutionEngine
+
+        if engine is None:
+            engine = ExecutionEngine(jobs=jobs)
+        report = engine.run_many(
+            specs,
+            machines=machines,
+            cache_paths=[self._path(spec) for spec in specs],
+        )
+        self.hits += report.cache_hits
+        self.misses += report.executed
+        return report.results
 
     def sweep(
         self,
         machine: str,
         workloads: Sequence[WorkloadMix | Sequence[str]],
         schedulers: Sequence[str],
-        instructions: int,
+        instructions: int | None,
+        *,
+        jobs: int = 1,
+        engine: "ExecutionEngine | None" = None,
         **overrides,
     ) -> dict[str, list[RunResult]]:
-        """Cached equivalent of :func:`repro.sim.experiment.sweep`."""
-        results: dict[str, list[RunResult]] = {s: [] for s in schedulers}
+        """Cached equivalent of :func:`repro.sim.experiment.sweep`.
+
+        Extra keyword ``overrides`` become :class:`RunSpec` fields
+        (e.g. ``counter_mode``, ``small_frequency_ghz``); ``jobs`` and
+        ``engine`` control parallel execution.
+        """
+        specs = []
         for index, mix in enumerate(workloads):
             names = (
                 mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
             )
             for scheduler in schedulers:
-                spec = RunSpec(
-                    machine=machine,
-                    benchmarks=names,
-                    scheduler=scheduler,
-                    instructions=instructions,
-                    seed=index,
-                    **overrides,
+                specs.append(
+                    RunSpec(
+                        machine=machine,
+                        benchmarks=names,
+                        scheduler=scheduler,
+                        instructions=instructions,
+                        seed=index,
+                        **overrides,
+                    )
                 )
-                results[scheduler].append(self.run(spec))
+        flat = self.run_all(specs, jobs=jobs, engine=engine)
+        results: dict[str, list[RunResult]] = {s: [] for s in schedulers}
+        for spec, result in zip(specs, flat):
+            results[spec.scheduler].append(result)
         return results
 
     def clear(self) -> int:

@@ -89,25 +89,57 @@ def sweep(
     instructions: int | None = None,
     counter_mode: AceCounterMode = AceCounterMode.FULL,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    sinks: Sequence = (),
 ) -> dict[str, list[RunResult]]:
     """Run a workload list under several schedulers.
 
+    Execution goes through the :mod:`repro.runtime` engine: ``jobs``
+    sets the worker-process count (1 = in-process serial), ``sinks``
+    receive the structured progress-event stream, and ``progress`` is
+    a legacy per-run text callback kept for compatibility.  Results
+    are deterministic: the same specs in the same order regardless of
+    ``jobs``.
+
     Returns ``{scheduler_name: [RunResult per workload, in order]}``.
     """
-    results: dict[str, list[RunResult]] = {name: [] for name in scheduler_names}
+    from repro.runtime.engine import ExecutionEngine
+    from repro.runtime.events import CallbackSink, JobFinished
+    from repro.sim.campaign import RunSpec
+
+    specs: list[RunSpec] = []
+    labels: list[str] = []
     for index, mix in enumerate(workloads):
+        names = mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
+        category = mix.category if isinstance(mix, WorkloadMix) else "mix"
         for name in scheduler_names:
-            result = run_workload(
-                machine,
-                mix,
-                name,
-                instructions=instructions,
-                seed=index,
-                counter_mode=counter_mode,
+            specs.append(
+                RunSpec(
+                    machine=machine.name,
+                    benchmarks=names,
+                    scheduler=name,
+                    instructions=instructions,
+                    seed=index,
+                    counter_mode=counter_mode.value,
+                )
             )
-            results[name].append(result)
-            if progress is not None:
-                progress(f"{mix.category}/{index} {name}: sser={result.sser:.3e}")
+            labels.append(f"{category}/{index} {name}")
+
+    sinks = list(sinks)
+    if progress is not None:
+        callback = progress  # bind for the closure below
+
+        def _legacy_line(event) -> None:
+            if isinstance(event, JobFinished) and event.sser is not None:
+                callback(f"{event.label}: sser={event.sser:.3e}")
+
+        sinks.append(CallbackSink(_legacy_line))
+
+    engine = ExecutionEngine(jobs=jobs, sinks=sinks)
+    report = engine.run_many(specs, machines=machine, labels=labels)
+    results: dict[str, list[RunResult]] = {name: [] for name in scheduler_names}
+    for spec, result in zip(specs, report.results):
+        results[spec.scheduler].append(result)
     return results
 
 

@@ -3,12 +3,18 @@
 Sweeps at paper scale take minutes; persisting
 :class:`~repro.sim.results.RunResult` objects lets analyses and
 reports run on stored results without re-simulation.
+
+Writes are atomic (temp file + :func:`os.replace`) so concurrent
+campaign workers sharing a cache directory never leave a partial file
+behind, and reads raise :class:`ResultCacheError` on anything
+unreadable so callers can treat corrupt entries as cache misses.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -16,6 +22,28 @@ from repro.sim.results import AppRunRecord, RunResult, TimelinePoint
 
 #: Format marker embedded in every serialized result.
 FORMAT_VERSION = 1
+
+
+class ResultCacheError(ValueError):
+    """A stored result could not be read back (missing, truncated,
+    corrupt JSON, wrong format version, or malformed fields)."""
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The temp name embeds the PID so concurrent writers in different
+    worker processes never collide; ``os.replace`` makes the final
+    rename atomic, so readers see either the old file or the new one,
+    never a partial write.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def run_result_to_dict(result: RunResult) -> dict[str, Any]:
@@ -35,7 +63,7 @@ def run_result_from_dict(data: dict[str, Any]) -> RunResult:
     """Rebuild a run result from serialized data."""
     version = data.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise ResultCacheError(
             f"unsupported result format {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
@@ -51,19 +79,31 @@ def run_result_from_dict(data: dict[str, Any]) -> RunResult:
             timeline=timeline,
         )
     except (KeyError, TypeError) as error:
-        raise ValueError(f"malformed result data: {error}") from error
+        raise ResultCacheError(f"malformed result data: {error}") from error
 
 
 def save_run(result: RunResult, path: str | Path) -> Path:
-    """Write a run result to a JSON file."""
+    """Write a run result to a JSON file (atomically)."""
     path = Path(path)
-    path.write_text(json.dumps(run_result_to_dict(result), indent=1))
+    _atomic_write_text(path, json.dumps(run_result_to_dict(result), indent=1))
     return path
 
 
 def load_run(path: str | Path) -> RunResult:
-    """Read a run result from a JSON file."""
-    return run_result_from_dict(json.loads(Path(path).read_text()))
+    """Read a run result from a JSON file.
+
+    Raises:
+        ResultCacheError: if the file is missing, not valid JSON, or
+            does not hold a result in the current format.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ResultCacheError(
+            f"unreadable result file {path}: {error}"
+        ) from error
+    return run_result_from_dict(data)
 
 
 def save_sweep(
@@ -78,15 +118,21 @@ def save_sweep(
             for name, runs in results.items()
         },
     }
-    path.write_text(json.dumps(payload))
+    _atomic_write_text(path, json.dumps(payload))
     return path
 
 
 def load_sweep(path: str | Path) -> dict[str, list[RunResult]]:
     """Read a sweep written by :func:`save_sweep`."""
-    data = json.loads(Path(path).read_text())
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ResultCacheError(
+            f"unreadable sweep file {path}: {error}"
+        ) from error
     if data.get("format_version") != FORMAT_VERSION:
-        raise ValueError("unsupported sweep format")
+        raise ResultCacheError("unsupported sweep format")
     return {
         name: [run_result_from_dict(r) for r in runs]
         for name, runs in data["sweep"].items()

@@ -24,6 +24,14 @@ class TestParser:
                 ["run", "--benchmarks", "milc", "--scheduler", "fifo"]
             )
 
+    def test_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--event-log", "ev.jsonl"]
+        )
+        assert args.jobs == 4 and args.event_log == "ev.jsonl"
+        args = build_parser().parse_args(["figure", "fig06", "--jobs", "2"])
+        assert args.jobs == 2 and args.event_log is None
+
 
 class TestCommands:
     ARGS = ["--benchmarks", "povray,milc,gobmk,bzip2",
@@ -111,6 +119,44 @@ class TestCommands:
                      "--instructions", "1000000"]) == 0
         out = capsys.readouterr().out
         assert "SSER mean" in out
+
+    def test_sweep_parallel_with_event_log(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        assert main(["sweep", "--machine", "1B1S", "--programs", "2",
+                     "--instructions", "1000000", "--jobs", "2",
+                     "--verbose", "--event-log", str(log)]) == 0
+        captured = capsys.readouterr()
+        assert "SSER mean" in captured.out
+        assert "campaign finished" in captured.err
+        from repro.runtime import replay_timings
+        timings = replay_timings(log)
+        assert len(timings) == 108  # 36 mixes x 3 schedulers
+        assert all(t.status == "ok" for t in timings)
+
+    def test_figure_parallel_and_events_replay(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        cache = tmp_path / "cache"
+        argv = ["figure", "fig06", "--machine", "1B1S", "--programs", "2",
+                "--instructions", "1000000", "--jobs", "2",
+                "--cache-dir", str(cache), "--event-log", str(log)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cached runs, 108 simulated" in first
+        # Second invocation is fully cache-served.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "108 cached runs, 0 simulated" in second
+        # The JSONL log replays to per-job timings.
+        # The JSONL log replays to per-job timings; both campaigns
+        # appended to it, and the replayed (last) status is "cached".
+        assert main(["events", str(log)]) == 0
+        replay = capsys.readouterr().out
+        assert "status" in replay
+        assert "108 jobs: 0 executed" in replay and "108 cached" in replay
+
+    def test_events_missing_file(self, capsys):
+        assert main(["events", "/nonexistent/events.jsonl"]) == 2
+        assert "cannot replay" in capsys.readouterr().err
 
     def test_small_frequency_flag(self, capsys):
         assert main(["run", *self.ARGS, "--small-frequency", "1.33"]) == 0

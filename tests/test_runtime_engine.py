@@ -1,0 +1,273 @@
+"""Tests for the parallel campaign execution engine."""
+
+import json
+
+import pytest
+
+from repro.runtime.engine import (
+    ExecutionEngine,
+    FaultPlan,
+    default_jobs,
+)
+from repro.runtime.events import (
+    CallbackSink,
+    CampaignFinished,
+    JobCached,
+    JobFailed,
+    JobFinished,
+)
+from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
+from repro.sim.campaign import Campaign, RunSpec
+from repro.sim.serialize import run_result_to_dict
+
+NAMES_2B2S = ("povray", "milc", "gobmk", "bzip2")
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_seconds=0.0)
+
+
+def specs_1b1s(count=3, instructions=500_000):
+    pairs = [("povray", "milc"), ("gobmk", "bzip2"), ("mcf", "lbm")]
+    return [
+        RunSpec("1B1S", pairs[i % len(pairs)], scheduler, instructions, seed=i)
+        for i in range(count)
+        for scheduler in ("random", "reliability")
+    ]
+
+
+def recording_engine(**kwargs):
+    events = []
+    engine = ExecutionEngine(sinks=[CallbackSink(events.append)], **kwargs)
+    return engine, events
+
+
+def canonical(results):
+    return [
+        json.dumps(run_result_to_dict(r), sort_keys=True) for r in results
+    ]
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_identical_to_serial_2b2s(self):
+        specs = [
+            RunSpec("2B2S", NAMES_2B2S, scheduler, 1_000_000, seed=seed)
+            for seed in range(2)
+            for scheduler in ("random", "performance", "reliability")
+        ]
+        serial = ExecutionEngine(jobs=1).run_many(specs)
+        parallel = ExecutionEngine(jobs=4).run_many(specs)
+        assert canonical(serial.results) == canonical(parallel.results)
+        assert [o.index for o in parallel.outcomes] == list(range(len(specs)))
+
+    def test_order_deterministic_despite_completion_reordering(self):
+        # Delay job 0 so it finishes last; results must stay in
+        # submission order anyway.
+        specs = specs_1b1s(2)
+        plan = FaultPlan(sleep_seconds={0: 0.4})
+        serial = ExecutionEngine(jobs=1).run_many(specs)
+        parallel = ExecutionEngine(jobs=2, fault_plan=plan).run_many(specs)
+        assert canonical(serial.results) == canonical(parallel.results)
+
+
+class TestRetry:
+    def test_retry_then_succeed(self):
+        engine, events = recording_engine(
+            jobs=1,
+            retry=FAST_RETRY,
+            fault_plan=FaultPlan(fail_attempts={0: 2}),
+        )
+        report = engine.run_many(specs_1b1s(1))
+        assert report.ok
+        assert report.outcomes[0].attempts == 3
+        assert all(o.attempts == 1 for o in report.outcomes[1:])
+        finished = [e for e in events if isinstance(e, JobFinished)]
+        assert finished[0].attempts == 3 or any(
+            e.attempts == 3 for e in finished
+        )
+
+    def test_retry_exhaustion_fails_job(self):
+        engine, events = recording_engine(
+            jobs=1,
+            retry=RetryPolicy(max_attempts=2, base_delay_seconds=0.0),
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(fail_attempts={0: 99}),
+        )
+        report = engine.run_many(specs_1b1s(1))
+        assert len(report.failures) == 1
+        assert "InjectedFault" in report.failures[0].error
+        assert any(isinstance(e, JobFailed) for e in events)
+
+
+class TestFailurePolicies:
+    def test_fail_fast_raises_campaign_error(self):
+        engine, events = recording_engine(
+            jobs=1, fault_plan=FaultPlan(fail_attempts={0: 99})
+        )
+        with pytest.raises(CampaignError) as excinfo:
+            engine.run_many(specs_1b1s(2))
+        report = excinfo.value.report
+        assert len(report.outcomes) == 4
+        # Job 0 failed; the rest were skipped, never run.
+        assert report.outcomes[0].error is not None
+        assert all("skipped" in o.error for o in report.outcomes[1:])
+        assert isinstance(events[-1], CampaignFinished)
+        assert events[-1].failed == 4
+
+    def test_fail_fast_parallel_preserves_completed_results(self):
+        engine, _ = recording_engine(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=1),
+            fault_plan=FaultPlan(
+                fail_attempts={3: 99}, sleep_seconds={3: 0.2}
+            ),
+        )
+        with pytest.raises(CampaignError) as excinfo:
+            engine.run_many(specs_1b1s(2))
+        report = excinfo.value.report
+        completed = [o for o in report.outcomes if o.ok]
+        assert completed, "jobs finished before the abort must survive"
+
+    def test_collect_preserves_partial_results(self):
+        engine, events = recording_engine(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=1),
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(fail_attempts={1: 99}),
+        )
+        report = engine.run_many(specs_1b1s(2))
+        assert len(report.failures) == 1
+        assert report.results[1] is None
+        assert sum(1 for r in report.results if r is not None) == 3
+        failed = [e for e in events if isinstance(e, JobFailed)]
+        assert len(failed) == 1 and failed[0].index == 1
+
+
+class TestTimeout:
+    def test_slow_job_times_out_others_finish(self):
+        engine, events = recording_engine(
+            jobs=2,
+            timeout_seconds=0.5,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(sleep_seconds={0: 3.0}),
+        )
+        report = engine.run_many(specs_1b1s(1))
+        assert len(report.failures) == 1
+        assert "timed out" in report.failures[0].error
+        assert report.results[1] is not None
+        assert any(isinstance(e, JobFailed) for e in events)
+
+
+class TestGracefulDegradation:
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        def no_pool(max_workers):
+            raise OSError("no process support here")
+
+        monkeypatch.setattr(
+            ExecutionEngine, "_executor_factory", staticmethod(no_pool)
+        )
+        specs = specs_1b1s(2)
+        expected = canonical(ExecutionEngine(jobs=1).run_many(specs).results)
+        with pytest.warns(UserWarning, match="process pool unavailable"):
+            report = ExecutionEngine(jobs=4).run_many(specs)
+        assert canonical(report.results) == expected
+
+
+class TestEngineCache:
+    def test_cache_hits_skip_execution(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        specs = specs_1b1s(2)
+        first = campaign.run_all(specs, jobs=2)
+        assert campaign.misses == len(specs) and campaign.hits == 0
+
+        engine, events = recording_engine(jobs=2)
+        again = Campaign(tmp_path)
+        second = again.run_all(specs, engine=engine)
+        assert again.hits == len(specs) and again.misses == 0
+        assert canonical(first) == canonical(second)
+        assert sum(1 for e in events if isinstance(e, JobCached)) == len(specs)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        specs = specs_1b1s(1)
+        first = campaign.run_all(specs)
+        # Corrupt one entry and truncate the other mid-JSON.
+        paths = sorted(tmp_path.glob("*.json"))
+        paths[0].write_text("{ not json")
+        paths[1].write_text(paths[1].read_text()[:40])
+
+        again = Campaign(tmp_path)
+        second = again.run_all(specs, jobs=1)
+        assert again.misses == 2 and again.hits == 0
+        assert canonical(first) == canonical(second)
+        # The corrupt entries were rewritten and are valid again.
+        third = Campaign(tmp_path)
+        third.run_all(specs)
+        assert third.hits == 2
+
+
+class TestDefaultJobs:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.warns(UserWarning, match="REPRO_JOBS"):
+            assert default_jobs() == 1
+
+
+class TestRunSpecMachine:
+    def test_unknown_machine_raises_value_error(self):
+        spec = RunSpec("9B9S", ("povray", "milc"), "random", 1_000)
+        with pytest.raises(ValueError, match="known machines: .*2B2S"):
+            spec.build_machine()
+
+    def test_campaign_run_accepts_machine_override(self, tmp_path):
+        from repro.config import machine_1b1s
+
+        campaign = Campaign(tmp_path)
+        spec = RunSpec(
+            "custom-tag", ("povray", "milc"), "random", 500_000
+        )
+        result = campaign.run(spec, machine=machine_1b1s())
+        assert result.machine_name == "1B1S"
+        # Cached under the custom tag; the override is only needed on miss.
+        assert campaign.run(spec).sser == pytest.approx(result.sser)
+        assert campaign.hits == 1
+
+    def test_campaign_run_unknown_machine_message(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        spec = RunSpec("custom-tag", ("povray", "milc"), "random", 500_000)
+        with pytest.raises(ValueError, match="machine override"):
+            campaign.run(spec)
+
+
+class TestExperimentSweepJobs:
+    def test_sweep_parallel_matches_serial(self):
+        from repro.config import machine_1b1s
+        from repro.sim.experiment import sweep
+        from repro.workloads.mixes import WorkloadMix
+
+        workloads = [
+            WorkloadMix("MH", ("povray", "milc")),
+            WorkloadMix("LM", ("gobmk", "bzip2")),
+        ]
+        machine = machine_1b1s()
+        serial = sweep(machine, workloads, ("random", "reliability"),
+                       instructions=500_000, jobs=1)
+        parallel = sweep(machine, workloads, ("random", "reliability"),
+                         instructions=500_000, jobs=2)
+        for name in serial:
+            assert canonical(serial[name]) == canonical(parallel[name])
+
+    def test_sweep_progress_callback_still_works(self):
+        from repro.config import machine_1b1s
+        from repro.sim.experiment import sweep
+        from repro.workloads.mixes import WorkloadMix
+
+        lines = []
+        sweep(machine_1b1s(), [WorkloadMix("MH", ("povray", "milc"))],
+              ("random",), instructions=500_000, progress=lines.append)
+        assert len(lines) == 1
+        assert lines[0].startswith("MH/0 random: sser=")

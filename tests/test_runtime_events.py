@@ -1,0 +1,121 @@
+"""Tests for the structured campaign event stream."""
+
+import io
+import json
+
+import pytest
+
+from repro.runtime.events import (
+    CallbackSink,
+    CampaignFinished,
+    CampaignStarted,
+    JobCached,
+    JobFailed,
+    JobFinished,
+    JobStarted,
+    JsonlEventSink,
+    StderrProgressSink,
+    event_from_dict,
+    read_events,
+    replay_timings,
+)
+
+EVENTS = [
+    CampaignStarted(total=3),
+    JobStarted(index=0, label="a"),
+    JobFinished(index=0, label="a", wall_seconds=1.5, attempts=2,
+                sser=1e-20, stp=3.1),
+    JobCached(index=1, label="b", wall_seconds=0.01),
+    JobFailed(index=2, label="c", error="boom", attempts=3,
+              wall_seconds=0.4),
+    CampaignFinished(total=3, completed=2, cached=1, failed=1,
+                     wall_seconds=2.0),
+]
+
+
+class TestEventCodec:
+    def test_round_trip(self):
+        for event in EVENTS:
+            data = json.loads(json.dumps(event.to_dict()))
+            assert event_from_dict(data) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            event_from_dict({"event": "job_levitated"})
+
+    def test_dict_has_kind_and_timestamp(self):
+        data = JobStarted(index=0, label="a").to_dict()
+        assert data["event"] == "job_started"
+        assert data["timestamp"] > 0
+
+
+class TestJsonlSink:
+    def test_appends_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "log" / "events.jsonl"
+        sink = JsonlEventSink(path)
+        for event in EVENTS:
+            sink.emit(event)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(EVENTS)
+        assert json.loads(lines[0])["event"] == "campaign_started"
+        assert read_events(path) == EVENTS
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "e.jsonl")
+        sink.emit(EVENTS[0])
+        sink.close()
+        sink.close()
+
+
+class TestReplayTimings:
+    def test_per_job_timings_in_index_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        for event in EVENTS:
+            sink.emit(event)
+        sink.close()
+        timings = replay_timings(path)
+        assert [t.index for t in timings] == [0, 1, 2]
+        assert timings[0].status == "ok"
+        assert timings[0].wall_seconds == pytest.approx(1.5)
+        assert timings[0].attempts == 2
+        assert timings[1].status == "cached"
+        assert timings[2].status == "failed"
+
+    def test_rerun_into_same_log_keeps_last(self):
+        events = EVENTS + [
+            JobFinished(index=2, label="c", wall_seconds=0.2)
+        ]
+        timings = replay_timings(events)
+        assert timings[2].status == "ok"
+
+
+class TestProgressSink:
+    def emit_all(self, **kwargs):
+        stream = io.StringIO()
+        sink = StderrProgressSink(stream=stream, **kwargs)
+        for event in EVENTS:
+            sink.emit(event)
+        return stream.getvalue()
+
+    def test_counts_and_statuses(self):
+        out = self.emit_all()
+        assert "campaign: 3 jobs" in out
+        assert "[1/3] done     a" in out
+        assert "sser=1.000e-20" in out
+        assert "[2/3] cached   b" in out
+        assert "[3/3] FAILED   c" in out and "boom" in out
+        assert "2 ok, 1 cached, 1 failed" in out
+
+    def test_starts_hidden_by_default(self):
+        assert "start" not in self.emit_all()
+        assert "start    a" in self.emit_all(show_starts=True)
+
+
+class TestCallbackSink:
+    def test_forwards(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit(EVENTS[0])
+        assert seen == [EVENTS[0]]

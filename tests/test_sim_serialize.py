@@ -55,6 +55,49 @@ class TestSweepRoundTrip:
         assert restored["reliability"][0].sser == pytest.approx(result.sser)
 
 
+class TestAtomicityAndCacheErrors:
+    def test_save_leaves_no_temp_files(self, result, tmp_path):
+        save_run(result, tmp_path / "run.json")
+        save_sweep({"r": [result]}, tmp_path / "sweep.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "run.json", "sweep.json",
+        ]
+
+    def test_save_creates_parent_directories(self, result, tmp_path):
+        path = save_run(result, tmp_path / "deep" / "nested" / "run.json")
+        assert path.exists()
+
+    def test_load_run_corrupt_json(self, tmp_path):
+        from repro.sim.serialize import ResultCacheError
+        path = tmp_path / "bad.json"
+        path.write_text("{ definitely not json")
+        with pytest.raises(ResultCacheError, match="unreadable"):
+            load_run(path)
+
+    def test_load_run_truncated(self, result, tmp_path):
+        from repro.sim.serialize import ResultCacheError
+        path = save_run(result, tmp_path / "run.json")
+        path.write_text(path.read_text()[:30])
+        with pytest.raises(ResultCacheError):
+            load_run(path)
+
+    def test_load_run_missing_file(self, tmp_path):
+        from repro.sim.serialize import ResultCacheError
+        with pytest.raises(ResultCacheError, match="unreadable"):
+            load_run(tmp_path / "absent.json")
+
+    def test_load_sweep_corrupt(self, tmp_path):
+        from repro.sim.serialize import ResultCacheError
+        path = tmp_path / "sweep.json"
+        path.write_text("[1, 2")
+        with pytest.raises(ResultCacheError):
+            load_sweep(path)
+
+    def test_cache_error_is_value_error(self):
+        from repro.sim.serialize import ResultCacheError
+        assert issubclass(ResultCacheError, ValueError)
+
+
 class TestValidation:
     def test_unknown_version_rejected(self, result):
         data = run_result_to_dict(result)
