@@ -1,0 +1,339 @@
+"""Seeded differential fuzzing across the two model levels.
+
+The repository has two ways to compute everything: the O(1)-per-quantum
+mechanistic model used at paper scale, and the O(n) trace-driven
+pipeline models used as the detailed reference.  The fuzzer generates
+randomized inputs from an explicit seed (no wall-clock anywhere, so a
+rerun with the same seed reproduces byte-identical findings) and
+cross-checks the levels against each other and against the paper's
+invariants:
+
+* **model cases** -- a random benchmark sample is run through
+  :func:`repro.validation.crossmodel.compare_models`; the two levels
+  must agree in rank (Spearman correlation, the existing
+  cross-validation criterion) and every per-benchmark ratio must stay
+  inside absolute tolerance gates.
+* **run cases** -- a random workload mix runs on a random machine
+  under a random scheduler; the result must satisfy every run-level
+  invariant, the recorded schedule must be legal, and the isolated
+  inputs must satisfy oracle dominance.
+* **stack cases** -- a random isolated run's ABC stack must conserve
+  ABC across structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.check.invariants import (
+    CheckReport,
+    Finding,
+    Severity,
+    _apply,
+    check_oracle,
+    check_run,
+    check_schedule,
+    check_stack,
+    invariant,
+)
+from repro.config.machines import STANDARD_MACHINES
+from repro.validation.crossmodel import ModelAgreement, compare_models
+from repro.workloads.spec2006 import BENCHMARK_NAMES
+
+#: Machines the run fuzzer draws from (kept small so cases stay fast).
+FUZZ_MACHINES = ("1B1S", "2B2S")
+
+#: Schedulers the run fuzzer draws from.
+FUZZ_SCHEDULERS = ("random", "performance", "reliability")
+
+
+@dataclass(frozen=True)
+class FuzzGates:
+    """Cross-model agreement gates for the differential cases.
+
+    Rank agreement uses the existing
+    :mod:`repro.validation.crossmodel` Spearman criterion; the ratio
+    bounds are absolute tolerance gates on each benchmark's
+    trace-vs-mechanistic IPC and ABC-rate ratios.  The defaults are
+    deliberately loose: they are tripwires for gross divergence (a sign
+    flip, a unit mix-up, a broken model path), not precision targets.
+    """
+
+    min_spearman_ipc: float = 0.30
+    min_spearman_abc: float = 0.15
+    ipc_ratio_bounds: tuple[float, float] = (0.2, 5.0)
+    abc_ratio_bounds: tuple[float, float] = (0.05, 20.0)
+
+
+@invariant("rank_agreement", subject="differential")
+def _rank_agreement(
+    agreement: ModelAgreement, gates: FuzzGates
+) -> Iterator[Finding]:
+    """Trace-driven and mechanistic models agree in rank per core type.
+
+    Scheduling only depends on *relative* per-application performance
+    and ACE rates, so rank agreement (Spearman correlation) is the
+    cross-model validation criterion.  Gated quantities match the
+    repository's validation suite: big-core IPC and ABC, small-core
+    IPC.  Small-core ABC is advisory (see
+    ``small_abc_rank_agreement``).
+    """
+    for core_type in ("big", "small"):
+        ipc = agreement.spearman_ipc(core_type)
+        if not ipc >= gates.min_spearman_ipc:
+            yield (
+                f"{core_type}-core IPC rank agreement below the gate",
+                {"gate": gates.min_spearman_ipc, "spearman_ipc": ipc},
+            )
+    abc = agreement.spearman_abc("big")
+    if not abc >= gates.min_spearman_abc:
+        yield (
+            "big-core ABC rank agreement below the gate",
+            {"gate": gates.min_spearman_abc, "spearman_abc": abc},
+        )
+
+
+@invariant(
+    "small_abc_rank_agreement",
+    severity=Severity.WARNING,
+    subject="differential",
+)
+def _small_abc_rank_agreement(
+    agreement: ModelAgreement, gates: FuzzGates
+) -> Iterator[Finding]:
+    """Small-core ABC rank agreement is advisory, not gating.
+
+    The in-order pipeline's ACE occupancy is dominated by short,
+    similar structure residencies, so its trace-vs-mechanistic ABC
+    ranks are noisy on small benchmark samples.  The repository's
+    validation suite does not gate this quantity either; a low value
+    here is reported as a warning for visibility.
+    """
+    abc = agreement.spearman_abc("small")
+    if not abc >= gates.min_spearman_abc:
+        yield (
+            "small-core ABC rank agreement below the advisory gate",
+            {"gate": gates.min_spearman_abc, "spearman_abc": abc},
+        )
+
+
+@invariant("cross_model_ratio_bounds", subject="differential")
+def _cross_model_ratio_bounds(
+    agreement: ModelAgreement, gates: FuzzGates
+) -> Iterator[Finding]:
+    """Per-benchmark trace/mechanistic ratios stay inside the gates."""
+    ipc_lo, ipc_hi = gates.ipc_ratio_bounds
+    abc_lo, abc_hi = gates.abc_ratio_bounds
+    for row in agreement.rows:
+        if not ipc_lo <= row.ipc_ratio <= ipc_hi:
+            yield (
+                f"{row.name} ({row.core_type}) IPC ratio outside "
+                f"[{ipc_lo}, {ipc_hi}]",
+                {
+                    "ipc_ratio": row.ipc_ratio,
+                    "mechanistic_ipc": row.mechanistic_ipc,
+                    "trace_ipc": row.trace_ipc,
+                },
+            )
+        if not abc_lo <= row.abc_ratio <= abc_hi:
+            yield (
+                f"{row.name} ({row.core_type}) ABC ratio outside "
+                f"[{abc_lo}, {abc_hi}]",
+                {
+                    "abc_ratio": row.abc_ratio,
+                    "mechanistic_abc": row.mechanistic_abc_per_cycle,
+                    "trace_abc": row.trace_abc_per_cycle,
+                },
+            )
+
+
+def check_agreement(
+    agreement: ModelAgreement,
+    gates: FuzzGates | None = None,
+    *,
+    label: str = "differential",
+) -> CheckReport:
+    """Run the cross-model gates on one agreement sample."""
+    gates = gates if gates is not None else FuzzGates()
+    return _apply("differential", label, agreement, gates)
+
+
+class _RecordingScheduler:
+    """Delegating scheduler wrapper that records every quantum plan."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.machine = inner.machine
+        self.num_apps = inner.num_apps
+        self.plans_by_quantum: list[list] = []
+
+    def plan_quantum(self, quantum_index: int):
+        plans = self.inner.plan_quantum(quantum_index)
+        self.plans_by_quantum.append(list(plans))
+        return plans
+
+    def observe(self, plan, observations):
+        self.inner.observe(plan, observations)
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Everything one fuzzing session found.
+
+    The report is a pure function of the seed and case counts: the
+    same seed reproduces byte-identical findings.
+    """
+
+    seed: int
+    reports: tuple[CheckReport, ...]
+
+    @property
+    def violations(self):
+        return tuple(v for report in self.reports for v in report.violations)
+
+    @property
+    def errors(self):
+        return tuple(
+            v for v in self.violations if v.severity is Severity.ERROR
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def format(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"fuzz seed={self.seed}: {len(self.reports)} case(s), "
+            f"{len(self.errors)} error(s), "
+            f"{len(self.violations) - len(self.errors)} warning(s) "
+            f"-- {status}"
+        ]
+        lines.extend(report.format() for report in self.reports)
+        return "\n".join(lines)
+
+
+def _model_case(
+    index: int, rng: np.random.Generator, gates: FuzzGates
+) -> CheckReport:
+    from repro.workloads.spec2006 import classify_benchmarks
+
+    # Stratify the sample across the AVF classes (two draws per
+    # class), like the validation suite's hand-picked sample: a
+    # uniform draw can land on a cluster of near-identical
+    # benchmarks, where rank agreement is dominated by noise rather
+    # than by model fidelity.
+    classes = classify_benchmarks()
+    sample: list[str] = []
+    for cls in ("H", "M", "L"):
+        pool = sorted(n for n in BENCHMARK_NAMES if classes[n] == cls)
+        picks = rng.choice(len(pool), size=2, replace=False)
+        sample.extend(pool[i] for i in sorted(picks.tolist()))
+    benchmarks = tuple(sample)
+    trace_seed = int(rng.integers(0, 2**16))
+    agreement = compare_models(
+        benchmarks, trace_instructions=8_000, seed=trace_seed
+    )
+    label = (
+        f"model/{index} seed={trace_seed} "
+        f"benchmarks={'+'.join(benchmarks)}"
+    )
+    return check_agreement(agreement, gates, label=label)
+
+
+def _run_case(index: int, rng: np.random.Generator) -> CheckReport:
+    from repro.ace.counters import AceCounterMode
+    from repro.sim.experiment import make_scheduler
+    from repro.sim.isolated import isolated_stats
+    from repro.sim.multicore import MulticoreSimulation, default_models
+    from repro.workloads.spec2006 import benchmark
+
+    machine_name = FUZZ_MACHINES[int(rng.integers(len(FUZZ_MACHINES)))]
+    machine = STANDARD_MACHINES[machine_name]()
+    scheduler_name = FUZZ_SCHEDULERS[int(rng.integers(len(FUZZ_SCHEDULERS)))]
+    picks = rng.choice(
+        len(BENCHMARK_NAMES), size=machine.num_cores, replace=False
+    )
+    names = tuple(BENCHMARK_NAMES[i] for i in sorted(picks.tolist()))
+    instructions = int(rng.integers(150_000, 350_000))
+    seed = int(rng.integers(0, 2**16))
+    label = (
+        f"run/{index} {machine_name}/{scheduler_name}/"
+        f"{'+'.join(names)}#{seed}x{instructions}"
+    )
+
+    profiles = [benchmark(name).scaled(instructions) for name in names]
+    scheduler = _RecordingScheduler(
+        make_scheduler(scheduler_name, machine, len(profiles), seed)
+    )
+    result = MulticoreSimulation(
+        machine,
+        profiles,
+        scheduler,
+        counter_mode=AceCounterMode.FULL,
+    ).run()
+
+    models = default_models(machine)
+    stats = [
+        isolated_stats(profile, models["big"], models["small"])
+        for profile in profiles
+    ]
+    from repro.check.invariants import merge_reports
+
+    return merge_reports(
+        [
+            check_run(result, label=label),
+            check_schedule(
+                scheduler.plans_by_quantum,
+                machine,
+                len(profiles),
+                label=label,
+            ),
+            check_oracle(stats, machine, label=label),
+        ],
+        subject=label,
+    )
+
+
+def _stack_case(index: int, rng: np.random.Generator) -> CheckReport:
+    from repro.config import MemoryConfig, big_core_config
+    from repro.cores.mechanistic import MechanisticCoreModel
+    from repro.sim.isolated import run_isolated
+    from repro.workloads.spec2006 import benchmark
+
+    name = BENCHMARK_NAMES[int(rng.integers(len(BENCHMARK_NAMES)))]
+    instructions = int(rng.integers(100_000, 300_000))
+    profile = benchmark(name).scaled(instructions)
+    model = MechanisticCoreModel(big_core_config(), MemoryConfig())
+    result = run_isolated(model, profile)
+    label = f"stack/{index} big/{name}x{instructions}"
+    return check_stack(result, label=label)
+
+
+def fuzz(
+    seed: int = 0,
+    *,
+    model_cases: int = 2,
+    run_cases: int = 3,
+    stack_cases: int = 2,
+    gates: FuzzGates | None = None,
+) -> FuzzReport:
+    """Run one seeded fuzzing session.
+
+    All randomness derives from ``seed`` through one
+    :class:`numpy.random.Generator`; nothing reads the clock, so the
+    findings are reproducible byte-for-byte.
+    """
+    gates = gates if gates is not None else FuzzGates()
+    rng = np.random.default_rng(seed)
+    reports: list[CheckReport] = []
+    for index in range(model_cases):
+        reports.append(_model_case(index, rng, gates))
+    for index in range(run_cases):
+        reports.append(_run_case(index, rng))
+    for index in range(stack_cases):
+        reports.append(_stack_case(index, rng))
+    return FuzzReport(seed=seed, reports=tuple(reports))

@@ -79,6 +79,14 @@ def _close_sinks(sinks) -> None:
         sink.close()
 
 
+def _checks(args):
+    """Per-result invariant hook when ``--check`` was passed."""
+    if getattr(args, "check", False):
+        from repro.check import default_run_checks
+        return default_run_checks
+    return None
+
+
 def _benchmarks(args):
     names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
     unknown = [n for n in names if n not in SUITE]
@@ -145,7 +153,8 @@ def cmd_sweep(args) -> int:
     try:
         results = sweep(machine, workloads, SCHEDULER_NAMES,
                         instructions=args.instructions,
-                        jobs=_jobs(args), sinks=sinks)
+                        jobs=_jobs(args), sinks=sinks,
+                        checks=_checks(args))
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -260,7 +269,8 @@ def cmd_figure(args) -> int:
     workloads = generate_workloads(args.programs)
     campaign = Campaign(Path(args.cache_dir))
     sinks = _sinks(args, getattr(args, "verbose", False))
-    engine = ExecutionEngine(jobs=_jobs(args), sinks=sinks)
+    engine = ExecutionEngine(jobs=_jobs(args), sinks=sinks,
+                             checks=_checks(args))
     try:
         results = campaign.sweep(
             args.machine,
@@ -345,6 +355,38 @@ def cmd_events(args) -> int:
           f"({total_wall:.2f}s simulated wall time), "
           f"{cached} cached, {failed} failed")
     return 0 if failed == 0 else 1
+
+
+def cmd_check(args) -> int:
+    """Run the paper-invariant fuzzer and the golden regression corpus."""
+    from pathlib import Path
+
+    from repro.check import compare_goldens, fuzz, regenerate_goldens
+
+    golden_dir = Path(args.golden_dir)
+    if args.update_goldens:
+        written = regenerate_goldens(golden_dir)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    failed = False
+    if not args.skip_fuzz:
+        report = fuzz(
+            args.seed,
+            model_cases=args.model_cases,
+            run_cases=args.run_cases,
+            stack_cases=args.stack_cases,
+        )
+        print(report.format())
+        failed = failed or not report.ok
+    if not args.skip_goldens:
+        if not args.skip_fuzz:
+            print()
+        report = compare_goldens(golden_dir)
+        print(report.format())
+        failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def cmd_cost(args) -> int:

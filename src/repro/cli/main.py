@@ -13,6 +13,7 @@ Subcommands:
 * ``repro figure``    -- render an evaluation figure as an ASCII chart
 * ``repro inject``    -- fault-injection campaign vs ACE counting
 * ``repro events``    -- replay a campaign event log to job timings
+* ``repro check``     -- paper-invariant fuzzing + golden corpus
 
 ``repro sweep`` and ``repro figure`` execute through the
 :mod:`repro.runtime` engine: ``--jobs N`` (or ``REPRO_JOBS=N``) fans
@@ -45,6 +46,10 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--event-log", default=None, metavar="FILE",
                         help="append structured JSONL progress events "
                              "to FILE (replay with `repro events`)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate every run against the paper "
+                             "invariants (repro.check); an invariant "
+                             "violation fails the job")
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -122,6 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     cost = subparsers.add_parser("cost", help="counter hardware cost")
     cost.set_defaults(func=commands.cmd_cost)
+
+    check = subparsers.add_parser(
+        "check",
+        help="paper-invariant fuzzing and golden regression corpus",
+    )
+    check.add_argument("--seed", type=int, default=0,
+                       help="differential-fuzzer seed (same seed, "
+                            "same findings)")
+    check.add_argument("--model-cases", type=int, default=2,
+                       help="trace-driven vs mechanistic cross-checks")
+    check.add_argument("--run-cases", type=int, default=3,
+                       help="randomized multicore runs to validate")
+    check.add_argument("--stack-cases", type=int, default=2,
+                       help="isolated structure-stack conservation cases")
+    check.add_argument("--golden-dir", default="tests/golden",
+                       help="golden regression corpus directory")
+    check.add_argument("--update-goldens", action="store_true",
+                       help="regenerate the golden corpus instead of "
+                            "comparing against it")
+    check.add_argument("--skip-fuzz", action="store_true",
+                       help="skip the differential fuzzer")
+    check.add_argument("--skip-goldens", action="store_true",
+                       help="skip the golden corpus comparison")
+    check.set_defaults(func=commands.cmd_check)
 
     figure = subparsers.add_parser(
         "figure", help="render an evaluation figure as an ASCII chart"

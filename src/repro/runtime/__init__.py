@@ -19,6 +19,7 @@ from repro.runtime.events import (
     CallbackSink,
     CampaignFinished,
     CampaignStarted,
+    CheckFailed,
     Event,
     EventSink,
     JobCached,
@@ -45,6 +46,7 @@ __all__ = [
     "CampaignError",
     "CampaignFinished",
     "CampaignStarted",
+    "CheckFailed",
     "DEFAULT_RETRY",
     "Event",
     "EventSink",

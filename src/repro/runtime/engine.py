@@ -42,6 +42,7 @@ from repro.config.machines import MachineConfig
 from repro.runtime.events import (
     CampaignFinished,
     CampaignStarted,
+    CheckFailed,
     Event,
     EventSink,
     JobCached,
@@ -221,6 +222,15 @@ class ExecutionEngine:
             without retry.
         sinks: event sinks receiving the progress stream.
         fault_plan: optional deterministic fault injection hook.
+        checks: opt-in per-job result checker -- a callable mapping a
+            :class:`RunResult` to a
+            :class:`~repro.check.invariants.CheckReport` (use
+            :func:`repro.check.default_run_checks` for the standard
+            invariant set).  A result violating an error-severity
+            invariant emits a :class:`CheckFailed` event and the job
+            is treated as failed (so ``FAIL_FAST`` aborts on it and
+            ``COLLECT`` keeps sibling jobs running).  Checks run in
+            the parent process, on cached and executed results alike.
     """
 
     #: Factory for the worker pool; replaceable in tests to simulate
@@ -239,6 +249,7 @@ class ExecutionEngine:
         timeout_seconds: float | None = None,
         sinks: Sequence[EventSink] = (),
         fault_plan: FaultPlan | None = None,
+        checks=None,
     ):
         self.jobs = max(1, int(jobs))
         self.retry = retry if retry is not None else RetryPolicy()
@@ -246,6 +257,7 @@ class ExecutionEngine:
         self.timeout_seconds = timeout_seconds
         self.sinks = list(sinks)
         self.fault_plan = fault_plan
+        self.checks = checks
 
     # -- events ------------------------------------------------------
 
@@ -290,19 +302,36 @@ class ExecutionEngine:
         to_run = []
         for job in jobs_list:
             cached = self._load_cached(job)
-            if cached is not None:
-                outcomes[job.index] = cached
-                self._emit(
-                    JobCached(
-                        index=job.index,
-                        label=job.label,
-                        wall_seconds=cached.wall_seconds,
-                    )
-                )
-            else:
+            if cached is None:
                 to_run.append(job)
+                continue
+            error = self._check_result(job, cached.result)
+            if error is not None:
+                self._record_failure(
+                    job, error, 0, cached.wall_seconds, outcomes
+                )
+                continue
+            outcomes[job.index] = cached
+            self._emit(
+                JobCached(
+                    index=job.index,
+                    label=job.label,
+                    wall_seconds=cached.wall_seconds,
+                )
+            )
 
-        if to_run:
+        cached_failure = any(
+            outcomes[i].error is not None for i in outcomes
+        )
+        if (
+            cached_failure
+            and self.failure_policy is FailurePolicy.FAIL_FAST
+        ):
+            for job in to_run:
+                self._record_failure(
+                    job, "skipped (fail-fast abort)", 0, 0.0, outcomes
+                )
+        elif to_run:
             if self.jobs == 1 or len(to_run) == 1:
                 self._run_serial(to_run, outcomes)
             else:
@@ -380,10 +409,34 @@ class ExecutionEngine:
 
     # -- outcome recording -------------------------------------------
 
+    def _check_result(self, job: Job, result: RunResult) -> str | None:
+        """Apply the opt-in check hook; an error string means failure."""
+        if self.checks is None or result is None:
+            return None
+        report = self.checks(result)
+        if report.ok:
+            return None
+        names = report.invariant_names()
+        detail = "; ".join(v.format() for v in report.errors[:3])
+        self._emit(
+            CheckFailed(
+                index=job.index,
+                label=job.label,
+                invariants=names,
+                detail=detail,
+            )
+        )
+        return f"check failed: violated {', '.join(names)}"
+
     def _record_success(
         self, job: Job, data: dict, attempts: int, wall: float, outcomes
-    ) -> None:
+    ) -> bool:
+        """Record a completed job; ``False`` when its checks failed."""
         result = run_result_from_dict(data)
+        error = self._check_result(job, result)
+        if error is not None:
+            self._record_failure(job, error, attempts, wall, outcomes)
+            return False
         outcomes[job.index] = JobOutcome(
             index=job.index,
             spec=job.spec,
@@ -402,6 +455,7 @@ class ExecutionEngine:
                 stp=result.stp,
             )
         )
+        return True
 
     def _record_failure(
         self, job: Job, error: str, attempts: int, wall: float, outcomes
@@ -451,7 +505,9 @@ class ExecutionEngine:
                 if self.failure_policy is FailurePolicy.FAIL_FAST:
                     aborted = True
                 continue
-            self._record_success(job, data, attempts, wall, outcomes)
+            ok = self._record_success(job, data, attempts, wall, outcomes)
+            if not ok and self.failure_policy is FailurePolicy.FAIL_FAST:
+                aborted = True
 
     # -- parallel path -----------------------------------------------
 
@@ -522,7 +578,10 @@ class ExecutionEngine:
                         self._abort_pending(pending, outcomes)
                         return
                     continue
-                self._record_success(job, data, attempts, wall, outcomes)
+                ok = self._record_success(job, data, attempts, wall, outcomes)
+                if not ok and self.failure_policy is FailurePolicy.FAIL_FAST:
+                    self._abort_pending(pending, outcomes)
+                    return
             if self.timeout_seconds is not None:
                 now = time.monotonic()
                 for future in list(pending):

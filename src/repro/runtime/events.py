@@ -16,6 +16,7 @@ import dataclasses
 import json
 import sys
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, ClassVar, Sequence
@@ -87,6 +88,24 @@ class JobFinished(Event):
 
 
 @dataclass(frozen=True)
+class CheckFailed(Event):
+    """A job's result violated one or more paper invariants.
+
+    Emitted by the engine's opt-in per-job check hook (``checks=``)
+    just before the job's terminal :class:`JobFailed` event; carries
+    the violated invariant names and a short report excerpt so event
+    logs are diagnosable without re-running the checks.
+    """
+
+    kind: ClassVar[str] = "check_failed"
+
+    index: int
+    label: str
+    invariants: tuple[str, ...]
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class JobFailed(Event):
     """A job failed permanently (retries exhausted, timeout, or
     skipped by a fail-fast abort)."""
@@ -122,6 +141,7 @@ _EVENT_TYPES: dict[str, type[Event]] = {
         CampaignStarted,
         JobStarted,
         JobCached,
+        CheckFailed,
         JobFinished,
         JobFailed,
         CampaignFinished,
@@ -136,6 +156,8 @@ def event_from_dict(data: dict[str, Any]) -> Event:
     cls = _EVENT_TYPES.get(kind)
     if cls is None:
         raise ValueError(f"unknown event kind {kind!r}")
+    if "invariants" in data:  # JSON round-trips tuples as lists
+        data["invariants"] = tuple(data["invariants"])
     return cls(**data)
 
 
@@ -198,6 +220,11 @@ class StderrProgressSink(EventSink):
                 f"{self._counter()} done     {event.label} "
                 f"({event.wall_seconds:.2f}s){extra}"
             )
+        elif isinstance(event, CheckFailed):
+            self._print(
+                f"    CHECK    {event.label}: violated "
+                f"{', '.join(event.invariants)}"
+            )
         elif isinstance(event, JobFailed):
             self._done += 1
             self._print(
@@ -234,12 +261,32 @@ class JsonlEventSink(EventSink):
 
 def read_events(path: str | Path) -> list[Event]:
     """Read every event from a JSONL log written by
-    :class:`JsonlEventSink`."""
+    :class:`JsonlEventSink`.
+
+    A truncated or corrupt **final** line (the common outcome of a
+    killed campaign mid-append) is skipped with a warning instead of
+    crashing the replay; corruption anywhere earlier still raises, as
+    it means more than an interrupted write.
+    """
+    lines = [
+        (number, line.strip())
+        for number, line in enumerate(Path(path).read_text().splitlines(), 1)
+        if line.strip()
+    ]
     events = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
+    for number, line in lines:
+        try:
             events.append(event_from_dict(json.loads(line)))
+        except (ValueError, TypeError) as error:
+            if number == lines[-1][0]:
+                warnings.warn(
+                    f"{path}: skipping truncated or corrupt final event "
+                    f"line {number}: {error}"
+                )
+                break
+            raise ValueError(
+                f"{path}: corrupt event on line {number}: {error}"
+            ) from error
     return events
 
 

@@ -15,6 +15,7 @@ entries are treated as misses rather than raising.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
@@ -59,20 +60,16 @@ class RunSpec:
     sampling: tuple[int, float] | None = None
 
     def key(self) -> str:
-        """Stable content hash used as the cache file name."""
-        payload = json.dumps(
-            {
-                "machine": self.machine,
-                "benchmarks": list(self.benchmarks),
-                "scheduler": self.scheduler,
-                "instructions": self.instructions,
-                "seed": self.seed,
-                "counter_mode": self.counter_mode,
-                "small_frequency_ghz": self.small_frequency_ghz,
-                "sampling": list(self.sampling) if self.sampling else None,
-            },
-            sort_keys=True,
-        )
+        """Stable content hash used as the cache file name.
+
+        Derived structurally from *every* dataclass field (via
+        :func:`dataclasses.asdict`), so a field added to the spec --
+        a new scheduler kwarg, say -- can never be silently omitted
+        from the cache key and collide two distinct runs.  The JSON
+        encoding matches the previous hand-written payload exactly,
+        so existing cache directories stay valid.
+        """
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
     def build_machine(self) -> MachineConfig:
@@ -147,6 +144,7 @@ class Campaign:
         jobs: int = 1,
         engine: "ExecutionEngine | None" = None,
         machines: MachineConfig | Sequence[MachineConfig | None] | None = None,
+        checks=None,
     ) -> list[RunResult]:
         """Execute a batch of specs through the runtime engine.
 
@@ -155,11 +153,17 @@ class Campaign:
         permanent job failure raises
         :class:`~repro.runtime.retry.CampaignError`; under a collect
         policy, failed entries are ``None``.
+
+        ``checks`` is the engine's opt-in per-result invariant hook
+        (see :func:`repro.check.default_run_checks`); it validates
+        cached and freshly executed results alike.
         """
         from repro.runtime.engine import ExecutionEngine
 
         if engine is None:
-            engine = ExecutionEngine(jobs=jobs)
+            engine = ExecutionEngine(jobs=jobs, checks=checks)
+        elif checks is not None and engine.checks is None:
+            engine.checks = checks
         report = engine.run_many(
             specs,
             machines=machines,
@@ -178,13 +182,15 @@ class Campaign:
         *,
         jobs: int = 1,
         engine: "ExecutionEngine | None" = None,
+        checks=None,
         **overrides,
     ) -> dict[str, list[RunResult]]:
         """Cached equivalent of :func:`repro.sim.experiment.sweep`.
 
         Extra keyword ``overrides`` become :class:`RunSpec` fields
         (e.g. ``counter_mode``, ``small_frequency_ghz``); ``jobs`` and
-        ``engine`` control parallel execution.
+        ``engine`` control parallel execution, and ``checks`` runs the
+        per-result invariant hook on every run.
         """
         specs = []
         for index, mix in enumerate(workloads):
@@ -202,7 +208,7 @@ class Campaign:
                         **overrides,
                     )
                 )
-        flat = self.run_all(specs, jobs=jobs, engine=engine)
+        flat = self.run_all(specs, jobs=jobs, engine=engine, checks=checks)
         results: dict[str, list[RunResult]] = {s: [] for s in schedulers}
         for spec, result in zip(specs, flat):
             results[spec.scheduler].append(result)

@@ -91,12 +91,15 @@ def sweep(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     sinks: Sequence = (),
+    checks=None,
 ) -> dict[str, list[RunResult]]:
     """Run a workload list under several schedulers.
 
     Execution goes through the :mod:`repro.runtime` engine: ``jobs``
     sets the worker-process count (1 = in-process serial), ``sinks``
-    receive the structured progress-event stream, and ``progress`` is
+    receive the structured progress-event stream, ``checks`` is the
+    engine's opt-in per-result invariant hook (see
+    :func:`repro.check.default_run_checks`), and ``progress`` is
     a legacy per-run text callback kept for compatibility.  Results
     are deterministic: the same specs in the same order regardless of
     ``jobs``.
@@ -135,7 +138,7 @@ def sweep(
 
         sinks.append(CallbackSink(_legacy_line))
 
-    engine = ExecutionEngine(jobs=jobs, sinks=sinks)
+    engine = ExecutionEngine(jobs=jobs, sinks=sinks, checks=checks)
     report = engine.run_many(specs, machines=machine, labels=labels)
     results: dict[str, list[RunResult]] = {name: [] for name in scheduler_names}
     for spec, result in zip(specs, report.results):

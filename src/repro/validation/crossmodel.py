@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.config.cores import big_core_config, small_core_config
 from repro.config.machines import MemoryConfig
 from repro.cores.base import ISOLATED
@@ -51,6 +53,35 @@ class BenchmarkAgreement:
         return self.trace_abc_per_cycle / self.mechanistic_abc_per_cycle
 
 
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (ties share the mean rank), 1-based."""
+    array = np.asarray(values, dtype=float)
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(len(array), dtype=float)
+    ranks[order] = np.arange(1, len(array) + 1, dtype=float)
+    for value in np.unique(array):
+        mask = array == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation.
+
+    Uses :mod:`scipy` when available and falls back to a pure-numpy
+    rank-then-Pearson implementation otherwise, so the rank-agreement
+    criterion works in minimal environments (e.g. the CI check job).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    try:
+        from scipy.stats import spearmanr
+    except ImportError:
+        return float(np.corrcoef(_ranks(xs), _ranks(ys))[0, 1])
+    return float(spearmanr(xs, ys).statistic)
+
+
 @dataclass(frozen=True)
 class ModelAgreement:
     """Cross-model agreement over a benchmark sample."""
@@ -61,25 +92,17 @@ class ModelAgreement:
         return [r for r in self.rows if r.core_type == core_type]
 
     def spearman_ipc(self, core_type: str) -> float:
-        from scipy.stats import spearmanr
-
         rows = self.per_core(core_type)
-        return float(
-            spearmanr(
-                [r.trace_ipc for r in rows],
-                [r.mechanistic_ipc for r in rows],
-            ).statistic
+        return spearman(
+            [r.trace_ipc for r in rows],
+            [r.mechanistic_ipc for r in rows],
         )
 
     def spearman_abc(self, core_type: str) -> float:
-        from scipy.stats import spearmanr
-
         rows = self.per_core(core_type)
-        return float(
-            spearmanr(
-                [r.trace_abc_per_cycle for r in rows],
-                [r.mechanistic_abc_per_cycle for r in rows],
-            ).statistic
+        return spearman(
+            [r.trace_abc_per_cycle for r in rows],
+            [r.mechanistic_abc_per_cycle for r in rows],
         )
 
 

@@ -1,0 +1,124 @@
+"""Tests for the golden regression corpus."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDEN_PIPELINES,
+    compare_goldens,
+    regenerate_goldens,
+)
+from repro.check.golden import GOLDEN_FORMAT_VERSION, golden_path
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("golden")
+    regenerate_goldens(directory)
+    return directory
+
+
+def _edit(directory, name, mutate):
+    path = golden_path(directory, name)
+    doc = json.loads(path.read_text())
+    mutate(doc)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+class TestRegenerate:
+    def test_writes_every_pipeline(self, corpus):
+        for name in GOLDEN_PIPELINES:
+            path = golden_path(corpus, name)
+            assert path.exists()
+            doc = json.loads(path.read_text())
+            assert doc["format_version"] == GOLDEN_FORMAT_VERSION
+            assert doc["pipeline"] == name
+            assert doc["payload"]
+
+    def test_regeneration_is_deterministic(self, corpus, tmp_path):
+        regenerate_goldens(tmp_path)
+        for name in GOLDEN_PIPELINES:
+            assert golden_path(tmp_path, name).read_text() == \
+                golden_path(corpus, name).read_text()
+
+    def test_subset_regeneration(self, tmp_path):
+        written = regenerate_goldens(tmp_path, names=["oracle_fig03"])
+        assert [p.name for p in written] == ["oracle_fig03.json"]
+
+
+class TestCompare:
+    def test_fresh_corpus_matches(self, corpus):
+        report = compare_goldens(corpus)
+        assert report.ok and not report.violations, report.format()
+        assert "golden_match" in report.checked
+        # Every run replayed along the way was invariant-checked too.
+        assert "wser_definition" in report.checked
+
+    def test_perturbed_field_fails_naming_the_field(self, corpus, tmp_path):
+        regenerate_goldens(tmp_path)
+
+        def bump(doc):
+            app = doc["payload"]["runs"]["reliability"][0]["apps"][0]
+            app["wser"] *= 1.01
+
+        _edit(tmp_path, "fig06_1b1s", bump)
+        report = compare_goldens(tmp_path, names=["fig06_1b1s"])
+        assert not report.ok
+        assert report.invariant_names() == ("golden_match",)
+        text = report.format()
+        assert "runs.reliability[0].apps[0].wser" in text
+
+    def test_missing_field_reported(self, corpus, tmp_path):
+        regenerate_goldens(tmp_path, names=["oracle_fig03"])
+        _edit(tmp_path, "oracle_fig03",
+              lambda doc: doc["payload"].pop("ser_gain"))
+        report = compare_goldens(tmp_path, names=["oracle_fig03"])
+        assert not report.ok
+        assert "unexpected field oracle_fig03.ser_gain" in report.format()
+
+    def test_extra_golden_field_reported(self, corpus, tmp_path):
+        regenerate_goldens(tmp_path, names=["oracle_fig03"])
+        _edit(tmp_path, "oracle_fig03",
+              lambda doc: doc["payload"].__setitem__("bogus", 1))
+        report = compare_goldens(tmp_path, names=["oracle_fig03"])
+        assert not report.ok
+        assert "oracle_fig03.bogus missing" in report.format()
+
+    def test_changed_int_reported_exactly(self, corpus, tmp_path):
+        regenerate_goldens(tmp_path, names=["oracle_fig03"])
+
+        def flip(doc):
+            doc["payload"]["best_sser_big_apps"][0] += 1
+
+        _edit(tmp_path, "oracle_fig03", flip)
+        report = compare_goldens(tmp_path, names=["oracle_fig03"])
+        assert not report.ok
+        assert "best_sser_big_apps[0]" in report.format()
+
+    def test_within_tolerance_drift_accepted(self, corpus, tmp_path):
+        regenerate_goldens(tmp_path, names=["oracle_fig03"])
+
+        def nudge(doc):
+            doc["payload"]["ser_gain"] *= 1.0 + 1e-9
+
+        _edit(tmp_path, "oracle_fig03", nudge)
+        report = compare_goldens(tmp_path, names=["oracle_fig03"])
+        assert report.ok
+
+    def test_missing_file_advises_regeneration(self, tmp_path):
+        report = compare_goldens(tmp_path, names=["fig06_1b1s"])
+        assert not report.ok
+        assert "--update-goldens" in report.format()
+
+
+class TestCheckedInCorpus:
+    def test_repository_corpus_is_current(self):
+        """The committed corpus must match a replay on this tree."""
+        from pathlib import Path
+
+        directory = Path(__file__).parent / "golden"
+        assert directory.name == DEFAULT_GOLDEN_DIR.name
+        report = compare_goldens(directory)
+        assert report.ok, report.format()

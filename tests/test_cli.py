@@ -160,3 +160,43 @@ class TestCommands:
 
     def test_small_frequency_flag(self, capsys):
         assert main(["run", *self.ARGS, "--small-frequency", "1.33"]) == 0
+
+
+class TestCheckCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.seed == 0
+        assert args.golden_dir == "tests/golden"
+        assert not args.update_goldens
+
+    def test_check_flag_on_sweep_and_figure(self):
+        args = build_parser().parse_args(["sweep", "--check"])
+        assert args.check
+        args = build_parser().parse_args(["figure", "fig06"])
+        assert not args.check
+
+    def test_fuzz_only(self, capsys):
+        assert main(["check", "--seed", "0", "--skip-goldens",
+                     "--model-cases", "0", "--run-cases", "1",
+                     "--stack-cases", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz seed=0" in out and "run/0" in out
+
+    def test_goldens_roundtrip_in_tmp_dir(self, capsys, tmp_path):
+        golden = tmp_path / "golden"
+        assert main(["check", "--update-goldens",
+                     "--golden-dir", str(golden)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["check", "--skip-fuzz",
+                     "--golden-dir", str(golden)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_missing_goldens_fail_with_advice(self, capsys, tmp_path):
+        assert main(["check", "--skip-fuzz",
+                     "--golden-dir", str(tmp_path / "nowhere")]) == 1
+        assert "--update-goldens" in capsys.readouterr().out
+
+    def test_sweep_with_check_flag(self, capsys):
+        assert main(["sweep", "--machine", "1B1S", "--programs", "2",
+                     "--instructions", "1000000", "--check"]) == 0
+        assert "SSER mean" in capsys.readouterr().out

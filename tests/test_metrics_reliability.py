@@ -135,3 +135,56 @@ class TestProperties:
         forward = system_ser(abcs, refs, ifr=1.0)
         backward = system_ser(abcs[::-1], refs[::-1], ifr=1.0)
         assert forward == pytest.approx(backward, rel=1e-9)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.floats(1e-3, 1e3), st.floats(1e-3, 1e3)),
+            min_size=2, max_size=6,
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    def test_sser_invariant_under_any_permutation(self, pairs, seed):
+        """SSER is a set property of the mix, not an ordering."""
+        import random
+
+        shuffled = pairs[:]
+        random.Random(seed).shuffle(shuffled)
+        original = system_ser([p[0] for p in pairs],
+                              [p[1] for p in pairs], ifr=1.0)
+        permuted = system_ser([p[0] for p in shuffled],
+                              [p[1] for p in shuffled], ifr=1.0)
+        assert permuted == pytest.approx(original, rel=1e-9)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.floats(1e-3, 1e3), st.floats(1e-3, 1e3)),
+            min_size=1, max_size=6,
+        ),
+        ifr=st.floats(1e-30, 1.0),
+    )
+    def test_system_ser_linear_in_ifr(self, pairs, ifr):
+        abcs = [p[0] for p in pairs]
+        refs = [p[1] for p in pairs]
+        assert system_ser(abcs, refs, ifr) == pytest.approx(
+            ifr * system_ser(abcs, refs, ifr=1.0), rel=1e-9
+        )
+
+    @given(st.lists(st.tuples(st.floats(1e-3, 1e3), st.floats(1e-3, 1e3)),
+                    min_size=1, max_size=6))
+    def test_sser_equals_raw_ser_sum_at_reference_time(self, pairs):
+        """With no slowdown (T == T_ref for every app), Equation 3
+        degenerates to the sum of raw Equation 1 SERs."""
+        apps = [
+            ApplicationReliability(
+                name=f"a{i}", abc=abc, time_seconds=t,
+                reference_time_seconds=t,
+            )
+            for i, (abc, t) in enumerate(pairs)
+        ]
+        assert sser(apps, ifr=1.0) == pytest.approx(
+            sum(soft_error_rate(a.abc, a.time_seconds, ifr=1.0)
+                for a in apps),
+            rel=1e-9,
+        )
+        for app in apps:
+            assert app.wser == pytest.approx(app.ser, rel=1e-9)

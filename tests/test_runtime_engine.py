@@ -12,6 +12,8 @@ from repro.runtime.engine import (
 from repro.runtime.events import (
     CallbackSink,
     CampaignFinished,
+    CampaignStarted,
+    CheckFailed,
     JobCached,
     JobFailed,
     JobFinished,
@@ -139,6 +141,156 @@ class TestFailurePolicies:
         assert sum(1 for r in report.results if r is not None) == 3
         failed = [e for e in events if isinstance(e, JobFailed)]
         assert len(failed) == 1 and failed[0].index == 1
+
+
+class TestCollectPolicy:
+    """Event ordering and partial-report contents under COLLECT."""
+
+    def test_event_stream_ordering(self):
+        engine, events = recording_engine(
+            jobs=1,
+            retry=RetryPolicy(max_attempts=1),
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(fail_attempts={1: 99}),
+        )
+        engine.run_many(specs_1b1s(2))
+        assert isinstance(events[0], CampaignStarted)
+        assert isinstance(events[-1], CampaignFinished)
+        terminal = [
+            e for e in events
+            if isinstance(e, (JobFinished, JobFailed, JobCached))
+        ]
+        # Serial execution: exactly one terminal event per job, in order.
+        assert [e.index for e in terminal] == list(range(4))
+        assert isinstance(terminal[1], JobFailed)
+
+    def test_partial_report_contents(self):
+        engine, _ = recording_engine(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=1),
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(fail_attempts={0: 99, 2: 99}),
+        )
+        report = engine.run_many(specs_1b1s(2))
+        assert not report.ok
+        assert len(report.failures) == 2
+        assert {o.index for o in report.failures} == {0, 2}
+        assert report.results[0] is None and report.results[2] is None
+        for index in (1, 3):
+            assert report.results[index] is not None
+            assert report.outcomes[index].ok
+        completed = [o for o in report.outcomes if o.ok]
+        assert len(completed) == 2
+        assert all(o.error is None for o in completed)
+
+
+def _fail_gobmk_mixes(result):
+    """Check hook failing any run whose mix contains gobmk."""
+    from repro.check.invariants import CheckReport, Severity, Violation
+
+    names = [app.name for app in result.apps]
+    if "gobmk" in names:
+        return CheckReport(
+            subject="hook",
+            checked=("synthetic_gobmk_ban",),
+            violations=(
+                Violation(
+                    invariant="synthetic_gobmk_ban",
+                    severity=Severity.ERROR,
+                    subject="hook",
+                    message="gobmk is banned by this hook",
+                ),
+            ),
+        )
+    return CheckReport(subject="hook", checked=("synthetic_gobmk_ban",))
+
+
+class TestCheckHook:
+    """The opt-in per-job invariant hook (``checks=``)."""
+
+    def test_real_checks_pass_clean_runs(self):
+        from repro.check import default_run_checks
+
+        engine, events = recording_engine(jobs=1, checks=default_run_checks)
+        report = engine.run_many(specs_1b1s(1))
+        assert report.ok
+        assert not [e for e in events if isinstance(e, CheckFailed)]
+
+    def test_check_failure_fails_job_without_aborting_siblings(self):
+        # specs_1b1s(2) jobs 2 and 3 run the (gobmk, bzip2) pair.
+        engine, events = recording_engine(
+            jobs=1,
+            failure_policy=FailurePolicy.COLLECT,
+            checks=_fail_gobmk_mixes,
+        )
+        report = engine.run_many(specs_1b1s(2))
+        assert {o.index for o in report.failures} == {2, 3}
+        for outcome in report.failures:
+            assert "check failed" in outcome.error
+            assert "synthetic_gobmk_ban" in outcome.error
+        # Siblings completed normally.
+        for index in (0, 1):
+            assert report.results[index] is not None
+
+    def test_check_failed_event_precedes_job_failed(self):
+        engine, events = recording_engine(
+            jobs=1,
+            failure_policy=FailurePolicy.COLLECT,
+            checks=_fail_gobmk_mixes,
+        )
+        engine.run_many(specs_1b1s(2))
+        checks = [e for e in events if isinstance(e, CheckFailed)]
+        assert [e.index for e in checks] == [2, 3]
+        assert checks[0].invariants == ("synthetic_gobmk_ban",)
+        assert "banned" in checks[0].detail
+        for check in checks:
+            failed = [
+                e for e in events
+                if isinstance(e, JobFailed) and e.index == check.index
+            ]
+            assert failed, "CheckFailed must be followed by JobFailed"
+            assert events.index(check) < events.index(failed[0])
+
+    def test_check_failure_aborts_under_fail_fast(self):
+        engine, _ = recording_engine(jobs=1, checks=_fail_gobmk_mixes)
+        with pytest.raises(CampaignError, match="synthetic_gobmk_ban"):
+            engine.run_many(specs_1b1s(2))
+
+    def test_cached_results_are_checked_too(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        specs = specs_1b1s(2)
+        campaign.run_all(specs)
+
+        engine, events = recording_engine(
+            jobs=1, failure_policy=FailurePolicy.COLLECT
+        )
+        again = Campaign(tmp_path)
+        results = again.run_all(specs, engine=engine,
+                                checks=_fail_gobmk_mixes)
+        assert [r is None for r in results] == [False, False, True, True]
+        cached = [e for e in events if isinstance(e, JobCached)]
+        assert {e.index for e in cached} == {0, 1}
+        checks = [e for e in events if isinstance(e, CheckFailed)]
+        assert {e.index for e in checks} == {2, 3}
+
+    def test_parallel_check_failures_match_serial(self):
+        serial_engine, _ = recording_engine(
+            jobs=1,
+            failure_policy=FailurePolicy.COLLECT,
+            checks=_fail_gobmk_mixes,
+        )
+        parallel_engine, _ = recording_engine(
+            jobs=2,
+            failure_policy=FailurePolicy.COLLECT,
+            checks=_fail_gobmk_mixes,
+        )
+        specs = specs_1b1s(2)
+        serial = serial_engine.run_many(specs)
+        parallel = parallel_engine.run_many(specs)
+        assert [o.error is None for o in serial.outcomes] == \
+            [o.error is None for o in parallel.outcomes]
+        assert canonical([r for r in serial.results if r is not None]) == \
+            canonical([r for r in parallel.results if r is not None])
 
 
 class TestTimeout:

@@ -9,6 +9,7 @@ from repro.runtime.events import (
     CallbackSink,
     CampaignFinished,
     CampaignStarted,
+    CheckFailed,
     JobCached,
     JobFailed,
     JobFinished,
@@ -119,3 +120,73 @@ class TestCallbackSink:
         sink = CallbackSink(seen.append)
         sink.emit(EVENTS[0])
         assert seen == [EVENTS[0]]
+
+
+class TestCheckFailedEvent:
+    EVENT = CheckFailed(index=1, label="b", detail="milc.wser drifted",
+                        invariants=("wser_definition", "sser_decomposition"))
+
+    def test_round_trip_restores_tuple(self):
+        data = json.loads(json.dumps(self.EVENT.to_dict()))
+        restored = event_from_dict(data)
+        assert restored == self.EVENT
+        assert isinstance(restored.invariants, tuple)
+
+    def test_progress_line_names_invariants(self):
+        stream = io.StringIO()
+        StderrProgressSink(stream=stream).emit(self.EVENT)
+        out = stream.getvalue()
+        assert "CHECK" in out and "wser_definition" in out
+
+    def test_not_terminal_for_replay(self):
+        # A check failure is followed by JobFailed; replay must count
+        # the job once, as failed.
+        events = [
+            CampaignStarted(total=1),
+            JobStarted(index=0, label="a"),
+            CheckFailed(index=0, label="a", invariants=("x",)),
+            JobFailed(index=0, label="a", error="check failed",
+                      wall_seconds=0.1),
+        ]
+        timings = replay_timings(events)
+        assert len(timings) == 1 and timings[0].status == "failed"
+
+
+class TestCorruptEventLogs:
+    def write_log(self, tmp_path, lines):
+        path = tmp_path / "events.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def good_lines(self, count=2):
+        return [json.dumps(e.to_dict()) for e in EVENTS[:count]]
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        lines = self.good_lines() + ['{"event": "job_fini']
+        path = self.write_log(tmp_path, lines)
+        with pytest.warns(UserWarning, match="line 3"):
+            events = read_events(path)
+        assert events == EVENTS[:2]
+
+    def test_unknown_final_event_skipped_with_warning(self, tmp_path):
+        lines = self.good_lines() + ['{"event": "job_levitated"}']
+        path = self.write_log(tmp_path, lines)
+        with pytest.warns(UserWarning, match="truncated or corrupt"):
+            assert read_events(path) == EVENTS[:2]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        lines = self.good_lines(1) + ["{ nope", self.good_lines(2)[1]]
+        path = self.write_log(tmp_path, lines)
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        lines = [self.good_lines(1)[0], "", "  ", self.good_lines(2)[1]]
+        path = self.write_log(tmp_path, lines)
+        assert read_events(path) == EVENTS[:2]
+
+    def test_clean_log_unchanged(self, tmp_path):
+        path = self.write_log(
+            tmp_path, [json.dumps(e.to_dict()) for e in EVENTS]
+        )
+        assert read_events(path) == EVENTS
