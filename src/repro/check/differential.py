@@ -298,6 +298,179 @@ def _run_case(index: int, rng: np.random.Generator) -> CheckReport:
     )
 
 
+@dataclass(frozen=True)
+class KernelComparison:
+    """Kernel-vs-reference outputs for one fuzzed window (one model)."""
+
+    model: str  # "ooo" or "inorder"
+    kernel: object  # WindowTiming (ooo) or QuantumResult (inorder)
+    reference: object
+    kernel_cache_state: tuple
+    reference_cache_state: tuple
+
+
+def _cache_state(hierarchy) -> tuple:
+    """Hashable snapshot of a hierarchy's state and statistics."""
+    return (
+        tuple(
+            (
+                cache.stats.accesses,
+                cache.stats.misses,
+                cache._clock,
+                tuple(tuple(sorted(s.items())) for s in cache._sets),
+            )
+            for cache in (hierarchy.l1d, hierarchy.l2, hierarchy.l3)
+        ),
+        hierarchy.l3_accesses,
+        hierarchy.dram_accesses,
+    )
+
+
+@invariant("kernel_timing_equivalence", subject="kernel")
+def _kernel_timing_equivalence(
+    comparison: KernelComparison,
+) -> Iterator[Finding]:
+    """Vectorized window kernels reproduce the reference exactly.
+
+    The OoO kernel must match the straight-line reference
+    element-wise (bit-identical timings); the in-order kernel must
+    match timing-derived integers exactly and ACE accounting to
+    floating-point rounding (its sums are reassociated).
+    """
+    k, r = comparison.kernel, comparison.reference
+    if comparison.model == "ooo":
+        if k.committed != r.committed or k.elapsed_cycles != r.elapsed_cycles:
+            yield (
+                "OoO kernel commit/elapsed diverges from the reference",
+                {
+                    "kernel_committed": k.committed,
+                    "reference_committed": r.committed,
+                    "kernel_elapsed": k.elapsed_cycles,
+                    "reference_elapsed": r.elapsed_cycles,
+                },
+            )
+            return
+        for field in (
+            "classes", "dispatch", "issue", "finish", "commit",
+            "latency", "mispredicted",
+        ):
+            a, b = getattr(k, field), getattr(r, field)
+            if not np.array_equal(a, b):
+                bad = int(np.nonzero(a != b)[0][0])
+                yield (
+                    f"OoO kernel {field} diverges from the reference",
+                    {
+                        "field": field,
+                        "first_mismatch": bad,
+                        "kernel": float(a[bad]),
+                        "reference": float(b[bad]),
+                    },
+                )
+    else:
+        if (
+            k.instructions != r.instructions
+            or k.cycles != r.cycles
+            or k.memory_accesses != r.memory_accesses
+            or k.l3_accesses != r.l3_accesses
+            or k.branch_mispredictions != r.branch_mispredictions
+        ):
+            yield (
+                "in-order kernel counts diverge from the reference",
+                {
+                    "kernel_instructions": k.instructions,
+                    "reference_instructions": r.instructions,
+                    "kernel_cycles": k.cycles,
+                    "reference_cycles": r.cycles,
+                },
+            )
+            return
+        for kind in k.ace_bit_cycles:
+            a = k.ace_bit_cycles[kind]
+            b = r.ace_bit_cycles[kind]
+            if abs(a - b) > 1e-9 * max(abs(a), abs(b), 1.0):
+                yield (
+                    f"in-order kernel {kind.name} ACE accounting diverges",
+                    {"structure": kind.name, "kernel": a, "reference": b},
+                )
+
+
+@invariant("kernel_cache_state_equivalence", subject="kernel")
+def _kernel_cache_state_equivalence(
+    comparison: KernelComparison,
+) -> Iterator[Finding]:
+    """Kernel and reference leave identical cache state behind.
+
+    Covers the batched access path *and* the budget-break rollback:
+    LRU contents, per-level statistics and hierarchy counters must all
+    match after the window, including the documented extra access for
+    the first uncommitted instruction.
+    """
+    if comparison.kernel_cache_state != comparison.reference_cache_state:
+        yield (
+            f"{comparison.model} kernel cache state diverges from the "
+            "reference after the window",
+            {"model": comparison.model},
+        )
+
+
+def _kernel_case(index: int, rng: np.random.Generator) -> CheckReport:
+    from repro.config import MemoryConfig, big_core_config, small_core_config
+    from repro.cores.base import ISOLATED
+    from repro.cores.inorder import InOrderCoreModel
+    from repro.cores.ooo import OutOfOrderCoreModel
+    from repro.cores.tracebase import TraceApplication
+    from repro.kernels.reference import (
+        reference_inorder_run,
+        reference_ooo_window,
+    )
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec2006 import benchmark
+
+    name = BENCHMARK_NAMES[int(rng.integers(len(BENCHMARK_NAMES)))]
+    instructions = int(rng.integers(4_000, 20_000))
+    trace_seed = int(rng.integers(0, 2**16))
+    # Tiny budgets exercise the budget-break rollback; larger ones the
+    # full-window path.  Starts beyond the trace length exercise the
+    # wrap-around windowing.
+    budget = float(rng.choice([3, 40, 700, 6_000, 60_000]))
+    start = int(rng.integers(0, 2 * instructions))
+    label = f"kernel/{index} {name}#{trace_seed}x{instructions}@{start}"
+
+    trace = generate_trace(benchmark(name), instructions, seed=trace_seed)
+    reports = []
+    for model_name in ("ooo", "inorder"):
+        if model_name == "ooo":
+            mk = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+            mr = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        else:
+            mk = InOrderCoreModel(small_core_config(), MemoryConfig())
+            mr = InOrderCoreModel(small_core_config(), MemoryConfig())
+        ak, ar = TraceApplication(trace), TraceApplication(trace)
+        if model_name == "ooo":
+            kernel_out = mk.simulate_window(ak, start, budget, ISOLATED)
+            reference_out = reference_ooo_window(
+                mr, ar, start, budget, ISOLATED
+            )
+        else:
+            kernel_out = mk.run_cycles(ak, start, budget, ISOLATED)
+            reference_out = reference_inorder_run(
+                mr, ar, start, budget, ISOLATED
+            )
+        comparison = KernelComparison(
+            model=model_name,
+            kernel=kernel_out,
+            reference=reference_out,
+            kernel_cache_state=_cache_state(mk.hierarchy_for(ak)),
+            reference_cache_state=_cache_state(mr.hierarchy_for(ar)),
+        )
+        reports.append(
+            _apply("kernel", f"{label} {model_name}", comparison)
+        )
+    from repro.check.invariants import merge_reports
+
+    return merge_reports(reports, subject=label)
+
+
 def _stack_case(index: int, rng: np.random.Generator) -> CheckReport:
     from repro.config import MemoryConfig, big_core_config
     from repro.cores.mechanistic import MechanisticCoreModel
@@ -319,13 +492,16 @@ def fuzz(
     model_cases: int = 2,
     run_cases: int = 3,
     stack_cases: int = 2,
+    kernel_cases: int = 2,
     gates: FuzzGates | None = None,
 ) -> FuzzReport:
     """Run one seeded fuzzing session.
 
     All randomness derives from ``seed`` through one
     :class:`numpy.random.Generator`; nothing reads the clock, so the
-    findings are reproducible byte-for-byte.
+    findings are reproducible byte-for-byte.  Kernel cases draw from
+    the rng after the other case kinds, so adding them kept existing
+    seeds' model/run/stack cases identical.
     """
     gates = gates if gates is not None else FuzzGates()
     rng = np.random.default_rng(seed)
@@ -336,4 +512,6 @@ def fuzz(
         reports.append(_run_case(index, rng))
     for index in range(stack_cases):
         reports.append(_stack_case(index, rng))
+    for index in range(kernel_cases):
+        reports.append(_kernel_case(index, rng))
     return FuzzReport(seed=seed, reports=tuple(reports))

@@ -377,6 +377,7 @@ def cmd_check(args) -> int:
             model_cases=args.model_cases,
             run_cases=args.run_cases,
             stack_cases=args.stack_cases,
+            kernel_cases=args.kernel_cases,
         )
         print(report.format())
         failed = failed or not report.ok
@@ -387,6 +388,28 @@ def cmd_check(args) -> int:
         print(report.format())
         failed = failed or not report.ok
     return 1 if failed else 0
+
+
+def cmd_bench(args) -> int:
+    """Run the hot-path perf benchmarks and write BENCH_PERF.json."""
+    from repro.kernels.bench import format_report, run_bench, write_report
+
+    report = run_bench(quick=args.quick)
+    print(format_report(report))
+    path = write_report(report, args.output)
+    print(f"\nwrote {path}")
+    if args.min_ooo_speedup is not None:
+        speedup = report["results"]["ooo_window"][
+            "kernel_vs_reference_speedup"
+        ]
+        if speedup < args.min_ooo_speedup:
+            print(
+                f"error: OoO kernel speedup {speedup:.2f}x is below the "
+                f"{args.min_ooo_speedup:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
 
 
 def cmd_cost(args) -> int:

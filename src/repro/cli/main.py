@@ -14,6 +14,7 @@ Subcommands:
 * ``repro inject``    -- fault-injection campaign vs ACE counting
 * ``repro events``    -- replay a campaign event log to job timings
 * ``repro check``     -- paper-invariant fuzzing + golden corpus
+* ``repro bench``     -- simulation hot-path performance benchmarks
 
 ``repro sweep`` and ``repro figure`` execute through the
 :mod:`repro.runtime` engine: ``--jobs N`` (or ``REPRO_JOBS=N``) fans
@@ -141,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="randomized multicore runs to validate")
     check.add_argument("--stack-cases", type=int, default=2,
                        help="isolated structure-stack conservation cases")
+    check.add_argument("--kernel-cases", type=int, default=2,
+                       help="vectorized-kernel vs reference equivalence "
+                            "cases")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
     check.add_argument("--update-goldens", action="store_true",
@@ -151,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--skip-goldens", action="store_true",
                        help="skip the golden corpus comparison")
     check.set_defaults(func=commands.cmd_check)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="simulation hot-path performance benchmarks",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller inputs, single repeat (for CI)")
+    bench.add_argument("--output", default="BENCH_PERF.json",
+                       help="machine-readable report path")
+    bench.add_argument("--min-ooo-speedup", type=float, default=None,
+                       help="fail unless the OoO kernel beats its "
+                            "in-process straight-line reference by "
+                            "this factor")
+    bench.set_defaults(func=commands.cmd_bench)
 
     figure = subparsers.add_parser(
         "figure", help="render an evaluation figure as an ASCII chart"

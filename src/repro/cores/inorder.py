@@ -14,31 +14,18 @@ queue residency; NOPs are non-ACE.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.config.structures import StructureKind
 from repro.cores.base import (
     ARCH_REG_LIVE_FRACTION,
     MemoryEnvironment,
     QuantumResult,
 )
 from repro.cores.tracebase import TraceApplication, TraceDrivenModel
-from repro.isa.instruction import (
-    InstructionClass,
-    fu_bits_table,
-    latency_table,
-)
 
 #: 10-bit fetch-time counters clip residency here (Section 4.2).
 TIMESTAMP_CLIP = 1023
 
 #: Live architectural-register fraction (shared model constant).
 _ARCH_REG_LIVE_FRACTION = ARCH_REG_LIVE_FRACTION
-
-#: Cycles a committed store occupies the store queue while draining.
-_STORE_DRAIN = 3.0
-
-_WINDOW_SLACK = 1024
 
 
 class InOrderCoreModel(TraceDrivenModel):
@@ -51,139 +38,17 @@ class InOrderCoreModel(TraceDrivenModel):
         cycles: float,
         env: MemoryEnvironment,
     ) -> QuantumResult:
-        if cycles <= 0:
-            return QuantumResult.zero()
-        core = self.core
-        assert core.pipeline_latches is not None
-        budget = float(cycles)
-        window = app.window(
-            start_instruction, int(budget * core.width) + _WINDOW_SLACK
-        )
-        n = len(window)
-        if n == 0:
-            return QuantumResult(instructions=0, cycles=budget)
-        hierarchy = self.hierarchy_for(app)
-        dram_extra = self.dram_latency_cycles(env) - hierarchy.dram_latency_cycles
-        l3_start = hierarchy.l3_accesses
-        dram_start = hierarchy.dram_accesses
+        """Execute one cycle budget of the in-order pipeline.
 
-        latencies = latency_table()
-        fu_bits = fu_bits_table()
-        width = core.width
-        depth = core.frontend_depth
-        latch_bits = core.pipeline_latches.bits_per_entry
-        iq_bits = core.issue_queue.bits_per_entry
-        sq_bits = core.store_queue.bits_per_entry
-        icache_penalty = self.memory.l2.latency_cycles
+        Delegates to the vectorized kernel
+        (:func:`repro.kernels.window.inorder_run_cycles`); the
+        pre-kernel straight-line implementation is preserved as
+        :func:`repro.kernels.reference.reference_inorder_run` and the
+        two are cross-checked by the differential fuzzer.  The
+        kernel's vectorized ACE accounting reassociates the residency
+        sums, so accounting totals can differ from the reference at
+        floating-point rounding level (~1e-15 relative).
+        """
+        from repro.kernels.window import inorder_run_cycles
 
-        classes = window.classes
-        dep1 = window.dep1
-        dep2 = window.dep2
-        addresses = window.addresses
-        mispredicted = window.mispredicted
-        icache_miss = window.icache_miss
-
-        fetch = np.zeros(n, dtype=np.float64)
-        issue = np.zeros(n, dtype=np.float64)
-        finish = np.zeros(n, dtype=np.float64)
-        wb = np.zeros(n, dtype=np.float64)
-        div_free = {InstructionClass.INT_DIV: 0.0, InstructionClass.FP_DIV: 0.0}
-        latch_slots = core.pipeline_latches.entries
-
-        ace = {
-            StructureKind.PIPELINE_LATCHES: 0.0,
-            StructureKind.ISSUE_QUEUE: 0.0,
-            StructureKind.STORE_QUEUE: 0.0,
-            StructureKind.REGISTER_FILE: 0.0,
-            StructureKind.FUNCTIONAL_UNITS: 0.0,
-        }
-        occupancy = dict(ace)
-
-        fetch_ready = 0.0
-        committed = 0
-        end_time = 0.0
-        for i in range(n):
-            cls = InstructionClass(classes[i])
-            if icache_miss[i]:
-                fetch_ready += icache_penalty
-            # Fetch: at most `width` per cycle, and only when a
-            # pipeline-latch slot is free (slots are held from fetch
-            # to writeback, so stalls back-pressure the front end and
-            # instructions sit in the latches during them).
-            t_fetch = max(
-                fetch_ready,
-                fetch[i - width] + 1.0 if i >= width else 0.0,
-            )
-            if i >= latch_slots:
-                t_fetch = max(t_fetch, wb[i - latch_slots])
-            fetch[i] = t_fetch
-
-            # In-order issue after traversing the front-end stages:
-            # after the previous instruction, at most `width` per
-            # cycle, once operands are ready (stall-on-use).
-            t_issue = max(t_fetch + depth - 2.0, issue[i - 1] if i >= 1 else 0.0)
-            if i >= width:
-                t_issue = max(t_issue, issue[i - width] + 1.0)
-            if dep1[i]:
-                t_issue = max(t_issue, finish[i - dep1[i]])
-            if dep2[i]:
-                t_issue = max(t_issue, finish[i - dep2[i]])
-            if cls in div_free:
-                t_issue = max(t_issue, div_free[cls])
-            issue[i] = t_issue
-
-            if cls == InstructionClass.LOAD:
-                outcome = hierarchy.access_data(int(addresses[i]))
-                latency = outcome.latency_cycles
-                if outcome.level == "dram":
-                    latency += dram_extra
-            elif cls == InstructionClass.STORE:
-                hierarchy.access_data(int(addresses[i]))
-                latency = float(latencies[cls])
-            else:
-                latency = float(latencies[cls])
-            finish[i] = t_issue + latency
-            if cls in div_free:
-                div_free[cls] = finish[i]
-            if mispredicted[i]:
-                fetch_ready = max(fetch_ready, finish[i] + depth)
-
-            writeback = finish[i] + 1.0
-            wb[i] = writeback
-            if writeback > budget:
-                break
-            committed = i + 1
-            end_time = writeback
-
-            # -- ACE accounting: fetch-to-writeback in the latches --
-            residency = min(writeback - t_fetch, TIMESTAMP_CLIP)
-            is_nop = cls == InstructionClass.NOP
-            occupancy[StructureKind.PIPELINE_LATCHES] += residency * latch_bits
-            if not is_nop:
-                ace[StructureKind.PIPELINE_LATCHES] += residency * latch_bits
-                fu_res = min(latency, TIMESTAMP_CLIP) * fu_bits[cls]
-                ace[StructureKind.FUNCTIONAL_UNITS] += fu_res
-                occupancy[StructureKind.FUNCTIONAL_UNITS] += fu_res
-                iq_res = min(max(t_issue - t_fetch - 2.0, 0.0), TIMESTAMP_CLIP)
-                ace[StructureKind.ISSUE_QUEUE] += iq_res * iq_bits
-                occupancy[StructureKind.ISSUE_QUEUE] += iq_res * iq_bits
-            if cls == InstructionClass.STORE:
-                sq_res = _STORE_DRAIN * sq_bits
-                ace[StructureKind.STORE_QUEUE] += sq_res
-                occupancy[StructureKind.STORE_QUEUE] += sq_res
-
-        elapsed = budget if committed < n else max(end_time, 1.0)
-        arch = (
-            core.register_file.arch_bits * _ARCH_REG_LIVE_FRACTION * elapsed
-        )
-        ace[StructureKind.REGISTER_FILE] += arch
-        occupancy[StructureKind.REGISTER_FILE] += arch
-        return QuantumResult(
-            instructions=committed,
-            cycles=elapsed,
-            ace_bit_cycles=ace,
-            occupancy_bit_cycles=occupancy,
-            memory_accesses=float(hierarchy.dram_accesses - dram_start),
-            l3_accesses=float(hierarchy.l3_accesses - l3_start),
-            branch_mispredictions=float(mispredicted[:committed].sum()),
-        )
+        return inorder_run_cycles(self, app, start_instruction, cycles, env)

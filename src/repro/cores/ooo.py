@@ -43,7 +43,6 @@ from repro.isa.instruction import (
     INT_WRITERS,
     InstructionClass,
     fu_bits_table,
-    latency_table,
 )
 
 #: 12-bit per-ROB-entry timestamp counters clip residency here.
@@ -51,9 +50,6 @@ TIMESTAMP_CLIP = 4095
 
 #: Live architectural-register fraction (shared model constant).
 _ARCH_REG_LIVE_FRACTION = ARCH_REG_LIVE_FRACTION
-
-#: Maximum instructions attempted per cycle of budget (dispatch width).
-_WINDOW_SLACK = 1024
 
 
 @dataclass
@@ -91,118 +87,17 @@ class OutOfOrderCoreModel(TraceDrivenModel):
         cycles: float,
         env: MemoryEnvironment,
     ) -> WindowTiming:
-        """Compute pipeline timings for a cycle budget of execution."""
-        core = self.core
-        assert core.rob is not None and core.load_queue is not None
-        budget = float(cycles)
-        window = app.window(
-            start_instruction, int(budget * core.width) + _WINDOW_SLACK
-        )
-        n = len(window)
-        hierarchy = self.hierarchy_for(app)
-        dram_extra = (
-            self.dram_latency_cycles(env) - hierarchy.dram_latency_cycles
-        )
+        """Compute pipeline timings for a cycle budget of execution.
 
-        latencies = latency_table()
-        width = core.width
-        rob_size = core.rob.entries
-        iq_size = core.issue_queue.entries
-        lq_size = core.load_queue.entries
-        sq_size = core.store_queue.entries
-        depth = core.frontend_depth
-        icache_penalty = self.memory.l2.latency_cycles
+        Delegates to the vectorized kernel
+        (:func:`repro.kernels.window.ooo_simulate_window`); the
+        pre-kernel straight-line implementation is preserved as
+        :func:`repro.kernels.reference.reference_ooo_window` and the
+        two are cross-checked by the differential fuzzer.
+        """
+        from repro.kernels.window import ooo_simulate_window
 
-        classes = window.classes
-        dep1 = window.dep1
-        dep2 = window.dep2
-        addresses = window.addresses
-        mispredicted = window.mispredicted
-        icache_miss = window.icache_miss
-
-        dispatch = np.zeros(n, dtype=np.float64)
-        issue = np.zeros(n, dtype=np.float64)
-        finish = np.zeros(n, dtype=np.float64)
-        commit = np.zeros(n, dtype=np.float64)
-        latency_out = np.zeros(n, dtype=np.float64)
-        load_ring: list[int] = []
-        store_ring: list[int] = []
-        div_free = {InstructionClass.INT_DIV: 0.0, InstructionClass.FP_DIV: 0.0}
-
-        fetch_ready = 0.0
-        committed = 0
-        end_time = 0.0
-        for i in range(n):
-            cls = InstructionClass(classes[i])
-            if icache_miss[i]:
-                fetch_ready += icache_penalty
-            t_dispatch = max(
-                fetch_ready,
-                dispatch[i - width] + 1.0 if i >= width else 0.0,
-            )
-            if i >= rob_size:
-                t_dispatch = max(t_dispatch, commit[i - rob_size])
-            if i >= iq_size:
-                t_dispatch = max(t_dispatch, issue[i - iq_size])
-            if cls == InstructionClass.LOAD and len(load_ring) >= lq_size:
-                t_dispatch = max(t_dispatch, commit[load_ring[-lq_size]])
-            if cls == InstructionClass.STORE and len(store_ring) >= sq_size:
-                t_dispatch = max(t_dispatch, commit[store_ring[-sq_size]])
-            dispatch[i] = t_dispatch
-
-            ready = t_dispatch + 1.0
-            if dep1[i]:
-                ready = max(ready, finish[i - dep1[i]])
-            if dep2[i]:
-                ready = max(ready, finish[i - dep2[i]])
-            if cls in div_free:
-                ready = max(ready, div_free[cls])
-            issue[i] = ready
-
-            if cls == InstructionClass.LOAD:
-                outcome = hierarchy.access_data(int(addresses[i]))
-                latency = outcome.latency_cycles
-                if outcome.level == "dram":
-                    latency += dram_extra
-                load_ring.append(i)
-            elif cls == InstructionClass.STORE:
-                # Stores write back at commit; the cache access is for
-                # hit/miss statistics, the pipeline sees unit latency.
-                hierarchy.access_data(int(addresses[i]))
-                latency = float(latencies[cls])
-                store_ring.append(i)
-            else:
-                latency = float(latencies[cls])
-            finish[i] = issue[i] + latency
-            latency_out[i] = latency
-            if cls in div_free:
-                div_free[cls] = finish[i]
-            if mispredicted[i]:
-                fetch_ready = max(fetch_ready, finish[i] + depth)
-
-            t_commit = finish[i] + 1.0
-            if i >= 1:
-                t_commit = max(t_commit, commit[i - 1])
-            if i >= width:
-                t_commit = max(t_commit, commit[i - width] + 1.0)
-            commit[i] = t_commit
-            if t_commit > budget:
-                break
-            committed = i + 1
-            end_time = t_commit
-
-        elapsed = budget if committed < n else max(end_time, 1.0)
-        return WindowTiming(
-            classes=classes[:committed].copy(),
-            dispatch=dispatch[:committed],
-            issue=issue[:committed],
-            finish=finish[:committed],
-            commit=commit[:committed],
-            latency=latency_out[:committed],
-            mispredicted=mispredicted[:committed].copy(),
-            committed=committed,
-            elapsed_cycles=elapsed,
-        )
+        return ooo_simulate_window(self, app, start_instruction, cycles, env)
 
     def run_cycles(
         self,

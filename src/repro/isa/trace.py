@@ -62,14 +62,31 @@ class Trace:
         Dependency distances reaching before ``start`` are clamped to
         zero (treated as ready), matching how a core would see a
         context-switched-in window.
+
+        When no distance reaches before ``start`` the returned trace
+        shares the underlying arrays (views, no copies); callers must
+        treat sliced traces as read-only.
         """
         if not 0 <= start <= stop <= len(self):
             raise IndexError(f"slice [{start}, {stop}) out of range")
-        index = np.arange(start, stop, dtype=np.int64) - start
-        dep1 = self.dep1[start:stop].copy()
-        dep2 = self.dep2[start:stop].copy()
-        dep1[dep1 > index] = 0
-        dep2[dep2 > index] = 0
+        dep1 = self.dep1[start:stop]
+        dep2 = self.dep2[start:stop]
+        n = stop - start
+        if n:
+            # A distance at window-relative position j reaches before
+            # `start` iff it exceeds j, so only the first max-distance
+            # positions can ever need clamping: check just that head.
+            head = min(n, int(max(dep1.max(), dep2.max())))
+            if head:
+                index = np.arange(head, dtype=np.int64)
+                clamp1 = dep1[:head] > index
+                clamp2 = dep2[:head] > index
+                if clamp1.any():
+                    dep1 = dep1.copy()
+                    dep1[:head][clamp1] = 0
+                if clamp2.any():
+                    dep2 = dep2.copy()
+                    dep2[:head][clamp2] = 0
         return Trace(
             classes=self.classes[start:stop],
             dep1=dep1,

@@ -1,0 +1,261 @@
+"""Performance micro-benchmarks for the simulation hot path.
+
+Times the layers the `repro.kernels` work optimizes -- trace
+generation (and the trace cache), batched cache access, the OoO and
+in-order window kernels (against their straight-line references), and
+a small end-to-end sweep -- and emits a machine-readable report
+(``BENCH_PERF.json``) so the performance trajectory is tracked
+PR-over-PR.  Run via ``repro bench`` or
+``python benchmarks/bench_perf.py``.
+
+The regression gate is the *in-process* kernel-vs-reference speedup
+(``--min-ooo-speedup``), which is machine-independent; absolute
+instructions/second are reported for trend tracking alongside the
+recorded pre-kernel baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+#: Throughputs of the pre-kernel implementations, measured on the
+#: machine that developed the kernel layer (scalar cache walks,
+#: per-instruction enum construction; commit eeee08a).  Kept static so
+#: the kernel-vs-pre-PR speedup in the report has a fixed denominator.
+PRE_PR_BASELINE = {
+    "ooo_window_insn_per_s": 163_000,
+    "inorder_window_insn_per_s": 95_000,
+    "note": (
+        "pre-kernel simulate_window/run_cycles throughput at 200k "
+        "instructions (soplex, seed 0), measured at commit eeee08a"
+    ),
+}
+
+#: Benchmark/trace used by the micro-benchmarks.
+BENCH_WORKLOAD = "soplex"
+
+
+def _best(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall-clock of ``fn()`` (returns last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Run the perf-bench suite; returns the report dictionary."""
+    from repro.config import MemoryConfig, big_core_config, small_core_config
+    from repro.cores.base import ISOLATED
+    from repro.cores.inorder import InOrderCoreModel
+    from repro.cores.ooo import OutOfOrderCoreModel
+    from repro.cores.tracebase import TraceApplication
+    from repro.kernels.reference import (
+        reference_inorder_run,
+        reference_ooo_window,
+    )
+    from repro.kernels.trace_cache import (
+        cache_stats,
+        cached_generate_trace,
+        clear_cache,
+    )
+    from repro.memory.cache import SetAssociativeCache
+    from repro.workloads import benchmark
+    from repro.workloads.generator import generate_trace
+
+    instructions = 60_000 if quick else 200_000
+    repeats = 1 if quick else 3
+    profile = benchmark(BENCH_WORKLOAD)
+    results: dict = {}
+
+    # -- trace generation and the trace cache --
+    gen_s, trace = _best(
+        lambda: generate_trace(profile, instructions, seed=0), repeats
+    )
+    results["trace_generation"] = {
+        "instructions": instructions,
+        "wall_s": gen_s,
+        "insn_per_s": instructions / gen_s,
+    }
+    clear_cache()
+    cached_generate_trace(profile, instructions, seed=0)  # warm
+    hit_s, _ = _best(
+        lambda: cached_generate_trace(profile, instructions, seed=0),
+        max(repeats, 3),
+    )
+    results["trace_cache_hit"] = {
+        "wall_s": hit_s,
+        "speedup_vs_generate": gen_s / max(hit_s, 1e-9),
+        "stats": cache_stats(),
+    }
+    clear_cache()
+
+    # -- batched cache access vs scalar --
+    app = TraceApplication(trace)
+    addresses = trace.addresses[trace.addresses != 0]
+    l1_config = MemoryConfig().l1d
+
+    def scalar_cache():
+        cache = SetAssociativeCache(l1_config, "bench")
+        access = cache.access
+        for a in addresses.tolist():
+            access(a)
+        return cache
+
+    def batch_cache():
+        cache = SetAssociativeCache(l1_config, "bench")
+        cache.access_batch(addresses)
+        return cache
+
+    scalar_s, _ = _best(scalar_cache, repeats)
+    batch_s, _ = _best(batch_cache, repeats)
+    results["cache_access"] = {
+        "accesses": int(len(addresses)),
+        "scalar_wall_s": scalar_s,
+        "batch_wall_s": batch_s,
+        "scalar_accesses_per_s": len(addresses) / scalar_s,
+        "batch_accesses_per_s": len(addresses) / batch_s,
+        "batch_speedup": scalar_s / batch_s,
+    }
+
+    # -- OoO window: kernel vs straight-line reference --
+    budget = float(instructions)
+
+    def ooo_kernel():
+        model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        return model.simulate_window(app, 0, budget, ISOLATED)
+
+    def ooo_reference():
+        model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        return reference_ooo_window(model, app, 0, budget, ISOLATED)
+
+    kernel_s, timing = _best(ooo_kernel, repeats)
+    reference_s, _ = _best(ooo_reference, repeats)
+    ooo_insn_per_s = timing.committed / kernel_s
+    results["ooo_window"] = {
+        "committed": timing.committed,
+        "kernel_wall_s": kernel_s,
+        "reference_wall_s": reference_s,
+        "kernel_insn_per_s": ooo_insn_per_s,
+        "reference_insn_per_s": timing.committed / reference_s,
+        "kernel_vs_reference_speedup": reference_s / kernel_s,
+        "kernel_vs_pre_pr_speedup": (
+            ooo_insn_per_s / PRE_PR_BASELINE["ooo_window_insn_per_s"]
+        ),
+    }
+
+    # -- in-order window: kernel vs straight-line reference --
+    inorder_budget = 2.0 * budget
+
+    def inorder_kernel():
+        model = InOrderCoreModel(small_core_config(), MemoryConfig())
+        return model.run_cycles(app, 0, inorder_budget, ISOLATED)
+
+    def inorder_reference():
+        model = InOrderCoreModel(small_core_config(), MemoryConfig())
+        return reference_inorder_run(model, app, 0, inorder_budget, ISOLATED)
+
+    kernel_s, quantum = _best(inorder_kernel, repeats)
+    reference_s, _ = _best(inorder_reference, repeats)
+    inorder_insn_per_s = quantum.instructions / kernel_s
+    results["inorder_window"] = {
+        "committed": quantum.instructions,
+        "kernel_wall_s": kernel_s,
+        "reference_wall_s": reference_s,
+        "kernel_insn_per_s": inorder_insn_per_s,
+        "reference_insn_per_s": quantum.instructions / reference_s,
+        "kernel_vs_reference_speedup": reference_s / kernel_s,
+        "kernel_vs_pre_pr_speedup": (
+            inorder_insn_per_s
+            / PRE_PR_BASELINE["inorder_window_insn_per_s"]
+        ),
+    }
+
+    # -- end-to-end: a small mechanistic sweep --
+    from repro.sim.experiment import sweep
+    from repro.workloads.mixes import generate_workloads
+    from repro.config import STANDARD_MACHINES
+
+    machine = STANDARD_MACHINES["1B1S"]()
+    mixes = generate_workloads(machine.num_cores)[: (1 if quick else 3)]
+    sweep_instructions = 5_000_000 if quick else 20_000_000
+    t0 = time.perf_counter()
+    sweep_results = sweep(
+        machine,
+        mixes,
+        ("random", "reliability"),
+        instructions=sweep_instructions,
+        jobs=1,
+    )
+    sweep_s = time.perf_counter() - t0
+    runs = sum(len(v) for v in sweep_results.values())
+    results["end_to_end_sweep"] = {
+        "machine": machine.name,
+        "runs": runs,
+        "instructions_per_run": sweep_instructions,
+        "wall_s": sweep_s,
+        "runs_per_s": runs / sweep_s,
+    }
+
+    return {
+        "schema": 1,
+        "workload": BENCH_WORKLOAD,
+        "quick": quick,
+        "python": platform.python_version(),
+        "pre_pr_baseline": PRE_PR_BASELINE,
+        "results": results,
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of a bench report."""
+    r = report["results"]
+    lines = [
+        f"perf bench ({'quick' if report['quick'] else 'full'}, "
+        f"{report['workload']}, python {report['python']})",
+        (
+            f"  trace generation   "
+            f"{r['trace_generation']['insn_per_s'] / 1e3:9.0f}k insn/s"
+        ),
+        (
+            f"  trace cache hit    "
+            f"{r['trace_cache_hit']['speedup_vs_generate']:9.0f}x "
+            "vs generation"
+        ),
+        (
+            f"  cache access batch "
+            f"{r['cache_access']['batch_accesses_per_s'] / 1e6:9.2f}M/s "
+            f"({r['cache_access']['batch_speedup']:.2f}x scalar)"
+        ),
+    ]
+    for key, label in (
+        ("ooo_window", "OoO window    "),
+        ("inorder_window", "in-order window"),
+    ):
+        lines.append(
+            f"  {label}    "
+            f"{r[key]['kernel_insn_per_s'] / 1e3:7.0f}k insn/s "
+            f"({r[key]['kernel_vs_reference_speedup']:.2f}x reference, "
+            f"{r[key]['kernel_vs_pre_pr_speedup']:.2f}x pre-kernel "
+            "baseline)"
+        )
+    lines.append(
+        f"  end-to-end sweep   "
+        f"{r['end_to_end_sweep']['runs_per_s']:9.2f} runs/s "
+        f"({r['end_to_end_sweep']['runs']} runs, "
+        f"{r['end_to_end_sweep']['wall_s']:.2f}s)"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write a bench report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

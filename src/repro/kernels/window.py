@@ -1,0 +1,485 @@
+"""Vectorized window kernels for the trace-driven core models.
+
+The pre-kernel implementations (kept verbatim in
+:mod:`repro.kernels.reference`) spent most of their time on
+per-instruction Python overhead: one :class:`InstructionClass` enum
+construction, several numpy scalar reads, and one scalar cache walk
+per load/store.  The kernels here restructure
+``simulate_window``/``run_cycles`` into:
+
+1. a **batched precompute pass** per chunk -- instruction-class codes,
+   static latencies, I-cache penalties and dependency distances are
+   extracted as plain Python lists in vectorized numpy operations, and
+   all of the chunk's load/store addresses run through
+   :meth:`~repro.memory.hierarchy.CacheHierarchy.access_data_batch`
+   in one pass; then
+2. a **minimal max-plus recurrence loop** over local-variable-bound
+   floats -- no enum construction, no dict lookups, no numpy scalar
+   round-trips.
+
+Results are identical to the reference implementations: the
+recurrence performs the same float operations in the same order, and
+the cache state is kept exact across the budget break by rolling back
+the batched accesses that over-ran the break instruction (the
+reference accesses the cache for instructions up to and including the
+first *uncommitted* instruction; see docs/performance.md and
+DESIGN.md).  The differential fuzzer cross-checks kernel vs reference
+on every ``repro check`` run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.structures import StructureKind
+from repro.cores.base import MemoryEnvironment, QuantumResult
+from repro.isa.instruction import (
+    NUM_CLASSES,
+    InstructionClass,
+    fu_bits_table,
+    latency_table,
+)
+
+#: Maximum instructions attempted per cycle of budget (dispatch width).
+_WINDOW_SLACK = 1024
+
+#: Cycles a committed store occupies the in-order store queue.
+_STORE_DRAIN = 3.0
+
+#: Instructions per precompute/recurrence chunk.  Bounds both the
+#: batched-access overrun past the budget break (rolled back, but
+#: wasted work) and the transient memory of the per-chunk buffers.
+_CHUNK = 4096
+
+#: Class -> kernel kind code: 0 plain, 1 load, 2 store, 3 integer
+#: divide, 4 floating-point divide (the classes needing queue or
+#: unpipelined-divider handling in the recurrence).
+_KIND = np.zeros(NUM_CLASSES, dtype=np.int8)
+_KIND[InstructionClass.LOAD] = 1
+_KIND[InstructionClass.STORE] = 2
+_KIND[InstructionClass.INT_DIV] = 3
+_KIND[InstructionClass.FP_DIV] = 4
+
+#: Static execution latency per class, as float64 (exactly the
+#: ``float(latency_table()[cls])`` values of the reference).
+_STATIC_LATENCY = latency_table().astype(np.float64)
+
+
+def _chunk_inputs(window, c0, c1, hierarchy, icache_penalty, dram_extra):
+    """Precompute one chunk's per-instruction kernel inputs.
+
+    Runs the chunk's load/store addresses through the batched cache
+    walk (recording an undo journal) and returns plain Python lists
+    for the recurrence plus what a budget-break rollback needs.
+    """
+    kind = _KIND[window.classes[c0:c1]]
+    eff_lat = _STATIC_LATENCY[window.classes[c0:c1]]
+    mem_rel = np.nonzero((kind == 1) | (kind == 2))[0]
+    journal: list = []
+    levels = None
+    if mem_rel.size:
+        addresses = window.addresses[c0:c1][mem_rel]
+        lat_mem, levels = hierarchy.access_data_batch(addresses, journal)
+        is_load = kind[mem_rel] == 1
+        if is_load.any():
+            load_lat = lat_mem[is_load]
+            if dram_extra:
+                load_lat = load_lat + np.where(
+                    levels[is_load] == 3, dram_extra, 0.0
+                )
+            eff_lat[mem_rel[is_load]] = load_lat
+    icx = np.where(
+        window.icache_miss[c0:c1], icache_penalty, 0.0
+    ).tolist()
+    return (
+        kind.tolist(),
+        eff_lat,
+        icx,
+        window.dep1[c0:c1].tolist(),
+        window.dep2[c0:c1].tolist(),
+        window.mispredicted[c0:c1].tolist(),
+        mem_rel,
+        journal,
+        levels,
+    )
+
+
+def _rollback_overrun(hierarchy, mem_rel, journal, levels, c0, break_abs):
+    """Undo batched accesses of instructions past the budget break.
+
+    The reference implementation accesses the cache for instructions
+    up to *and including* the break instruction (the first
+    uncommitted one); everything later in the chunk is rolled back.
+    """
+    if levels is None:
+        return
+    keep = int(np.searchsorted(mem_rel, break_abs - c0, side="right"))
+    if keep < len(journal):
+        hierarchy.rollback_data(journal, levels, keep)
+
+
+def ooo_simulate_window(model, app, start_instruction, cycles, env):
+    """Kernelized out-of-order window timing computation.
+
+    Produces a :class:`~repro.cores.ooo.WindowTiming` element-wise
+    identical to :func:`repro.kernels.reference.reference_ooo_window`
+    and leaves the cache hierarchy in the identical state.
+    """
+    from repro.cores.ooo import WindowTiming
+
+    core = model.core
+    assert core.rob is not None and core.load_queue is not None
+    budget = float(cycles)
+    window = app.window(
+        start_instruction, int(budget * core.width) + _WINDOW_SLACK
+    )
+    n = len(window)
+    hierarchy = model.hierarchy_for(app)
+    dram_extra = (
+        model.dram_latency_cycles(env) - hierarchy.dram_latency_cycles
+    )
+    width = core.width
+    rob_size = core.rob.entries
+    iq_size = core.issue_queue.entries
+    lq_size = core.load_queue.entries
+    sq_size = core.store_queue.entries
+    depth = core.frontend_depth
+    icache_penalty = model.memory.l2.latency_cycles
+
+    dispatch_l: list[float] = []
+    issue_l: list[float] = []
+    finish_l: list[float] = []
+    commit_l: list[float] = []
+    load_commits: list[float] = []
+    store_commits: list[float] = []
+    lat_chunks: list[np.ndarray] = []
+    dispatch_append = dispatch_l.append
+    issue_append = issue_l.append
+    finish_append = finish_l.append
+    commit_append = commit_l.append
+    load_append = load_commits.append
+    store_append = store_commits.append
+
+    fetch_ready = 0.0
+    int_div_free = 0.0
+    fp_div_free = 0.0
+    prev_commit = 0.0
+    committed = 0
+    end_time = 0.0
+    i = 0
+    iw = -width
+    irob = -rob_size
+    iiq = -iq_size
+    nll = -lq_size
+    nss = -sq_size
+    broke = False
+    for c0 in range(0, n, _CHUNK):
+        c1 = min(c0 + _CHUNK, n)
+        (kind, eff_lat, icx, dep1, dep2, misp,
+         mem_rel, journal, levels) = _chunk_inputs(
+            window, c0, c1, hierarchy, icache_penalty, dram_extra
+        )
+        lat_chunks.append(eff_lat)
+        for k, lat, ic, d1, d2, mp in zip(
+            kind, eff_lat.tolist(), icx, dep1, dep2, misp
+        ):
+            if ic:
+                fetch_ready += ic
+            td = fetch_ready
+            if iw >= 0:
+                x = dispatch_l[iw] + 1.0
+                if x > td:
+                    td = x
+            if irob >= 0:
+                x = commit_l[irob]
+                if x > td:
+                    td = x
+            if iiq >= 0:
+                x = issue_l[iiq]
+                if x > td:
+                    td = x
+            if k:
+                if k == 1:
+                    if nll >= 0:
+                        x = load_commits[nll]
+                        if x > td:
+                            td = x
+                elif k == 2:
+                    if nss >= 0:
+                        x = store_commits[nss]
+                        if x > td:
+                            td = x
+            dispatch_append(td)
+            ready = td + 1.0
+            if d1:
+                x = finish_l[i - d1]
+                if x > ready:
+                    ready = x
+            if d2:
+                x = finish_l[i - d2]
+                if x > ready:
+                    ready = x
+            if k > 2:
+                if k == 3:
+                    if int_div_free > ready:
+                        ready = int_div_free
+                    fin = ready + lat
+                    int_div_free = fin
+                else:
+                    if fp_div_free > ready:
+                        ready = fp_div_free
+                    fin = ready + lat
+                    fp_div_free = fin
+            else:
+                fin = ready + lat
+            issue_append(ready)
+            finish_append(fin)
+            if mp:
+                x = fin + depth
+                if x > fetch_ready:
+                    fetch_ready = x
+            tc = fin + 1.0
+            if prev_commit > tc:
+                tc = prev_commit
+            if iw >= 0:
+                x = commit_l[iw] + 1.0
+                if x > tc:
+                    tc = x
+            commit_append(tc)
+            prev_commit = tc
+            if k:
+                if k == 1:
+                    load_append(tc)
+                    nll += 1
+                elif k == 2:
+                    store_append(tc)
+                    nss += 1
+            iw += 1
+            irob += 1
+            iiq += 1
+            if tc > budget:
+                broke = True
+                break
+            i += 1
+            committed = i
+            end_time = tc
+        if broke:
+            _rollback_overrun(hierarchy, mem_rel, journal, levels, c0, i)
+            break
+
+    elapsed = budget if committed < n else max(end_time, 1.0)
+    if lat_chunks:
+        latency_out = np.concatenate(lat_chunks)[:committed]
+    else:
+        latency_out = np.zeros(0, dtype=np.float64)
+    return WindowTiming(
+        classes=window.classes[:committed].copy(),
+        dispatch=np.array(dispatch_l[:committed], dtype=np.float64),
+        issue=np.array(issue_l[:committed], dtype=np.float64),
+        finish=np.array(finish_l[:committed], dtype=np.float64),
+        commit=np.array(commit_l[:committed], dtype=np.float64),
+        latency=latency_out,
+        mispredicted=window.mispredicted[:committed].copy(),
+        committed=committed,
+        elapsed_cycles=elapsed,
+    )
+
+
+def inorder_run_cycles(model, app, start_instruction, cycles, env):
+    """Kernelized in-order scoreboard execution of one cycle budget.
+
+    Matches :func:`repro.kernels.reference.reference_inorder_run` in
+    timing, statistics and cache state; the per-structure ACE
+    accounting is computed vectorized over the committed prefix, so
+    its sums may differ from the reference's sequential accumulation
+    at floating-point rounding level (relative ~1e-15).
+    """
+    from repro.cores.inorder import TIMESTAMP_CLIP
+
+    if cycles <= 0:
+        return QuantumResult.zero()
+    core = model.core
+    assert core.pipeline_latches is not None
+    budget = float(cycles)
+    window = app.window(
+        start_instruction, int(budget * core.width) + _WINDOW_SLACK
+    )
+    n = len(window)
+    if n == 0:
+        return QuantumResult(instructions=0, cycles=budget)
+    hierarchy = model.hierarchy_for(app)
+    dram_extra = model.dram_latency_cycles(env) - hierarchy.dram_latency_cycles
+    l3_start = hierarchy.l3_accesses
+    dram_start = hierarchy.dram_accesses
+
+    width = core.width
+    depth = core.frontend_depth
+    latch_slots = core.pipeline_latches.entries
+    icache_penalty = model.memory.l2.latency_cycles
+
+    fetch_l: list[float] = []
+    issue_l: list[float] = []
+    finish_l: list[float] = []
+    wb_l: list[float] = []
+    lat_chunks: list[np.ndarray] = []
+    fetch_append = fetch_l.append
+    issue_append = issue_l.append
+    finish_append = finish_l.append
+    wb_append = wb_l.append
+
+    fetch_ready = 0.0
+    int_div_free = 0.0
+    fp_div_free = 0.0
+    prev_issue = 0.0
+    committed = 0
+    end_time = 0.0
+    i = 0
+    iw = -width
+    ilatch = -latch_slots
+    broke = False
+    for c0 in range(0, n, _CHUNK):
+        c1 = min(c0 + _CHUNK, n)
+        (kind, eff_lat, icx, dep1, dep2, misp,
+         mem_rel, journal, levels) = _chunk_inputs(
+            window, c0, c1, hierarchy, icache_penalty, dram_extra
+        )
+        lat_chunks.append(eff_lat)
+        for k, lat, ic, d1, d2, mp in zip(
+            kind, eff_lat.tolist(), icx, dep1, dep2, misp
+        ):
+            if ic:
+                fetch_ready += ic
+            # Fetch: at most `width` per cycle, and only when a
+            # pipeline-latch slot is free (slots are held from fetch
+            # to writeback, so stalls back-pressure the front end).
+            tf = fetch_ready
+            if iw >= 0:
+                x = fetch_l[iw] + 1.0
+                if x > tf:
+                    tf = x
+            if ilatch >= 0:
+                x = wb_l[ilatch]
+                if x > tf:
+                    tf = x
+            fetch_append(tf)
+            # In-order issue after traversing the front-end stages:
+            # after the previous instruction, at most `width` per
+            # cycle, once operands are ready (stall-on-use).
+            ti = tf + depth - 2.0
+            if prev_issue > ti:
+                ti = prev_issue
+            if iw >= 0:
+                x = issue_l[iw] + 1.0
+                if x > ti:
+                    ti = x
+            if d1:
+                x = finish_l[i - d1]
+                if x > ti:
+                    ti = x
+            if d2:
+                x = finish_l[i - d2]
+                if x > ti:
+                    ti = x
+            if k > 2:
+                if k == 3:
+                    if int_div_free > ti:
+                        ti = int_div_free
+                    fin = ti + lat
+                    int_div_free = fin
+                else:
+                    if fp_div_free > ti:
+                        ti = fp_div_free
+                    fin = ti + lat
+                    fp_div_free = fin
+            else:
+                fin = ti + lat
+            issue_append(ti)
+            finish_append(fin)
+            prev_issue = ti
+            if mp:
+                x = fin + depth
+                if x > fetch_ready:
+                    fetch_ready = x
+            w = fin + 1.0
+            wb_append(w)
+            iw += 1
+            ilatch += 1
+            if w > budget:
+                broke = True
+                break
+            i += 1
+            committed = i
+            end_time = w
+        if broke:
+            _rollback_overrun(hierarchy, mem_rel, journal, levels, c0, i)
+            break
+
+    elapsed = budget if committed < n else max(end_time, 1.0)
+    ace, occupancy = _inorder_account(
+        model, window, lat_chunks, fetch_l, issue_l, wb_l,
+        committed, elapsed, TIMESTAMP_CLIP,
+    )
+    return QuantumResult(
+        instructions=committed,
+        cycles=elapsed,
+        ace_bit_cycles=ace,
+        occupancy_bit_cycles=occupancy,
+        memory_accesses=float(hierarchy.dram_accesses - dram_start),
+        l3_accesses=float(hierarchy.l3_accesses - l3_start),
+        branch_mispredictions=float(
+            np.count_nonzero(window.mispredicted[:committed])
+        ),
+    )
+
+
+def _inorder_account(
+    model, window, lat_chunks, fetch_l, issue_l, wb_l,
+    committed, elapsed, timestamp_clip,
+):
+    """Vectorized in-order ACE/occupancy accounting (Section 4.2)."""
+    from repro.cores.inorder import _ARCH_REG_LIVE_FRACTION
+
+    core = model.core
+    latch_bits = core.pipeline_latches.bits_per_entry
+    iq_bits = core.issue_queue.bits_per_entry
+    sq_bits = core.store_queue.bits_per_entry
+    classes = window.classes[:committed]
+    fetch = np.array(fetch_l[:committed], dtype=np.float64)
+    issue = np.array(issue_l[:committed], dtype=np.float64)
+    wb = np.array(wb_l[:committed], dtype=np.float64)
+    if lat_chunks:
+        latency = np.concatenate(lat_chunks)[:committed]
+    else:
+        latency = np.zeros(0, dtype=np.float64)
+
+    non_nop = classes != InstructionClass.NOP
+    residency = np.minimum(wb - fetch, timestamp_clip)
+    fu_res = np.minimum(latency, timestamp_clip) * fu_bits_table()[classes]
+    iq_res = np.minimum(
+        np.maximum(issue - fetch - 2.0, 0.0), timestamp_clip
+    )
+    stores = int(np.count_nonzero(classes == InstructionClass.STORE))
+
+    latch_occ = float(residency.sum()) * latch_bits
+    latch_ace = float(residency[non_nop].sum()) * latch_bits
+    fu_total = float(fu_res[non_nop].sum())
+    iq_total = float(iq_res[non_nop].sum()) * iq_bits
+    sq_total = stores * (_STORE_DRAIN * sq_bits)
+    arch = (
+        core.register_file.arch_bits * _ARCH_REG_LIVE_FRACTION * elapsed
+    )
+    ace = {
+        StructureKind.PIPELINE_LATCHES: latch_ace,
+        StructureKind.ISSUE_QUEUE: iq_total,
+        StructureKind.STORE_QUEUE: sq_total,
+        StructureKind.REGISTER_FILE: arch,
+        StructureKind.FUNCTIONAL_UNITS: fu_total,
+    }
+    occupancy = {
+        StructureKind.PIPELINE_LATCHES: latch_occ,
+        StructureKind.ISSUE_QUEUE: iq_total,
+        StructureKind.STORE_QUEUE: sq_total,
+        StructureKind.REGISTER_FILE: arch,
+        StructureKind.FUNCTIONAL_UNITS: fu_total,
+    }
+    return ace, occupancy

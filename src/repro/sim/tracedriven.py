@@ -28,7 +28,7 @@ from repro.sim.experiment import make_scheduler
 from repro.sim.isolated import ReferenceTimes, run_isolated
 from repro.sim.multicore import MulticoreSimulation
 from repro.sim.results import RunResult
-from repro.workloads.generator import generate_trace
+from repro.kernels.trace_cache import cached_generate_trace
 from repro.workloads.mixes import WorkloadMix
 from repro.workloads.spec2006 import benchmark
 
@@ -52,7 +52,7 @@ def trace_applications(
     """Generate trace-backed applications for benchmark names."""
     return [
         TraceApplication(
-            generate_trace(benchmark(name), instructions, seed=seed + i)
+            cached_generate_trace(benchmark(name), instructions, seed=seed + i)
         )
         for i, name in enumerate(names)
     ]

@@ -22,7 +22,7 @@ from repro.cores.inorder import InOrderCoreModel
 from repro.cores.mechanistic import MechanisticCoreModel
 from repro.cores.ooo import OutOfOrderCoreModel
 from repro.cores.tracebase import TraceApplication
-from repro.workloads.generator import generate_trace
+from repro.kernels.trace_cache import cached_generate_trace
 from repro.workloads.spec2006 import SUITE, benchmark
 
 #: Default benchmark sample: spans the AVF spectrum and every
@@ -130,7 +130,7 @@ def compare_models(
     rows: list[BenchmarkAgreement] = []
     for name in benchmarks:
         profile = benchmark(name)
-        trace = generate_trace(profile, trace_instructions, seed=seed)
+        trace = cached_generate_trace(profile, trace_instructions, seed=seed)
         chars = profile.phases[0][1]
         for core_type, trace_model, mech in (
             ("big", OutOfOrderCoreModel(big_core_config(), memory), mech_big),

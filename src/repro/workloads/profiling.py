@@ -20,9 +20,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config.machines import MemoryConfig
-from repro.isa.instruction import InstructionClass
+from repro.isa.instruction import NUM_CLASSES, InstructionClass
 from repro.isa.trace import Trace
-from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L2,
+    LEVEL_L3,
+    CacheHierarchy,
+)
 from repro.workloads.characteristics import (
     BenchmarkProfile,
     InstructionMix,
@@ -81,9 +86,9 @@ class IntervalStats:
 
 def _measure_mix(window: Trace) -> InstructionMix:
     n = len(window)
+    counts = np.bincount(window.classes, minlength=NUM_CLASSES)
     fractions = {
-        cls: float(np.count_nonzero(window.classes == cls)) / n
-        for cls in InstructionClass
+        cls: float(counts[cls]) / n for cls in InstructionClass
     }
     # Normalize away rounding noise.
     total = sum(fractions.values())
@@ -106,12 +111,12 @@ def _estimate_mlp(window: Trace, dram_miss_flags: np.ndarray) -> float:
     positions = np.nonzero(dram_miss_flags)[0]
     if positions.size <= 1:
         return 1.0
-    overlaps = []
-    for i, pos in enumerate(positions):
-        in_window = np.count_nonzero(
-            (positions >= pos) & (positions < pos + _MLP_WINDOW)
-        )
-        overlaps.append(in_window)
+    # Misses overlapping miss i are those in [pos_i, pos_i + window);
+    # positions are sorted, so that count is a searchsorted delta.
+    overlaps = (
+        np.searchsorted(positions, positions + _MLP_WINDOW, side="left")
+        - np.arange(positions.size)
+    )
     return float(max(np.mean(overlaps), 1.0))
 
 
@@ -120,11 +125,13 @@ def _load_dependence(window: Trace) -> float:
     mispredicted = np.nonzero(window.mispredicted)[0]
     if mispredicted.size == 0:
         return 0.0
-    hits = 0
-    for i in mispredicted:
-        dep = int(window.dep1[i])
-        if dep > 0 and window.classes[i - dep] == InstructionClass.LOAD:
-            hits += 1
+    deps = window.dep1[mispredicted]
+    producers = (mispredicted - deps)[deps > 0]
+    hits = int(
+        np.count_nonzero(
+            window.classes[producers] == InstructionClass.LOAD
+        )
+    )
     return hits / mispredicted.size
 
 
@@ -151,17 +158,15 @@ def measure_intervals(
         window = trace.slice(start, start + interval)
         n = len(window)
         is_mem = np.isin(window.classes, np.array(memory_classes, dtype=np.int8))
-        l1_misses = l2_misses = l3_misses = 0
+        mem_positions = np.nonzero(is_mem)[0]
+        _, levels = hierarchy.access_data_batch(
+            window.addresses[mem_positions]
+        )
+        l1_misses = int(np.count_nonzero(levels >= LEVEL_L2))
+        l2_misses = int(np.count_nonzero(levels >= LEVEL_L3))
+        l3_misses = int(np.count_nonzero(levels == LEVEL_DRAM))
         dram_flags = np.zeros(n, dtype=bool)
-        for i in np.nonzero(is_mem)[0]:
-            outcome = hierarchy.access_data(int(window.addresses[i]))
-            if outcome.level != "l1":
-                l1_misses += 1
-            if outcome.level in ("l3", "dram"):
-                l2_misses += 1
-            if outcome.level == "dram":
-                l3_misses += 1
-                dram_flags[i] = True
+        dram_flags[mem_positions[levels == LEVEL_DRAM]] = True
         deps = window.dep1[window.dep1 > 0]
         stats.append(IntervalStats(
             start=start,

@@ -113,7 +113,7 @@ class TestFuzz:
     def test_seeded_session_passes(self, session):
         assert isinstance(session, FuzzReport)
         assert session.ok, session.format()
-        assert len(session.reports) == 4
+        assert len(session.reports) == 6  # + default kernel_cases=2
 
     def test_same_seed_reproduces_byte_identical_findings(self, session):
         again = fuzz(0, model_cases=1, run_cases=2, stack_cases=1)
@@ -127,10 +127,20 @@ class TestFuzz:
     def test_format_names_every_case(self, session):
         text = session.format()
         assert "fuzz seed=0" in text
-        for prefix in ("model/0", "run/0", "run/1", "stack/0"):
+        for prefix in ("model/0", "run/0", "run/1", "stack/0", "kernel/0",
+                       "kernel/1"):
             assert prefix in text
 
+    def test_kernel_cases_check_both_models(self, session):
+        kernels = [r for r in session.reports
+                   if r.subject.startswith("kernel/")]
+        assert len(kernels) == 2
+        for report in kernels:
+            assert report.checked == ("kernel_timing_equivalence",
+                                      "kernel_cache_state_equivalence")
+
     def test_case_counts_respected(self):
-        tiny = fuzz(5, model_cases=0, run_cases=1, stack_cases=0)
+        tiny = fuzz(5, model_cases=0, run_cases=1, stack_cases=0,
+                    kernel_cases=0)
         assert len(tiny.reports) == 1
         assert tiny.reports[0].subject.startswith("run/0")

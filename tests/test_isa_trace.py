@@ -43,6 +43,37 @@ class TestTrace:
         assert list(window.dep1[:5]) == [0, 0, 0, 0, 0]
         assert window.dep1[5] == 5
 
+    def test_slice_returns_views_when_no_clamping_needed(self):
+        t = _trace(10)
+        t.dep1[:] = 0
+        t.dep1[6] = 2  # stays inside any window starting at <= 4
+        window = t.slice(4, 10)
+        assert np.shares_memory(window.dep1, t.dep1)
+        assert np.shares_memory(window.dep2, t.dep2)
+        assert np.shares_memory(window.classes, t.classes)
+        assert list(window.dep1) == [0, 0, 2, 0, 0, 0]
+
+    def test_slice_clamping_semantics_match_bruteforce(self):
+        rng = np.random.default_rng(11)
+        n = 400
+        t = _trace(n)
+        t.dep1[:] = rng.integers(0, 30, size=n)
+        t.dep2[:] = rng.integers(0, 300, size=n)
+        for start, stop in ((0, n), (7, 391), (250, 260), (399, 400)):
+            window = t.slice(start, stop)
+            index = np.arange(stop - start)
+            for deps, got in ((t.dep1, window.dep1), (t.dep2, window.dep2)):
+                expected = deps[start:stop].copy()
+                expected[expected > index] = 0
+                assert np.array_equal(got, expected), (start, stop)
+
+    def test_slice_clamped_copy_leaves_parent_untouched(self):
+        t = _trace(10)
+        t.dep1[:] = 5
+        window = t.slice(4, 10)
+        assert window.dep1[0] == 0
+        assert t.dep1[4] == 5  # clamping copied, parent unchanged
+
     def test_negative_dependencies_rejected(self):
         t = _trace(5)
         bad = t.dep1.copy()

@@ -1,0 +1,211 @@
+"""Kernel-vs-reference equivalence for the window kernels.
+
+The vectorized kernels in `repro.kernels.window` must reproduce the
+straight-line references in `repro.kernels.reference` exactly:
+element-wise identical timings, identical committed counts, and
+identical cache state (including across the budget-break rollback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryConfig, big_core_config, small_core_config
+from repro.cores.base import ISOLATED
+from repro.cores.inorder import InOrderCoreModel
+from repro.cores.ooo import OutOfOrderCoreModel
+from repro.cores.tracebase import TraceApplication
+from repro.kernels.reference import (
+    reference_inorder_run,
+    reference_ooo_window,
+)
+from repro.workloads import benchmark
+from repro.workloads.generator import generate_trace
+
+_TIMING_FIELDS = (
+    "classes",
+    "dispatch",
+    "issue",
+    "finish",
+    "commit",
+    "latency",
+    "mispredicted",
+)
+
+
+def _app(name="soplex", instructions=20_000, seed=0):
+    return TraceApplication(
+        generate_trace(benchmark(name), instructions, seed=seed)
+    )
+
+
+def _cache_state(hierarchy):
+    return (
+        [
+            (c.stats.accesses, c.stats.misses, c._clock, c._sets)
+            for c in (hierarchy.l1d, hierarchy.l2, hierarchy.l3)
+        ],
+        hierarchy.l3_accesses,
+        hierarchy.dram_accesses,
+    )
+
+
+def _assert_timing_equal(kernel, reference, context=""):
+    assert kernel.committed == reference.committed, context
+    assert kernel.elapsed_cycles == reference.elapsed_cycles, context
+    for field in _TIMING_FIELDS:
+        a = getattr(kernel, field)
+        b = getattr(reference, field)
+        assert a.dtype == b.dtype, (context, field)
+        assert np.array_equal(a, b), (context, field)
+
+
+class TestOutOfOrderKernel:
+    @pytest.mark.parametrize("name", ("soplex", "mcf", "povray", "namd"))
+    @pytest.mark.parametrize("budget", (3.0, 250.0, 15_000.0))
+    def test_window_identical_to_reference(self, name, budget):
+        app_k, app_r = _app(name), _app(name)
+        model_k = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        model_r = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        timing_k = model_k.simulate_window(app_k, 0, budget, ISOLATED)
+        timing_r = reference_ooo_window(model_r, app_r, 0, budget, ISOLATED)
+        _assert_timing_equal(timing_k, timing_r, (name, budget))
+        assert _cache_state(model_k.hierarchy_for(app_k)) == _cache_state(
+            model_r.hierarchy_for(app_r)
+        )
+
+    def test_fuzzed_windows_identical(self):
+        rng = np.random.default_rng(17)
+        for _ in range(6):
+            name = ("soplex", "lbm", "gcc")[int(rng.integers(3))]
+            instructions = int(rng.integers(2_000, 12_000))
+            seed = int(rng.integers(0, 1000))
+            start = int(rng.integers(0, 2 * instructions))
+            budget = float(rng.choice([5, 90, 1_200, 40_000]))
+            app_k = _app(name, instructions, seed)
+            app_r = _app(name, instructions, seed)
+            model_k = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+            model_r = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+            timing_k = model_k.simulate_window(app_k, start, budget, ISOLATED)
+            timing_r = reference_ooo_window(
+                model_r, app_r, start, budget, ISOLATED
+            )
+            context = (name, instructions, seed, start, budget)
+            _assert_timing_equal(timing_k, timing_r, context)
+            assert _cache_state(model_k.hierarchy_for(app_k)) == _cache_state(
+                model_r.hierarchy_for(app_r)
+            ), context
+
+    def test_multi_window_state_carry_over(self):
+        app_k, app_r = _app("soplex", 40_000), _app("soplex", 40_000)
+        model_k = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        model_r = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        position = 0
+        for _ in range(8):
+            timing_k = model_k.simulate_window(app_k, position, 1_800.0,
+                                               ISOLATED)
+            timing_r = reference_ooo_window(model_r, app_r, position, 1_800.0,
+                                            ISOLATED)
+            _assert_timing_equal(timing_k, timing_r, position)
+            assert _cache_state(
+                model_k.hierarchy_for(app_k)
+            ) == _cache_state(model_r.hierarchy_for(app_r)), position
+            position += timing_k.committed
+
+    def test_run_cycles_results_identical(self):
+        app_k, app_r = _app("mcf"), _app("mcf")
+        model_k = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        model_r = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        result_k = model_k.run_cycles(app_k, 0, 5_000.0, ISOLATED)
+        timing_r = reference_ooo_window(model_r, app_r, 0, 5_000.0, ISOLATED)
+        ace_r, occ_r = model_r._account(timing_r)
+        assert result_k.instructions == timing_r.committed
+        assert result_k.cycles == timing_r.elapsed_cycles
+        assert result_k.ace_bit_cycles == ace_r
+        assert result_k.occupancy_bit_cycles == occ_r
+
+
+class TestInOrderKernel:
+    @pytest.mark.parametrize("name", ("soplex", "mcf"))
+    @pytest.mark.parametrize("budget", (9.0, 700.0, 30_000.0))
+    def test_run_identical_to_reference(self, name, budget):
+        app_k, app_r = _app(name), _app(name)
+        model_k = InOrderCoreModel(small_core_config(), MemoryConfig())
+        model_r = InOrderCoreModel(small_core_config(), MemoryConfig())
+        result_k = model_k.run_cycles(app_k, 0, budget, ISOLATED)
+        result_r = reference_inorder_run(model_r, app_r, 0, budget, ISOLATED)
+        assert result_k.instructions == result_r.instructions
+        assert result_k.cycles == result_r.cycles
+        assert result_k.memory_accesses == result_r.memory_accesses
+        assert result_k.l3_accesses == result_r.l3_accesses
+        assert (
+            result_k.branch_mispredictions == result_r.branch_mispredictions
+        )
+        # The kernel's accounting is vectorized (reassociated sums):
+        # equal up to floating-point rounding, not bit-identical.
+        for kind in result_k.ace_bit_cycles:
+            assert result_k.ace_bit_cycles[kind] == pytest.approx(
+                result_r.ace_bit_cycles[kind], rel=1e-12, abs=1e-9
+            ), kind
+            assert result_k.occupancy_bit_cycles[kind] == pytest.approx(
+                result_r.occupancy_bit_cycles[kind], rel=1e-12, abs=1e-9
+            ), kind
+        assert _cache_state(model_k.hierarchy_for(app_k)) == _cache_state(
+            model_r.hierarchy_for(app_r)
+        )
+
+    def test_zero_and_negative_budgets(self):
+        app = _app("soplex", 5_000)
+        model = InOrderCoreModel(small_core_config(), MemoryConfig())
+        assert model.run_cycles(app, 0, 0.0, ISOLATED).instructions == 0
+        assert model.run_cycles(app, 0, -5.0, ISOLATED).instructions == 0
+
+
+class TestBudgetBreakOffByOne:
+    """Pin the documented budget-break cache semantics.
+
+    ``simulate_window`` accesses the cache for the first *uncommitted*
+    instruction (the one whose commit overran the budget) before
+    breaking.  The kernels preserve this pre-kernel behaviour exactly
+    -- see DESIGN.md -- so the cache sees `committed` accesses plus
+    the break instruction's, when that instruction is a load or store.
+    """
+
+    def test_break_instruction_access_is_kept(self):
+        from repro.isa.instruction import InstructionClass
+        from repro.isa.trace import Trace
+
+        n = 4000
+        classes = np.full(n, InstructionClass.LOAD, dtype=np.int8)
+        trace = Trace(
+            classes=classes,
+            dep1=np.zeros(n, dtype=np.int32),
+            dep2=np.zeros(n, dtype=np.int32),
+            addresses=(np.arange(n, dtype=np.int64) * 64),
+            mispredicted=np.zeros(n, dtype=bool),
+            icache_miss=np.zeros(n, dtype=bool),
+            name="loads",
+        )
+        app = TraceApplication(trace)
+        model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        # Cold-cache loads miss to DRAM (~hundreds of cycles), so a
+        # few-hundred-cycle budget commits some but not all of them.
+        budget = 400.0
+        timing = model.simulate_window(app, 0, budget, ISOLATED)
+        hierarchy = model.hierarchy_for(app)
+        assert 0 < timing.committed < n  # the budget actually broke
+        # Off-by-one: committed loads plus the break instruction's.
+        assert hierarchy.l1d.stats.accesses == timing.committed + 1
+
+    def test_off_by_one_matches_reference(self):
+        app_k, app_r = _app("mcf", 8_000), _app("mcf", 8_000)
+        model_k = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        model_r = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        timing_k = model_k.simulate_window(app_k, 0, 200.0, ISOLATED)
+        timing_r = reference_ooo_window(model_r, app_r, 0, 200.0, ISOLATED)
+        assert timing_k.committed == timing_r.committed
+        hier_k = model_k.hierarchy_for(app_k)
+        hier_r = model_r.hierarchy_for(app_r)
+        assert (
+            hier_k.l1d.stats.accesses == hier_r.l1d.stats.accesses
+        )
+        assert _cache_state(hier_k) == _cache_state(hier_r)

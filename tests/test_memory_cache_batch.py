@@ -1,0 +1,120 @@
+"""Equivalence tests for the batched cache/hierarchy access paths."""
+
+import numpy as np
+import pytest
+
+from repro.config.machines import CacheLevelConfig, MemoryConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import CacheHierarchy
+
+
+def _tiny_config(sets=4, ways=2, line=64):
+    return CacheLevelConfig(
+        size_bytes=sets * ways * line,
+        associativity=ways,
+        latency_cycles=1,
+        line_bytes=line,
+    )
+
+
+def _state(cache):
+    return (
+        cache.stats.accesses,
+        cache.stats.misses,
+        cache._clock,
+        [dict(s) for s in cache._sets],
+    )
+
+
+def _hierarchy_state(h):
+    return (
+        [_state(c) for c in (h.l1d, h.l2, h.l3)],
+        h.l3_accesses,
+        h.dram_accesses,
+    )
+
+
+def _random_addresses(rng, n, span):
+    return rng.integers(0, span, size=n, dtype=np.int64)
+
+
+class TestAccessBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batch_matches_scalar_sequence(self, seed):
+        rng = np.random.default_rng(seed)
+        # Small span so the tiny cache sees hits, misses and evictions.
+        addresses = _random_addresses(rng, 500, 4 * 2 * 64 * 3)
+        scalar = SetAssociativeCache(_tiny_config(), "scalar")
+        batch = SetAssociativeCache(_tiny_config(), "batch")
+        expected = np.array(
+            [scalar.access(int(a)) for a in addresses], dtype=bool
+        )
+        hits = batch.access_batch(addresses)
+        assert np.array_equal(hits, expected)
+        assert _state(batch) == _state(scalar)
+
+    def test_batch_resumes_from_scalar_state(self):
+        rng = np.random.default_rng(3)
+        addresses = _random_addresses(rng, 300, 2000)
+        scalar = SetAssociativeCache(_tiny_config(), "scalar")
+        mixed = SetAssociativeCache(_tiny_config(), "mixed")
+        for a in addresses[:100]:
+            scalar.access(int(a))
+            mixed.access(int(a))
+        expected = np.array(
+            [scalar.access(int(a)) for a in addresses[100:]], dtype=bool
+        )
+        assert np.array_equal(mixed.access_batch(addresses[100:]), expected)
+        assert _state(mixed) == _state(scalar)
+
+    def test_empty_batch_is_a_no_op(self):
+        cache = SetAssociativeCache(_tiny_config(), "c")
+        before = _state(cache)
+        hits = cache.access_batch(np.zeros(0, dtype=np.int64))
+        assert hits.shape == (0,) and hits.dtype == bool
+        assert _state(cache) == before
+
+
+class TestHierarchyBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_matches_scalar_walk(self, seed):
+        rng = np.random.default_rng(seed)
+        addresses = _random_addresses(rng, 800, 1 << 22)
+        scalar = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+        batch = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+        outcomes = [scalar.access_data(int(a)) for a in addresses]
+        latencies, levels = batch.access_data_batch(addresses)
+        names = ("l1", "l2", "l3", "dram")
+        assert [names[level] for level in levels] == [
+            o.level for o in outcomes
+        ]
+        assert latencies.tolist() == [o.latency_cycles for o in outcomes]
+        assert _hierarchy_state(batch) == _hierarchy_state(scalar)
+
+    def test_rollback_restores_exact_prefix_state(self):
+        rng = np.random.default_rng(9)
+        addresses = _random_addresses(rng, 600, 1 << 20)
+        for keep in (0, 1, 137, 599, 600):
+            prefix_only = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+            prefix_only.access_data_batch(addresses[:keep])
+            rolled = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+            journal = []
+            _, levels = rolled.access_data_batch(addresses, journal)
+            rolled.rollback_data(journal, levels, keep)
+            assert _hierarchy_state(rolled) == _hierarchy_state(
+                prefix_only
+            ), keep
+            assert len(journal) == keep
+
+    def test_rollback_then_continue_matches_straight_run(self):
+        rng = np.random.default_rng(21)
+        addresses = _random_addresses(rng, 400, 1 << 19)
+        straight = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+        straight.access_data_batch(addresses[:150])
+        straight.access_data_batch(addresses[150:])
+        replayed = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+        journal = []
+        _, levels = replayed.access_data_batch(addresses[:250], journal)
+        replayed.rollback_data(journal, levels, 150)
+        replayed.access_data_batch(addresses[150:])
+        assert _hierarchy_state(replayed) == _hierarchy_state(straight)
