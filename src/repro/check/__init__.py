@@ -27,6 +27,7 @@ from repro.check.invariants import (
     Invariant,
     Severity,
     Violation,
+    check_decision_trace,
     check_oracle,
     check_run,
     check_schedule,
@@ -51,6 +52,7 @@ __all__ = [
     "Invariant",
     "Severity",
     "Violation",
+    "check_decision_trace",
     "check_oracle",
     "check_run",
     "check_schedule",

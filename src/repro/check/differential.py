@@ -32,6 +32,7 @@ from repro.check.invariants import (
     CheckReport,
     Finding,
     Severity,
+    Violation,
     _apply,
     check_oracle,
     check_run,
@@ -486,6 +487,82 @@ def _stack_case(index: int, rng: np.random.Generator) -> CheckReport:
     return check_stack(result, label=label)
 
 
+#: Scheduler builders the decision-trace fuzzer draws from: every
+#: SamplingScheduler optimizer shape (greedy and exhaustive phases).
+DECISION_SCHEDULERS = ("performance", "reliability", "constrained")
+
+
+def _decision_case(index: int, rng: np.random.Generator) -> CheckReport:
+    from repro.ace.counters import AceCounterMode
+    from repro.obs.decisions import (
+        DecisionTraceRecorder,
+        ReplayError,
+        replay_trace,
+    )
+    from repro.sched.constrained import ConstrainedReliabilityScheduler
+    from repro.sim.experiment import make_scheduler
+    from repro.sim.multicore import MulticoreSimulation
+    from repro.workloads.spec2006 import benchmark
+
+    machine_name = FUZZ_MACHINES[int(rng.integers(len(FUZZ_MACHINES)))]
+    machine = STANDARD_MACHINES[machine_name]()
+    scheduler_name = DECISION_SCHEDULERS[
+        int(rng.integers(len(DECISION_SCHEDULERS)))
+    ]
+    picks = rng.choice(
+        len(BENCHMARK_NAMES), size=machine.num_cores, replace=False
+    )
+    names = tuple(BENCHMARK_NAMES[i] for i in sorted(picks.tolist()))
+    instructions = int(rng.integers(150_000, 300_000))
+    label = (
+        f"decision/{index} {machine_name}/{scheduler_name}/"
+        f"{'+'.join(names)}x{instructions}"
+    )
+
+    profiles = [benchmark(name).scaled(instructions) for name in names]
+    if scheduler_name == "constrained":
+        scheduler = ConstrainedReliabilityScheduler(
+            machine, len(profiles), max_stp_loss=0.1
+        )
+    else:
+        scheduler = make_scheduler(scheduler_name, machine, len(profiles), 0)
+    scheduler.recorder = DecisionTraceRecorder()
+    MulticoreSimulation(
+        machine, profiles, scheduler, counter_mode=AceCounterMode.FULL
+    ).run()
+    records = scheduler.recorder.records
+
+    from repro.check.invariants import check_decision_trace
+
+    report = check_decision_trace(records, label=label)
+    violations = list(report.violations)
+    final = tuple(scheduler._assignment.core_of)
+    try:
+        replayed = replay_trace(records)
+    except ReplayError as error:
+        replayed = None
+        detail = str(error)
+    if replayed != final:
+        violations.append(
+            Violation(
+                invariant="decision_trace_consistency",
+                severity=Severity.ERROR,
+                subject=label,
+                message=(
+                    "replaying the trace does not reproduce the "
+                    "scheduler's final assignment"
+                    if replayed is not None
+                    else f"trace replay failed: {detail}"
+                ),
+            )
+        )
+    return CheckReport(
+        subject=label,
+        checked=report.checked,
+        violations=tuple(violations),
+    )
+
+
 def fuzz(
     seed: int = 0,
     *,
@@ -493,15 +570,16 @@ def fuzz(
     run_cases: int = 3,
     stack_cases: int = 2,
     kernel_cases: int = 2,
+    decision_cases: int = 2,
     gates: FuzzGates | None = None,
 ) -> FuzzReport:
     """Run one seeded fuzzing session.
 
     All randomness derives from ``seed`` through one
     :class:`numpy.random.Generator`; nothing reads the clock, so the
-    findings are reproducible byte-for-byte.  Kernel cases draw from
-    the rng after the other case kinds, so adding them kept existing
-    seeds' model/run/stack cases identical.
+    findings are reproducible byte-for-byte.  Newer case kinds (kernel,
+    then decision) draw from the rng after the older ones, so adding
+    them kept existing seeds' earlier cases identical.
     """
     gates = gates if gates is not None else FuzzGates()
     rng = np.random.default_rng(seed)
@@ -514,4 +592,6 @@ def fuzz(
         reports.append(_stack_case(index, rng))
     for index in range(kernel_cases):
         reports.append(_kernel_case(index, rng))
+    for index in range(decision_cases):
+        reports.append(_decision_case(index, rng))
     return FuzzReport(seed=seed, reports=tuple(reports))

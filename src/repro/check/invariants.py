@@ -621,6 +621,119 @@ def check_schedule(
     return _apply("schedule", label, plans_by_quantum, machine, num_apps)
 
 
+# -- decision-trace invariants ----------------------------------------
+
+#: Tolerance for threshold comparisons recorded by optimizers whose
+#: acceptance test algebraically rearranges the recorded quantities
+#: (e.g. ``sser(best) < sser(current) * (1 - thr)`` vs the recorded
+#: ``delta_total`` / ``threshold``); covers one reassociation ULP.
+_DECISION_TOL = 1e-9
+
+
+def _clears_threshold(delta_total: float, threshold: float) -> bool:
+    return delta_total < -threshold * (1 - _DECISION_TOL) + 1e-15
+
+
+@invariant("decision_trace_consistency", subject="decision_trace")
+def _decision_trace_consistency(records) -> Iterator[Finding]:
+    """A scheduler decision trace replays and justifies every move.
+
+    Consecutive records chain (``before`` continues the previous
+    ``after``), the recorded moves reproduce each record's ``after``
+    assignment, greedy-phase accepted candidates applied in order equal
+    the recorded moves' effect, every accepted non-forced candidate's
+    objective delta clears the hysteresis threshold (and every rejected
+    one does not), segment fractions cover the quantum, the final
+    segment runs the optimized assignment, and the sampling segment is
+    exactly the recorded staleness swaps applied to it.
+    """
+    from repro.obs.decisions import apply_moves
+
+    previous_after = None
+    for record in records:
+        q = record.quantum
+        if previous_after is not None and record.before != previous_after:
+            yield (
+                f"quantum {q} does not chain from the previous record",
+                {"quantum": q},
+            )
+        if apply_moves(record.before, record.moves) != record.after:
+            yield (
+                f"quantum {q} moves do not reproduce the after assignment",
+                {"quantum": q},
+            )
+        previous_after = record.after
+        if record.phase == "greedy":
+            accepted = [c for c in record.candidates if c.accepted]
+            replayed = record.before
+            for cand in accepted:
+                replayed = apply_moves(
+                    replayed, [(cand.mover, cand.partner)]
+                )
+            if replayed != record.after:
+                yield (
+                    f"quantum {q} accepted swaps do not reproduce the "
+                    f"after assignment",
+                    {"accepted_swaps": float(len(accepted)), "quantum": q},
+                )
+        for index, cand in enumerate(record.candidates):
+            if cand.accepted and not cand.forced:
+                if not _clears_threshold(cand.delta_total, cand.threshold):
+                    yield (
+                        f"quantum {q} candidate {index} was accepted "
+                        f"without clearing the swap threshold",
+                        {
+                            "delta_total": cand.delta_total,
+                            "quantum": q,
+                            "threshold": cand.threshold,
+                        },
+                    )
+            elif not cand.accepted:
+                if _clears_threshold(
+                    cand.delta_total, cand.threshold * (1 + 2 * _DECISION_TOL)
+                ):
+                    yield (
+                        f"quantum {q} candidate {index} was rejected "
+                        f"despite clearing the swap threshold",
+                        {
+                            "delta_total": cand.delta_total,
+                            "quantum": q,
+                            "threshold": cand.threshold,
+                        },
+                    )
+        if record.segments:
+            total = sum(seg.fraction for seg in record.segments)
+            if not math.isclose(total, 1.0, abs_tol=1e-9):
+                yield (
+                    f"quantum {q} segments cover {total}, expected 1.0",
+                    {"quantum": q, "total_fraction": total},
+                )
+            if record.segments[-1].core_of != record.after:
+                yield (
+                    f"quantum {q} final segment does not run the "
+                    f"optimized assignment",
+                    {"quantum": q},
+                )
+            if record.phase != "initial_sampling":
+                for seg in record.segments[:-1]:
+                    if not seg.is_sampling:
+                        continue
+                    expected = apply_moves(
+                        record.after, record.sampling_swaps
+                    )
+                    if seg.core_of != expected:
+                        yield (
+                            f"quantum {q} sampling segment disagrees "
+                            f"with the recorded staleness swaps",
+                            {"quantum": q},
+                        )
+
+
+def check_decision_trace(records, *, label: str = "decision_trace") -> CheckReport:
+    """Run the decision-trace invariants on recorded quantum records."""
+    return _apply("decision_trace", label, records)
+
+
 # -- oracle invariants ------------------------------------------------
 
 

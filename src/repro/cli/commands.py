@@ -31,7 +31,12 @@ from repro.report import (
     sweep_summary,
 )
 from repro.sched.oracle import best_sser_schedule, best_stp_schedule
-from repro.sim.experiment import SCHEDULER_NAMES, run_workload, sweep
+from repro.sim.experiment import (
+    SCHEDULER_NAMES,
+    make_scheduler,
+    run_workload,
+    sweep,
+)
 from repro.sim.isolated import isolated_stats
 from repro.sim.multicore import default_models
 from repro.workloads.generator import generate_trace
@@ -105,17 +110,66 @@ def cmd_run(args) -> int:
         return 2
     mode = (AceCounterMode.ROB_ONLY if args.rob_only
             else AceCounterMode.FULL)
-    result = run_workload(
-        machine, names, args.scheduler,
-        instructions=args.instructions, seed=args.seed, counter_mode=mode,
-        record_timeline=args.gantt,
-    )
+    observing = args.profile or args.obs_out
+    if observing:
+        import contextlib
+
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import tracing as obs_tracing
+
+        with contextlib.ExitStack() as stack:
+            registry = stack.enter_context(obs_metrics.collecting())
+            tracer = stack.enter_context(obs_tracing.collecting())
+            result = run_workload(
+                machine, names, args.scheduler,
+                instructions=args.instructions, seed=args.seed,
+                counter_mode=mode, record_timeline=args.gantt,
+            )
+        snapshot = registry.snapshot()
+    else:
+        result = run_workload(
+            machine, names, args.scheduler,
+            instructions=args.instructions, seed=args.seed,
+            counter_mode=mode, record_timeline=args.gantt,
+        )
     power_model = PowerModel(machine) if args.power else None
     print(run_summary(result, power_model))
     if args.gantt:
         from repro.report.gantt import schedule_chart
         print()
         print(schedule_chart(result))
+    if observing:
+        from repro.obs.tracing import format_tree, top_self_time
+        if args.profile:
+            print("\nspan tree:")
+            print(format_tree(tracer.root))
+            print("\ntop self time:")
+            rows = [
+                [label, count, float(total * 1e3), float(self_s * 1e3)]
+                for label, count, total, self_s in top_self_time(tracer.root)
+            ]
+            print(format_table(
+                ["span", "count", "total ms", "self ms"], rows,
+                float_format="{:.3f}",
+            ))
+            print("\nmetrics:")
+            print(format_table(
+                ["series", "kind", "count", "total", "mean"],
+                snapshot.rows(),
+            ))
+        if args.obs_out:
+            import json
+
+            with open(args.obs_out, "w") as handle:
+                json.dump(
+                    {
+                        "metrics": snapshot.to_dict(),
+                        "spans": tracer.to_dict(),
+                    },
+                    handle, indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"\nwrote observability dump to {args.obs_out}")
     return 0
 
 
@@ -154,7 +208,8 @@ def cmd_sweep(args) -> int:
         results = sweep(machine, workloads, SCHEDULER_NAMES,
                         instructions=args.instructions,
                         jobs=_jobs(args), sinks=sinks,
-                        checks=_checks(args))
+                        checks=_checks(args),
+                        metrics=getattr(args, "metrics", False))
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -223,6 +278,12 @@ def cmd_workloads(args) -> int:
 
 def cmd_trace(args) -> int:
     """Generate a synthetic trace and print its statistics."""
+    if args.spans:
+        return _show_spans(args.spans)
+    if args.benchmark is None:
+        print("error: benchmark argument required unless --spans is given",
+              file=sys.stderr)
+        return 2
     if args.benchmark not in SUITE:
         print(f"error: unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
@@ -255,6 +316,32 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _show_spans(path: str) -> int:
+    """Render a saved span tree (from ``repro run --obs-out``)."""
+    import json
+
+    from repro.obs.tracing import SpanNode, format_tree, top_self_time
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load {path}: {error}", file=sys.stderr)
+        return 2
+    if "spans" in data and "name" not in data:
+        data = data["spans"]  # an --obs-out dump; unwrap the span tree
+    root = SpanNode.from_dict(data)
+    print(format_tree(root))
+    print("\ntop self time:")
+    rows = [
+        [label, count, float(total * 1e3), float(self_s * 1e3)]
+        for label, count, total, self_s in top_self_time(root)
+    ]
+    print(format_table(["span", "count", "total ms", "self ms"], rows,
+                       float_format="{:.3f}"))
+    return 0
+
+
 def cmd_figure(args) -> int:
     """Render an evaluation figure as an ASCII chart."""
     machine = _machine(args)
@@ -270,7 +357,8 @@ def cmd_figure(args) -> int:
     campaign = Campaign(Path(args.cache_dir))
     sinks = _sinks(args, getattr(args, "verbose", False))
     engine = ExecutionEngine(jobs=_jobs(args), sinks=sinks,
-                             checks=_checks(args))
+                             checks=_checks(args),
+                             metrics=getattr(args, "metrics", False))
     try:
         results = campaign.sweep(
             args.machine,
@@ -357,6 +445,112 @@ def cmd_events(args) -> int:
     return 0 if failed == 0 else 1
 
 
+def cmd_stats(args) -> int:
+    """Aggregate MetricsSnapshot events from a campaign event log."""
+    from repro.obs import metrics as obs_metrics
+    from repro.runtime.events import MetricsSnapshot, read_events
+
+    try:
+        events = read_events(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 2
+    registry = obs_metrics.MetricsRegistry()
+    snapshots = 0
+    for event in events:
+        if isinstance(event, MetricsSnapshot):
+            registry.merge(event.metrics)
+            snapshots += 1
+    if snapshots == 0:
+        print(f"error: no metrics snapshots in {args.path} "
+              "(run the campaign with --metrics)", file=sys.stderr)
+        return 1
+    merged = registry.snapshot()
+    print(format_table(["series", "kind", "count", "total", "mean"],
+                       merged.rows()))
+    print(f"\n{snapshots} snapshot(s) aggregated from {args.path}")
+    if args.csv:
+        obs_metrics.write_csv(merged, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Record, render and validate a scheduler decision trace."""
+    import json
+
+    from repro.check import check_decision_trace
+    from repro.obs.decisions import (
+        DECISION_TRACE_SCHEMA,
+        DecisionTraceRecorder,
+        ReplayError,
+        format_trace,
+        read_trace,
+        replay_trace,
+        write_trace,
+    )
+
+    if args.schema:
+        print(json.dumps(DECISION_TRACE_SCHEMA, indent=2, sort_keys=True))
+        return 0
+
+    if args.replay:
+        try:
+            records = read_trace(args.replay)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read {args.replay}: {error}",
+                  file=sys.stderr)
+            return 2
+        label = args.replay
+    else:
+        machine = _machine(args)
+        names = _benchmarks(args)
+        if machine is None or names is None:
+            return 2
+        if len(names) != machine.num_cores:
+            print(f"error: {machine.name} needs {machine.num_cores} "
+                  f"benchmarks", file=sys.stderr)
+            return 2
+        from repro.sim.multicore import MulticoreSimulation
+
+        profiles = [benchmark(n).scaled(args.instructions) for n in names]
+        if args.scheduler == "constrained":
+            from repro.sched.constrained import (
+                ConstrainedReliabilityScheduler,
+            )
+
+            scheduler = ConstrainedReliabilityScheduler(
+                machine, len(profiles), max_stp_loss=args.max_stp_loss
+            )
+        else:
+            scheduler = make_scheduler(
+                args.scheduler, machine, len(profiles), args.seed
+            )
+        recorder = DecisionTraceRecorder()
+        scheduler.recorder = recorder
+        MulticoreSimulation(machine, profiles, scheduler).run()
+        records = recorder.records
+        label = f"{machine.name}/{args.scheduler}/{'+'.join(names)}"
+        if args.json:
+            write_trace(records, args.json)
+            print(f"wrote {len(records)} quantum records to {args.json}\n")
+
+    if not records:
+        print("error: decision trace is empty", file=sys.stderr)
+        return 1
+    print(format_trace(records, max_quanta=args.max_quanta))
+    print()
+    try:
+        final = replay_trace(records)
+        print(f"replayed final assignment: {final}")
+    except ReplayError as error:
+        print(f"error: trace does not replay: {error}", file=sys.stderr)
+        return 1
+    report = check_decision_trace(records, label=label)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def cmd_check(args) -> int:
     """Run the paper-invariant fuzzer and the golden regression corpus."""
     from pathlib import Path
@@ -378,6 +572,7 @@ def cmd_check(args) -> int:
             run_cases=args.run_cases,
             stack_cases=args.stack_cases,
             kernel_cases=args.kernel_cases,
+            decision_cases=args.decision_cases,
         )
         print(report.format())
         failed = failed or not report.ok
@@ -406,6 +601,16 @@ def cmd_bench(args) -> int:
             print(
                 f"error: OoO kernel speedup {speedup:.2f}x is below the "
                 f"{args.min_ooo_speedup:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    if args.max_disabled_overhead is not None:
+        overhead = report["results"]["span_overhead"]["disabled_overhead"]
+        if overhead > args.max_disabled_overhead:
+            print(
+                f"error: disabled-observability overhead "
+                f"{100 * overhead:.2f}% exceeds the "
+                f"{100 * args.max_disabled_overhead:.2f}% ceiling",
                 file=sys.stderr,
             )
             return 1

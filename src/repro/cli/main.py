@@ -15,11 +15,18 @@ Subcommands:
 * ``repro events``    -- replay a campaign event log to job timings
 * ``repro check``     -- paper-invariant fuzzing + golden corpus
 * ``repro bench``     -- simulation hot-path performance benchmarks
+* ``repro stats``     -- aggregate metrics snapshots from an event log
+* ``repro explain``   -- record and explain scheduler decision traces
 
 ``repro sweep`` and ``repro figure`` execute through the
 :mod:`repro.runtime` engine: ``--jobs N`` (or ``REPRO_JOBS=N``) fans
-runs out over N worker processes, and ``--event-log FILE`` appends
-structured JSONL progress events for post-hoc analysis.
+runs out over N worker processes, ``--event-log FILE`` appends
+structured JSONL progress events for post-hoc analysis, and
+``--metrics`` makes every job emit a mergeable metrics snapshot into
+the event stream (aggregate with ``repro stats``).  ``repro run
+--profile`` prints the span tree and metrics of one run, and ``repro
+trace --spans FILE`` renders a span tree saved with ``--obs-out``
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -51,6 +58,11 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
                         help="validate every run against the paper "
                              "invariants (repro.check); an invariant "
                              "violation fails the job")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect a repro.obs metrics registry in "
+                             "every job and emit its snapshot into the "
+                             "event stream (aggregate with `repro "
+                             "stats`)")
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="include power estimates")
     run.add_argument("--gantt", action="store_true",
                      help="draw an ASCII schedule chart")
+    run.add_argument("--profile", action="store_true",
+                     help="collect and print the run's span tree and "
+                          "metrics registry (repro.obs)")
+    run.add_argument("--obs-out", default=None, metavar="FILE",
+                     help="write the run's metrics snapshot and span "
+                          "tree as JSON (render with `repro trace "
+                          "--spans FILE`)")
     run.set_defaults(func=commands.cmd_run)
 
     compare = subparsers.add_parser("compare",
@@ -118,12 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.set_defaults(func=commands.cmd_workloads)
 
     trace = subparsers.add_parser("trace",
-                                  help="generate and inspect a trace")
-    trace.add_argument("benchmark")
+                                  help="generate and inspect a trace, "
+                                       "or render a saved span tree")
+    trace.add_argument("benchmark", nargs="?", default=None)
     trace.add_argument("--length", type=int, default=50_000)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--simulate", action="store_true",
                        help="run the trace through both pipeline models")
+    trace.add_argument("--spans", default=None, metavar="FILE",
+                       help="render a span tree saved with `repro run "
+                            "--obs-out` instead of generating a trace")
     trace.set_defaults(func=commands.cmd_trace)
 
     cost = subparsers.add_parser("cost", help="counter hardware cost")
@@ -144,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="isolated structure-stack conservation cases")
     check.add_argument("--kernel-cases", type=int, default=2,
                        help="vectorized-kernel vs reference equivalence "
+                            "cases")
+    check.add_argument("--decision-cases", type=int, default=2,
+                       help="scheduler decision-trace replay/consistency "
                             "cases")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
@@ -168,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the OoO kernel beats its "
                             "in-process straight-line reference by "
                             "this factor")
+    bench.add_argument("--max-disabled-overhead", type=float, default=None,
+                       help="fail if dormant observability hooks cost "
+                            "more than this fraction on the OoO kernel "
+                            "path (e.g. 0.03 = 3%%)")
     bench.set_defaults(func=commands.cmd_bench)
 
     figure = subparsers.add_parser(
@@ -190,6 +220,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     events.add_argument("path", help="event log written with --event-log")
     events.set_defaults(func=commands.cmd_events)
+
+    stats = subparsers.add_parser(
+        "stats", help="aggregate metrics snapshots from an event log"
+    )
+    stats.add_argument("path", help="event log written with --event-log "
+                                    "and --metrics")
+    stats.add_argument("--csv", default=None, metavar="FILE",
+                       help="also write the merged registry as CSV")
+    stats.set_defaults(func=commands.cmd_stats)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="record, render and validate a scheduler decision trace",
+    )
+    _add_machine_arguments(explain)
+    explain.add_argument("--benchmarks",
+                         default="soplex,milc,namd,povray",
+                         help="comma-separated benchmark names (one per "
+                              "core)")
+    explain.add_argument("--instructions", type=int,
+                         default=DEFAULT_INSTRUCTIONS,
+                         help="instructions per benchmark")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--scheduler", default="reliability",
+                         choices=("performance", "reliability",
+                                  "constrained"))
+    explain.add_argument("--max-stp-loss", type=float, default=0.05,
+                         help="STP-loss bound for the constrained "
+                              "scheduler")
+    explain.add_argument("--max-quanta", type=int, default=30,
+                         help="quanta to render (the full trace is "
+                              "always validated)")
+    explain.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the trace as JSONL (replay "
+                              "with --replay)")
+    explain.add_argument("--replay", default=None, metavar="FILE",
+                         help="render and validate a JSONL trace "
+                              "instead of running a simulation")
+    explain.add_argument("--schema", action="store_true",
+                         help="print the decision-trace schema and exit")
+    explain.set_defaults(func=commands.cmd_explain)
 
     inject = subparsers.add_parser(
         "inject", help="fault-injection campaign vs ACE counting"

@@ -50,5 +50,9 @@ class InOrderCoreModel(TraceDrivenModel):
         floating-point rounding level (~1e-15 relative).
         """
         from repro.kernels.window import inorder_run_cycles
+        from repro.obs.tracing import span
 
-        return inorder_run_cycles(self, app, start_instruction, cycles, env)
+        with span("inorder.run_cycles"):
+            return inorder_run_cycles(
+                self, app, start_instruction, cycles, env
+            )

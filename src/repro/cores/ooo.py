@@ -96,8 +96,12 @@ class OutOfOrderCoreModel(TraceDrivenModel):
         two are cross-checked by the differential fuzzer.
         """
         from repro.kernels.window import ooo_simulate_window
+        from repro.obs.tracing import span
 
-        return ooo_simulate_window(self, app, start_instruction, cycles, env)
+        with span("ooo.simulate_window"):
+            return ooo_simulate_window(
+                self, app, start_instruction, cycles, env
+            )
 
     def run_cycles(
         self,

@@ -150,6 +150,44 @@ def run_bench(quick: bool = False) -> dict:
         ),
     }
 
+    # -- observability overhead on the OoO kernel path --
+    # "plain" calls the kernel function directly (no span wrapper at
+    # all); "disabled" goes through model.simulate_window, whose
+    # span()/ACTIVE checks are compiled in but dormant; "enabled" runs
+    # the same call with a live tracer and metrics registry.  The gate
+    # (--max-disabled-overhead) bounds the cost of shipping the hooks.
+    from repro.kernels.window import ooo_simulate_window
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+
+    overhead_repeats = max(repeats, 5)
+
+    def obs_plain():
+        model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        return ooo_simulate_window(model, app, 0, budget, ISOLATED)
+
+    def obs_disabled():
+        model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        return model.simulate_window(app, 0, budget, ISOLATED)
+
+    def obs_enabled():
+        model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
+        with obs_metrics.collecting(), obs_tracing.collecting():
+            return model.simulate_window(app, 0, budget, ISOLATED)
+
+    plain_s, _ = _best(obs_plain, overhead_repeats)
+    disabled_s, _ = _best(obs_disabled, overhead_repeats)
+    enabled_s, _ = _best(obs_enabled, overhead_repeats)
+    results["span_overhead"] = {
+        "committed": timing.committed,
+        "repeats": overhead_repeats,
+        "plain_wall_s": plain_s,
+        "disabled_wall_s": disabled_s,
+        "enabled_wall_s": enabled_s,
+        "disabled_overhead": disabled_s / plain_s - 1.0,
+        "enabled_overhead": enabled_s / plain_s - 1.0,
+    }
+
     # -- in-order window: kernel vs straight-line reference --
     inorder_budget = 2.0 * budget
 
@@ -245,6 +283,11 @@ def format_report(report: dict) -> str:
             f"{r[key]['kernel_vs_pre_pr_speedup']:.2f}x pre-kernel "
             "baseline)"
         )
+    lines.append(
+        f"  obs overhead       "
+        f"{100 * r['span_overhead']['disabled_overhead']:+9.2f}% disabled, "
+        f"{100 * r['span_overhead']['enabled_overhead']:+.2f}% enabled"
+    )
     lines.append(
         f"  end-to-end sweep   "
         f"{r['end_to_end_sweep']['runs_per_s']:9.2f} runs/s "

@@ -39,6 +39,7 @@ from repro.isa.instruction import (
     fu_bits_table,
     latency_table,
 )
+from repro.obs import metrics as obs_metrics
 
 #: Maximum instructions attempted per cycle of budget (dispatch width).
 _WINDOW_SLACK = 1024
@@ -272,6 +273,10 @@ def ooo_simulate_window(model, app, start_instruction, cycles, env):
         latency_out = np.concatenate(lat_chunks)[:committed]
     else:
         latency_out = np.zeros(0, dtype=np.float64)
+    reg = obs_metrics.ACTIVE
+    if reg is not None:
+        reg.counter("kernel.windows", kernel="ooo").inc()
+        reg.counter("kernel.instructions", kernel="ooo").inc(committed)
     return WindowTiming(
         classes=window.classes[:committed].copy(),
         dispatch=np.array(dispatch_l[:committed], dtype=np.float64),
@@ -419,6 +424,10 @@ def inorder_run_cycles(model, app, start_instruction, cycles, env):
         model, window, lat_chunks, fetch_l, issue_l, wb_l,
         committed, elapsed, TIMESTAMP_CLIP,
     )
+    reg = obs_metrics.ACTIVE
+    if reg is not None:
+        reg.counter("kernel.windows", kernel="inorder").inc()
+        reg.counter("kernel.instructions", kernel="inorder").inc(committed)
     return QuantumResult(
         instructions=committed,
         cycles=elapsed,

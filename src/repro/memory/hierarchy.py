@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config.machines import MemoryConfig
 from repro.memory.cache import SetAssociativeCache
+from repro.obs import metrics as obs_metrics
 
 #: Level codes returned by :meth:`CacheHierarchy.access_data_batch`.
 LEVEL_L1, LEVEL_L2, LEVEL_L3, LEVEL_DRAM = 0, 1, 2, 3
@@ -239,6 +240,16 @@ class CacheHierarchy:
         l3.stats.misses += miss3
         self.l3_accesses += acc3
         self.dram_accesses += dram
+        reg = obs_metrics.ACTIVE
+        if reg is not None:
+            # Counts batched accesses as walked, including any overrun
+            # past a budget break that rollback_data later undoes (the
+            # overcount is deterministic, so serial and parallel
+            # campaigns still merge to identical totals).
+            reg.counter("cache.accesses", level="l1").inc(n)
+            reg.counter("cache.accesses", level="l2").inc(acc2)
+            reg.counter("cache.accesses", level="l3").inc(acc3)
+            reg.counter("cache.accesses", level="dram").inc(dram)
         return (
             np.array(latencies, dtype=np.float64),
             np.array(levels, dtype=np.int8),

@@ -1,0 +1,416 @@
+"""Scheduler decision traces: record, replay, and explain Algorithm 1.
+
+Every quantum, a sampling scheduler with a :class:`DecisionTraceRecorder`
+attached (``scheduler.recorder = DecisionTraceRecorder()``) emits one
+:class:`QuantumRecord` capturing *why* the assignment changed:
+
+* the assignment before and after optimization,
+* every swap candidate the optimizer considered, with the per-pair
+  objective (SSER/STP) deltas, the hysteresis threshold in force, and
+  whether the swap was accepted or rejected (and why),
+* the per-application objective estimates the decision was based on,
+* staleness-rule activity (which applications were stale, which
+  sampling swaps the short sampling segment performed),
+* the executed segment plan.
+
+The trace is *replayable*: ``before`` plus the recorded ``moves`` (a
+transposition decomposition of the permutation) reproduces ``after``
+exactly, and consecutive records chain (``records[k].before ==
+records[k-1].after``), so :func:`replay_trace` can reconstruct the final
+:class:`~repro.sched.base.Assignment` of a whole run from the trace
+alone.  ``repro.check`` enforces this plus the threshold semantics via
+the ``decision_trace_consistency`` invariant.
+
+Phases:
+
+* ``initial_sampling`` -- the rotation that runs every application on
+  every core type before the optimizer has data (no candidates).
+* ``greedy`` -- Algorithm 1's greedy pair-swap loop; one candidate per
+  round, ``mover``/``partner`` are application indices.
+* ``exhaustive`` -- whole-assignment search
+  (:class:`ConstrainedReliabilityScheduler`,
+  :class:`ExhaustiveReliabilityScheduler`); one summary candidate with
+  ``mover == partner == -1`` comparing the chosen assignment against
+  the current one.  ``forced`` marks moves made because the *current*
+  assignment violates the STP constraint -- those may accept a
+  non-improving SSER delta.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "DECISION_TRACE_SCHEMA",
+    "DecisionTraceRecorder",
+    "QuantumRecord",
+    "ReplayError",
+    "SwapCandidate",
+    "decompose_swaps",
+    "format_trace",
+    "read_trace",
+    "replay_trace",
+    "write_trace",
+]
+
+
+class ReplayError(ValueError):
+    """A decision trace is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class SwapCandidate:
+    """One optimizer decision point.
+
+    For the greedy phase, ``mover``/``partner`` are the application pair
+    considered and ``delta_mover``/``delta_partner`` their individual
+    objective changes if swapped.  For the exhaustive phase the record
+    summarises the whole-assignment comparison (``mover == partner ==
+    -1``, individual deltas zero).  ``delta_total`` is the net objective
+    change of accepting (negative = improvement); an accepted,
+    non-forced candidate always satisfies ``delta_total < -threshold``.
+    """
+
+    mover: int
+    partner: int
+    delta_mover: float
+    delta_partner: float
+    delta_total: float
+    objective_total: float
+    threshold: float
+    accepted: bool
+    forced: bool = False
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SwapCandidate":
+        return cls(
+            mover=int(data["mover"]),
+            partner=int(data["partner"]),
+            delta_mover=float(data["delta_mover"]),
+            delta_partner=float(data["delta_partner"]),
+            delta_total=float(data["delta_total"]),
+            objective_total=float(data["objective_total"]),
+            threshold=float(data["threshold"]),
+            accepted=bool(data["accepted"]),
+            forced=bool(data.get("forced", False)),
+            reason=str(data.get("reason", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One executed segment of the quantum's plan."""
+
+    fraction: float
+    core_of: tuple[int, ...]
+    is_sampling: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SegmentRecord":
+        return cls(
+            fraction=float(data["fraction"]),
+            core_of=tuple(int(c) for c in data["core_of"]),
+            is_sampling=bool(data["is_sampling"]),
+        )
+
+
+@dataclass(frozen=True)
+class QuantumRecord:
+    """Everything the scheduler decided during one quantum."""
+
+    quantum: int
+    scheduler: str
+    phase: str  # "initial_sampling" | "greedy" | "exhaustive"
+    before: tuple[int, ...]
+    after: tuple[int, ...]
+    candidates: tuple[SwapCandidate, ...] = ()
+    #: Transposition decomposition of the before -> after permutation:
+    #: applying these (app_a, app_b) swaps to ``before`` in order yields
+    #: ``after`` exactly.
+    moves: tuple[tuple[int, int], ...] = ()
+    #: (app, objective_on_big, objective_on_small) estimates the
+    #: decision was based on (empty during initial sampling).
+    objectives: tuple[tuple[int, float, float], ...] = ()
+    stale: tuple[int, ...] = ()
+    sampling_swaps: tuple[tuple[int, int], ...] = ()
+    segments: tuple[SegmentRecord, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "quantum": self.quantum,
+            "scheduler": self.scheduler,
+            "phase": self.phase,
+            "before": list(self.before),
+            "after": list(self.after),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "moves": [list(m) for m in self.moves],
+            "objectives": [list(o) for o in self.objectives],
+            "stale": list(self.stale),
+            "sampling_swaps": [list(s) for s in self.sampling_swaps],
+            "segments": [s.to_dict() for s in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuantumRecord":
+        return cls(
+            quantum=int(data["quantum"]),
+            scheduler=str(data["scheduler"]),
+            phase=str(data["phase"]),
+            before=tuple(int(c) for c in data["before"]),
+            after=tuple(int(c) for c in data["after"]),
+            candidates=tuple(
+                SwapCandidate.from_dict(c) for c in data.get("candidates", ())
+            ),
+            moves=tuple(
+                (int(a), int(b)) for a, b in data.get("moves", ())
+            ),
+            objectives=tuple(
+                (int(i), float(b), float(s))
+                for i, b, s in data.get("objectives", ())
+            ),
+            stale=tuple(int(i) for i in data.get("stale", ())),
+            sampling_swaps=tuple(
+                (int(a), int(b)) for a, b in data.get("sampling_swaps", ())
+            ),
+            segments=tuple(
+                SegmentRecord.from_dict(s) for s in data.get("segments", ())
+            ),
+        )
+
+
+#: Machine-readable schema of the trace record types, derived from the
+#: dataclass definitions so it cannot drift from the implementation.
+#: CI diffs this against ``tests/fixtures/decision_trace_schema.json``
+#: so schema changes are an explicit, reviewed act.
+DECISION_TRACE_SCHEMA: dict[str, Any] = {
+    "version": 1,
+    "quantum_record": {
+        f.name: str(f.type) for f in dataclasses.fields(QuantumRecord)
+    },
+    "swap_candidate": {
+        f.name: str(f.type) for f in dataclasses.fields(SwapCandidate)
+    },
+    "segment": {
+        f.name: str(f.type) for f in dataclasses.fields(SegmentRecord)
+    },
+    "phases": ["initial_sampling", "greedy", "exhaustive"],
+}
+
+
+def decompose_swaps(
+    before: Sequence[int], after: Sequence[int]
+) -> tuple[tuple[int, int], ...]:
+    """Transpositions of application pairs turning ``before`` into
+    ``after`` (both are core permutations of the same multiset)."""
+    current = list(before)
+    target = list(after)
+    if sorted(current) != sorted(target):
+        raise ReplayError(
+            f"assignments are not permutations of each other: "
+            f"{tuple(before)} -> {tuple(after)}"
+        )
+    moves: list[tuple[int, int]] = []
+    for i in range(len(current)):
+        if current[i] == target[i]:
+            continue
+        j = next(
+            k for k in range(i + 1, len(current)) if current[k] == target[i]
+        )
+        current[i], current[j] = current[j], current[i]
+        moves.append((i, j))
+    return tuple(moves)
+
+
+def apply_moves(
+    core_of: Sequence[int], moves: Iterable[tuple[int, int]]
+) -> tuple[int, ...]:
+    cores = list(core_of)
+    for a, b in moves:
+        cores[a], cores[b] = cores[b], cores[a]
+    return tuple(cores)
+
+
+class DecisionTraceRecorder:
+    """Collects swap candidates and per-quantum records.
+
+    Attach to any :class:`~repro.sched.sampling.SamplingScheduler`
+    subclass via ``scheduler.recorder = DecisionTraceRecorder()``; the
+    scheduler's optimizer reports each candidate through
+    :meth:`candidate` and ``plan_quantum`` finalises the quantum with
+    :meth:`quantum`.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[QuantumRecord] = []
+        self._pending: list[SwapCandidate] = []
+
+    def candidate(
+        self,
+        *,
+        mover: int,
+        partner: int,
+        delta_mover: float,
+        delta_partner: float,
+        delta_total: float,
+        objective_total: float,
+        threshold: float,
+        accepted: bool,
+        forced: bool = False,
+        reason: str = "",
+    ) -> None:
+        self._pending.append(
+            SwapCandidate(
+                mover=mover,
+                partner=partner,
+                delta_mover=delta_mover,
+                delta_partner=delta_partner,
+                delta_total=delta_total,
+                objective_total=objective_total,
+                threshold=threshold,
+                accepted=accepted,
+                forced=forced,
+                reason=reason,
+            )
+        )
+
+    def quantum(
+        self,
+        *,
+        quantum: int,
+        scheduler: str,
+        phase: str,
+        before: Sequence[int],
+        after: Sequence[int],
+        objectives: Iterable[tuple[int, float, float]] = (),
+        stale: Iterable[int] = (),
+        sampling_swaps: Iterable[tuple[int, int]] = (),
+        segments: Iterable[tuple[float, Sequence[int], bool]] = (),
+    ) -> QuantumRecord:
+        record = QuantumRecord(
+            quantum=quantum,
+            scheduler=scheduler,
+            phase=phase,
+            before=tuple(before),
+            after=tuple(after),
+            candidates=tuple(self._pending),
+            moves=decompose_swaps(before, after),
+            objectives=tuple(objectives),
+            stale=tuple(stale),
+            sampling_swaps=tuple(sampling_swaps),
+            segments=tuple(
+                SegmentRecord(
+                    fraction=float(fraction),
+                    core_of=tuple(core_of),
+                    is_sampling=bool(is_sampling),
+                )
+                for fraction, core_of, is_sampling in segments
+            ),
+        )
+        self._pending = []
+        self.records.append(record)
+        return record
+
+
+def replay_trace(records: Sequence[QuantumRecord]) -> tuple[int, ...]:
+    """Replay a trace move-by-move; returns the final assignment.
+
+    Raises :class:`ReplayError` if consecutive records do not chain or
+    any record's moves fail to reproduce its ``after`` assignment.
+    """
+    if not records:
+        raise ReplayError("empty decision trace")
+    current = records[0].before
+    for record in records:
+        if record.before != current:
+            raise ReplayError(
+                f"quantum {record.quantum}: before={record.before} does "
+                f"not chain from previous after={current}"
+            )
+        current = apply_moves(current, record.moves)
+        if current != record.after:
+            raise ReplayError(
+                f"quantum {record.quantum}: replaying moves "
+                f"{record.moves} gives {current}, record says "
+                f"{record.after}"
+            )
+    return current
+
+
+def write_trace(records: Iterable[QuantumRecord], path: str) -> None:
+    """Append-free JSONL export: one record per line."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+
+
+def read_trace(path: str) -> list[QuantumRecord]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(QuantumRecord.from_dict(json.loads(line)))
+    return records
+
+
+def format_trace(
+    records: Sequence[QuantumRecord], *, max_quanta: int | None = None
+) -> str:
+    """Human-readable rendering of a decision trace."""
+    lines: list[str] = []
+    shown = records if max_quanta is None else records[:max_quanta]
+    for record in shown:
+        arrow = "->" if record.before != record.after else "=="
+        lines.append(
+            f"quantum {record.quantum:>4d}  [{record.phase}]  "
+            f"{record.before} {arrow} {record.after}"
+        )
+        for app, big, small in record.objectives:
+            lines.append(
+                f"    app {app}: objective big={big:.6g} small={small:.6g}"
+            )
+        for cand in record.candidates:
+            verdict = "ACCEPTED" if cand.accepted else "rejected"
+            if cand.forced:
+                verdict += " (forced)"
+            if cand.mover >= 0:
+                pair = f"swap app {cand.mover} <-> app {cand.partner}"
+                detail = (
+                    f"delta={cand.delta_total:+.6g} "
+                    f"(mover {cand.delta_mover:+.6g}, "
+                    f"partner {cand.delta_partner:+.6g})"
+                )
+            else:
+                pair = "reassign (whole-assignment search)"
+                detail = f"delta={cand.delta_total:+.6g}"
+            lines.append(
+                f"    {pair}: {detail} threshold={cand.threshold:.6g} "
+                f"-> {verdict}"
+                + (f" [{cand.reason}]" if cand.reason else "")
+            )
+        if record.stale:
+            lines.append(
+                f"    stale={record.stale} "
+                f"sampling_swaps={record.sampling_swaps}"
+            )
+        for seg in record.segments:
+            tag = "sampling" if seg.is_sampling else "main"
+            lines.append(
+                f"    segment {tag}: fraction={seg.fraction:.4f} "
+                f"assignment={seg.core_of}"
+            )
+    if max_quanta is not None and len(records) > max_quanta:
+        lines.append(f"... {len(records) - max_quanta} more quanta "
+                     f"(raise --max-quanta)")
+    return "\n".join(lines)

@@ -28,7 +28,9 @@ from repro.runtime.events import (
     JobStarted,
     JobTiming,
     JsonlEventSink,
+    MetricsSnapshot,
     StderrProgressSink,
+    UnknownEvent,
     event_from_dict,
     read_events,
     replay_timings,
@@ -63,9 +65,11 @@ __all__ = [
     "JobStarted",
     "JobTiming",
     "JsonlEventSink",
+    "MetricsSnapshot",
     "NO_RETRY",
     "RetryPolicy",
     "StderrProgressSink",
+    "UnknownEvent",
     "default_jobs",
     "event_from_dict",
     "read_events",

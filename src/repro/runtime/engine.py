@@ -39,6 +39,8 @@ from typing import Sequence
 
 from repro.ace.counters import AceCounterMode
 from repro.config.machines import MachineConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.runtime.events import (
     CampaignFinished,
     CampaignStarted,
@@ -49,6 +51,7 @@ from repro.runtime.events import (
     JobFailed,
     JobFinished,
     JobStarted,
+    MetricsSnapshot,
 )
 from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
 from repro.sim.campaign import RunSpec
@@ -117,32 +120,39 @@ class Job:
 
 
 def _execute_job(
-    job: Job, retry: RetryPolicy, fault_plan: FaultPlan | None
-) -> tuple[int, dict, int, float]:
+    job: Job,
+    retry: RetryPolicy,
+    fault_plan: FaultPlan | None,
+    collect_metrics: bool = False,
+) -> tuple[int, dict, int, float, dict | None]:
     """Worker entry point: run one spec with retry, return plain data.
 
-    Returns ``(index, result_dict, attempts, wall_seconds)``; the
-    result travels as the JSON-codec dict so the payload is trivially
-    picklable and byte-identical to what the disk cache stores.
+    Returns ``(index, result_dict, attempts, wall_seconds, metrics)``;
+    the result travels as the JSON-codec dict so the payload is
+    trivially picklable and byte-identical to what the disk cache
+    stores.  With ``collect_metrics``, the run executes under a fresh
+    :class:`repro.obs.metrics.MetricsRegistry` (one per attempt, so a
+    retried job reports only its successful attempt) and ``metrics``
+    is its snapshot dict; otherwise ``None``.
     """
     started = time.perf_counter()
     # Configuration errors (e.g. an unknown machine tag) are not
     # transient: build the machine once, outside the retry loop.
     machine = job.machine if job.machine is not None else job.spec.build_machine()
     attempt = 0
+    metrics_data: dict | None = None
     while True:
         attempt += 1
         try:
             if fault_plan is not None:
                 fault_plan.apply(job.index, attempt)
-            result = run_workload(
-                machine,
-                job.spec.benchmarks,
-                job.spec.scheduler,
-                instructions=job.spec.instructions,
-                seed=job.spec.seed,
-                counter_mode=AceCounterMode(job.spec.counter_mode),
-            )
+            if collect_metrics:
+                with obs_metrics.collecting() as registry:
+                    with registry.timer("runtime.job_seconds"):
+                        result = _run_spec(machine, job.spec)
+                metrics_data = registry.snapshot().to_dict()
+            else:
+                result = _run_spec(machine, job.spec)
             break
         except Exception:
             if attempt >= retry.max_attempts:
@@ -151,7 +161,18 @@ def _execute_job(
     if job.cache_path is not None:
         save_run(result, job.cache_path)
     wall = time.perf_counter() - started
-    return job.index, run_result_to_dict(result), attempt, wall
+    return job.index, run_result_to_dict(result), attempt, wall, metrics_data
+
+
+def _run_spec(machine: MachineConfig, spec: RunSpec) -> RunResult:
+    return run_workload(
+        machine,
+        spec.benchmarks,
+        spec.scheduler,
+        instructions=spec.instructions,
+        seed=spec.seed,
+        counter_mode=AceCounterMode(spec.counter_mode),
+    )
 
 
 @dataclass
@@ -166,6 +187,9 @@ class JobOutcome:
     attempts: int = 0
     wall_seconds: float = 0.0
     cached: bool = False
+    #: repro.obs metrics snapshot dict shipped back from the worker
+    #: (engine ``metrics=True`` only; always ``None`` for cached jobs).
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -178,6 +202,8 @@ class ExecutionReport:
 
     outcomes: list[JobOutcome]
     wall_seconds: float = 0.0
+    #: Campaign-wide merged metrics (engine ``metrics=True`` only).
+    metrics: "obs_metrics.RegistrySnapshot | None" = None
 
     @property
     def results(self) -> list[RunResult | None]:
@@ -231,6 +257,13 @@ class ExecutionEngine:
             is treated as failed (so ``FAIL_FAST`` aborts on it and
             ``COLLECT`` keeps sibling jobs running).  Checks run in
             the parent process, on cached and executed results alike.
+        metrics: collect a :mod:`repro.obs.metrics` registry inside
+            every executed job (worker or in-process), emit each
+            snapshot as a :class:`MetricsSnapshot` event, and merge
+            them into ``ExecutionReport.metrics``.  Snapshots merge
+            commutatively, so serial and parallel campaigns produce
+            identical totals.  Cached jobs execute nothing and
+            contribute no metrics.
     """
 
     #: Factory for the worker pool; replaceable in tests to simulate
@@ -250,6 +283,7 @@ class ExecutionEngine:
         sinks: Sequence[EventSink] = (),
         fault_plan: FaultPlan | None = None,
         checks=None,
+        metrics: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.retry = retry if retry is not None else RetryPolicy()
@@ -258,6 +292,7 @@ class ExecutionEngine:
         self.sinks = list(sinks)
         self.fault_plan = fault_plan
         self.checks = checks
+        self.metrics = bool(metrics)
 
     # -- events ------------------------------------------------------
 
@@ -341,6 +376,12 @@ class ExecutionEngine:
             outcomes=[outcomes[i] for i in sorted(outcomes)],
             wall_seconds=time.perf_counter() - started,
         )
+        if self.metrics:
+            merged = obs_metrics.MetricsRegistry()
+            for outcome in report.outcomes:
+                if outcome.metrics is not None:
+                    merged.merge(outcome.metrics)
+            report.metrics = merged.snapshot()
         self._emit(
             CampaignFinished(
                 total=len(report.outcomes),
@@ -429,7 +470,13 @@ class ExecutionEngine:
         return f"check failed: violated {', '.join(names)}"
 
     def _record_success(
-        self, job: Job, data: dict, attempts: int, wall: float, outcomes
+        self,
+        job: Job,
+        data: dict,
+        attempts: int,
+        wall: float,
+        outcomes,
+        metrics_data: dict | None = None,
     ) -> bool:
         """Record a completed job; ``False`` when its checks failed."""
         result = run_result_from_dict(data)
@@ -444,7 +491,16 @@ class ExecutionEngine:
             result=result,
             attempts=attempts,
             wall_seconds=wall,
+            metrics=metrics_data,
         )
+        if metrics_data is not None:
+            self._emit(
+                MetricsSnapshot(
+                    index=job.index,
+                    label=job.label,
+                    metrics=metrics_data,
+                )
+            )
         self._emit(
             JobFinished(
                 index=job.index,
@@ -491,9 +547,10 @@ class ExecutionEngine:
             self._emit(JobStarted(index=job.index, label=job.label))
             started = time.perf_counter()
             try:
-                _, data, attempts, wall = _execute_job(
-                    job, self.retry, self.fault_plan
-                )
+                with obs_tracing.span("runtime.execute_job"):
+                    _, data, attempts, wall, metrics_data = _execute_job(
+                        job, self.retry, self.fault_plan, self.metrics
+                    )
             except Exception as error:
                 self._record_failure(
                     job,
@@ -505,7 +562,9 @@ class ExecutionEngine:
                 if self.failure_policy is FailurePolicy.FAIL_FAST:
                     aborted = True
                 continue
-            ok = self._record_success(job, data, attempts, wall, outcomes)
+            ok = self._record_success(
+                job, data, attempts, wall, outcomes, metrics_data
+            )
             if not ok and self.failure_policy is FailurePolicy.FAIL_FAST:
                 aborted = True
 
@@ -528,7 +587,8 @@ class ExecutionEngine:
             for job in jobs_list:
                 self._emit(JobStarted(index=job.index, label=job.label))
                 future = executor.submit(
-                    _execute_job, job, self.retry, self.fault_plan
+                    _execute_job, job, self.retry, self.fault_plan,
+                    self.metrics,
                 )
                 pending[future] = (job, time.monotonic())
             self._harvest(pending, outcomes)
@@ -560,7 +620,7 @@ class ExecutionEngine:
                     )
                     continue
                 try:
-                    _, data, attempts, wall = future.result()
+                    _, data, attempts, wall, metrics_data = future.result()
                 except futures.process.BrokenProcessPool:
                     # Put the job back so the caller's serial-fallback
                     # path re-runs it alongside the other pending jobs.
@@ -578,7 +638,9 @@ class ExecutionEngine:
                         self._abort_pending(pending, outcomes)
                         return
                     continue
-                ok = self._record_success(job, data, attempts, wall, outcomes)
+                ok = self._record_success(
+                    job, data, attempts, wall, outcomes, metrics_data
+                )
                 if not ok and self.failure_policy is FailurePolicy.FAIL_FAST:
                     self._abort_pending(pending, outcomes)
                     return

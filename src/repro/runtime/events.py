@@ -120,6 +120,24 @@ class JobFailed(Event):
 
 
 @dataclass(frozen=True)
+class MetricsSnapshot(Event):
+    """A job's merged metrics registry snapshot (repro.obs.metrics).
+
+    Emitted right before the job's terminal event when the engine runs
+    with ``metrics=True``; ``metrics`` is the JSON form of
+    :meth:`repro.obs.metrics.RegistrySnapshot.to_dict`, so snapshots
+    from an event log merge with
+    ``MetricsRegistry().merge(event.metrics)``.
+    """
+
+    kind: ClassVar[str] = "metrics_snapshot"
+
+    index: int
+    label: str
+    metrics: dict[str, Any]
+
+
+@dataclass(frozen=True)
 class CampaignFinished(Event):
     """The batch is done; totals for the whole campaign."""
 
@@ -132,6 +150,24 @@ class CampaignFinished(Event):
     wall_seconds: float
 
 
+@dataclass(frozen=True)
+class UnknownEvent(Event):
+    """Fallback for event kinds this version does not know.
+
+    Replaying a log written by a newer version must not crash: the raw
+    dict is preserved verbatim in ``data`` (and round-trips unchanged
+    through :meth:`to_dict`), so downstream tooling can still count,
+    filter, or forward what it does not understand.
+    """
+
+    kind: ClassVar[str] = "unknown"
+
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self.data)
+
+
 #: Terminal per-job events (exactly one per job).
 TERMINAL_EVENTS = (JobCached, JobFinished, JobFailed)
 
@@ -142,6 +178,7 @@ _EVENT_TYPES: dict[str, type[Event]] = {
         JobStarted,
         JobCached,
         CheckFailed,
+        MetricsSnapshot,
         JobFinished,
         JobFailed,
         CampaignFinished,
@@ -149,16 +186,32 @@ _EVENT_TYPES: dict[str, type[Event]] = {
 }
 
 
+def _unknown_event(raw: dict[str, Any]) -> UnknownEvent:
+    timestamp = raw.get("timestamp")
+    if not isinstance(timestamp, (int, float)) or isinstance(timestamp, bool):
+        timestamp = 0.0
+    return UnknownEvent(data=raw, timestamp=float(timestamp))
+
+
 def event_from_dict(data: dict[str, Any]) -> Event:
-    """Rebuild an event from its :meth:`Event.to_dict` form."""
+    """Rebuild an event from its :meth:`Event.to_dict` form.
+
+    Unknown event kinds -- and known kinds whose fields this version
+    cannot construct (logs written by a newer version) -- degrade to
+    :class:`UnknownEvent` preserving the raw dict instead of raising.
+    """
+    raw = dict(data)
     data = dict(data)
     kind = data.pop("event", None)
     cls = _EVENT_TYPES.get(kind)
     if cls is None:
-        raise ValueError(f"unknown event kind {kind!r}")
+        return _unknown_event(raw)
     if "invariants" in data:  # JSON round-trips tuples as lists
         data["invariants"] = tuple(data["invariants"])
-    return cls(**data)
+    try:
+        return cls(**data)
+    except TypeError:
+        return _unknown_event(raw)
 
 
 class EventSink:

@@ -26,6 +26,8 @@ from repro.sched.sampling import SamplingScheduler
 class ConstrainedReliabilityScheduler(SamplingScheduler):
     """Minimize estimated SSER subject to a throughput-loss bound."""
 
+    decision_phase = "exhaustive"
+
     def __init__(
         self,
         machine: MachineConfig,
@@ -95,11 +97,42 @@ class ConstrainedReliabilityScheduler(SamplingScheduler):
             if assignment.core_type_of(i, self.machine) == BIG
         )
         best = min(admissible, key=sser)
-        if current_big in admissible:
+        current_admissible = current_big in admissible
+        if current_admissible:
             # Hysteresis: keep the current assignment unless the best
             # admissible one is meaningfully better.
-            if sser(best) >= sser(current_big) * (1.0 - self.swap_threshold):
-                return assignment
+            accepted = not (
+                sser(best) >= sser(current_big) * (1.0 - self.swap_threshold)
+            )
+        else:
+            # The current assignment violates the STP bound: move to
+            # the best admissible one regardless of the SSER delta.
+            accepted = True
+        if self.recorder is not None:
+            current_sser = sser(current_big)
+            if accepted and current_admissible:
+                reason = ("best admissible SSER clears the hysteresis "
+                          "threshold")
+            elif accepted:
+                reason = ("current assignment violates the STP bound; "
+                          "move forced")
+            else:
+                reason = ("best admissible SSER within hysteresis of the "
+                          "current assignment")
+            self.recorder.candidate(
+                mover=-1,
+                partner=-1,
+                delta_mover=0.0,
+                delta_partner=0.0,
+                delta_total=sser(best) - current_sser,
+                objective_total=current_sser,
+                threshold=self.swap_threshold * current_sser,
+                accepted=accepted,
+                forced=accepted and not current_admissible,
+                reason=reason,
+            )
+        if not accepted:
+            return assignment
         core_of = list(assignment.core_of)
         freed_big = [assignment.core_of[i] for i in current_big - best]
         freed_small = [

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.config.machines import BIG, SMALL, MachineConfig
+from repro.obs import metrics as obs_metrics
 from repro.sched.base import Assignment, Observation, Scheduler, SegmentPlan
 
 
@@ -65,6 +66,10 @@ DEFAULT_SWAP_THRESHOLD = 0.02
 class SamplingScheduler(Scheduler):
     """Base class implementing the sampling schedule of Algorithm 1."""
 
+    #: Optimizer phase reported in decision-trace records; subclasses
+    #: replacing the greedy loop override this (see repro.obs.decisions).
+    decision_phase = "greedy"
+
     def __init__(
         self,
         machine: MachineConfig,
@@ -77,6 +82,10 @@ class SamplingScheduler(Scheduler):
         if swap_threshold < 0:
             raise ValueError("swap threshold cannot be negative")
         self.swap_threshold = swap_threshold
+        #: Optional repro.obs.decisions.DecisionTraceRecorder; when set,
+        #: plan_quantum emits one QuantumRecord per quantum and the
+        #: optimizer reports every swap candidate it weighs.
+        self.recorder = None
         self._samples: dict[tuple[int, str], CoreTypeSample] = {}
         self._consecutive = [0] * num_apps
         self._last_type: dict[int, str] = {}
@@ -110,7 +119,12 @@ class SamplingScheduler(Scheduler):
     # -- planning --------------------------------------------------------
 
     def plan_quantum(self, quantum_index: int) -> list[SegmentPlan]:
+        recorder = self.recorder
+        before = self._assignment.core_of
         missing = [i for i in range(self.num_apps) if not self._has_both_samples(i)]
+        stale: list[int] = []
+        sampling_swaps: tuple[tuple[int, int], ...] = ()
+        objectives: list[tuple[int, float, float]] = []
         if missing:
             plan = [
                 SegmentPlan(1.0, self._initial_sampling_assignment(), True)
@@ -123,7 +137,12 @@ class SamplingScheduler(Scheduler):
             ]
             self._assignment = self._optimize(self._assignment)
             if stale:
-                sampling = self._staleness_swaps(self._assignment, stale)
+                reg = obs_metrics.ACTIVE
+                if reg is not None:
+                    reg.counter("sched.stale_apps").inc(len(stale))
+                sampling, sampling_swaps = self._staleness_swaps(
+                    self._assignment, stale
+                )
                 plan = [
                     SegmentPlan(self._sampling_fraction, sampling, True),
                     SegmentPlan(
@@ -132,7 +151,31 @@ class SamplingScheduler(Scheduler):
                 ]
             else:
                 plan = [SegmentPlan(1.0, self._assignment, False)]
+            if recorder is not None:
+                objectives = [
+                    (
+                        i,
+                        self.objective_value(i, BIG),
+                        self.objective_value(i, SMALL),
+                    )
+                    for i in range(self.num_apps)
+                ]
         self._final_segment = plan[-1]
+        if recorder is not None:
+            recorder.quantum(
+                quantum=quantum_index,
+                scheduler=type(self).__name__,
+                phase="initial_sampling" if missing else self.decision_phase,
+                before=before,
+                after=self._assignment.core_of,
+                objectives=objectives,
+                stale=tuple(stale),
+                sampling_swaps=sampling_swaps,
+                segments=tuple(
+                    (p.fraction, p.assignment.core_of, p.is_sampling)
+                    for p in plan
+                ),
+            )
         return plan
 
     def _initial_sampling_assignment(self) -> Assignment:
@@ -170,15 +213,17 @@ class SamplingScheduler(Scheduler):
 
     def _staleness_swaps(
         self, assignment: Assignment, stale: Sequence[int]
-    ) -> Assignment:
+    ) -> tuple[Assignment, tuple[tuple[int, int], ...]]:
         """Sampling-segment assignment refreshing stale applications.
 
         Each stale application is switched with the application that
         has run for the most consecutive quanta on the other core
-        type (paper Section 4.1).
+        type (paper Section 4.1).  Returns the sampling assignment and
+        the (app, partner) swaps performed, in order.
         """
         sampling = assignment
         used: set[int] = set()
+        swaps: list[tuple[int, int]] = []
         for app in sorted(stale, key=lambda i: -self._consecutive[i]):
             if app in used:
                 continue
@@ -194,8 +239,9 @@ class SamplingScheduler(Scheduler):
                 continue
             partner = max(partners, key=lambda j: self._consecutive[j])
             sampling = sampling.with_swap(app, partner)
+            swaps.append((app, partner))
             used.update((app, partner))
-        return sampling
+        return sampling, tuple(swaps)
 
     def _optimize(self, assignment: Assignment) -> Assignment:
         """Greedy pair-swap optimization (the core of Algorithm 1)."""
@@ -224,7 +270,31 @@ class SamplingScheduler(Scheduler):
                 abs(self.objective_value(i, type_of[i]))
                 for i in range(self.num_apps)
             )
-            if deltas[mover] + deltas[partner] < -self.swap_threshold * total:
+            threshold = self.swap_threshold * total
+            accepted = deltas[mover] + deltas[partner] < -threshold
+            if self.recorder is not None:
+                self.recorder.candidate(
+                    mover=mover,
+                    partner=partner,
+                    delta_mover=deltas[mover],
+                    delta_partner=deltas[partner],
+                    delta_total=deltas[mover] + deltas[partner],
+                    objective_total=total,
+                    threshold=threshold,
+                    accepted=accepted,
+                    reason=(
+                        "net objective improvement clears swap threshold"
+                        if accepted
+                        else "net objective change within swap hysteresis"
+                    ),
+                )
+            reg = obs_metrics.ACTIVE
+            if reg is not None:
+                reg.counter(
+                    "sched.swap_candidates",
+                    outcome="accepted" if accepted else "rejected",
+                ).inc()
+            if accepted:
                 assignment = assignment.with_swap(mover, partner)
                 type_of[mover], type_of[partner] = (
                     type_of[partner],

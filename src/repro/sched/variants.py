@@ -24,6 +24,8 @@ from repro.sched.sampling import SamplingScheduler
 class ExhaustiveReliabilityScheduler(ReliabilityScheduler):
     """SSER-optimizing scheduler with exhaustive assignment search."""
 
+    decision_phase = "exhaustive"
+
     def _optimize(self, assignment: Assignment) -> Assignment:
         apps = range(self.num_apps)
         current_big = frozenset(
@@ -37,12 +39,30 @@ class ExhaustiveReliabilityScheduler(ReliabilityScheduler):
                 for i in apps
             )
 
-        best_set, best_cost = current_big, cost(current_big)
+        current_cost = cost(current_big)
+        best_set, best_cost = current_big, current_cost
         for combo in itertools.combinations(apps, self.machine.big_cores):
             combo_set = frozenset(combo)
             combo_cost = cost(combo_set)
             if combo_cost < best_cost * (1.0 - self.swap_threshold):
                 best_set, best_cost = combo_set, combo_cost
+        if self.recorder is not None:
+            accepted = best_set != current_big
+            self.recorder.candidate(
+                mover=-1,
+                partner=-1,
+                delta_mover=0.0,
+                delta_partner=0.0,
+                delta_total=best_cost - current_cost,
+                objective_total=current_cost,
+                threshold=self.swap_threshold * current_cost,
+                accepted=accepted,
+                reason=(
+                    "exhaustive search found a better assignment"
+                    if accepted
+                    else "no assignment clears the hysteresis threshold"
+                ),
+            )
         if best_set == current_big:
             return assignment
         # Keep unmoved applications on their cores; movers take the

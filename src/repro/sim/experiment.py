@@ -92,6 +92,7 @@ def sweep(
     jobs: int = 1,
     sinks: Sequence = (),
     checks=None,
+    metrics: bool = False,
 ) -> dict[str, list[RunResult]]:
     """Run a workload list under several schedulers.
 
@@ -100,9 +101,12 @@ def sweep(
     receive the structured progress-event stream, ``checks`` is the
     engine's opt-in per-result invariant hook (see
     :func:`repro.check.default_run_checks`), and ``progress`` is
-    a legacy per-run text callback kept for compatibility.  Results
-    are deterministic: the same specs in the same order regardless of
-    ``jobs``.
+    a legacy per-run text callback kept for compatibility.  With
+    ``metrics``, every job collects a :mod:`repro.obs.metrics`
+    registry whose snapshot is emitted as a
+    :class:`~repro.runtime.events.MetricsSnapshot` event (aggregate
+    with ``repro stats``).  Results are deterministic: the same specs
+    in the same order regardless of ``jobs``.
 
     Returns ``{scheduler_name: [RunResult per workload, in order]}``.
     """
@@ -138,7 +142,9 @@ def sweep(
 
         sinks.append(CallbackSink(_legacy_line))
 
-    engine = ExecutionEngine(jobs=jobs, sinks=sinks, checks=checks)
+    engine = ExecutionEngine(
+        jobs=jobs, sinks=sinks, checks=checks, metrics=metrics
+    )
     report = engine.run_many(specs, machines=machine, labels=labels)
     results: dict[str, list[RunResult]] = {name: [] for name in scheduler_names}
     for spec, result in zip(specs, report.results):

@@ -24,6 +24,8 @@ from repro.config.machines import BIG, MachineConfig
 from repro.cores.base import CoreModel, QuantumResult
 from repro.cores.mechanistic import MechanisticCoreModel
 from repro.memory.interference import ApplicationDemand, InterferenceModel
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
 from repro.sched.base import PARKED, Observation, Scheduler
 from repro.sim.isolated import ReferenceTimes, run_isolated
 from repro.sim.results import AppRunRecord, RunResult, TimelinePoint
@@ -106,6 +108,31 @@ class MulticoreSimulation:
         self.reference_times = list(reference_times)
 
     def run(self) -> RunResult:
+        with span(
+            "sim.run",
+            machine=self.machine.name,
+            scheduler=type(self.scheduler).__name__,
+        ):
+            result = self._run()
+        reg = obs_metrics.ACTIVE
+        if reg is not None:
+            self._record_metrics(reg, result)
+        return result
+
+    def _record_metrics(self, reg, result: RunResult) -> None:
+        reg.counter("sim.runs").inc()
+        reg.counter("sim.quanta").inc(result.quanta)
+        reg.gauge("sim.apps").set(len(result.apps))
+        for rec in result.apps:
+            reg.counter("sim.instructions", core="big").inc(
+                rec.instructions_big
+            )
+            reg.counter("sim.instructions", core="small").inc(
+                rec.instructions_small
+            )
+            reg.counter("sched.migrations").inc(rec.migrations)
+
+    def _run(self) -> RunResult:
         n = len(self.profiles)
         records = [AppRunRecord(name=p.name) for p in self.profiles]
         positions = [0] * n
@@ -126,7 +153,8 @@ class MulticoreSimulation:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_quanta} quanta"
                 )
-            plans = self.scheduler.plan_quantum(quantum)
+            with span("sched.plan_quantum"):
+                plans = self.scheduler.plan_quantum(quantum)
             total_fraction = sum(p.fraction for p in plans)
             if not math.isclose(total_fraction, 1.0, abs_tol=1e-9):
                 raise ValueError(
@@ -173,9 +201,10 @@ class MulticoreSimulation:
                         else 0.0
                     )
                     exec_cycles = (duration - overhead) * config.frequency_hz
-                    result = model.run_cycles(
-                        self.profiles[i], positions[i], exec_cycles, envs[i]
-                    )
+                    with span("sim.exec", core=core_type):
+                        result = model.run_cycles(
+                            self.profiles[i], positions[i], exec_cycles, envs[i]
+                        )
                     freq = config.frequency_hz
                     if (
                         not self.restart_finished
@@ -266,6 +295,11 @@ class MulticoreSimulation:
                             instructions=quantum_instr[i],
                         )
                     )
+            reg = obs_metrics.ACTIVE
+            if reg is not None:
+                reg.histogram("sim.quantum_instructions").observe(
+                    float(sum(quantum_instr))
+                )
             quantum += 1
 
         for i in range(n):

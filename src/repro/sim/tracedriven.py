@@ -24,6 +24,7 @@ from repro.cores.inorder import InOrderCoreModel
 from repro.cores.ooo import OutOfOrderCoreModel
 from repro.cores.tracebase import TraceApplication
 from repro.memory.cache import SetAssociativeCache
+from repro.obs.tracing import span
 from repro.sim.experiment import make_scheduler
 from repro.sim.isolated import ReferenceTimes, run_isolated
 from repro.sim.multicore import MulticoreSimulation
@@ -76,7 +77,8 @@ def run_trace_workload(
     staleness period are preserved.
     """
     names = mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
-    apps = trace_applications(names, instructions, seed=seed)
+    with span("trace.generate", apps=len(names)):
+        apps = trace_applications(names, instructions, seed=seed)
     # Scale the quantum to ~1/50th of a typical application runtime.
     cycles_estimate = instructions  # IPC ~ 1 on the big core
     quantum_seconds = max(
@@ -103,14 +105,15 @@ def run_trace_workload(
     # cold-cache reference would overestimate T_ref at trace scale.
     reference_model = OutOfOrderCoreModel(scaled.big, scaled.memory)
     references = []
-    for app in apps:
-        run_isolated(reference_model, app)  # warm-up pass
-        run = run_isolated(reference_model, app)
-        references.append(
-            ReferenceTimes.uniform(
-                app, run.cycles / scaled.big.frequency_hz
+    with span("trace.reference_runs"):
+        for app in apps:
+            run_isolated(reference_model, app)  # warm-up pass
+            run = run_isolated(reference_model, app)
+            references.append(
+                ReferenceTimes.uniform(
+                    app, run.cycles / scaled.big.frequency_hz
+                )
             )
-        )
     simulation = MulticoreSimulation(
         scaled,
         apps,

@@ -113,7 +113,8 @@ class TestFuzz:
     def test_seeded_session_passes(self, session):
         assert isinstance(session, FuzzReport)
         assert session.ok, session.format()
-        assert len(session.reports) == 6  # + default kernel_cases=2
+        # + default kernel_cases=2 and decision_cases=2
+        assert len(session.reports) == 8
 
     def test_same_seed_reproduces_byte_identical_findings(self, session):
         again = fuzz(0, model_cases=1, run_cases=2, stack_cases=1)
@@ -128,8 +129,15 @@ class TestFuzz:
         text = session.format()
         assert "fuzz seed=0" in text
         for prefix in ("model/0", "run/0", "run/1", "stack/0", "kernel/0",
-                       "kernel/1"):
+                       "kernel/1", "decision/0", "decision/1"):
             assert prefix in text
+
+    def test_decision_cases_validate_traces(self, session):
+        decisions = [r for r in session.reports
+                     if r.subject.startswith("decision/")]
+        assert len(decisions) == 2
+        for report in decisions:
+            assert report.checked == ("decision_trace_consistency",)
 
     def test_kernel_cases_check_both_models(self, session):
         kernels = [r for r in session.reports
@@ -141,6 +149,6 @@ class TestFuzz:
 
     def test_case_counts_respected(self):
         tiny = fuzz(5, model_cases=0, run_cases=1, stack_cases=0,
-                    kernel_cases=0)
+                    kernel_cases=0, decision_cases=0)
         assert len(tiny.reports) == 1
         assert tiny.reports[0].subject.startswith("run/0")

@@ -200,3 +200,79 @@ class TestCheckCommand:
         assert main(["sweep", "--machine", "1B1S", "--programs", "2",
                      "--instructions", "1000000", "--check"]) == 0
         assert "SSER mean" in capsys.readouterr().out
+
+
+class TestObservability:
+    MIX = ["--benchmarks", "soplex,milc,namd,povray",
+           "--instructions", "2000000"]
+
+    def test_parser_obs_flags(self):
+        args = build_parser().parse_args(["sweep", "--metrics"])
+        assert args.metrics
+        args = build_parser().parse_args(
+            ["run", "--benchmarks", "milc,mcf", "--profile",
+             "--obs-out", "obs.json"]
+        )
+        assert args.profile and args.obs_out == "obs.json"
+        args = build_parser().parse_args(["trace", "--spans", "obs.json"])
+        assert args.benchmark is None and args.spans == "obs.json"
+        args = build_parser().parse_args(["explain", "--schema"])
+        assert args.schema and args.scheduler == "reliability"
+
+    def test_trace_without_benchmark_or_spans(self, capsys):
+        assert main(["trace"]) == 2
+        assert "benchmark" in capsys.readouterr().err
+
+    def test_run_profile_and_trace_spans(self, capsys, tmp_path):
+        obs = tmp_path / "obs.json"
+        assert main(["run", *self.MIX, "--profile",
+                     "--obs-out", str(obs)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out and "metrics:" in out
+        assert "sim.runs" in out
+        assert main(["trace", "--spans", str(obs)]) == 0
+        out = capsys.readouterr().out
+        assert "top self time" in out
+
+    def test_sweep_metrics_then_stats(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        csv = tmp_path / "metrics.csv"
+        assert main(["sweep", "--machine", "1B1S", "--programs", "2",
+                     "--instructions", "1000000", "--jobs", "2",
+                     "--metrics", "--event-log", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(log), "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.runs" in out and "108" in out
+        assert csv.read_text().startswith("name,labels,kind,field,value")
+
+    def test_stats_without_metrics_advises(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        assert main(["sweep", "--machine", "1B1S", "--programs", "2",
+                     "--instructions", "1000000",
+                     "--event-log", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(log)]) == 1
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_explain_records_and_replays(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["explain", *self.MIX, "--json", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "quantum" in out and "replay" in out
+        assert trace.exists()
+        assert main(["explain", "--replay", str(trace)]) == 0
+        assert "replay" in capsys.readouterr().out
+
+    def test_explain_schema_matches_fixture(self, capsys):
+        import json
+        from pathlib import Path
+
+        assert main(["explain", "--schema"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        fixture = Path("tests/fixtures/decision_trace_schema.json")
+        assert printed == json.loads(fixture.read_text())
+
+    def test_explain_wrong_benchmark_count(self, capsys):
+        assert main(["explain", "--benchmarks", "milc,mcf"]) == 2
+        assert "benchmark" in capsys.readouterr().err

@@ -1,0 +1,87 @@
+"""Serial and parallel campaigns merge metrics to identical totals.
+
+The worker-process metrics path (fresh registry per attempt, snapshot
+shipped back through the engine, commutative merges in the parent) must
+make the aggregated registry independent of worker count and completion
+order -- the core guarantee behind ``repro stats``.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.events import CallbackSink, JobFinished, MetricsSnapshot
+from repro.sim.campaign import RunSpec
+
+
+def specs():
+    pairs = [("povray", "milc"), ("gobmk", "bzip2"), ("mcf", "lbm"),
+             ("soplex", "namd")]
+    return [
+        RunSpec("1B1S", pairs[i % len(pairs)], scheduler, 400_000, seed=i)
+        for i in range(4)
+        for scheduler in ("random", "reliability")
+    ]
+
+
+def run(jobs):
+    events = []
+    engine = ExecutionEngine(
+        jobs=jobs, metrics=True, sinks=[CallbackSink(events.append)]
+    )
+    report = engine.run_many(specs())
+    return report, events
+
+
+def series_dict(snapshot):
+    return {
+        (name, labels): (kind, data)
+        for (name, labels), (kind, data) in snapshot.series.items()
+    }
+
+
+class TestSerialParallelMergeEquality:
+    def test_parallel_totals_identical_to_serial(self):
+        serial, _ = run(jobs=1)
+        parallel, _ = run(jobs=8)
+        assert serial.metrics is not None and parallel.metrics is not None
+        s = series_dict(serial.metrics)
+        p = series_dict(parallel.metrics)
+        assert set(s) == set(p)
+        for key in s:
+            s_kind, s_data = s[key]
+            p_kind, p_data = p[key]
+            assert s_kind == p_kind
+            if s_kind in ("timer",):
+                # Wall-clock series: same shape, not same values.
+                assert s_data["count"] == p_data["count"]
+                continue
+            assert s_data == p_data, f"series {key} diverged"
+
+    def test_deterministic_counters_have_expected_series(self):
+        report, _ = run(jobs=2)
+        names = {name for (name, _labels) in report.metrics.series}
+        for expected in (
+            "sim.runs",
+            "sim.quanta",
+            "sim.instructions",
+            "sched.migrations",
+            "runtime.job_seconds",
+        ):
+            assert any(n == expected for n in names), expected
+
+    def test_snapshot_events_emitted_per_job(self):
+        report, events = run(jobs=2)
+        snapshots = [e for e in events if isinstance(e, MetricsSnapshot)]
+        finished = [e for e in events if isinstance(e, JobFinished)]
+        assert len(snapshots) == len(finished) == len(specs())
+        # Replaying the event stream reproduces the report's registry.
+        registry = obs_metrics.MetricsRegistry()
+        for event in snapshots:
+            registry.merge(event.metrics)
+        assert series_dict(registry.snapshot()) == series_dict(report.metrics)
+
+    def test_metrics_off_by_default(self):
+        engine = ExecutionEngine(jobs=1)
+        report = engine.run_many(specs()[:2])
+        assert report.metrics is None

@@ -1,0 +1,161 @@
+"""Tests for the process-local metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs
+
+
+class TestSeries:
+    def test_counter_accumulates(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(2.5)
+        assert reg.counter("a").value == 3.5
+
+    def test_labels_separate_series(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a", core="big").inc()
+        reg.counter("a", core="small").inc(5)
+        assert reg.counter("a", core="big").value == 1
+        assert reg.counter("a", core="small").value == 5
+        assert len(reg) == 2
+
+    def test_label_order_irrelevant(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a", x=1, y=2).inc()
+        reg.counter("a", y=2, x=1).inc()
+        assert reg.counter("a", x=1, y=2).value == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a").inc()
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_timer_where_histogram_requested(self):
+        # A Timer is a Histogram; reading it back as one is fine.
+        reg = obs.MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        assert reg.histogram("t").count == 1
+
+    def test_gauge_tracks_last_value(self):
+        reg = obs.MetricsRegistry()
+        reg.gauge("g").set(4)
+        reg.gauge("g").set(2)
+        assert reg.gauge("g").value == 2
+
+    def test_histogram_statistics(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 9.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 1.0 and h.max == 9.0
+        assert h.mean == pytest.approx(4.0)
+
+
+class TestSnapshot:
+    def build(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("c", k="v").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.5)
+        with reg.timer("t"):
+            pass
+        return reg
+
+    def test_round_trips_through_json(self):
+        snap = self.build().snapshot()
+        data = json.loads(json.dumps(snap.to_dict()))
+        restored = obs.RegistrySnapshot.from_dict(data)
+        assert restored == snap
+
+    def test_rows_cover_every_series(self):
+        rows = self.build().snapshot().rows()
+        names = [row[0] for row in rows]
+        assert names == ["c{k=v}", "g", "h", "t"]
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "m.csv"
+        obs.write_csv(self.build().snapshot(), path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "name,labels,kind,field,value"
+        assert any(line.startswith("c,k=v,counter,value,3") for line in lines)
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 5
+
+    def test_merge_accepts_plain_dict(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        b.counter("c").inc(3)
+        a.merge(b.snapshot().to_dict())
+        assert a.counter("c").value == 3
+
+    def test_merge_is_commutative(self):
+        def registries():
+            a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+            a.counter("c").inc(1)
+            a.histogram("h").observe(2.0)
+            b.counter("c").inc(4)
+            b.histogram("h").observe(8.0)
+            b.gauge("g").set(3)
+            return a, b
+
+        a, b = registries()
+        a.merge(b.snapshot())
+        forward = a.snapshot()
+        a2, b2 = registries()
+        b2.merge(a2.snapshot())
+        backward = b2.snapshot()
+        assert forward == backward
+
+    def test_histograms_merge_elementwise(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(3.0)
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert h.count == 2 and h.total == 4.0
+        assert h.min == 1.0 and h.max == 3.0
+
+    def test_unknown_kind_skipped(self):
+        a = obs.MetricsRegistry()
+        a.merge({"series": [{"name": "x", "labels": {},
+                             "kind": "quantile_sketch", "data": {}}]})
+        assert len(a) == 0
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert obs.ACTIVE is None
+        assert obs.active() is None
+
+    def test_collecting_installs_and_restores(self):
+        assert obs.ACTIVE is None
+        with obs.collecting() as reg:
+            assert obs.ACTIVE is reg
+            reg.counter("c").inc()
+        assert obs.ACTIVE is None
+        assert reg.counter("c").value == 1
+
+    def test_collecting_nests(self):
+        with obs.collecting() as outer:
+            with obs.collecting() as inner:
+                assert obs.ACTIVE is inner
+            assert obs.ACTIVE is outer
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.collecting():
+                raise RuntimeError("boom")
+        assert obs.ACTIVE is None

@@ -1,0 +1,89 @@
+"""Tests for the aggregated span tracer."""
+
+import json
+
+from repro.obs import tracing as obs
+
+
+def build_tree():
+    tracer = obs.SpanTracer()
+    with obs.collecting(tracer):
+        for _ in range(3):
+            with obs.span("outer", core="big"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        with obs.span("other"):
+            pass
+    return tracer
+
+
+class TestSpans:
+    def test_disabled_span_is_noop(self):
+        assert obs.ACTIVE is None
+        with obs.span("anything", x=1):
+            pass  # no tracer installed: must not raise or allocate state
+        assert obs.ACTIVE is None
+
+    def test_aggregates_repeated_spans(self):
+        tracer = build_tree()
+        root = tracer.root
+        assert len(root.children) == 2
+        outer = root.child("outer", (("core", "big"),))
+        assert outer.count == 3
+        inner = outer.child("inner", ())
+        assert inner.count == 6
+
+    def test_self_time_excludes_children(self):
+        tracer = build_tree()
+        outer = tracer.root.child("outer", (("core", "big"),))
+        inner = outer.child("inner", ())
+        assert outer.self_seconds <= outer.total_seconds
+        assert outer.self_seconds == outer.total_seconds - inner.total_seconds
+
+    def test_nesting_requires_active_tracer(self):
+        tracer = build_tree()
+        # After collecting() exits, new spans do not touch the tree.
+        with obs.span("outer", core="big"):
+            pass
+        assert tracer.root.child("outer", (("core", "big"),)).count == 3
+
+    def test_collecting_restores_previous(self):
+        with obs.collecting() as outer_tracer:
+            with obs.collecting() as inner_tracer:
+                assert obs.ACTIVE is inner_tracer
+            assert obs.ACTIVE is outer_tracer
+        assert obs.ACTIVE is None
+
+
+class TestRendering:
+    def test_format_tree_lists_spans(self):
+        text = obs.format_tree(build_tree().root)
+        assert "outer{core=big}" in text
+        assert "inner" in text
+        assert "count=3" in text and "count=6" in text
+
+    def test_format_tree_empty(self):
+        assert "empty" in obs.format_tree(obs.SpanTracer().root)
+
+    def test_top_self_time_merges_labels(self):
+        rows = obs.top_self_time(build_tree().root)
+        labels = [row[0] for row in rows]
+        assert "inner" in labels and "outer{core=big}" in labels
+        inner = next(row for row in rows if row[0] == "inner")
+        assert inner[1] == 6  # count merged across positions
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        tracer = build_tree()
+        path = tmp_path / "spans.json"
+        obs.save_tree(tracer.root, path)
+        restored = obs.load_tree(path)
+        assert restored == tracer.root
+
+    def test_tracer_to_dict_is_root(self, tmp_path):
+        tracer = build_tree()
+        data = json.loads(json.dumps(tracer.to_dict()))
+        assert obs.SpanNode.from_dict(data) == tracer.root

@@ -15,7 +15,9 @@ from repro.runtime.events import (
     JobFinished,
     JobStarted,
     JsonlEventSink,
+    MetricsSnapshot,
     StderrProgressSink,
+    UnknownEvent,
     event_from_dict,
     read_events,
     replay_timings,
@@ -40,9 +42,49 @@ class TestEventCodec:
             data = json.loads(json.dumps(event.to_dict()))
             assert event_from_dict(data) == event
 
-    def test_unknown_kind_rejected(self):
-        with pytest.raises(ValueError, match="unknown event"):
-            event_from_dict({"event": "job_levitated"})
+    def test_unknown_kind_degrades_to_unknown_event(self):
+        raw = {"event": "job_levitated", "index": 7, "timestamp": 12.5}
+        event = event_from_dict(raw)
+        assert isinstance(event, UnknownEvent)
+        assert event.data == raw
+        assert event.timestamp == 12.5
+        # The raw dict round-trips unchanged through the codec.
+        assert event.to_dict() == raw
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_unknown_fields_on_known_kind_degrade(self):
+        raw = {"event": "job_started", "index": 0, "label": "a",
+               "from_the_future": True}
+        event = event_from_dict(raw)
+        assert isinstance(event, UnknownEvent)
+        assert event.data == raw
+
+    def test_unknown_event_in_log_replay(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit(CampaignStarted(total=1))
+        sink.close()
+        with path.open("a") as handle:
+            handle.write(json.dumps({"event": "job_levitated"}) + "\n")
+            handle.write(
+                json.dumps(JobFinished(index=0, label="a",
+                                       wall_seconds=1.0).to_dict()) + "\n"
+            )
+        events = read_events(path)
+        assert [type(e).__name__ for e in events] == [
+            "CampaignStarted", "UnknownEvent", "JobFinished"
+        ]
+        # Replay skips what it does not understand.
+        assert len(replay_timings(events)) == 1
+
+    def test_metrics_snapshot_round_trip(self):
+        event = MetricsSnapshot(
+            index=2, label="x",
+            metrics={"series": [{"name": "n", "labels": {}, "kind":
+                                 "counter", "data": {"value": 3.0}}]},
+        )
+        data = json.loads(json.dumps(event.to_dict()))
+        assert event_from_dict(data) == event
 
     def test_dict_has_kind_and_timestamp(self):
         data = JobStarted(index=0, label="a").to_dict()
@@ -168,11 +210,15 @@ class TestCorruptEventLogs:
             events = read_events(path)
         assert events == EVENTS[:2]
 
-    def test_unknown_final_event_skipped_with_warning(self, tmp_path):
+    def test_unknown_final_event_preserved(self, tmp_path):
+        # Unknown kinds are forward-compatible data, not corruption:
+        # they degrade to UnknownEvent instead of being dropped.
         lines = self.good_lines() + ['{"event": "job_levitated"}']
         path = self.write_log(tmp_path, lines)
-        with pytest.warns(UserWarning, match="truncated or corrupt"):
-            assert read_events(path) == EVENTS[:2]
+        events = read_events(path)
+        assert events[:2] == EVENTS[:2]
+        assert isinstance(events[2], UnknownEvent)
+        assert events[2].data == {"event": "job_levitated"}
 
     def test_mid_file_corruption_raises(self, tmp_path):
         lines = self.good_lines(1) + ["{ nope", self.good_lines(2)[1]]
