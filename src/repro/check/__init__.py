@@ -29,6 +29,7 @@ from repro.check.invariants import (
     Violation,
     check_decision_trace,
     check_oracle,
+    check_resume,
     check_run,
     check_schedule,
     check_stack,
@@ -54,6 +55,7 @@ __all__ = [
     "Violation",
     "check_decision_trace",
     "check_oracle",
+    "check_resume",
     "check_run",
     "check_schedule",
     "check_stack",

@@ -19,6 +19,10 @@ invariants:
   inputs must satisfy oracle dominance.
 * **stack cases** -- a random isolated run's ABC stack must conserve
   ABC across structures.
+* **resume cases** -- a campaign is interrupted at a random event
+  (optionally with a corrupt store entry, the SIGKILL signature) and
+  resumed; the resumed report must be bit-identical to an
+  uninterrupted run's.
 """
 
 from __future__ import annotations
@@ -563,6 +567,85 @@ def _decision_case(index: int, rng: np.random.Generator) -> CheckReport:
     )
 
 
+def _resume_case(index: int, rng: np.random.Generator) -> CheckReport:
+    """Interrupt a campaign at a random point, resume it, and demand
+    the resumed report match an uninterrupted run's bit-for-bit."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.check.invariants import check_resume
+    from repro.runtime.engine import ExecutionEngine, FaultPlan
+    from repro.runtime.events import CallbackSink, CampaignPlan
+    from repro.runtime.resume import ResumeState
+    from repro.runtime.retry import FailurePolicy
+    from repro.sim.campaign import RunSpec
+
+    machine_name = FUZZ_MACHINES[int(rng.integers(len(FUZZ_MACHINES)))]
+    machine = STANDARD_MACHINES[machine_name]()
+    count = int(rng.integers(3, 6))
+    specs = []
+    for spec_index in range(count):
+        picks = rng.choice(
+            len(BENCHMARK_NAMES), size=machine.num_cores, replace=False
+        )
+        names = tuple(BENCHMARK_NAMES[i] for i in sorted(picks.tolist()))
+        scheduler = FUZZ_SCHEDULERS[int(rng.integers(len(FUZZ_SCHEDULERS)))]
+        specs.append(
+            RunSpec(
+                machine_name,
+                names,
+                scheduler,
+                int(rng.integers(60_000, 150_000)),
+                seed=spec_index,
+            )
+        )
+    # One job may fail permanently; the same fault plan applies to the
+    # interrupted, resumed and baseline runs so their statuses agree.
+    fail_index = int(rng.integers(count + 1))  # == count: no failure
+    plan = (
+        FaultPlan(fail_attempts={fail_index: 99})
+        if fail_index < count
+        else None
+    )
+    label = (
+        f"resume/{index} {machine_name} x{count} "
+        f"fail@{fail_index if plan is not None else '-'}"
+    )
+
+    def engine(**kwargs) -> ExecutionEngine:
+        return ExecutionEngine(
+            jobs=1,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=plan,
+            **kwargs,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        events: list = []
+        engine(
+            sinks=[CallbackSink(events.append)], checkpoint_every=2
+        ).run_many(specs, store=tmp / "store")
+        # Simulate a SIGKILL: drop a random suffix of the event stream
+        # (the plan record survives -- it is emitted at the start).
+        plan_at = next(
+            i for i, e in enumerate(events) if isinstance(e, CampaignPlan)
+        )
+        cut = int(rng.integers(plan_at + 1, len(events) + 1))
+        state = ResumeState.from_events(events[:cut])
+        # Sometimes the kill also left a truncated store entry behind;
+        # resume must recompute it, not crash or trust it.
+        if state.completed and int(rng.integers(2)):
+            keys = sorted(state.completed)
+            victim = tmp / "store" / (
+                keys[int(rng.integers(len(keys)))] + ".json"
+            )
+            victim.write_text(victim.read_text()[:25])
+        resumed = engine().run_many(specs, resume_from=state)
+        full = engine().run_many(specs, store=tmp / "full")
+        return check_resume(full, resumed, label=label)
+
+
 def fuzz(
     seed: int = 0,
     *,
@@ -571,6 +654,7 @@ def fuzz(
     stack_cases: int = 2,
     kernel_cases: int = 2,
     decision_cases: int = 2,
+    resume_cases: int = 2,
     gates: FuzzGates | None = None,
 ) -> FuzzReport:
     """Run one seeded fuzzing session.
@@ -578,8 +662,8 @@ def fuzz(
     All randomness derives from ``seed`` through one
     :class:`numpy.random.Generator`; nothing reads the clock, so the
     findings are reproducible byte-for-byte.  Newer case kinds (kernel,
-    then decision) draw from the rng after the older ones, so adding
-    them kept existing seeds' earlier cases identical.
+    then decision, then resume) draw from the rng after the older
+    ones, so adding them kept existing seeds' earlier cases identical.
     """
     gates = gates if gates is not None else FuzzGates()
     rng = np.random.default_rng(seed)
@@ -594,4 +678,6 @@ def fuzz(
         reports.append(_kernel_case(index, rng))
     for index in range(decision_cases):
         reports.append(_decision_case(index, rng))
+    for index in range(resume_cases):
+        reports.append(_resume_case(index, rng))
     return FuzzReport(seed=seed, reports=tuple(reports))

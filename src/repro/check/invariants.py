@@ -734,6 +734,59 @@ def check_decision_trace(records, *, label: str = "decision_trace") -> CheckRepo
     return _apply("decision_trace", label, records)
 
 
+# -- resume invariants ------------------------------------------------
+
+
+@invariant("resume_equivalence", subject="resume")
+def _resume_equivalence(full, resumed) -> Iterator[Finding]:
+    """A resumed campaign reports exactly what an uninterrupted run does.
+
+    Checkpoint/resume must be invisible in the final report: the same
+    jobs, the same per-job success/failure split, and bit-identical
+    results (a resumed job may surface as a cache hit, but never as a
+    different number).
+    """
+    from repro.sim.serialize import run_result_to_dict
+
+    if len(full.outcomes) != len(resumed.outcomes):
+        yield (
+            "resumed report has a different job count",
+            {
+                "full_jobs": len(full.outcomes),
+                "resumed_jobs": len(resumed.outcomes),
+            },
+        )
+        return
+    for a, b in zip(full.outcomes, resumed.outcomes):
+        if a.ok != b.ok:
+            yield (
+                f"job {a.index} ({a.label}) changed status after resume",
+                {
+                    "full_ok": int(a.ok),
+                    "index": a.index,
+                    "resumed_ok": int(b.ok),
+                },
+            )
+            continue
+        if a.ok and run_result_to_dict(a.result) != run_result_to_dict(
+            b.result
+        ):
+            yield (
+                f"job {a.index} ({a.label}) result differs after resume",
+                {"index": a.index},
+            )
+
+
+def check_resume(full, resumed, *, label: str = "resume") -> CheckReport:
+    """Run the resume-equivalence invariant on two execution reports.
+
+    ``full`` is an uninterrupted run's
+    :class:`~repro.runtime.engine.ExecutionReport`; ``resumed`` is the
+    report of a campaign finished via ``resume_from=``.
+    """
+    return _apply("resume", label, full, resumed)
+
+
 # -- oracle invariants ------------------------------------------------
 
 

@@ -209,13 +209,100 @@ def cmd_sweep(args) -> int:
                         instructions=args.instructions,
                         jobs=_jobs(args), sinks=sinks,
                         checks=_checks(args),
-                        metrics=getattr(args, "metrics", False))
+                        metrics=getattr(args, "metrics", False),
+                        store=getattr(args, "store", None))
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
         _close_sinks(sinks)
     print(sweep_summary(results))
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Finish an interrupted campaign from its JSONL event log.
+
+    The log's campaign-plan record supplies the specs, result store
+    and engine settings; jobs the log records as completed are served
+    from the store, pending and failed ones re-run.  Progress goes to
+    stderr; the final summary (matching what the uninterrupted command
+    would have printed) goes to stdout.
+    """
+    from repro.runtime import (
+        ExecutionEngine,
+        FailurePolicy,
+        ResumeState,
+        RetryPolicy,
+    )
+
+    try:
+        state = ResumeState.load(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot resume {args.path}: {error}", file=sys.stderr)
+        return 2
+    store = args.store or state.store
+    if store is None:
+        print(
+            "error: the log's campaign ran without a result store, so "
+            "its completed results were never persisted; pass --store "
+            "DIR (everything will re-run into it)",
+            file=sys.stderr,
+        )
+        return 2
+    machine = ExecutionEngine.machine_from_descriptor(state.machine)
+    print(f"resuming {args.path}: {state.summary()}", file=sys.stderr)
+
+    # Resumed events append to the original log by default, so the log
+    # stays the single source of truth (and remains resumable again).
+    args.event_log = args.event_log or args.path
+    sinks = _sinks(args, args.verbose)
+    engine = ExecutionEngine(
+        jobs=_jobs(args),
+        retry=RetryPolicy(max_attempts=state.max_attempts,
+                          base_delay_seconds=0.0),
+        failure_policy=FailurePolicy(state.failure_policy),
+        timeout_seconds=state.timeout_seconds,
+        sinks=sinks,
+        checks=_checks(args),
+    )
+    try:
+        report = engine.run_many(
+            state.specs,
+            machines=machine,
+            labels=state.labels,
+            store=store,
+            resume_from=state,
+        )
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        _close_sinks(sinks)
+    if report.failures:
+        for outcome in report.failures:
+            print(f"failed: {outcome.label}: {outcome.error}",
+                  file=sys.stderr)
+        return 1
+
+    # A resumed scheduler sweep prints the same summary `repro sweep`
+    # would have; other campaign shapes get a per-job table.
+    by_scheduler: dict[str, list] = {}
+    for spec, result in zip(state.specs, report.results):
+        by_scheduler.setdefault(spec.scheduler, []).append(result)
+    lengths = {len(v) for v in by_scheduler.values()}
+    if "random" in by_scheduler and len(lengths) == 1:
+        print(sweep_summary(by_scheduler))
+    else:
+        rows = [
+            [o.index, o.label, "cached" if o.cached else "executed",
+             float(o.wall_seconds)]
+            for o in report.outcomes
+        ]
+        print(format_table(["job", "label", "source", "wall s"], rows,
+                           float_format="{:.3f}"))
+    print(f"\nresumed: {report.cache_hits} from store, "
+          f"{report.executed} executed; store: {store}", file=sys.stderr)
     return 0
 
 
@@ -573,6 +660,7 @@ def cmd_check(args) -> int:
             stack_cases=args.stack_cases,
             kernel_cases=args.kernel_cases,
             decision_cases=args.decision_cases,
+            resume_cases=args.resume_cases,
         )
         print(report.format())
         failed = failed or not report.ok

@@ -13,6 +13,7 @@ Subcommands:
 * ``repro figure``    -- render an evaluation figure as an ASCII chart
 * ``repro inject``    -- fault-injection campaign vs ACE counting
 * ``repro events``    -- replay a campaign event log to job timings
+* ``repro resume``    -- finish an interrupted campaign from its log
 * ``repro check``     -- paper-invariant fuzzing + golden corpus
 * ``repro bench``     -- simulation hot-path performance benchmarks
 * ``repro stats``     -- aggregate metrics snapshots from an event log
@@ -23,7 +24,10 @@ Subcommands:
 runs out over N worker processes, ``--event-log FILE`` appends
 structured JSONL progress events for post-hoc analysis, and
 ``--metrics`` makes every job emit a mergeable metrics snapshot into
-the event stream (aggregate with ``repro stats``).  ``repro run
+the event stream (aggregate with ``repro stats``).  ``repro sweep
+--store DIR --event-log FILE`` makes the sweep durable: if the process
+is killed, ``repro resume FILE`` finishes the remaining jobs and
+reports results identical to an uninterrupted run.  ``repro run
 --profile`` prints the span tree and metrics of one run, and ``repro
 trace --spans FILE`` renders a span tree saved with ``--obs-out``
 (see ``docs/observability.md``).
@@ -115,8 +119,34 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_INSTRUCTIONS)
     sweep.add_argument("--workload-seed", type=int, default=42)
     sweep.add_argument("--verbose", action="store_true")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="persist completed results in DIR (one "
+                            "atomically-written file per run); with "
+                            "--event-log, an interrupted sweep can be "
+                            "finished with `repro resume`")
     _add_runtime_arguments(sweep)
     sweep.set_defaults(func=commands.cmd_sweep)
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="finish an interrupted campaign from its event log",
+    )
+    resume.add_argument("path", help="JSONL event log of the interrupted "
+                                     "campaign (written with --event-log)")
+    resume.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (default: the one "
+                             "recorded in the log's campaign plan)")
+    resume.add_argument("--verbose", action="store_true")
+    resume.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for parallel execution "
+                             "(default: the REPRO_JOBS env var, else 1)")
+    resume.add_argument("--event-log", default=None, metavar="FILE",
+                        help="append the resumed run's events to FILE "
+                             "(default: the resumed log itself)")
+    resume.add_argument("--check", action="store_true",
+                        help="validate every run against the paper "
+                             "invariants (repro.check)")
+    resume.set_defaults(func=commands.cmd_resume)
 
     avf = subparsers.add_parser("avf", help="suite AVF spectrum")
     avf.add_argument("--chart", action="store_true",
@@ -171,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--decision-cases", type=int, default=2,
                        help="scheduler decision-trace replay/consistency "
                             "cases")
+    check.add_argument("--resume-cases", type=int, default=2,
+                       help="interrupt-and-resume equivalence cases")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
     check.add_argument("--update-goldens", action="store_true",

@@ -242,10 +242,6 @@ class CacheHierarchy:
         self.dram_accesses += dram
         reg = obs_metrics.ACTIVE
         if reg is not None:
-            # Counts batched accesses as walked, including any overrun
-            # past a budget break that rollback_data later undoes (the
-            # overcount is deterministic, so serial and parallel
-            # campaigns still merge to identical totals).
             reg.counter("cache.accesses", level="l1").inc(n)
             reg.counter("cache.accesses", level="l2").inc(acc2)
             reg.counter("cache.accesses", level="l3").inc(acc3)
@@ -281,6 +277,24 @@ class CacheHierarchy:
                 self.l3_accesses -= 1
                 if level == 3:
                     self.dram_accesses -= 1
+        undone = levels[keep:]
+        reg = obs_metrics.ACTIVE
+        if reg is not None and len(undone):
+            # access_data_batch already counted the rolled-back tail
+            # in the observability registry; decrement so the metrics
+            # agree with the cache statistics (levels: 0 = L1 hit,
+            # 1 = L2, 2 = L3, 3 = DRAM -- an access touches every
+            # level up to where it hit).
+            reg.counter("cache.accesses", level="l1").inc(-len(undone))
+            reg.counter("cache.accesses", level="l2").inc(
+                -int((undone >= 1).sum())
+            )
+            reg.counter("cache.accesses", level="l3").inc(
+                -int((undone >= 2).sum())
+            )
+            reg.counter("cache.accesses", level="dram").inc(
+                -int((undone == 3).sum())
+            )
         del journal[keep:]
 
     def access_instruction(self, address: int) -> AccessOutcome:

@@ -17,7 +17,9 @@ from repro.runtime.engine import (
 )
 from repro.runtime.events import (
     CallbackSink,
+    CampaignCheckpoint,
     CampaignFinished,
+    CampaignPlan,
     CampaignStarted,
     CheckFailed,
     Event,
@@ -25,6 +27,7 @@ from repro.runtime.events import (
     JobCached,
     JobFailed,
     JobFinished,
+    JobReconciled,
     JobStarted,
     JobTiming,
     JsonlEventSink,
@@ -35,6 +38,7 @@ from repro.runtime.events import (
     read_events,
     replay_timings,
 )
+from repro.runtime.resume import ResumeError, ResumeState
 from repro.runtime.retry import (
     DEFAULT_RETRY,
     NO_RETRY,
@@ -42,11 +46,14 @@ from repro.runtime.retry import (
     FailurePolicy,
     RetryPolicy,
 )
+from repro.runtime.store import ResultStore
 
 __all__ = [
     "CallbackSink",
+    "CampaignCheckpoint",
     "CampaignError",
     "CampaignFinished",
+    "CampaignPlan",
     "CampaignStarted",
     "CheckFailed",
     "DEFAULT_RETRY",
@@ -62,11 +69,15 @@ __all__ = [
     "JobFailed",
     "JobFinished",
     "JobOutcome",
+    "JobReconciled",
     "JobStarted",
     "JobTiming",
     "JsonlEventSink",
     "MetricsSnapshot",
     "NO_RETRY",
+    "ResultStore",
+    "ResumeError",
+    "ResumeState",
     "RetryPolicy",
     "StderrProgressSink",
     "UnknownEvent",

@@ -25,10 +25,16 @@ Guarantees:
   + ``os.replace``) so concurrent engines sharing a campaign
   directory never observe partial files; corrupt entries are treated
   as misses.
+* **Durability** -- with a :class:`~repro.runtime.store.ResultStore`
+  (``store=``), completed results persist across crashes; the event
+  log records the campaign plan and periodic checkpoints, and
+  ``run_many(resume_from=...)`` (or ``repro resume``) finishes an
+  interrupted campaign without re-running completed jobs.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 import warnings
@@ -38,11 +44,13 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.ace.counters import AceCounterMode
-from repro.config.machines import MachineConfig
+from repro.config.machines import STANDARD_MACHINES, MachineConfig
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.runtime.events import (
+    CampaignCheckpoint,
     CampaignFinished,
+    CampaignPlan,
     CampaignStarted,
     CheckFailed,
     Event,
@@ -50,10 +58,13 @@ from repro.runtime.events import (
     JobCached,
     JobFailed,
     JobFinished,
+    JobReconciled,
     JobStarted,
     MetricsSnapshot,
 )
+from repro.runtime.resume import ResumeState
 from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
+from repro.runtime.store import ResultStore
 from repro.sim.campaign import RunSpec
 from repro.sim.experiment import run_workload
 from repro.sim.results import RunResult
@@ -242,10 +253,26 @@ class ExecutionEngine:
         retry: per-job :class:`RetryPolicy` (applied inside workers).
         failure_policy: what a permanent job failure means for the
             batch (abort vs. collect partial results).
-        timeout_seconds: per-job wall-clock budget, measured from
-            submission to the pool; enforced in parallel mode (an
-            in-process job cannot be preempted).  Timed-out jobs fail
-            without retry.
+        timeout_seconds: per-job wall-clock budget, measured from the
+            moment the job *starts executing* on a worker -- queue
+            wait while earlier jobs hold the workers does not count,
+            so with ``jobs < len(specs)`` a job can never time out
+            without having run.  Enforced in parallel mode (an
+            in-process job cannot be preempted).  A timed-out job is
+            recorded as failed with ``attempts=0`` (the attempt in
+            flight was killed mid-run; with retries configured the
+            true attempt number is unknowable from the parent).
+            Because a running process-pool job cannot actually be
+            cancelled, its worker keeps running; the late completion
+            is reconciled explicitly (see :class:`JobReconciled` and
+            ``orphan_grace_seconds``).
+        orphan_grace_seconds: how long to keep waiting for timed-out
+            jobs' workers after every other job finished, to
+            reconcile their late results (``None`` = don't wait;
+            still-running orphans are reported as abandoned).
+        checkpoint_every: emit a :class:`CampaignCheckpoint` event
+            after this many terminal job events (plus a final one),
+            so a killed campaign's log can be resumed cheaply.
         sinks: event sinks receiving the progress stream.
         fault_plan: optional deterministic fault injection hook.
         checks: opt-in per-job result checker -- a callable mapping a
@@ -280,6 +307,8 @@ class ExecutionEngine:
         retry: RetryPolicy | None = None,
         failure_policy: FailurePolicy = FailurePolicy.FAIL_FAST,
         timeout_seconds: float | None = None,
+        orphan_grace_seconds: float | None = None,
+        checkpoint_every: int = 10,
         sinks: Sequence[EventSink] = (),
         fault_plan: FaultPlan | None = None,
         checks=None,
@@ -289,10 +318,15 @@ class ExecutionEngine:
         self.retry = retry if retry is not None else RetryPolicy()
         self.failure_policy = failure_policy
         self.timeout_seconds = timeout_seconds
+        self.orphan_grace_seconds = orphan_grace_seconds
+        self.checkpoint_every = max(1, int(checkpoint_every))
         self.sinks = list(sinks)
         self.fault_plan = fault_plan
         self.checks = checks
         self.metrics = bool(metrics)
+        # Per-run checkpoint bookkeeping (reset by run_many).
+        self._run_keys: list[str] | None = None
+        self._terminal_seen = 0
 
     # -- events ------------------------------------------------------
 
@@ -304,6 +338,70 @@ class ExecutionEngine:
         for sink in self.sinks:
             sink.close()
 
+    # -- checkpoints -------------------------------------------------
+
+    def _checkpoint_tick(self, outcomes: dict) -> None:
+        """Count one terminal job event; emit a periodic checkpoint."""
+        if self._run_keys is None:
+            return
+        self._terminal_seen += 1
+        if self._terminal_seen % self.checkpoint_every == 0:
+            self._emit_checkpoint(outcomes)
+
+    def _emit_checkpoint(self, outcomes: dict) -> None:
+        if self._run_keys is None:
+            return
+        keys = self._run_keys
+        completed = sorted(
+            keys[i] for i, o in outcomes.items() if o.ok
+        )
+        failed = sorted(
+            keys[i] for i, o in outcomes.items() if o.error is not None
+        )
+        terminal = {keys[i] for i in outcomes}
+        pending = sorted(k for k in keys if k not in terminal)
+        self._emit(
+            CampaignCheckpoint(
+                completed=completed, failed=failed, pending=pending
+            )
+        )
+
+    @staticmethod
+    def _machine_descriptor(machines) -> dict | None:
+        """Minimal plan descriptor of a single-machine override.
+
+        Only overrides reconstructible from ``STANDARD_MACHINES`` (the
+        standard topology, optionally with a small-core frequency
+        change) are describable; anything else returns ``None`` and a
+        resume falls back to ``spec.build_machine()``.
+        """
+        if not isinstance(machines, MachineConfig):
+            return None
+        factory = STANDARD_MACHINES.get(machines.name)
+        if factory is None:
+            return None
+        reference = factory()
+        if machines == reference:
+            return {"name": machines.name}
+        small_ghz = machines.small.frequency_ghz
+        if machines == reference.with_small_frequency(small_ghz):
+            return {
+                "name": machines.name,
+                "small_frequency_ghz": small_ghz,
+            }
+        return None
+
+    @staticmethod
+    def machine_from_descriptor(descriptor: dict | None) -> MachineConfig | None:
+        """Rebuild a plan's machine override (inverse of the above)."""
+        if descriptor is None:
+            return None
+        machine = STANDARD_MACHINES[descriptor["name"]]()
+        small_ghz = descriptor.get("small_frequency_ghz")
+        if small_ghz is not None:
+            machine = machine.with_small_frequency(small_ghz)
+        return machine
+
     # -- public API --------------------------------------------------
 
     def run_many(
@@ -313,6 +411,8 @@ class ExecutionEngine:
         machines: MachineConfig | Sequence[MachineConfig | None] | None = None,
         cache_paths: Sequence[str | Path | None] | None = None,
         labels: Sequence[str] | None = None,
+        store: "ResultStore | str | Path | None" = None,
+        resume_from: "ResumeState | str | Path | None" = None,
     ) -> ExecutionReport:
         """Execute a batch of specs; results come back in spec order.
 
@@ -327,11 +427,50 @@ class ExecutionEngine:
             cache_paths: optional per-spec result-cache paths;
                 existing valid entries are served without executing,
                 and executed results are written back atomically.
+            store: optional :class:`~repro.runtime.store.ResultStore`
+                (or its directory); shorthand for deriving
+                ``cache_paths`` from each spec's content key, and
+                recorded in the :class:`CampaignPlan` event so the
+                campaign is resumable.
+            resume_from: a :class:`~repro.runtime.resume.ResumeState`
+                or the path of a prior run's JSONL event log.  Jobs
+                the log records as completed are served from the
+                result store without executing; pending and failed
+                jobs re-run.  Falls back to the log's recorded store
+                when ``store`` is not given.  The report is identical
+                to an uninterrupted run's, except that resumed jobs
+                surface as cache hits.
             labels: optional per-spec display labels for events.
         """
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        resume = resume_from
+        if resume is not None and not isinstance(resume, ResumeState):
+            resume = ResumeState.load(resume)
+        if resume is not None:
+            resume.check_specs(specs)
+            if store is None and resume.store is not None:
+                store = ResultStore(resume.store)
+        if cache_paths is None and store is not None:
+            cache_paths = [store.path_for(spec) for spec in specs]
         jobs_list = self._build_jobs(specs, machines, cache_paths, labels)
+        keys = [spec.key() for spec in specs]
+        self._run_keys = keys
+        self._terminal_seen = 0
         started = time.perf_counter()
         self._emit(CampaignStarted(total=len(jobs_list)))
+        self._emit(
+            CampaignPlan(
+                specs=[dataclasses.asdict(spec) for spec in specs],
+                keys=keys,
+                labels=[job.label for job in jobs_list],
+                store=str(store.directory) if store is not None else None,
+                machine=self._machine_descriptor(machines),
+                failure_policy=self.failure_policy.value,
+                timeout_seconds=self.timeout_seconds,
+                max_attempts=self.retry.max_attempts,
+            )
+        )
 
         outcomes: dict[int, JobOutcome] = {}
         to_run = []
@@ -354,6 +493,7 @@ class ExecutionEngine:
                     wall_seconds=cached.wall_seconds,
                 )
             )
+            self._checkpoint_tick(outcomes)
 
         cached_failure = any(
             outcomes[i].error is not None for i in outcomes
@@ -382,6 +522,8 @@ class ExecutionEngine:
                 if outcome.metrics is not None:
                     merged.merge(outcome.metrics)
             report.metrics = merged.snapshot()
+        self._emit_checkpoint(outcomes)
+        self._run_keys = None
         self._emit(
             CampaignFinished(
                 total=len(report.outcomes),
@@ -511,6 +653,7 @@ class ExecutionEngine:
                 stp=result.stp,
             )
         )
+        self._checkpoint_tick(outcomes)
         return True
 
     def _record_failure(
@@ -533,6 +676,7 @@ class ExecutionEngine:
                 wall_seconds=wall,
             )
         )
+        self._checkpoint_tick(outcomes)
 
     # -- serial path -------------------------------------------------
 
@@ -582,7 +726,7 @@ class ExecutionEngine:
             self._run_serial(jobs_list, outcomes)
             return
 
-        pending: dict[futures.Future, tuple[Job, float]] = {}
+        pending: dict[futures.Future, Job] = {}
         try:
             for job in jobs_list:
                 self._emit(JobStarted(index=job.index, label=job.label))
@@ -590,12 +734,14 @@ class ExecutionEngine:
                     _execute_job, job, self.retry, self.fault_plan,
                     self.metrics,
                 )
-                pending[future] = (job, time.monotonic())
-            self._harvest(pending, outcomes)
+                pending[future] = job
+            self._harvest(
+                pending, outcomes, min(self.jobs, len(jobs_list))
+            )
         except futures.process.BrokenProcessPool:
             remaining = [
                 job
-                for job, _ in pending.values()
+                for job in pending.values()
                 if job.index not in outcomes
             ]
             warnings.warn(
@@ -606,65 +752,156 @@ class ExecutionEngine:
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
-    def _harvest(self, pending: dict, outcomes: dict) -> None:
+    def _harvest(
+        self, pending: dict, outcomes: dict, max_workers: int
+    ) -> None:
         poll = self._POLL_SECONDS if self.timeout_seconds is not None else None
-        while pending:
-            done, _ = futures.wait(
-                pending, timeout=poll, return_when=futures.FIRST_COMPLETED
-            )
-            for future in done:
-                job, _ = pending.pop(future)
-                if future.cancelled():
-                    self._record_failure(
-                        job, "cancelled (fail-fast abort)", 0, 0.0, outcomes
-                    )
-                    continue
-                try:
-                    _, data, attempts, wall, metrics_data = future.result()
-                except futures.process.BrokenProcessPool:
-                    # Put the job back so the caller's serial-fallback
-                    # path re-runs it alongside the other pending jobs.
-                    pending[future] = (job, 0.0)
-                    raise
-                except Exception as error:
-                    self._record_failure(
-                        job,
-                        f"{type(error).__name__}: {error}",
-                        self.retry.max_attempts,
-                        0.0,
-                        outcomes,
-                    )
-                    if self.failure_policy is FailurePolicy.FAIL_FAST:
-                        self._abort_pending(pending, outcomes)
-                        return
-                    continue
-                ok = self._record_success(
-                    job, data, attempts, wall, outcomes, metrics_data
+        #: future -> monotonic time at which it was first seen running.
+        #: The timeout clock arms *here*, not at submission: a job
+        #: queued behind earlier work accrues no budget and can never
+        #: be recorded as timed out without having started.
+        started: dict[futures.Future, float] = {}
+        #: Timed-out futures whose worker is still running.  A running
+        #: process-pool job cannot be cancelled, so its slot stays
+        #: busy; we keep tracking it and reconcile the late completion
+        #: with an explicit JobReconciled event.
+        orphans: dict[futures.Future, Job] = {}
+        try:
+            while pending:
+                done, _ = futures.wait(
+                    pending, timeout=poll, return_when=futures.FIRST_COMPLETED
                 )
-                if not ok and self.failure_policy is FailurePolicy.FAIL_FAST:
-                    self._abort_pending(pending, outcomes)
-                    return
-            if self.timeout_seconds is not None:
-                now = time.monotonic()
-                for future in list(pending):
-                    job, submitted = pending[future]
-                    if now - submitted > self.timeout_seconds:
-                        del pending[future]
-                        future.cancel()
+                for future in done:
+                    job = pending.pop(future)
+                    if future.cancelled():
+                        self._record_failure(
+                            job, "cancelled (fail-fast abort)", 0, 0.0,
+                            outcomes,
+                        )
+                        continue
+                    try:
+                        _, data, attempts, wall, metrics_data = future.result()
+                    except futures.process.BrokenProcessPool:
+                        # Put the job back so the caller's serial-fallback
+                        # path re-runs it alongside the other pending jobs.
+                        pending[future] = job
+                        raise
+                    except Exception as error:
                         self._record_failure(
                             job,
-                            f"timed out after {self.timeout_seconds:.1f}s",
-                            1,
-                            now - submitted,
+                            f"{type(error).__name__}: {error}",
+                            self.retry.max_attempts,
+                            0.0,
                             outcomes,
                         )
                         if self.failure_policy is FailurePolicy.FAIL_FAST:
                             self._abort_pending(pending, outcomes)
                             return
+                        continue
+                    ok = self._record_success(
+                        job, data, attempts, wall, outcomes, metrics_data
+                    )
+                    if (
+                        not ok
+                        and self.failure_policy is FailurePolicy.FAIL_FAST
+                    ):
+                        self._abort_pending(pending, outcomes)
+                        return
+                self._reconcile_orphans(orphans)
+                if self.timeout_seconds is not None:
+                    now = time.monotonic()
+                    # Worker slots currently held: armed pending jobs
+                    # plus orphans whose worker is still grinding.
+                    busy = sum(1 for f in pending if f in started)
+                    busy += sum(1 for f in orphans if not f.done())
+                    for future in list(pending):
+                        job = pending[future]
+                        begun = started.get(future)
+                        if begun is None:
+                            # future.running() alone over-arms: the
+                            # pool flags up to max_workers+1 queued
+                            # calls as running before a worker picks
+                            # them up, so also require a free slot
+                            # (pending iterates in submission order,
+                            # which is the pool's dispatch order).
+                            if future.running() and busy < max_workers:
+                                started[future] = now
+                                busy += 1
+                            continue
+                        if now - begun <= self.timeout_seconds:
+                            continue
+                        del pending[future]
+                        if not future.cancel():
+                            orphans[future] = job
+                        # attempts=0: the attempt in flight was killed
+                        # mid-run; how many attempts actually completed
+                        # is unknowable from the parent (the worker may
+                        # have been retrying).  The JobReconciled event
+                        # carries the true count if the worker finishes.
+                        self._record_failure(
+                            job,
+                            f"timed out after {self.timeout_seconds:.1f}s",
+                            0,
+                            now - begun,
+                            outcomes,
+                        )
+                        if self.failure_policy is FailurePolicy.FAIL_FAST:
+                            self._abort_pending(pending, outcomes)
+                            return
+        finally:
+            self._drain_orphans(orphans)
+
+    # -- orphan reconciliation ---------------------------------------
+
+    def _reconcile_orphans(self, orphans: dict) -> None:
+        """Emit a JobReconciled event for every orphan that finished."""
+        for future in [f for f in orphans if f.done()]:
+            job = orphans.pop(future)
+            try:
+                _, data, attempts, wall, _metrics = future.result()
+            except Exception:
+                self._emit(
+                    JobReconciled(
+                        index=job.index,
+                        label=job.label,
+                        outcome="failed",
+                        attempts=self.retry.max_attempts,
+                    )
+                )
+            else:
+                # The late result stays out of the report (the job is
+                # already recorded as timed out, keeping reports
+                # deterministic) but the worker persisted it to the
+                # result store, where a re-run or resume will find it.
+                self._emit(
+                    JobReconciled(
+                        index=job.index,
+                        label=job.label,
+                        outcome="completed",
+                        wall_seconds=wall,
+                        attempts=attempts,
+                        stored=job.cache_path is not None,
+                    )
+                )
+
+    def _drain_orphans(self, orphans: dict) -> None:
+        """Settle every remaining orphan at the end of the harvest."""
+        if not orphans:
+            return
+        if self.orphan_grace_seconds:
+            futures.wait(list(orphans), timeout=self.orphan_grace_seconds)
+        self._reconcile_orphans(orphans)
+        for future, job in list(orphans.items()):
+            self._emit(
+                JobReconciled(
+                    index=job.index, label=job.label, outcome="abandoned"
+                )
+            )
+        orphans.clear()
 
     def _abort_pending(self, pending: dict, outcomes: dict) -> None:
         for future in list(pending):
-            job, _ = pending.pop(future)
+            job = pending.pop(future)
             future.cancel()
             self._record_failure(
                 job, "cancelled (fail-fast abort)", 0, 0.0, outcomes

@@ -48,6 +48,55 @@ class CampaignStarted(Event):
 
 
 @dataclass(frozen=True)
+class CampaignPlan(Event):
+    """The campaign's full job list, recorded up front for resume.
+
+    Emitted right after :class:`CampaignStarted`, before any job
+    executes, so a killed campaign's event log always names every job
+    it intended to run.  ``specs`` holds each
+    :class:`~repro.sim.campaign.RunSpec` in ``dataclasses.asdict``
+    form (rebuild with ``RunSpec.from_dict``), ``keys`` the matching
+    ``RunSpec.key()`` content hashes (the result-store file names),
+    and ``labels`` the display labels.  ``store`` is the result-store
+    directory when the campaign is store-backed; ``machine`` is a
+    minimal descriptor of a single-machine override
+    (``{"name": ..., "small_frequency_ghz": ...}``) when one was
+    supplied and is reconstructible from ``STANDARD_MACHINES``.
+    ``failure_policy``, ``timeout_seconds`` and ``max_attempts``
+    record the engine settings so a resume runs under the same rules.
+    """
+
+    kind: ClassVar[str] = "campaign_plan"
+
+    specs: list[dict]
+    keys: list[str]
+    labels: list[str]
+    store: str | None = None
+    machine: dict | None = None
+    failure_policy: str = "fail-fast"
+    timeout_seconds: float | None = None
+    max_attempts: int = 1
+
+
+@dataclass(frozen=True)
+class CampaignCheckpoint(Event):
+    """Periodic snapshot of per-job completion state, for resume.
+
+    ``completed``/``failed``/``pending`` partition the campaign's spec
+    keys by their status at emission time.  The engine emits one every
+    few terminal events and a final one before
+    :class:`CampaignFinished`; on resume the *last* checkpoint plus
+    any later terminal events reconstruct exactly which work remains.
+    """
+
+    kind: ClassVar[str] = "campaign_checkpoint"
+
+    completed: list[str]
+    failed: list[str]
+    pending: list[str]
+
+
+@dataclass(frozen=True)
 class JobStarted(Event):
     """A job was handed to a worker (or began executing in-process)."""
 
@@ -108,7 +157,14 @@ class CheckFailed(Event):
 @dataclass(frozen=True)
 class JobFailed(Event):
     """A job failed permanently (retries exhausted, timeout, or
-    skipped by a fail-fast abort)."""
+    skipped by a fail-fast abort).
+
+    ``attempts`` counts attempts that actually *completed*: retries
+    exhausted reports the retry policy's total, a skipped or cancelled
+    job reports 0, and a timed-out job reports 0 because the attempt
+    in flight was killed mid-run (the worker may have been on any
+    retry; see :class:`JobReconciled` for the late truth).
+    """
 
     kind: ClassVar[str] = "job_failed"
 
@@ -117,6 +173,37 @@ class JobFailed(Event):
     error: str
     attempts: int = 1
     wall_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobReconciled(Event):
+    """A timed-out job's worker eventually finished (or never did).
+
+    ``Future.cancel()`` cannot stop a *running* process-pool job, so a
+    timed-out job keeps burning its worker slot until the attempt in
+    flight completes.  The engine keeps tracking such orphans and
+    emits exactly one ``JobReconciled`` per orphan stating what became
+    of the late work:
+
+    * ``outcome="completed"`` -- the worker finished successfully
+      after the deadline.  The late result is *discarded from the
+      report* (the job stays failed, keeping reports deterministic)
+      but ``stored=True`` records that the worker persisted it to the
+      result store, where a later re-run or ``repro resume`` will find
+      it as a cache hit.
+    * ``outcome="failed"`` -- the worker raised after the deadline.
+    * ``outcome="abandoned"`` -- the campaign ended while the worker
+      was still running; the result, if any, was never observed.
+    """
+
+    kind: ClassVar[str] = "job_reconciled"
+
+    index: int
+    label: str
+    outcome: str  # "completed" | "failed" | "abandoned"
+    wall_seconds: float = 0.0
+    attempts: int = 0
+    stored: bool = False
 
 
 @dataclass(frozen=True)
@@ -175,12 +262,15 @@ _EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
         CampaignStarted,
+        CampaignPlan,
+        CampaignCheckpoint,
         JobStarted,
         JobCached,
         CheckFailed,
         MetricsSnapshot,
         JobFinished,
         JobFailed,
+        JobReconciled,
         CampaignFinished,
     )
 }
@@ -284,6 +374,12 @@ class StderrProgressSink(EventSink):
                 f"{self._counter()} FAILED   {event.label} "
                 f"after {event.attempts} attempt(s): {event.error}"
             )
+        elif isinstance(event, JobReconciled):
+            self._print(
+                f"    late     {event.label}: worker {event.outcome} "
+                f"after timeout"
+                + (" (result stored)" if event.stored else "")
+            )
         elif isinstance(event, CampaignFinished):
             self._print(
                 f"campaign finished: {event.completed} ok, "
@@ -303,6 +399,15 @@ class JsonlEventSink(EventSink):
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("a")
+            # A log whose writer was SIGKILLed can end mid-line; start
+            # on a fresh line so the appended events stay parseable
+            # (read_events skips the partial line, recognizing the
+            # campaign-plan record that follows it).
+            if self._file.tell() > 0:
+                with self.path.open("rb") as existing:
+                    existing.seek(-1, 2)
+                    if existing.read(1) != b"\n":
+                        self._file.write("\n")
         self._file.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
         self._file.flush()
 
@@ -318,8 +423,11 @@ def read_events(path: str | Path) -> list[Event]:
 
     A truncated or corrupt **final** line (the common outcome of a
     killed campaign mid-append) is skipped with a warning instead of
-    crashing the replay; corruption anywhere earlier still raises, as
-    it means more than an interrupted write.
+    crashing the replay.  The same applies to a corrupt line directly
+    followed by a campaign-plan record: that is the kill signature
+    after ``repro resume`` appended a fresh run to the log.  Corruption
+    anywhere else still raises, as it means more than an interrupted
+    write.
     """
     lines = [
         (number, line.strip())
@@ -327,16 +435,26 @@ def read_events(path: str | Path) -> list[Event]:
         if line.strip()
     ]
     events = []
-    for number, line in lines:
+    for position, (number, line) in enumerate(lines):
         try:
             events.append(event_from_dict(json.loads(line)))
         except (ValueError, TypeError) as error:
-            if number == lines[-1][0]:
+            if position == len(lines) - 1:
                 warnings.warn(
                     f"{path}: skipping truncated or corrupt final event "
                     f"line {number}: {error}"
                 )
                 break
+            try:
+                peek = json.loads(lines[position + 1][1])
+            except ValueError:
+                peek = None
+            if isinstance(peek, dict) and peek.get("kind") == "campaign_plan":
+                warnings.warn(
+                    f"{path}: skipping truncated event line {number} "
+                    f"(a resumed campaign appended after it): {error}"
+                )
+                continue
             raise ValueError(
                 f"{path}: corrupt event on line {number}: {error}"
             ) from error

@@ -1,0 +1,160 @@
+"""Checkpoint/resume state reconstruction for durable campaigns.
+
+A durable campaign leaves two artifacts behind: the JSONL event log
+(which jobs were planned, which completed or failed -- see
+:class:`~repro.runtime.events.CampaignPlan` and
+:class:`~repro.runtime.events.CampaignCheckpoint`) and the result
+store (the completed results themselves, one atomic file per spec
+key).  :class:`ResumeState` joins the two: it replays the log into
+per-key statuses so :meth:`ExecutionEngine.run_many(resume_from=...)
+<repro.runtime.engine.ExecutionEngine.run_many>` and the
+``repro resume`` CLI verb can skip completed jobs and re-run only
+pending or failed ones, producing a report identical to an
+uninterrupted run.
+
+The reconstruction is conservative: a job counts as completed only if
+the log says so *and* its result is actually loadable from the store
+(the engine re-verifies the second half through its normal cache
+path), so a checkpoint that outlived a lost store entry costs one
+recomputation, never a wrong result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.runtime.events import (
+    CampaignCheckpoint,
+    CampaignPlan,
+    Event,
+    JobCached,
+    JobFailed,
+    JobFinished,
+    read_events,
+)
+from repro.sim.campaign import RunSpec
+
+
+class ResumeError(ValueError):
+    """An event log cannot be resumed (no plan record, or the log
+    does not describe the campaign the caller is trying to resume)."""
+
+
+@dataclass
+class ResumeState:
+    """Everything an interrupted campaign's log says about its jobs.
+
+    Attributes:
+        specs: the planned runs, in submission order.
+        keys: ``RunSpec.key()`` per spec (result-store file names).
+        labels: display labels per spec.
+        store: result-store directory recorded in the plan (``None``
+            for campaigns that ran without one -- resumable, but every
+            completed job must be recomputed).
+        machine: plan's single-machine override descriptor, if any.
+        failure_policy: engine failure-policy value from the plan.
+        timeout_seconds: engine per-job timeout from the plan.
+        max_attempts: engine retry attempts from the plan.
+        completed: keys the log records as successfully finished.
+        failed: keys whose last terminal event is a failure.
+    """
+
+    specs: list[RunSpec]
+    keys: list[str]
+    labels: list[str]
+    store: str | None = None
+    machine: dict | None = None
+    failure_policy: str = "fail-fast"
+    timeout_seconds: float | None = None
+    max_attempts: int = 1
+    completed: set[str] = field(default_factory=set)
+    failed: set[str] = field(default_factory=set)
+
+    @property
+    def pending(self) -> set[str]:
+        """Keys with no terminal status: never started or in flight
+        when the campaign died."""
+        return set(self.keys) - self.completed - self.failed
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.keys)} job(s): {len(self.completed)} completed, "
+            f"{len(self.failed)} failed, {len(self.pending)} pending"
+        )
+
+    @classmethod
+    def from_events(cls, events: Sequence[Event]) -> "ResumeState":
+        """Reconstruct resume state from a replayed event stream.
+
+        The *last* :class:`CampaignPlan` wins (a resumed campaign
+        appends a fresh plan to the same log), and only events after
+        it count.  Per-job status comes from the last checkpoint plus
+        any later terminal events; for a key with several terminal
+        events the most recent one decides.
+        """
+        plan: CampaignPlan | None = None
+        plan_at = -1
+        for position, event in enumerate(events):
+            if isinstance(event, CampaignPlan):
+                plan, plan_at = event, position
+        if plan is None:
+            raise ResumeError(
+                "event log has no campaign plan record; only campaigns "
+                "run with this version's engine (which emits one per "
+                "run) can be resumed"
+            )
+        specs = [RunSpec.from_dict(data) for data in plan.specs]
+        state = cls(
+            specs=specs,
+            keys=list(plan.keys),
+            labels=list(plan.labels),
+            store=plan.store,
+            machine=plan.machine,
+            failure_policy=plan.failure_policy,
+            timeout_seconds=plan.timeout_seconds,
+            max_attempts=plan.max_attempts,
+        )
+        known = set(state.keys)
+        status: dict[str, str] = {}
+        for event in events[plan_at + 1:]:
+            if isinstance(event, CampaignCheckpoint):
+                for key in event.completed:
+                    if key in known:
+                        status[key] = "completed"
+                for key in event.failed:
+                    if key in known:
+                        status[key] = "failed"
+                for key in event.pending:
+                    status.pop(key, None)
+            elif isinstance(event, (JobCached, JobFinished, JobFailed)):
+                if not 0 <= event.index < len(state.keys):
+                    continue
+                key = state.keys[event.index]
+                status[key] = (
+                    "failed" if isinstance(event, JobFailed) else "completed"
+                )
+        state.completed = {k for k, s in status.items() if s == "completed"}
+        state.failed = {k for k, s in status.items() if s == "failed"}
+        return state
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResumeState":
+        """Reconstruct resume state from a JSONL event log on disk.
+
+        A truncated final line (the usual signature of a SIGKILL
+        mid-append) is tolerated by :func:`read_events`; the job whose
+        terminal event was lost simply re-runs.
+        """
+        return cls.from_events(read_events(path))
+
+    def check_specs(self, specs: Sequence[RunSpec]) -> None:
+        """Verify ``specs`` matches the plan this state was built from."""
+        keys = [spec.key() for spec in specs]
+        if keys != self.keys:
+            raise ResumeError(
+                f"resume state describes {len(self.keys)} job(s) that do "
+                f"not match the {len(keys)} spec(s) being run; refusing "
+                "to mix results from different campaigns"
+            )

@@ -1,0 +1,98 @@
+"""Persistent, content-addressed result store for campaigns.
+
+Every completed run is stored as one JSON file named by its spec's
+content hash (:meth:`repro.sim.campaign.RunSpec.key`), written
+atomically through :mod:`repro.sim.serialize` so a crash or SIGKILL
+mid-write never leaves a partial entry behind.  Reads treat anything
+unreadable -- truncated file, corrupt JSON, wrong format version --
+as a miss (the :class:`~repro.sim.serialize.ResultCacheError`
+convention), so a damaged entry costs one recomputation, never a
+crashed campaign.
+
+The store is the durability half of checkpoint/resume: the engine's
+event log records *which* jobs completed (by spec key), the store
+holds *their results*, and ``repro resume`` joins the two to finish an
+interrupted campaign without re-running completed work.  The on-disk
+layout (``<key>.json`` inside one directory) is exactly what
+:class:`~repro.sim.campaign.Campaign` has always written, so existing
+campaign directories are valid stores as-is.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.sim.results import RunResult
+from repro.sim.serialize import ResultCacheError, load_run, save_run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.campaign import RunSpec
+
+
+class ResultStore:
+    """A directory of completed run results, addressed by spec key.
+
+    Guarantees:
+
+    * **Atomicity** -- entries are written via temp file +
+      ``os.replace``; concurrent writers (parallel campaign workers)
+      and readers never observe a partial file.
+    * **Corrupt-entry-as-miss** -- :meth:`load` returns ``None`` for
+      missing, truncated or otherwise unreadable entries instead of
+      raising, so campaigns self-heal by recomputing.
+    * **Idempotence** -- results are a pure function of their spec, so
+      re-writing an existing key is harmless (last atomic write wins
+      with identical bytes).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        """On-disk path for a spec key (the file may not exist)."""
+        return self.directory / f"{key}.json"
+
+    def path_for(self, spec: "RunSpec") -> Path:
+        return self.path(spec.key())
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def load(self, key: str) -> RunResult | None:
+        """The stored result for ``key``, or ``None`` on any miss.
+
+        A corrupt or partial entry reads as a miss (the
+        :class:`ResultCacheError` convention); callers recompute and
+        the next :meth:`save` atomically repairs the entry.
+        """
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            return load_run(path)
+        except ResultCacheError:
+            return None
+
+    def save(self, key: str, result: RunResult) -> Path:
+        """Atomically persist ``result`` under ``key``."""
+        return save_run(result, self.path(key))
+
+    def keys(self) -> list[str]:
+        """Keys of every entry present on disk, sorted."""
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

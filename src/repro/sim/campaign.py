@@ -26,11 +26,11 @@ from repro.ace.counters import AceCounterMode
 from repro.config.machines import STANDARD_MACHINES, MachineConfig
 from repro.sim.experiment import run_workload
 from repro.sim.results import RunResult
-from repro.sim.serialize import ResultCacheError, load_run, save_run
 from repro.workloads.mixes import WorkloadMix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.engine import ExecutionEngine
+    from repro.runtime.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,20 @@ class RunSpec:
         payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec from its :func:`dataclasses.asdict` form.
+
+        JSON round-trips tuples as lists; this is the inverse used by
+        campaign resume (:class:`repro.runtime.resume.ResumeState`) to
+        rebuild specs recorded in an event log's plan record.
+        """
+        data = dict(data)
+        data["benchmarks"] = tuple(data["benchmarks"])
+        if data.get("sampling") is not None:
+            data["sampling"] = tuple(data["sampling"])
+        return cls(**data)
+
     def build_machine(self) -> MachineConfig:
         try:
             machine = STANDARD_MACHINES[self.machine]()
@@ -89,19 +103,30 @@ class RunSpec:
 
 
 class Campaign:
-    """A directory-backed collection of cached simulation runs."""
+    """A directory-backed collection of cached simulation runs.
+
+    The directory is a :class:`repro.runtime.store.ResultStore` --
+    one atomically-written ``<spec key>.json`` per completed run, with
+    corrupt entries read as misses -- so a campaign directory doubles
+    as the durable half of checkpoint/resume (``repro resume``).
+    """
 
     def __init__(self, directory: str | Path):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        from repro.runtime.store import ResultStore
+
+        self.store = ResultStore(directory)
         self.hits = 0
         self.misses = 0
 
+    @property
+    def directory(self) -> Path:
+        return self.store.directory
+
     def _path(self, spec: RunSpec) -> Path:
-        return self.directory / f"{spec.key()}.json"
+        return self.store.path_for(spec)
 
     def is_cached(self, spec: RunSpec) -> bool:
-        return self._path(spec).exists()
+        return self.store.contains(spec.key())
 
     def run(
         self, spec: RunSpec, machine: MachineConfig | None = None
@@ -114,15 +139,11 @@ class Campaign:
                 ``spec.machine`` is a custom tag rather than one of
                 the standard topology names.
         """
-        path = self._path(spec)
-        if path.exists():
-            try:
-                result = load_run(path)
-            except ResultCacheError:
-                pass  # corrupt or partial entry: fall through, re-run
-            else:
-                self.hits += 1
-                return result
+        key = spec.key()
+        result = self.store.load(key)
+        if result is not None:
+            self.hits += 1
+            return result
         self.misses += 1
         if machine is None:
             machine = spec.build_machine()
@@ -134,7 +155,7 @@ class Campaign:
             seed=spec.seed,
             counter_mode=AceCounterMode(spec.counter_mode),
         )
-        save_run(result, path)
+        self.store.save(key, result)
         return result
 
     def run_all(
@@ -164,11 +185,7 @@ class Campaign:
             engine = ExecutionEngine(jobs=jobs, checks=checks)
         elif checks is not None and engine.checks is None:
             engine.checks = checks
-        report = engine.run_many(
-            specs,
-            machines=machines,
-            cache_paths=[self._path(spec) for spec in specs],
-        )
+        report = engine.run_many(specs, machines=machines, store=self.store)
         self.hits += report.cache_hits
         self.misses += report.executed
         return report.results
@@ -216,8 +233,4 @@ class Campaign:
 
     def clear(self) -> int:
         """Delete every cached result; returns the number removed."""
-        removed = 0
-        for path in self.directory.glob("*.json"):
-            path.unlink()
-            removed += 1
-        return removed
+        return self.store.clear()

@@ -93,6 +93,7 @@ def sweep(
     sinks: Sequence = (),
     checks=None,
     metrics: bool = False,
+    store=None,
 ) -> dict[str, list[RunResult]]:
     """Run a workload list under several schedulers.
 
@@ -105,8 +106,14 @@ def sweep(
     ``metrics``, every job collects a :mod:`repro.obs.metrics`
     registry whose snapshot is emitted as a
     :class:`~repro.runtime.events.MetricsSnapshot` event (aggregate
-    with ``repro stats``).  Results are deterministic: the same specs
-    in the same order regardless of ``jobs``.
+    with ``repro stats``).  ``store`` (a directory path or
+    :class:`~repro.runtime.store.ResultStore`) makes the sweep durable:
+    completed results persist as atomically-written per-spec files, are
+    reused as cache hits on re-run, and -- together with a
+    :class:`~repro.runtime.events.JsonlEventSink` log -- allow an
+    interrupted sweep to be finished with ``repro resume``.  Results
+    are deterministic: the same specs in the same order regardless of
+    ``jobs``.
 
     Returns ``{scheduler_name: [RunResult per workload, in order]}``.
     """
@@ -145,7 +152,9 @@ def sweep(
     engine = ExecutionEngine(
         jobs=jobs, sinks=sinks, checks=checks, metrics=metrics
     )
-    report = engine.run_many(specs, machines=machine, labels=labels)
+    report = engine.run_many(
+        specs, machines=machine, labels=labels, store=store
+    )
     results: dict[str, list[RunResult]] = {name: [] for name in scheduler_names}
     for spec, result in zip(specs, report.results):
         results[spec.scheduler].append(result)

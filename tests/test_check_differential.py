@@ -113,8 +113,8 @@ class TestFuzz:
     def test_seeded_session_passes(self, session):
         assert isinstance(session, FuzzReport)
         assert session.ok, session.format()
-        # + default kernel_cases=2 and decision_cases=2
-        assert len(session.reports) == 8
+        # + default kernel_cases=2, decision_cases=2, resume_cases=2
+        assert len(session.reports) == 10
 
     def test_same_seed_reproduces_byte_identical_findings(self, session):
         again = fuzz(0, model_cases=1, run_cases=2, stack_cases=1)
@@ -129,7 +129,8 @@ class TestFuzz:
         text = session.format()
         assert "fuzz seed=0" in text
         for prefix in ("model/0", "run/0", "run/1", "stack/0", "kernel/0",
-                       "kernel/1", "decision/0", "decision/1"):
+                       "kernel/1", "decision/0", "decision/1", "resume/0",
+                       "resume/1"):
             assert prefix in text
 
     def test_decision_cases_validate_traces(self, session):
@@ -147,8 +148,15 @@ class TestFuzz:
             assert report.checked == ("kernel_timing_equivalence",
                                       "kernel_cache_state_equivalence")
 
+    def test_resume_cases_check_equivalence(self, session):
+        resumes = [r for r in session.reports
+                   if r.subject.startswith("resume/")]
+        assert len(resumes) == 2
+        for report in resumes:
+            assert report.checked == ("resume_equivalence",)
+
     def test_case_counts_respected(self):
         tiny = fuzz(5, model_cases=0, run_cases=1, stack_cases=0,
-                    kernel_cases=0, decision_cases=0)
+                    kernel_cases=0, decision_cases=0, resume_cases=0)
         assert len(tiny.reports) == 1
         assert tiny.reports[0].subject.startswith("run/0")

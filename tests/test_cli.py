@@ -276,3 +276,81 @@ class TestObservability:
     def test_explain_wrong_benchmark_count(self, capsys):
         assert main(["explain", "--benchmarks", "milc,mcf"]) == 2
         assert "benchmark" in capsys.readouterr().err
+
+
+class TestResume:
+    SWEEP = ["sweep", "--machine", "1B1S", "--programs", "2",
+             "--instructions", "1000000"]
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["resume", "ev.jsonl", "--store", "dir", "--jobs", "2"]
+        )
+        assert args.path == "ev.jsonl" and args.store == "dir"
+        args = build_parser().parse_args(["sweep", "--store", "results"])
+        assert args.store == "results"
+        args = build_parser().parse_args(["check", "--resume-cases", "1"])
+        assert args.resume_cases == 1
+
+    def test_interrupted_sweep_resumes_identically(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        store = tmp_path / "store"
+        argv = [*self.SWEEP, "--store", str(store), "--event-log", str(log)]
+        assert main(argv) == 0
+        expected = capsys.readouterr().out
+        assert "SSER mean" in expected
+
+        # Simulate a kill partway through: drop the tail of the event
+        # log and a few persisted results.
+        lines = log.read_text().splitlines()
+        log.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        for path in sorted(store.glob("*.json"))[:5]:
+            path.unlink()
+
+        assert main(["resume", str(log)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == expected
+        assert "resuming" in captured.err
+
+        # Resuming a finished campaign is a cache-served no-op with
+        # the same stdout again.
+        assert main(["resume", str(log)]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_resume_without_plan_record_fails(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"kind": "campaign_started", "total": 3}\n')
+        assert main(["resume", str(log)]) == 2
+        assert "no campaign plan" in capsys.readouterr().err
+
+    def test_resume_without_store_advises(self, capsys, tmp_path):
+        from repro.runtime import ExecutionEngine, JsonlEventSink
+        from repro.sim.campaign import RunSpec
+
+        log = tmp_path / "events.jsonl"
+        engine = ExecutionEngine(sinks=[JsonlEventSink(log)])
+        engine.run_many([
+            RunSpec("1B1S", ("povray", "milc"), "random", 100_000)
+        ])
+        engine.close()
+        assert main(["resume", str(log)]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_events_and_stats_tolerate_unknown_kinds(
+        self, capsys, tmp_path
+    ):
+        # Logs written by a newer engine may contain event kinds this
+        # version has never heard of; `repro events` and `repro stats`
+        # must keep working on the lines they understand.
+        log = tmp_path / "events.jsonl"
+        assert main([*self.SWEEP, "--jobs", "2", "--metrics",
+                     "--event-log", str(log)]) == 0
+        capsys.readouterr()
+        with log.open("a") as handle:
+            handle.write('{"kind": "from_the_future", "payload": 7}\n')
+            handle.write('{"kind": "campaign_paused"}\n')
+        assert main(["events", str(log)]) == 0
+        replay = capsys.readouterr().out
+        assert "108 jobs: 108 executed" in replay
+        assert main(["stats", str(log)]) == 0
+        assert "sim.runs" in capsys.readouterr().out

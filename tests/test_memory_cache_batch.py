@@ -106,6 +106,31 @@ class TestHierarchyBatchEquivalence:
             ), keep
             assert len(journal) == keep
 
+    def test_rollback_decrements_obs_counters(self):
+        # Regression: rollback_data undid the cache statistics but
+        # left the observability counters at their overcounted values,
+        # so `repro stats` disagreed with the simulation's own figures
+        # whenever a window kernel rolled back past a budget break.
+        from repro.obs import metrics as obs_metrics
+
+        rng = np.random.default_rng(5)
+        addresses = _random_addresses(rng, 500, 1 << 20)
+        keep = 123
+
+        with obs_metrics.collecting() as straight_reg:
+            straight = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+            straight.access_data_batch(addresses[:keep])
+        with obs_metrics.collecting() as rolled_reg:
+            rolled = CacheHierarchy(MemoryConfig(), frequency_ghz=2.66)
+            journal = []
+            _, levels = rolled.access_data_batch(addresses, journal)
+            rolled.rollback_data(journal, levels, keep)
+        assert _hierarchy_state(rolled) == _hierarchy_state(straight)
+        assert rolled_reg.snapshot() == straight_reg.snapshot()
+        for level in ("l1", "l2", "l3", "dram"):
+            value = rolled_reg.counter("cache.accesses", level=level).value
+            assert value >= 0
+
     def test_rollback_then_continue_matches_straight_run(self):
         rng = np.random.default_rng(21)
         addresses = _random_addresses(rng, 400, 1 << 19)

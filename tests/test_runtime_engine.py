@@ -17,6 +17,7 @@ from repro.runtime.events import (
     JobCached,
     JobFailed,
     JobFinished,
+    JobReconciled,
 )
 from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
 from repro.sim.campaign import Campaign, RunSpec
@@ -306,6 +307,133 @@ class TestTimeout:
         assert "timed out" in report.failures[0].error
         assert report.results[1] is not None
         assert any(isinstance(e, JobFailed) for e in events)
+
+    def test_queued_jobs_do_not_time_out(self):
+        # Regression: the timeout clock used to start at submission,
+        # so with more specs than workers a job could "time out"
+        # purely from queue wait, without ever running.  Four jobs
+        # over two workers, each sleeping 1.2s with a 2.4s budget:
+        # per-job runtime (sleep + worker overhead) is well under the
+        # timeout, but the second wave's queue wait + runtime is past
+        # it, so the old submission-based clock would flag it.
+        engine, _ = recording_engine(
+            jobs=2,
+            timeout_seconds=2.4,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(
+                sleep_seconds={i: 1.2 for i in range(4)}
+            ),
+        )
+        report = engine.run_many(specs_1b1s(2, instructions=2000))
+        assert report.failures == []
+        assert all(result is not None for result in report.results)
+
+    def test_timeout_reports_zero_attempts(self):
+        # A timed-out job's in-flight attempt was killed mid-run; the
+        # parent cannot know how many attempts completed, so it must
+        # not claim attempts=1 (the worker may have been on any retry).
+        engine, events = recording_engine(
+            jobs=2,
+            retry=FAST_RETRY,
+            timeout_seconds=0.5,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(sleep_seconds={0: 3.0}),
+        )
+        report = engine.run_many(specs_1b1s(1, instructions=2000))
+        timed_out = [e for e in events if isinstance(e, JobFailed)]
+        assert len(timed_out) == 1 and timed_out[0].attempts == 0
+        assert report.failures[0].attempts == 0
+
+
+class TestOrphanReconciliation:
+    def test_late_completion_reconciled_and_stored(self, tmp_path):
+        # future.cancel() is a no-op on a running process-pool job:
+        # the worker keeps grinding after the timeout fires.  The
+        # engine must reconcile the late completion explicitly -- the
+        # result stays out of the report, but the worker persisted it
+        # to the store, where the next run finds it.
+        engine, events = recording_engine(
+            jobs=2,
+            timeout_seconds=0.4,
+            orphan_grace_seconds=30.0,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(sleep_seconds={0: 1.2}),
+        )
+        specs = specs_1b1s(1, instructions=2000)
+        report = engine.run_many(specs, store=tmp_path)
+        assert "timed out" in report.failures[0].error
+
+        reconciled = [e for e in events if isinstance(e, JobReconciled)]
+        assert [e.outcome for e in reconciled] == ["completed"]
+        assert reconciled[0].index == 0
+        assert reconciled[0].attempts >= 1
+        assert reconciled[0].stored
+
+        # The orphan's worker wrote its result; re-running serves the
+        # formerly timed-out job as a cache hit.
+        again = ExecutionEngine(jobs=1).run_many(specs, store=tmp_path)
+        assert again.failures == [] and again.cache_hits == len(specs)
+
+    def test_unfinished_orphan_reported_abandoned(self):
+        engine, events = recording_engine(
+            jobs=2,
+            timeout_seconds=0.3,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(sleep_seconds={0: 8.0}),
+        )
+        report = engine.run_many(specs_1b1s(1, instructions=2000))
+        assert "timed out" in report.failures[0].error
+        reconciled = [e for e in events if isinstance(e, JobReconciled)]
+        assert [e.outcome for e in reconciled] == ["abandoned"]
+
+
+class TestAttemptAccounting:
+    def test_collect_attempts_and_wall_consistent(self, tmp_path):
+        # One COLLECT campaign with a timeout, an exhausted retry and
+        # a retried success: the outcomes, the emitted events and the
+        # replayed JSONL log must all tell the same story.
+        from repro.runtime import JsonlEventSink, replay_timings
+
+        log = tmp_path / "events.jsonl"
+        events = []
+        engine = ExecutionEngine(
+            jobs=2,
+            retry=FAST_RETRY,
+            timeout_seconds=0.6,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(
+                sleep_seconds={0: 3.0},
+                fail_attempts={
+                    1: 99,
+                    2: FAST_RETRY.max_attempts - 1,
+                },
+            ),
+            sinks=[CallbackSink(events.append), JsonlEventSink(log)],
+        )
+        specs = specs_1b1s(2, instructions=2000)[:3]
+        report = engine.run_many(specs)
+        engine.close()
+
+        by_index = {o.index: o for o in report.outcomes}
+        assert "timed out" in by_index[0].error
+        assert by_index[0].attempts == 0  # killed mid-attempt
+        assert by_index[1].error is not None
+        assert by_index[1].attempts == FAST_RETRY.max_attempts
+        assert by_index[2].ok
+        assert by_index[2].attempts == FAST_RETRY.max_attempts
+
+        for event in events:
+            if isinstance(event, (JobFinished, JobFailed)):
+                outcome = by_index[event.index]
+                assert event.attempts == outcome.attempts
+                assert event.wall_seconds == outcome.wall_seconds
+
+        timings = {t.index: t for t in replay_timings(log)}
+        for index, outcome in by_index.items():
+            assert timings[index].attempts == outcome.attempts
+            assert timings[index].status == (
+                "ok" if outcome.ok else "failed"
+            )
 
 
 class TestGracefulDegradation:
