@@ -32,6 +32,7 @@ from repro.check.invariants import (
     check_resume,
     check_run,
     check_schedule,
+    check_service,
     check_stack,
     default_run_checks,
     merge_reports,
@@ -58,6 +59,7 @@ __all__ = [
     "check_resume",
     "check_run",
     "check_schedule",
+    "check_service",
     "check_stack",
     "compare_goldens",
     "default_run_checks",

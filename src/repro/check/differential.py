@@ -23,6 +23,12 @@ invariants:
   (optionally with a corrupt store entry, the SIGKILL signature) and
   resumed; the resumed report must be bit-identical to an
   uninterrupted run's.
+* **service cases** -- one seeded arrival stream runs through a fresh
+  :class:`~repro.service.server.OpenSystem` twice, serially and via an
+  :class:`~repro.runtime.engine.ExecutionEngine` worker pool; the two
+  event feeds must match byte-for-byte, both results must conserve
+  jobs (``open_system_conservation``), and both decision traces must
+  chain-validate.
 """
 
 from __future__ import annotations
@@ -646,6 +652,124 @@ def _resume_case(index: int, rng: np.random.Generator) -> CheckReport:
         return check_resume(full, resumed, label=label)
 
 
+#: Arrival processes and admission policies the service fuzzer draws
+#: from.
+SERVICE_PROCESSES = ("poisson", "bursty", "diurnal")
+SERVICE_ADMISSIONS = ("fifo", "sser")
+
+
+@invariant("service_feed_determinism", subject="service_feed")
+def _service_feed_determinism(
+    serial_lines: Sequence[str], parallel_lines: Sequence[str]
+) -> Iterator[Finding]:
+    """Serial and engine-parallel service runs emit identical feeds.
+
+    The open system advances in virtual time only, so executing quantum
+    slices through an :class:`~repro.runtime.engine.ExecutionEngine`
+    worker pool must reproduce the serial event stream byte-for-byte --
+    same arrivals, same placements, same sheds, same departures.
+    """
+    if len(serial_lines) != len(parallel_lines):
+        yield (
+            "serial and parallel feeds have different event counts",
+            {
+                "parallel_events": len(parallel_lines),
+                "serial_events": len(serial_lines),
+            },
+        )
+    for i, (a, b) in enumerate(zip(serial_lines, parallel_lines)):
+        if a != b:
+            yield (
+                f"feeds diverge at event {i}: {a} != {b}",
+                {"event_index": i},
+            )
+            break
+
+
+def _service_case(index: int, rng: np.random.Generator) -> CheckReport:
+    """Run one arrival stream serially and through a worker pool and
+    demand identical event feeds, conserved job accounting, and a
+    chain-valid decision trace on both sides."""
+    from repro.check.invariants import (
+        check_decision_trace,
+        check_service,
+        merge_reports,
+    )
+    from repro.obs.decisions import DecisionTraceRecorder
+    from repro.runtime.engine import ExecutionEngine
+    from repro.service.arrivals import make_process, service_benchmark_pool
+    from repro.service.events import ServiceFeed
+    from repro.service.server import OpenSystem, ServiceConfig
+
+    machine_name = FUZZ_MACHINES[int(rng.integers(len(FUZZ_MACHINES)))]
+    machine = STANDARD_MACHINES[machine_name]()
+    process_name = SERVICE_PROCESSES[
+        int(rng.integers(len(SERVICE_PROCESSES)))
+    ]
+    admission = SERVICE_ADMISSIONS[int(rng.integers(len(SERVICE_ADMISSIONS)))]
+    rate = float(rng.integers(200, 1_500))
+    count = int(rng.integers(10, 25))
+    stream_seed = int(rng.integers(0, 2**16))
+    instructions = int(rng.integers(150_000, 400_000))
+    label = (
+        f"service/{index} {machine_name}/{admission}/{process_name}"
+        f"@{rate:g}x{count}#{stream_seed}"
+    )
+
+    process = make_process(
+        process_name,
+        rate,
+        service_benchmark_pool(),
+        seed=stream_seed,
+        instructions=instructions,
+    )
+    arrivals = process.stream(count)
+    config = ServiceConfig(
+        machine=machine,
+        admission=admission,
+        queue_capacity=4,
+        deadline_seconds=0.02,
+    )
+
+    def run_once(map_tasks):
+        feed = ServiceFeed()
+        recorder = DecisionTraceRecorder()
+        system = OpenSystem(
+            config, feed=feed, recorder=recorder, map_tasks=map_tasks
+        )
+        system.enqueue_arrivals(arrivals)
+        return system.run(), feed, recorder
+
+    serial_result, serial_feed, serial_recorder = run_once(None)
+    engine = ExecutionEngine(jobs=2)
+    try:
+        parallel_result, parallel_feed, parallel_recorder = run_once(
+            engine.map_tasks
+        )
+    finally:
+        engine.close()
+
+    return merge_reports(
+        [
+            _apply(
+                "service_feed",
+                label,
+                serial_feed.lines,
+                parallel_feed.lines,
+            ),
+            check_service(serial_result, label=f"{label} serial"),
+            check_service(parallel_result, label=f"{label} parallel"),
+            check_decision_trace(
+                serial_recorder.records, label=f"{label} serial"
+            ),
+            check_decision_trace(
+                parallel_recorder.records, label=f"{label} parallel"
+            ),
+        ],
+        subject=label,
+    )
+
+
 def fuzz(
     seed: int = 0,
     *,
@@ -655,6 +779,7 @@ def fuzz(
     kernel_cases: int = 2,
     decision_cases: int = 2,
     resume_cases: int = 2,
+    service_cases: int = 2,
     gates: FuzzGates | None = None,
 ) -> FuzzReport:
     """Run one seeded fuzzing session.
@@ -662,8 +787,9 @@ def fuzz(
     All randomness derives from ``seed`` through one
     :class:`numpy.random.Generator`; nothing reads the clock, so the
     findings are reproducible byte-for-byte.  Newer case kinds (kernel,
-    then decision, then resume) draw from the rng after the older
-    ones, so adding them kept existing seeds' earlier cases identical.
+    then decision, then resume, then service) draw from the rng after
+    the older ones, so adding them kept existing seeds' earlier cases
+    identical.
     """
     gates = gates if gates is not None else FuzzGates()
     rng = np.random.default_rng(seed)
@@ -680,4 +806,6 @@ def fuzz(
         reports.append(_decision_case(index, rng))
     for index in range(resume_cases):
         reports.append(_resume_case(index, rng))
+    for index in range(service_cases):
+        reports.append(_service_case(index, rng))
     return FuzzReport(seed=seed, reports=tuple(reports))

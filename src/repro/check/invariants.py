@@ -631,6 +631,12 @@ _DECISION_TOL = 1e-9
 
 
 def _clears_threshold(delta_total: float, threshold: float) -> bool:
+    # Acceptance is strict (``delta < -threshold`` with threshold >= 0),
+    # so a non-negative delta never clears -- in particular the
+    # delta=0/threshold=0 candidates produced by all-empty service
+    # slots, which the absolute fudge below would otherwise misjudge.
+    if delta_total >= 0.0:
+        return False
     return delta_total < -threshold * (1 - _DECISION_TOL) + 1e-15
 
 
@@ -785,6 +791,58 @@ def check_resume(full, resumed, *, label: str = "resume") -> CheckReport:
     report of a campaign finished via ``resume_from=``.
     """
     return _apply("resume", label, full, resumed)
+
+
+# -- open-system service invariants -----------------------------------
+
+
+@invariant("open_system_conservation", subject="service")
+def _open_system_conservation(result) -> Iterator[Finding]:
+    """Open-system job accounting never loses or invents a job.
+
+    Every arrival is either admitted or shed (with a recorded reason),
+    and every admitted job is either completed or still in flight when
+    the system stops -- the two conservation identities that make the
+    ``repro serve``/``repro load`` event feeds trustworthy.
+    """
+    if result.arrived != result.admitted + result.shed:
+        yield (
+            "arrivals do not split into admitted + shed",
+            {
+                "admitted": result.admitted,
+                "arrived": result.arrived,
+                "shed": result.shed,
+            },
+        )
+    if result.admitted != result.completed + result.in_flight:
+        yield (
+            "admitted jobs do not split into completed + in-flight",
+            {
+                "admitted": result.admitted,
+                "completed": result.completed,
+                "in_flight": result.in_flight,
+            },
+        )
+    by_reason = sum(result.shed_reasons.values())
+    if by_reason != result.shed:
+        yield (
+            "per-reason shed counts do not sum to the shed total",
+            {"shed": result.shed, "sum_of_reasons": by_reason},
+        )
+    if len(result.waits) != result.admitted:
+        yield (
+            "queueing-delay samples do not cover every admitted job",
+            {"admitted": result.admitted, "wait_samples": len(result.waits)},
+        )
+    for wait in result.waits:
+        if wait < 0:
+            yield "negative queueing delay recorded", {"wait_seconds": wait}
+            break
+
+
+def check_service(result, *, label: str = "service") -> CheckReport:
+    """Run the open-system invariants on one :class:`ServiceResult`."""
+    return _apply("service", label, result)
 
 
 # -- oracle invariants ------------------------------------------------

@@ -661,6 +661,7 @@ def cmd_check(args) -> int:
             kernel_cases=args.kernel_cases,
             decision_cases=args.decision_cases,
             resume_cases=args.resume_cases,
+            service_cases=args.service_cases,
         )
         print(report.format())
         failed = failed or not report.ok
@@ -720,4 +721,138 @@ def cmd_cost(args) -> int:
         ["implementation", "storage bits", "adders", "bit-equiv", "bytes"],
         rows,
     ))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve the open-system scheduler over stdin/stdout or a socket."""
+    import asyncio
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro.service import (
+        OpenSystem,
+        SchedulerService,
+        ServiceConfig,
+        ServiceFeed,
+    )
+
+    machine = _machine(args)
+    if machine is None:
+        return 1
+    config = ServiceConfig(
+        machine=machine,
+        scheduler=args.scheduler,
+        admission=args.admission,
+        queue_capacity=args.queue_limit,
+        deadline_seconds=args.deadline,
+    )
+    with ExitStack() as stack:
+        feed = None
+        if args.event_feed:
+            handle = stack.enter_context(open(args.event_feed, "a"))
+            feed = ServiceFeed(stream=handle)
+        system = OpenSystem(config, feed=feed)
+        service = SchedulerService(
+            system, default_instructions=args.instructions
+        )
+        if args.socket:
+            socket_path = Path(args.socket)
+            socket_path.unlink(missing_ok=True)
+            stack.callback(socket_path.unlink, missing_ok=True)
+            asyncio.run(service.serve_socket(args.socket))
+        else:
+            asyncio.run(service.serve_stdio())
+    return 0
+
+
+def cmd_load(args) -> int:
+    """Drive seeded arrival streams and print the delay-vs-SSER table."""
+    from contextlib import ExitStack
+
+    from repro.check import check_service, merge_reports
+    from repro.runtime.engine import ExecutionEngine
+    from repro.service import (
+        ServiceConfig,
+        ServiceFeed,
+        make_process,
+        run_load_point,
+        service_benchmark_pool,
+    )
+    from repro.service.load import format_load_table
+
+    machine = _machine(args)
+    if machine is None:
+        return 1
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"error: bad --rates {args.rates!r}", file=sys.stderr)
+        return 1
+    if not rates:
+        print("error: --rates names no arrival rates", file=sys.stderr)
+        return 1
+
+    config = ServiceConfig(
+        machine=machine,
+        scheduler=args.scheduler,
+        admission=args.admission,
+        queue_capacity=args.queue_limit,
+        deadline_seconds=args.deadline,
+    )
+    benchmarks = service_benchmark_pool()
+    jobs = _jobs(args)
+    points = []
+    reports = []
+    with ExitStack() as stack:
+        handle = (
+            stack.enter_context(open(args.event_feed, "a"))
+            if args.event_feed
+            else None
+        )
+        engine = None
+        if jobs > 1:
+            engine = ExecutionEngine(jobs=jobs)
+            stack.callback(engine.close)
+        for rate in rates:
+            process = make_process(
+                args.process,
+                rate,
+                benchmarks,
+                seed=args.seed,
+                instructions=args.instructions,
+            )
+            point = run_load_point(
+                config,
+                process,
+                args.arrivals,
+                feed=ServiceFeed(stream=handle),
+                map_tasks=engine.map_tasks if engine is not None else None,
+            )
+            points.append(point)
+            reports.append(
+                check_service(point.result, label=f"load@{rate:g}/s")
+            )
+
+    print(format_load_table(points))
+    if args.digest:
+        print()
+        for point in points:
+            print(
+                f"feed sha256 @ {point.rate_per_second:g}/s: {point.digest}"
+            )
+    checked = merge_reports(reports, subject="load")
+    if not checked.ok:
+        print()
+        print(checked.format())
+        return 1
+    if args.min_shed_rate is not None:
+        peak = max(point.shed_rate for point in points)
+        if peak < args.min_shed_rate:
+            print(
+                f"error: peak shed rate {peak:.3f} is below the "
+                f"{args.min_shed_rate:.3f} floor",
+                file=sys.stderr,
+            )
+            return 1
     return 0

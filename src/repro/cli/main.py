@@ -18,6 +18,8 @@ Subcommands:
 * ``repro bench``     -- simulation hot-path performance benchmarks
 * ``repro stats``     -- aggregate metrics snapshots from an event log
 * ``repro explain``   -- record and explain scheduler decision traces
+* ``repro serve``     -- interactive open-system scheduler service
+* ``repro load``      -- open-system load generator (delay-vs-SSER)
 
 ``repro sweep`` and ``repro figure`` execute through the
 :mod:`repro.runtime` engine: ``--jobs N`` (or ``REPRO_JOBS=N``) fans
@@ -203,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "cases")
     check.add_argument("--resume-cases", type=int, default=2,
                        help="interrupt-and-resume equivalence cases")
+    check.add_argument("--service-cases", type=int, default=2,
+                       help="open-system serial-vs-parallel feed "
+                            "equivalence cases")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
     check.add_argument("--update-goldens", action="store_true",
@@ -293,6 +298,72 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--schema", action="store_true",
                          help="print the decision-trace schema and exit")
     explain.set_defaults(func=commands.cmd_explain)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="interactive open-system scheduler service (JSON lines "
+             "over stdin/stdout or a unix socket)",
+    )
+    _add_machine_arguments(serve)
+    serve.add_argument("--scheduler", default="reliability",
+                       choices=("performance", "reliability"),
+                       help="online placement policy")
+    serve.add_argument("--admission", default="fifo",
+                       choices=("fifo", "sser"),
+                       help="admission-queue ordering policy")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admission queue capacity; arrivals beyond "
+                            "it are shed")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="service-wide start deadline (SLA): queued "
+                            "jobs not started in time are shed")
+    serve.add_argument("--instructions", type=int, default=1_000_000,
+                       help="default instructions for submitted jobs")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="serve a unix-domain socket at PATH instead "
+                            "of stdin/stdout")
+    serve.add_argument("--event-feed", default=None, metavar="FILE",
+                       help="stream the JSONL service event feed "
+                            "(arrive/shed/start/migrate/depart) to FILE")
+    serve.set_defaults(func=commands.cmd_serve)
+
+    load = subparsers.add_parser(
+        "load",
+        help="open-system load generator: queueing delay vs SSER",
+    )
+    _add_machine_arguments(load)
+    load.add_argument("--arrivals", type=int, default=200,
+                      help="jobs per arrival-rate point")
+    load.add_argument("--seed", type=int, default=0,
+                      help="arrival-stream seed (same seed, same feed)")
+    load.add_argument("--rates", default="400",
+                      help="comma-separated arrival rates in jobs/s")
+    load.add_argument("--process", default="poisson",
+                      choices=("poisson", "bursty", "diurnal"),
+                      help="arrival process")
+    load.add_argument("--scheduler", default="reliability",
+                      choices=("performance", "reliability"))
+    load.add_argument("--admission", default="fifo",
+                      choices=("fifo", "sser"))
+    load.add_argument("--queue-limit", type=int, default=16)
+    load.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="service-wide start deadline (SLA)")
+    load.add_argument("--instructions", type=int, default=1_000_000,
+                      help="instructions per arriving job")
+    load.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for quantum-slice "
+                           "execution (default: REPRO_JOBS, else 1)")
+    load.add_argument("--event-feed", default=None, metavar="FILE",
+                      help="append every point's JSONL event feed to "
+                           "FILE")
+    load.add_argument("--digest", action="store_true",
+                      help="print each point's event-feed sha256 digest")
+    load.add_argument("--min-shed-rate", type=float, default=None,
+                      help="fail unless some point sheds at least this "
+                           "fraction of arrivals")
+    load.set_defaults(func=commands.cmd_load)
 
     inject = subparsers.add_parser(
         "inject", help="fault-injection campaign vs ACE counting"

@@ -34,6 +34,11 @@ Phases:
   the current one.  ``forced`` marks moves made because the *current*
   assignment violates the STP constraint -- those may accept a
   non-improving SSER delta.
+* ``admit`` / ``shed`` / ``depart`` -- open-system boundary records
+  (:mod:`repro.service`): population changes between quanta.  They
+  carry ``before == after`` (the slot -> core binding is untouched by
+  admission control), so the trace keeps chaining across mid-stream
+  arrivals and departures.
 """
 
 from __future__ import annotations
@@ -131,6 +136,7 @@ class QuantumRecord:
     quantum: int
     scheduler: str
     phase: str  # "initial_sampling" | "greedy" | "exhaustive"
+    #          | "admit" | "shed" | "depart" (open-system boundaries)
     before: tuple[int, ...]
     after: tuple[int, ...]
     candidates: tuple[SwapCandidate, ...] = ()
@@ -203,7 +209,14 @@ DECISION_TRACE_SCHEMA: dict[str, Any] = {
     "segment": {
         f.name: str(f.type) for f in dataclasses.fields(SegmentRecord)
     },
-    "phases": ["initial_sampling", "greedy", "exhaustive"],
+    "phases": [
+        "initial_sampling",
+        "greedy",
+        "exhaustive",
+        "admit",
+        "shed",
+        "depart",
+    ],
 }
 
 

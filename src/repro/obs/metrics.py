@@ -340,7 +340,13 @@ def collecting(
 
 
 def write_csv(snapshot: RegistrySnapshot, path: str) -> None:
-    """Flat CSV export: one row per series with the full data payload."""
+    """Flat CSV export: one row per series field.
+
+    Histogram/timer buckets get one row per non-empty bucket
+    (``bucket_le_<boundary>`` with the bucket's count, ``bucket_le_inf``
+    for the overflow bucket) so spreadsheet tools can plot
+    distributions directly instead of parsing a joined blob.
+    """
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["name", "labels", "kind", "field", "value"])
@@ -348,5 +354,14 @@ def write_csv(snapshot: RegistrySnapshot, path: str) -> None:
             label_text = ";".join(f"{k}={v}" for k, v in labels)
             for field_name, value in data.items():
                 if field_name == "buckets":
-                    value = ";".join(str(v) for v in value)
+                    continue
                 writer.writerow([name, label_text, kind, field_name, value])
+            for i, count in enumerate(data.get("buckets", ())):
+                if not count:
+                    continue
+                upper = (
+                    f"bucket_le_{BUCKET_BOUNDARIES[i]:g}"
+                    if i < len(BUCKET_BOUNDARIES)
+                    else "bucket_le_inf"
+                )
+                writer.writerow([name, label_text, kind, upper, count])

@@ -327,6 +327,14 @@ class ExecutionEngine:
         # Per-run checkpoint bookkeeping (reset by run_many).
         self._run_keys: list[str] | None = None
         self._terminal_seen = 0
+        # Submission-path queue metrics (queue.depth / queue.wait_seconds):
+        # a fresh engine-side registry under metrics=True, else whatever
+        # registry is ACTIVE in the parent process.
+        self._queue_registry: "obs_metrics.MetricsRegistry | None" = None
+        self._batch_started = 0.0
+        # Lazy persistent pool for map_tasks (False = creation failed,
+        # don't retry).
+        self._map_executor = None
 
     # -- events ------------------------------------------------------
 
@@ -337,6 +345,60 @@ class ExecutionEngine:
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+        if self._map_executor:
+            self._map_executor.shutdown(wait=False, cancel_futures=True)
+            self._map_executor = None
+
+    # -- queue metrics ------------------------------------------------
+
+    def _observe_queue(self, wait_seconds: float, depth: int) -> None:
+        """One job left the submission queue and started executing."""
+        reg = self._queue_registry
+        if reg is None:
+            return
+        reg.timer("queue.wait_seconds").observe(wait_seconds)
+        reg.gauge("queue.depth").set(float(depth))
+
+    # -- ordered task mapping -----------------------------------------
+
+    def _ensure_map_executor(self):
+        if self._map_executor is None:
+            try:
+                self._map_executor = self._executor_factory(
+                    max_workers=self.jobs
+                )
+            except (NotImplementedError, OSError, ImportError) as error:
+                warnings.warn(
+                    f"process pool unavailable ({error}); "
+                    f"mapping in-process"
+                )
+                self._map_executor = False  # don't retry creation
+        return self._map_executor or None
+
+    def map_tasks(self, fn, items) -> list:
+        """Ordered parallel map over picklable items (service slices).
+
+        Results come back in item order, computed by the same function
+        the serial path would call, so callers stay deterministic
+        across worker counts.  The pool is created lazily, persists
+        across calls (quantum-rate fan-out), and degrades to in-process
+        execution when process support is unavailable or the pool
+        breaks mid-map.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        executor = self._ensure_map_executor()
+        if executor is None:
+            return [fn(item) for item in items]
+        try:
+            return list(executor.map(fn, items))
+        except futures.process.BrokenProcessPool:
+            warnings.warn(
+                "worker pool broke during map_tasks; running in-process"
+            )
+            self._map_executor = None
+            return [fn(item) for item in items]
 
     # -- checkpoints -------------------------------------------------
 
@@ -457,6 +519,11 @@ class ExecutionEngine:
         keys = [spec.key() for spec in specs]
         self._run_keys = keys
         self._terminal_seen = 0
+        self._queue_registry = (
+            obs_metrics.MetricsRegistry()
+            if self.metrics
+            else obs_metrics.ACTIVE
+        )
         started = time.perf_counter()
         self._emit(CampaignStarted(total=len(jobs_list)))
         self._emit(
@@ -521,7 +588,22 @@ class ExecutionEngine:
             for outcome in report.outcomes:
                 if outcome.metrics is not None:
                     merged.merge(outcome.metrics)
+            engine_snapshot = self._queue_registry.snapshot()
+            if engine_snapshot.series:
+                # Submission-path queueing metrics live in the parent,
+                # not in any worker; ship them as an index=-1 snapshot
+                # so replaying the event stream still reproduces the
+                # merged registry.
+                self._emit(
+                    MetricsSnapshot(
+                        index=-1,
+                        label="engine",
+                        metrics=engine_snapshot.to_dict(),
+                    )
+                )
+                merged.merge(engine_snapshot)
             report.metrics = merged.snapshot()
+        self._queue_registry = None
         self._emit_checkpoint(outcomes)
         self._run_keys = None
         self._emit(
@@ -682,12 +764,18 @@ class ExecutionEngine:
 
     def _run_serial(self, jobs_list: Sequence[Job], outcomes: dict) -> None:
         aborted = False
+        self._batch_started = time.perf_counter()
+        remaining = len(jobs_list)
         for job in jobs_list:
             if aborted:
                 self._record_failure(
                     job, "skipped (fail-fast abort)", 0, 0.0, outcomes
                 )
                 continue
+            remaining -= 1
+            self._observe_queue(
+                time.perf_counter() - self._batch_started, remaining
+            )
             self._emit(JobStarted(index=job.index, label=job.label))
             started = time.perf_counter()
             try:
@@ -727,6 +815,7 @@ class ExecutionEngine:
             return
 
         pending: dict[futures.Future, Job] = {}
+        self._batch_started = time.perf_counter()
         try:
             for job in jobs_list:
                 self._emit(JobStarted(index=job.index, label=job.label))
@@ -755,7 +844,22 @@ class ExecutionEngine:
     def _harvest(
         self, pending: dict, outcomes: dict, max_workers: int
     ) -> None:
-        poll = self._POLL_SECONDS if self.timeout_seconds is not None else None
+        track_queue = self._queue_registry is not None
+        need_poll = self.timeout_seconds is not None or track_queue
+        poll = self._POLL_SECONDS if need_poll else None
+        total = len(pending)
+        #: Futures whose queue wait has been observed (at arm time, or
+        #: at completion for jobs that finished between polls).
+        waited: set[futures.Future] = set()
+
+        def observe_queue(future: futures.Future) -> None:
+            if not track_queue or future in waited:
+                return
+            waited.add(future)
+            self._observe_queue(
+                time.perf_counter() - self._batch_started,
+                total - len(waited),
+            )
         #: future -> monotonic time at which it was first seen running.
         #: The timeout clock arms *here*, not at submission: a job
         #: queued behind earlier work accrues no budget and can never
@@ -779,6 +883,7 @@ class ExecutionEngine:
                             outcomes,
                         )
                         continue
+                    observe_queue(future)
                     try:
                         _, data, attempts, wall, metrics_data = future.result()
                     except futures.process.BrokenProcessPool:
@@ -808,7 +913,7 @@ class ExecutionEngine:
                         self._abort_pending(pending, outcomes)
                         return
                 self._reconcile_orphans(orphans)
-                if self.timeout_seconds is not None:
+                if need_poll:
                     now = time.monotonic()
                     # Worker slots currently held: armed pending jobs
                     # plus orphans whose worker is still grinding.
@@ -827,8 +932,12 @@ class ExecutionEngine:
                             if future.running() and busy < max_workers:
                                 started[future] = now
                                 busy += 1
+                                observe_queue(future)
                             continue
-                        if now - begun <= self.timeout_seconds:
+                        if (
+                            self.timeout_seconds is None
+                            or now - begun <= self.timeout_seconds
+                        ):
                             continue
                         del pending[future]
                         if not future.cancel():

@@ -1,0 +1,101 @@
+"""Admission policies: which waiting job gets the next free slot.
+
+Policies are pure orderings over the queue contents -- deterministic
+functions of (waiting jobs, virtual time) with explicit tie-breaks on
+``job_id`` -- so the service's event feed stays byte-identical across
+runs and worker counts.
+
+* :class:`FifoAdmission` -- arrival order (the M/G/k baseline).
+* :class:`SserPriorityAdmission` -- reliability-aware: jobs whose
+  benchmark has the *lowest* big-core AVF are admitted first.  Under
+  overload this preferentially sheds the high-AVF jobs that would
+  contribute most SSER per unit of service -- the open-system analogue
+  of the paper's reliability-aware placement preference.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.config.machines import MemoryConfig
+from repro.service.queue import QueuedJob
+from repro.workloads.spec2006 import benchmark, big_core_avf
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "SserPriorityAdmission",
+    "make_admission",
+]
+
+
+class AdmissionPolicy(abc.ABC):
+    """Chooses the next waiting job for a freed slot."""
+
+    name = "admission"
+
+    @abc.abstractmethod
+    def select(self, waiting: Sequence[QueuedJob], now: float) -> QueuedJob:
+        """The job to admit next (``waiting`` is non-empty)."""
+
+
+class FifoAdmission(AdmissionPolicy):
+    """First-come, first-served."""
+
+    name = "fifo"
+
+    def select(self, waiting: Sequence[QueuedJob], now: float) -> QueuedJob:
+        return min(
+            waiting, key=lambda j: (j.arrival.time_seconds, j.job_id)
+        )
+
+
+class SserPriorityAdmission(AdmissionPolicy):
+    """Lowest big-core AVF first (reliability-aware priority).
+
+    AVF per benchmark is a pure function of the profile and memory
+    configuration; it is computed once per name and cached.
+    """
+
+    name = "sser"
+
+    def __init__(self, memory: MemoryConfig | None = None):
+        self._memory = memory
+        self._avf: dict[str, float] = {}
+
+    def _avf_of(self, name: str) -> float:
+        value = self._avf.get(name)
+        if value is None:
+            value = big_core_avf(benchmark(name), self._memory)
+            self._avf[name] = value
+        return value
+
+    def select(self, waiting: Sequence[QueuedJob], now: float) -> QueuedJob:
+        return min(
+            waiting,
+            key=lambda j: (
+                self._avf_of(j.arrival.benchmark),
+                j.arrival.time_seconds,
+                j.job_id,
+            ),
+        )
+
+
+#: Registry of admission policies by name.
+ADMISSION_POLICIES: dict[str, type[AdmissionPolicy]] = {
+    cls.name: cls for cls in (FifoAdmission, SserPriorityAdmission)
+}
+
+
+def make_admission(name: str, **kwargs) -> AdmissionPolicy:
+    """Instantiate an admission policy by registry name."""
+    try:
+        cls = ADMISSION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown admission policy {name!r}; "
+            f"known: {', '.join(ADMISSION_POLICIES)}"
+        ) from None
+    return cls(**kwargs)

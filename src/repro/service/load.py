@@ -1,0 +1,155 @@
+"""Closed-loop load generation: queueing delay vs SSER curves.
+
+``repro load`` drives one :class:`~repro.service.server.OpenSystem`
+per arrival rate with a seeded arrival stream and summarises each run
+as a :class:`LoadPoint`: shed rate, exact queueing-delay percentiles,
+and the SSER accumulated by the completed jobs.  Sweeping the rate
+produces the open-system trade-off curve the fixed-mix pipeline
+cannot express -- at low load the reliability placer keeps SSER down
+with empty-slot headroom; approaching saturation, queueing delay
+climbs until admission control sheds the excess.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.service.arrivals import ArrivalProcess
+from repro.service.events import ServiceFeed
+from repro.service.server import OpenSystem, ServiceConfig, ServiceResult
+
+__all__ = [
+    "LoadPoint",
+    "exact_percentile",
+    "format_load_table",
+    "run_load_point",
+]
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float | None:
+    """Exact (no interpolation) percentile of a sample.
+
+    Returns the smallest value v such that at least ``q`` of the
+    sample is <= v; ``None`` for an empty sample.
+    """
+    if not values:
+        return None
+    if not 0.0 < q <= 1.0:
+        raise ValueError("percentile must be in (0, 1]")
+    ordered = sorted(values)
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One arrival rate's outcome on the delay-vs-SSER curve."""
+
+    rate_per_second: float
+    result: ServiceResult
+    digest: str
+
+    @property
+    def shed_rate(self) -> float:
+        if self.result.arrived == 0:
+            return 0.0
+        return self.result.shed / self.result.arrived
+
+    @property
+    def mean_wait(self) -> float | None:
+        waits = self.result.waits
+        return sum(waits) / len(waits) if waits else None
+
+    @property
+    def p95_wait(self) -> float | None:
+        return exact_percentile(self.result.waits, 0.95)
+
+    @property
+    def p99_wait(self) -> float | None:
+        return exact_percentile(self.result.waits, 0.99)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rate_per_second": self.rate_per_second,
+            "digest": self.digest,
+            "shed_rate": self.shed_rate,
+            "mean_wait_seconds": self.mean_wait,
+            "p95_wait_seconds": self.p95_wait,
+            "p99_wait_seconds": self.p99_wait,
+            **self.result.to_dict(),
+        }
+
+
+def run_load_point(
+    config: ServiceConfig,
+    process: ArrivalProcess,
+    count: int,
+    *,
+    feed: ServiceFeed | None = None,
+    recorder=None,
+    map_tasks: Callable[..., list] | None = None,
+) -> LoadPoint:
+    """Run ``count`` arrivals of one process through a fresh system."""
+    feed = feed if feed is not None else ServiceFeed()
+    system = OpenSystem(
+        config, feed=feed, recorder=recorder, map_tasks=map_tasks
+    )
+    system.enqueue_arrivals(process.stream(count))
+    result = system.run()
+    return LoadPoint(
+        rate_per_second=process.rate_per_second,
+        result=result,
+        digest=feed.digest(),
+    )
+
+
+def _fmt(value: float | None, scale: float = 1.0, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value * scale:.{digits}f}"
+
+
+def format_load_table(points: Sequence[LoadPoint]) -> str:
+    """The queueing-delay-vs-SSER summary table printed by ``repro load``."""
+    headers = (
+        "rate/s",
+        "arrived",
+        "admitted",
+        "shed",
+        "shed%",
+        "mean_wait_ms",
+        "p95_wait_ms",
+        "p99_wait_ms",
+        "sser",
+        "slowdown",
+    )
+    rows = [headers]
+    for point in points:
+        result = point.result
+        rows.append(
+            (
+                f"{point.rate_per_second:g}",
+                str(result.arrived),
+                str(result.admitted),
+                str(result.shed),
+                f"{100.0 * point.shed_rate:.1f}",
+                _fmt(point.mean_wait, 1e3),
+                _fmt(point.p95_wait, 1e3),
+                _fmt(point.p99_wait, 1e3),
+                f"{result.sser:.4e}",
+                _fmt(result.mean_slowdown),
+            )
+        )
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Online per-quantum placement over *slots* (cores) instead of apps.
+
+The paper's sampling schedulers optimize a fixed application list.
+The open system has a changing population, so the service plans over
+**slots**: one slot per core, persistently bound to a core through a
+permutation :class:`~repro.sched.base.Assignment`.  Jobs occupy slots;
+arrivals fill free slots and departures empty them, while the slot ->
+core binding (and therefore the decision-trace chain) survives across
+population changes.
+
+Each quantum the placer projects the current occupants' samples onto
+the slot space and runs the *unmodified* greedy pair-swap optimizer
+(:meth:`SamplingScheduler._optimize`, Algorithm 1) over it:
+
+* an empty slot gets zero samples -- objective 0 on both core types,
+  so it never initiates a swap, but a job that would do better on the
+  empty slot's core type can swap *with* it (that is how migrations
+  onto idle cores happen);
+* a half-sampled job (seen only one core type so far) gets its one
+  sample mirrored to the other type -- the optimizer sees a zero
+  delta and will not move the job on fabricated data; the staleness
+  machinery schedules a real off-type sampling segment instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config.machines import BIG, SMALL, MachineConfig
+from repro.sched.base import Assignment, SegmentPlan
+from repro.sched.performance import PerformanceScheduler
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sched.sampling import (
+    DEFAULT_SWAP_THRESHOLD,
+    CoreTypeSample,
+    SamplingScheduler,
+)
+
+__all__ = ["PLACER_SCHEDULERS", "SlotPlacer"]
+
+#: Sampling-based schedulers the placer can drive.
+PLACER_SCHEDULERS: dict[str, type[SamplingScheduler]] = {
+    "reliability": ReliabilityScheduler,
+    "performance": PerformanceScheduler,
+}
+
+_ZERO_SAMPLE = CoreTypeSample(
+    instructions_per_second=0.0, abc_per_second=0.0
+)
+
+
+class SlotPlacer:
+    """Greedy pair-swap placement over core slots.
+
+    ``slots`` passed to :meth:`plan` is a per-slot sequence of the
+    current occupants (``None`` = empty); an occupant must expose
+    ``samples`` (``{core_type: CoreTypeSample}`` of *real* measured
+    samples) and ``consecutive`` (quanta spent on the current core
+    type) -- see :class:`~repro.service.server.ServiceJob`.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        scheduler_name: str = "reliability",
+        *,
+        swap_threshold: float = DEFAULT_SWAP_THRESHOLD,
+    ):
+        try:
+            cls = PLACER_SCHEDULERS[scheduler_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown placement scheduler {scheduler_name!r}; "
+                f"known: {', '.join(PLACER_SCHEDULERS)}"
+            ) from None
+        self.machine = machine
+        self.scheduler_name = scheduler_name
+        self.scheduler = cls(
+            machine, machine.num_cores, swap_threshold=swap_threshold
+        )
+        self.assignment = Assignment(tuple(range(machine.num_cores)))
+
+    @property
+    def recorder(self):
+        """Optional :class:`~repro.obs.decisions.DecisionTraceRecorder`."""
+        return self.scheduler.recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self.scheduler.recorder = value
+
+    def core_of(self, slot: int) -> int:
+        """The core a slot is currently bound to."""
+        return self.assignment.core_of[slot]
+
+    def free_slots_by_preference(self, slots: Sequence) -> list[int]:
+        """Empty slots in admission order: big cores first, then core id."""
+        free = [i for i, job in enumerate(slots) if job is None]
+        return sorted(
+            free,
+            key=lambda i: (
+                self.machine.core_type(self.core_of(i)) != BIG,
+                self.core_of(i),
+            ),
+        )
+
+    def _effective_samples(
+        self, slots: Sequence
+    ) -> dict[tuple[int, str], CoreTypeSample]:
+        eff: dict[tuple[int, str], CoreTypeSample] = {}
+        for i, job in enumerate(slots):
+            big = job.samples.get(BIG) if job is not None else None
+            small = job.samples.get(SMALL) if job is not None else None
+            if big is None and small is None:
+                big = small = _ZERO_SAMPLE
+            elif big is None:
+                big = small
+            elif small is None:
+                small = big
+            eff[(i, BIG)] = big
+            eff[(i, SMALL)] = small
+        return eff
+
+    def plan(self, slots: Sequence, quantum_index: int) -> list[SegmentPlan]:
+        """Segments for the next quantum (fractions sum to 1).
+
+        Assignments are over slots: ``core_of[slot]`` is the core the
+        slot's occupant (if any) runs on this segment.
+        """
+        machine = self.machine
+        sched = self.scheduler
+        if len(slots) != machine.num_cores:
+            raise ValueError("one slot per core required")
+        before = self.assignment.core_of
+        sched._samples = self._effective_samples(slots)
+        self.assignment = sched._optimize(self.assignment)
+        after = self.assignment
+
+        # Staleness rule over occupied slots: refresh any job missing
+        # an off-type sample or parked on one core type too long.
+        stale: list[int] = []
+        for i, job in enumerate(slots):
+            if job is None:
+                continue
+            my_type = after.core_type_of(i, machine)
+            other = SMALL if my_type == BIG else BIG
+            if (
+                job.samples.get(other) is None
+                or job.consecutive >= machine.sampling_period_quanta
+            ):
+                stale.append(i)
+        sampling = after
+        sampling_swaps: list[tuple[int, int]] = []
+        used: set[int] = set()
+        for slot in sorted(stale, key=lambda i: -slots[i].consecutive):
+            if slot in used:
+                continue
+            my_type = after.core_type_of(slot, machine)
+            partners = [
+                j
+                for j in range(machine.num_cores)
+                if j != slot
+                and j not in used
+                and after.core_type_of(j, machine) != my_type
+            ]
+            if not partners:
+                continue
+            # Prefer swapping with an empty slot (no work displaced);
+            # otherwise with the occupant longest on the other type.
+            partner = max(
+                partners,
+                key=lambda j: (
+                    slots[j] is None,
+                    slots[j].consecutive if slots[j] is not None else 0,
+                    -j,
+                ),
+            )
+            sampling = sampling.with_swap(slot, partner)
+            sampling_swaps.append((slot, partner))
+            used.update((slot, partner))
+
+        if sampling_swaps:
+            fraction = (
+                machine.sampling_quantum_seconds / machine.quantum_seconds
+            )
+            plan = [
+                SegmentPlan(fraction, sampling, True),
+                SegmentPlan(1.0 - fraction, after, False),
+            ]
+        else:
+            plan = [SegmentPlan(1.0, after, False)]
+
+        recorder = sched.recorder
+        if recorder is not None:
+            objectives = [
+                (
+                    i,
+                    sched.objective_value(i, BIG),
+                    sched.objective_value(i, SMALL),
+                )
+                for i in range(machine.num_cores)
+            ]
+            recorder.quantum(
+                quantum=quantum_index,
+                scheduler=type(sched).__name__,
+                phase="greedy",
+                before=before,
+                after=after.core_of,
+                objectives=objectives,
+                stale=tuple(stale),
+                sampling_swaps=tuple(sampling_swaps),
+                segments=tuple(
+                    (p.fraction, p.assignment.core_of, p.is_sampling)
+                    for p in plan
+                ),
+            )
+        return plan

@@ -1,0 +1,102 @@
+"""Bounded admission queue with SLA deadline expiry.
+
+Jobs that arrive while every slot is busy wait here.  The queue is
+bounded: an arrival that finds it full is shed immediately
+(``queue_full``).  A queued job whose SLA start deadline passes before
+a slot frees up is shed at the next quantum boundary (``deadline``).
+Both shed paths emit explicit events, so overload is always visible in
+the feed rather than silently inflating queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.arrivals import JobArrival
+
+__all__ = ["AdmissionQueue", "QueuedJob"]
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """One job waiting for a slot.
+
+    Attributes:
+        arrival: the originating :class:`JobArrival`.
+        deadline_time: absolute virtual time by which the job must
+            *start* executing, or ``None`` for no SLA.
+    """
+
+    arrival: JobArrival
+    deadline_time: float | None
+
+    @property
+    def job_id(self) -> int:
+        return self.arrival.job_id
+
+    def wait_seconds(self, now: float) -> float:
+        return now - self.arrival.time_seconds
+
+
+class AdmissionQueue:
+    """Bounded FIFO-ordered holding area for not-yet-placed jobs."""
+
+    def __init__(
+        self, capacity: int, *, deadline_seconds: float | None = None
+    ):
+        """Args:
+        capacity: maximum number of waiting jobs (>= 1).
+        deadline_seconds: service-wide start-deadline applied to
+            jobs whose arrival carries no per-job deadline.
+        """
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.capacity = capacity
+        self.deadline_seconds = deadline_seconds
+        self._jobs: list[QueuedJob] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def jobs(self) -> tuple[QueuedJob, ...]:
+        """Waiting jobs in arrival order."""
+        return tuple(self._jobs)
+
+    def offer(self, arrival: JobArrival) -> QueuedJob | None:
+        """Enqueue an arrival; ``None`` means the queue was full."""
+        if len(self._jobs) >= self.capacity:
+            return None
+        deadline = (
+            arrival.deadline_seconds
+            if arrival.deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        job = QueuedJob(
+            arrival=arrival,
+            deadline_time=(
+                arrival.time_seconds + deadline
+                if deadline is not None
+                else None
+            ),
+        )
+        self._jobs.append(job)
+        return job
+
+    def expire(self, now: float) -> list[QueuedJob]:
+        """Remove and return jobs whose start deadline has passed."""
+        expired = [
+            j
+            for j in self._jobs
+            if j.deadline_time is not None and now > j.deadline_time
+        ]
+        if expired:
+            gone = {j.job_id for j in expired}
+            self._jobs = [j for j in self._jobs if j.job_id not in gone]
+        return expired
+
+    def take(self, job: QueuedJob) -> None:
+        """Remove a specific job (it is being admitted)."""
+        self._jobs.remove(job)

@@ -113,8 +113,9 @@ class TestFuzz:
     def test_seeded_session_passes(self, session):
         assert isinstance(session, FuzzReport)
         assert session.ok, session.format()
-        # + default kernel_cases=2, decision_cases=2, resume_cases=2
-        assert len(session.reports) == 10
+        # + default kernel_cases=2, decision_cases=2, resume_cases=2,
+        # service_cases=2
+        assert len(session.reports) == 12
 
     def test_same_seed_reproduces_byte_identical_findings(self, session):
         again = fuzz(0, model_cases=1, run_cases=2, stack_cases=1)
@@ -130,7 +131,7 @@ class TestFuzz:
         assert "fuzz seed=0" in text
         for prefix in ("model/0", "run/0", "run/1", "stack/0", "kernel/0",
                        "kernel/1", "decision/0", "decision/1", "resume/0",
-                       "resume/1"):
+                       "resume/1", "service/0", "service/1"):
             assert prefix in text
 
     def test_decision_cases_validate_traces(self, session):
@@ -155,8 +156,18 @@ class TestFuzz:
         for report in resumes:
             assert report.checked == ("resume_equivalence",)
 
+    def test_service_cases_check_feeds_and_conservation(self, session):
+        services = [r for r in session.reports
+                    if r.subject.startswith("service/")]
+        assert len(services) == 2
+        for report in services:
+            assert "service_feed_determinism" in report.checked
+            assert "open_system_conservation" in report.checked
+            assert "decision_trace_consistency" in report.checked
+
     def test_case_counts_respected(self):
         tiny = fuzz(5, model_cases=0, run_cases=1, stack_cases=0,
-                    kernel_cases=0, decision_cases=0, resume_cases=0)
+                    kernel_cases=0, decision_cases=0, resume_cases=0,
+                    service_cases=0)
         assert len(tiny.reports) == 1
         assert tiny.reports[0].subject.startswith("run/0")

@@ -37,7 +37,8 @@ def small_run():
 
 class TestRegistry:
     def test_every_subject_kind_has_invariants(self):
-        for kind in ("run", "stack", "schedule", "oracle", "differential"):
+        for kind in ("run", "stack", "schedule", "oracle", "differential",
+                     "service"):
             assert registered_invariants(kind), kind
 
     def test_descriptions_and_severities(self):

@@ -354,3 +354,66 @@ class TestResume:
         assert "108 jobs: 108 executed" in replay
         assert main(["stats", str(log)]) == 0
         assert "sim.runs" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    LOAD = ["load", "--machine", "1B1S", "--arrivals", "30",
+            "--rates", "2000", "--queue-limit", "4",
+            "--deadline", "0.005", "--instructions", "2000000",
+            "--seed", "0"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scheduler == "reliability"
+        assert args.admission == "fifo"
+        assert args.queue_limit == 16
+        assert args.socket is None
+        args = build_parser().parse_args(["load"])
+        assert args.arrivals == 200
+        assert args.rates == "400"
+        assert args.process == "poisson"
+        assert args.min_shed_rate is None
+        args = build_parser().parse_args(["check", "--service-cases", "0"])
+        assert args.service_cases == 0
+
+    def test_load_prints_summary_table(self, capsys):
+        assert main(self.LOAD) == 0
+        out = capsys.readouterr().out
+        assert "rate/s" in out and "shed%" in out and "sser" in out
+        assert " 30 " in out  # the arrived column
+
+    def test_load_digest_reproducible(self, capsys):
+        assert main([*self.LOAD, "--digest"]) == 0
+        first = capsys.readouterr().out
+        assert main([*self.LOAD, "--digest"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "feed sha256 @ 2000/s:" in first
+
+    def test_load_min_shed_rate_gate(self, capsys):
+        assert main([*self.LOAD, "--min-shed-rate", "0.01"]) == 0
+        capsys.readouterr()
+        # A lightly loaded system sheds nothing: the gate must fail.
+        assert main(["load", "--machine", "1B1S", "--arrivals", "10",
+                     "--rates", "100", "--instructions", "200000",
+                     "--min-shed-rate", "0.01"]) == 1
+        captured = capsys.readouterr()
+        assert "below the" in captured.err
+
+    def test_load_event_feed_written(self, capsys, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        assert main([*self.LOAD, "--event-feed", str(feed)]) == 0
+        capsys.readouterr()
+        lines = feed.read_text().splitlines()
+        assert lines
+        import json as json_mod
+        events = [json_mod.loads(line) for line in lines]
+        assert {e["event"] for e in events} >= {"arrive", "start", "depart"}
+
+    def test_load_bad_rates_rejected(self, capsys):
+        assert main(["load", "--rates", "fast"]) == 1
+        assert "bad --rates" in capsys.readouterr().err
+
+    def test_load_unknown_machine(self, capsys):
+        assert main(["load", "--machine", "9B9S"]) == 1
+        assert "unknown machine" in capsys.readouterr().err

@@ -74,12 +74,33 @@ class TestSerialParallelMergeEquality:
         report, events = run(jobs=2)
         snapshots = [e for e in events if isinstance(e, MetricsSnapshot)]
         finished = [e for e in events if isinstance(e, JobFinished)]
-        assert len(snapshots) == len(finished) == len(specs())
+        # One snapshot per job plus the engine's own (index=-1) snapshot
+        # carrying the submission-queue series.
+        per_job = [e for e in snapshots if e.index >= 0]
+        assert len(per_job) == len(finished) == len(specs())
+        engine_snapshots = [e for e in snapshots if e.index < 0]
+        assert [e.label for e in engine_snapshots] == ["engine"]
         # Replaying the event stream reproduces the report's registry.
         registry = obs_metrics.MetricsRegistry()
         for event in snapshots:
             registry.merge(event.metrics)
         assert series_dict(registry.snapshot()) == series_dict(report.metrics)
+
+    def test_engine_queue_series_present(self):
+        for jobs in (1, 2):
+            report, _ = run(jobs=jobs)
+            names = {name for (name, _labels) in report.metrics.series}
+            assert "queue.wait_seconds" in names
+            assert "queue.depth" in names
+            key = ("queue.wait_seconds", ())
+            kind, data = series_dict(report.metrics)[key]
+            assert kind == "timer"
+            assert data["count"] == len(specs())
+            kind, data = series_dict(report.metrics)[("queue.depth", ())]
+            assert kind == "gauge"
+            # The queue always drains: the last recorded depth is zero.
+            assert data["value"] == 0.0
+            assert data["set_count"] == len(specs())
 
     def test_metrics_off_by_default(self):
         engine = ExecutionEngine(jobs=1)

@@ -86,6 +86,32 @@ class TestSnapshot:
         assert lines[0] == "name,labels,kind,field,value"
         assert any(line.startswith("c,k=v,counter,value,3") for line in lines)
 
+    def test_csv_histogram_buckets_one_row_each(self, tmp_path):
+        import csv
+
+        reg = obs.MetricsRegistry()
+        series = reg.histogram("h")
+        series.observe(0.5)   # (0.25, 1]      -> bucket_le_1
+        series.observe(0.6)
+        series.observe(300.0)  # (256, 1024]   -> bucket_le_1024
+        series.observe(2e6)    # above 4^10    -> bucket_le_inf
+        path = tmp_path / "m.csv"
+        obs.write_csv(reg.snapshot(), path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        bucket_rows = [
+            (row[3], row[4]) for row in rows if row[3].startswith("bucket_")
+        ]
+        assert bucket_rows == [
+            ("bucket_le_1", "2"),
+            ("bucket_le_1024", "1"),
+            ("bucket_le_inf", "1"),
+        ]
+        # The old single-cell joined blob is gone.
+        assert not any(row[3] == "buckets" for row in rows)
+        # Empty buckets are not exported.
+        assert all(count != "0" for _field, count in bucket_rows)
+
 
 class TestMerge:
     def test_counters_add(self):

@@ -551,3 +551,54 @@ class TestExperimentSweepJobs:
               ("random",), instructions=500_000, progress=lines.append)
         assert len(lines) == 1
         assert lines[0].startswith("MH/0 random: sser=")
+
+
+def _cube(x):
+    return x ** 3
+
+
+class TestMapTasks:
+    def test_parallel_map_preserves_item_order(self):
+        engine = ExecutionEngine(jobs=2)
+        try:
+            assert engine.map_tasks(_cube, range(7)) == [
+                _cube(i) for i in range(7)
+            ]
+            # The pool persists across calls.
+            first = engine._map_executor
+            assert first is not None
+            engine.map_tasks(_cube, range(4))
+            assert engine._map_executor is first
+        finally:
+            engine.close()
+        assert engine._map_executor is None
+
+    def test_serial_paths_never_create_a_pool(self):
+        engine = ExecutionEngine(jobs=1)
+        assert engine.map_tasks(_cube, range(5)) == [
+            _cube(i) for i in range(5)
+        ]
+        assert engine._map_executor is None
+        engine = ExecutionEngine(jobs=4)
+        try:
+            assert engine.map_tasks(_cube, [3]) == [27]
+            assert engine._map_executor is None  # single item: no pool
+        finally:
+            engine.close()
+
+    def test_pool_unavailable_maps_in_process(self, monkeypatch):
+        def no_pool(max_workers):
+            raise OSError("no process support here")
+
+        monkeypatch.setattr(
+            ExecutionEngine, "_executor_factory", staticmethod(no_pool)
+        )
+        engine = ExecutionEngine(jobs=2)
+        with pytest.warns(UserWarning, match="process pool unavailable"):
+            assert engine.map_tasks(_cube, range(4)) == [
+                _cube(i) for i in range(4)
+            ]
+        # Creation is not retried on the next call.
+        assert engine.map_tasks(_cube, range(4)) == [
+            _cube(i) for i in range(4)
+        ]

@@ -1,0 +1,111 @@
+"""Tests for the seeded, deterministic arrival processes."""
+
+import pytest
+
+from repro.service.arrivals import (
+    ARRIVAL_PROCESSES,
+    BurstyArrivals,
+    DiurnalArrivals,
+    JobArrival,
+    PoissonArrivals,
+    make_process,
+    service_benchmark_pool,
+)
+from repro.workloads.spec2006 import SUITE
+
+
+class TestBenchmarkPool:
+    def test_pool_is_deduplicated_and_known(self):
+        pool = service_benchmark_pool()
+        assert pool
+        assert len(pool) == len(set(pool))
+        assert all(name in SUITE for name in pool)
+
+    def test_pool_is_deterministic(self):
+        assert service_benchmark_pool() == service_benchmark_pool()
+
+
+class TestJobArrival:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="arrival time"):
+            JobArrival(0, -0.1, "mcf", 1000)
+
+    def test_rejects_non_positive_instructions(self):
+        with pytest.raises(ValueError, match="instruction budget"):
+            JobArrival(0, 0.0, "mcf", 0)
+
+    def test_per_job_deadline_defaults_to_none(self):
+        assert JobArrival(0, 0.0, "mcf", 1000).deadline_seconds is None
+
+
+class TestProcesses:
+    def test_registry_names(self):
+        assert sorted(ARRIVAL_PROCESSES) == ["bursty", "diurnal", "poisson"]
+        assert ARRIVAL_PROCESSES["poisson"] is PoissonArrivals
+        assert ARRIVAL_PROCESSES["bursty"] is BurstyArrivals
+        assert ARRIVAL_PROCESSES["diurnal"] is DiurnalArrivals
+
+    @pytest.mark.parametrize("name", sorted(ARRIVAL_PROCESSES))
+    def test_stream_deterministic_increasing_and_labeled(self, name):
+        process = make_process(name, 500.0, seed=3)
+        stream = process.stream(50)
+        assert stream == make_process(name, 500.0, seed=3).stream(50)
+        assert [job.job_id for job in stream] == list(range(50))
+        times = [job.time_seconds for job in stream]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert times[0] > 0.0
+        assert all(job.benchmark in process.benchmarks for job in stream)
+
+    @pytest.mark.parametrize("name", sorted(ARRIVAL_PROCESSES))
+    def test_seed_changes_stream(self, name):
+        a = make_process(name, 500.0, seed=0).stream(20)
+        b = make_process(name, 500.0, seed=1).stream(20)
+        assert [j.time_seconds for j in a] != [j.time_seconds for j in b]
+
+    def test_poisson_mean_rate_matches_target(self):
+        stream = make_process("poisson", 1000.0, seed=7).stream(2000)
+        span = stream[-1].time_seconds
+        assert 2000 / span == pytest.approx(1000.0, rel=0.1)
+
+    def test_stream_prefix_stability(self):
+        process = make_process("bursty", 800.0, seed=5)
+        # Arrival *times* are generated sequentially, so a longer
+        # stream extends a shorter one (benchmark draws follow the
+        # time draws, hence only times are prefix-stable).
+        short = [j.time_seconds for j in process.stream(10)]
+        long = [j.time_seconds for j in process.stream(30)]
+        assert long[: len(short)] == short
+
+    def test_deadline_propagates_to_arrivals(self):
+        stream = make_process(
+            "poisson", 500.0, seed=0, deadline_seconds=0.01
+        ).stream(5)
+        assert all(job.deadline_seconds == 0.01 for job in stream)
+
+    def test_instructions_propagate_to_arrivals(self):
+        stream = make_process(
+            "poisson", 500.0, seed=0, instructions=123_456
+        ).stream(5)
+        assert all(job.instructions == 123_456 for job in stream)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_process("sawtooth", 100.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError, match="instruction budget"):
+            PoissonArrivals(100.0, instructions=0)
+        with pytest.raises(ValueError, match="benchmark pool"):
+            PoissonArrivals(100.0, benchmarks=())
+        with pytest.raises(ValueError, match="burst factor"):
+            BurstyArrivals(100.0, burst_factor=0.5)
+        with pytest.raises(ValueError, match="dwell"):
+            BurstyArrivals(100.0, calm_seconds=0.0)
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrivals(100.0, amplitude=1.5)
+        with pytest.raises(ValueError, match="period"):
+            DiurnalArrivals(100.0, period_seconds=0.0)
+        with pytest.raises(ValueError, match="count"):
+            PoissonArrivals(100.0).stream(-1)

@@ -1,0 +1,112 @@
+"""Tests for the bounded admission queue and admission policies."""
+
+import pytest
+
+from repro.service.admission import (
+    ADMISSION_POLICIES,
+    FifoAdmission,
+    SserPriorityAdmission,
+    make_admission,
+)
+from repro.service.arrivals import JobArrival
+from repro.service.queue import AdmissionQueue
+from repro.workloads.spec2006 import benchmark, big_core_avf
+
+
+def arrival(job_id, time, name="mcf", deadline=None):
+    return JobArrival(job_id, time, name, 100_000, deadline_seconds=deadline)
+
+
+class TestAdmissionQueue:
+    def test_offer_is_bounded(self):
+        queue = AdmissionQueue(2)
+        assert queue.offer(arrival(0, 0.0)) is not None
+        assert queue.offer(arrival(1, 0.1)) is not None
+        assert queue.offer(arrival(2, 0.2)) is None  # full: shed
+        assert len(queue) == 2
+        assert [j.job_id for j in queue.jobs] == [0, 1]
+
+    def test_take_frees_capacity(self):
+        queue = AdmissionQueue(1)
+        job = queue.offer(arrival(0, 0.0))
+        queue.take(job)
+        assert len(queue) == 0
+        assert queue.offer(arrival(1, 0.1)) is not None
+
+    def test_service_deadline_applies_to_plain_arrivals(self):
+        queue = AdmissionQueue(4, deadline_seconds=0.01)
+        job = queue.offer(arrival(0, 0.5))
+        assert job.deadline_time == pytest.approx(0.51)
+
+    def test_per_job_deadline_overrides_service_deadline(self):
+        queue = AdmissionQueue(4, deadline_seconds=0.01)
+        job = queue.offer(arrival(0, 0.5, deadline=0.002))
+        assert job.deadline_time == pytest.approx(0.502)
+
+    def test_no_deadline_never_expires(self):
+        queue = AdmissionQueue(4)
+        queue.offer(arrival(0, 0.0))
+        assert queue.expire(1e9) == []
+
+    def test_expire_removes_only_overdue_jobs(self):
+        queue = AdmissionQueue(4, deadline_seconds=0.01)
+        queue.offer(arrival(0, 0.0))   # deadline 0.01
+        queue.offer(arrival(1, 0.02))  # deadline 0.03
+        expired = queue.expire(0.02)   # strictly past 0.01 only
+        assert [j.job_id for j in expired] == [0]
+        assert [j.job_id for j in queue.jobs] == [1]
+        assert queue.expire(0.01) == []  # boundary is not yet overdue
+
+    def test_wait_seconds_is_measured_from_arrival(self):
+        queue = AdmissionQueue(4)
+        job = queue.offer(arrival(0, 0.25))
+        assert job.wait_seconds(0.75) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(0)
+        with pytest.raises(ValueError, match="deadline"):
+            AdmissionQueue(1, deadline_seconds=0.0)
+
+
+class TestAdmissionPolicies:
+    def test_registry(self):
+        assert sorted(ADMISSION_POLICIES) == ["fifo", "sser"]
+        assert isinstance(make_admission("fifo"), FifoAdmission)
+        assert isinstance(make_admission("sser"), SserPriorityAdmission)
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            make_admission("lifo")
+
+    def test_fifo_selects_earliest_arrival(self):
+        queue = AdmissionQueue(4)
+        queue.offer(arrival(0, 0.3))
+        queue.offer(arrival(1, 0.1))
+        queue.offer(arrival(2, 0.2))
+        picked = FifoAdmission().select(queue.jobs, now=0.4)
+        assert picked.job_id == 1
+
+    def test_fifo_ties_break_on_job_id(self):
+        queue = AdmissionQueue(4)
+        queue.offer(arrival(5, 0.1))
+        queue.offer(arrival(2, 0.1))
+        assert FifoAdmission().select(queue.jobs, now=0.2).job_id == 2
+
+    def test_sser_prefers_lowest_big_core_avf(self):
+        # Pick two benchmarks with clearly different big-core AVF and
+        # enqueue the high-AVF one *first*: FIFO would admit it, the
+        # reliability-aware policy must not.
+        lo, hi = sorted(
+            ("povray", "milc"), key=lambda n: big_core_avf(benchmark(n))
+        )
+        queue = AdmissionQueue(4)
+        queue.offer(arrival(0, 0.0, name=hi))
+        queue.offer(arrival(1, 0.1, name=lo))
+        policy = SserPriorityAdmission()
+        assert policy.select(queue.jobs, now=0.2).job_id == 1
+        assert FifoAdmission().select(queue.jobs, now=0.2).job_id == 0
+
+    def test_sser_same_benchmark_falls_back_to_fifo_order(self):
+        queue = AdmissionQueue(4)
+        queue.offer(arrival(0, 0.2, name="mcf"))
+        queue.offer(arrival(1, 0.1, name="mcf"))
+        assert SserPriorityAdmission().select(queue.jobs, now=0.3).job_id == 1
