@@ -1,0 +1,259 @@
+"""Environment-independent phase features for the batched analyzer.
+
+The scalar :func:`repro.cores.mechanistic.analyze_big_phase` /
+:func:`analyze_small_phase` recompute everything per call, but most of
+their inputs depend only on ``(chars, core, memory)`` -- not on the
+:class:`~repro.cores.base.MemoryEnvironment`.  This module hoists that
+part into a :class:`PhaseFeatures` record of plain Python floats,
+computed once per (phase characteristics, core config, memory config)
+triple with *exactly* the scalar code's operation order, so the
+environment-dependent tail (:mod:`repro.batch.analysis`) reproduces
+the scalar results bit-for-bit.
+
+Only the LLC miss rate (through ``l3_mpki_at_share``), the DRAM
+latency multiplier, and everything downstream of the resulting CPI
+vary with the environment; the CPI prefix
+``base + resource + bpred + icache + l2`` is a left fold of
+environment-independent components and is frozen here as ``cpi_prefix``
+(``sum`` of a dict is the same left fold starting at ``0``, and
+``0.0 + base == base`` exactly for the positive ``base``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.config.cores import CoreConfig
+from repro.config.machines import MemoryConfig
+from repro.cores.mechanistic import (
+    _ARCH_REG_LIVE_FRACTION,
+    _BACKEND_SLACK,
+    _CORRECT_PATH_RUN_FACTOR,
+    _ICACHE_EXTRA,
+    _INORDER_ILP_EFFICIENCY,
+    _L2_EXPOSED_BIG,
+    _MEM_OCCUPANCY_FACTOR,
+    _REFILL_OCCUPANCY,
+    _WRONG_PATH_WINDOW_FRACTION,
+    _fu_throughput_limit,
+    _producer_latency,
+    _register_bits_per_writer,
+    _writer_fraction,
+)
+from repro.isa.instruction import InstructionClass
+
+if TYPE_CHECKING:
+    from repro.workloads.characteristics import PhaseCharacteristics
+
+
+class PhaseFeatures:
+    """Environment-independent scalars of one (phase, core, memory).
+
+    All numeric attributes are plain Python floats computed in the
+    scalar analyzers' exact association order; ``pools`` carries the
+    functional-unit constants needed for the IPC-dependent FU term.
+    """
+
+    __slots__ = (
+        "kind", "core", "memory", "chars",
+        # miss-rate inputs
+        "m1", "m2", "l3_mpki", "sens_headroom",
+        "br", "ic", "p_bl", "mlp",
+        # latency inputs
+        "l2_lat", "l3_lat", "dram_base",
+        # CPI stack
+        "cpi_prefix", "comp_l2", "t_fe",
+        # mix-derived
+        "non_nop", "load", "store", "writer_frac", "reg_bits_per_writer",
+        # big-core occupancy model
+        "rob_size", "rob_bits", "iq_size", "iq_bits",
+        "lq_size", "lq_bits", "sq_size", "sq_bits",
+        "occ_base_fixed", "occ_base_const", "fe_events", "fill_rate",
+        "refill_occ", "time_to_fill", "ramp_ttf", "occ_mem",
+        "wp_mem", "run_cap", "run_cap_finite", "arch_add",
+        # small-core occupancy model
+        "latch_bits", "occ_flow", "occ_stall", "occ_fe_small",
+        "iq_occ_flow", "iq_occ_fe", "iq_occ_stall", "store_drain_extra",
+        # functional units: (frac, latency, max_in_flight, bits) + ALU extra
+        "pools", "alu_count", "alu_bits", "extra_frac",
+    )
+
+    def __init__(
+        self,
+        chars: "PhaseCharacteristics",
+        core: CoreConfig,
+        memory: MemoryConfig,
+    ) -> None:
+        self.kind = "big" if core.out_of_order else "small"
+        self.core = core
+        self.memory = memory
+        self.chars = chars
+
+        width = float(core.width)
+        self.m1 = chars.l1d_mpki / 1000.0
+        self.m2 = chars.l2_mpki / 1000.0
+        # l3_mpki_at_share(s) == l3_mpki + (headroom*sens) * (1 - s)
+        self.l3_mpki = chars.l3_mpki
+        headroom = max(chars.l2_mpki - chars.l3_mpki, 0.0)
+        self.sens_headroom = headroom * chars.cache_sensitivity
+        self.br = chars.branch_mpki / 1000.0
+        self.ic = chars.icache_mpki / 1000.0
+        self.p_bl = chars.branch_depends_on_load_prob
+        self.mlp = chars.mlp if core.out_of_order else 1.0  # _SMALL_MLP
+        self.l2_lat = float(memory.l2.latency_cycles)
+        self.l3_lat = memory.l3.latency_cycles
+        self.dram_base = memory.dram_latency_cycles(core.frequency_ghz)
+
+        producer_lat = _producer_latency(chars)
+        if core.out_of_order:
+            ipc_dataflow = chars.dep_distance_mean / producer_lat
+        else:
+            ipc_dataflow = (
+                _INORDER_ILP_EFFICIENCY * chars.dep_distance_mean / producer_lat
+            )
+        ipc_limit = min(width, ipc_dataflow, _fu_throughput_limit(core, chars))
+
+        comp_base = 1.0 / width
+        comp_resource = 1.0 / ipc_limit - 1.0 / width
+        if core.out_of_order:
+            drain = producer_lat + _BACKEND_SLACK
+            comp_bpred = self.br * (
+                core.frontend_depth + drain * (1.0 - self.p_bl)
+            )
+            self.comp_l2 = (self.m1 - self.m2) * self.l2_lat * _L2_EXPOSED_BIG
+        else:
+            comp_bpred = self.br * core.frontend_depth
+            self.comp_l2 = (self.m1 - self.m2) * self.l2_lat
+        comp_icache = self.ic * (self.l2_lat + _ICACHE_EXTRA)
+        # Left fold of sum({"base", "resource", "bpred", "icache", "l2"}).
+        self.cpi_prefix = (
+            0.0 + comp_base + comp_resource + comp_bpred + comp_icache
+            + self.comp_l2
+        )
+        self.t_fe = comp_bpred + comp_icache
+
+        self.non_nop = 1.0 - chars.mix.nop
+        self.load = chars.mix.load
+        self.store = chars.mix.store
+        self.writer_frac = _writer_fraction(chars)
+        self.reg_bits_per_writer = _register_bits_per_writer(chars)
+        self.arch_add = (
+            float(core.register_file.arch_bits) * _ARCH_REG_LIVE_FRACTION
+        )
+
+        self.iq_size = float(core.issue_queue.entries)
+        self.iq_bits = float(core.issue_queue.bits_per_entry)
+        self.sq_size = float(core.store_queue.entries)
+        self.sq_bits = float(core.store_queue.bits_per_entry)
+
+        if core.out_of_order:
+            assert core.rob is not None and core.load_queue is not None
+            rob_size = float(core.rob.entries)
+            self.rob_size = rob_size
+            self.rob_bits = float(core.rob.bits_per_entry)
+            self.lq_size = float(core.load_queue.entries)
+            self.lq_bits = float(core.load_queue.bits_per_entry)
+            self.refill_occ = min(rob_size, _REFILL_OCCUPANCY)
+            self.fill_rate = max(0.0, width - ipc_limit)
+            self.fe_events = self.br + self.ic
+            if self.fill_rate <= 1e-12:
+                self.occ_base_fixed = True
+                self.occ_base_const = min(
+                    rob_size, width * (producer_lat + _BACKEND_SLACK * 2)
+                )
+                self.time_to_fill = 1.0
+                self.ramp_ttf = 0.0
+            elif self.fe_events <= 1e-12:
+                self.occ_base_fixed = True
+                self.occ_base_const = rob_size
+                self.time_to_fill = 1.0
+                self.ramp_ttf = 0.0
+            else:
+                self.occ_base_fixed = False
+                self.occ_base_const = 0.0
+                self.time_to_fill = (rob_size - self.refill_occ) / self.fill_rate
+                ramp_avg = (self.refill_occ + rob_size) / 2.0
+                self.ramp_ttf = ramp_avg * self.time_to_fill
+            self.occ_mem = rob_size * _MEM_OCCUPANCY_FACTOR
+            self.wp_mem = self.p_bl * _WRONG_PATH_WINDOW_FRACTION
+            if self.br > 0:
+                self.run_cap = _CORRECT_PATH_RUN_FACTOR / self.br
+                self.run_cap_finite = True
+            else:
+                self.run_cap = math.inf
+                self.run_cap_finite = False
+            self.latch_bits = 0.0
+            self.occ_flow = 0.0
+            self.occ_stall = 0.0
+            self.occ_fe_small = 0.0
+            self.iq_occ_flow = 0.0
+            self.iq_occ_fe = 0.0
+            self.iq_occ_stall = 0.0
+            self.store_drain_extra = 0.0
+        else:
+            assert core.pipeline_latches is not None
+            latches = core.pipeline_latches
+            latch_slots = float(latches.entries)
+            self.latch_bits = float(latches.bits_per_entry)
+            self.occ_flow = min(latch_slots, ipc_limit * core.frontend_depth)
+            self.occ_stall = latch_slots
+            # _FE_OCCUPANCY_FACTOR
+            self.occ_fe_small = self.occ_flow * 0.25
+            self.iq_occ_flow = min(self.iq_size, ipc_limit)
+            self.iq_occ_fe = 0.5
+            self.iq_occ_stall = self.iq_size
+            # "stall" SQ occupancy adds 2.0 * store * 10.0 to sq_base.
+            self.store_drain_extra = 2.0 * chars.mix.store * 10.0
+            self.rob_size = 0.0
+            self.rob_bits = 0.0
+            self.lq_size = 0.0
+            self.lq_bits = 0.0
+            self.occ_base_fixed = True
+            self.occ_base_const = 0.0
+            self.fe_events = 0.0
+            self.fill_rate = 0.0
+            self.refill_occ = 0.0
+            self.time_to_fill = 1.0
+            self.ramp_ttf = 0.0
+            self.occ_mem = 0.0
+            self.wp_mem = 0.0
+            self.run_cap = math.inf
+            self.run_cap_finite = False
+
+        mix = chars.mix.as_dict()
+        self.pools = tuple(
+            (
+                mix.get(pool.instruction_class, 0.0),
+                pool.latency,
+                float(pool.max_in_flight),
+                pool.bits,
+            )
+            for pool in core.functional_units
+        )
+        alu = core.fu_pool(InstructionClass.INT_ALU)
+        self.alu_count = float(alu.count)
+        self.alu_bits = alu.bits
+        self.extra_frac = chars.mix.load + chars.mix.store + chars.mix.branch
+
+
+_FEATURE_CACHE: dict[tuple[int, int, int], PhaseFeatures] = {}
+
+
+def extract_features(
+    chars: "PhaseCharacteristics",
+    core: CoreConfig,
+    memory: MemoryConfig,
+) -> PhaseFeatures:
+    """Features for a phase, cached by object identity.
+
+    Callers that want cache hits across runs should canonicalize the
+    ``chars``/``core``/``memory`` objects first (the batched driver
+    does, via its profile/machine registries).
+    """
+    key = (id(chars), id(core), id(memory))
+    feat = _FEATURE_CACHE.get(key)
+    if feat is None:
+        feat = PhaseFeatures(chars, core, memory)
+        _FEATURE_CACHE[key] = feat
+    return feat

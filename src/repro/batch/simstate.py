@@ -1,0 +1,148 @@
+"""Struct-of-arrays state for cross-run batched simulation.
+
+One :class:`SimState` holds the mutable accumulators of *every* run in
+a batched sweep as flat numpy arrays: a few per-run arrays (quantum
+index, virtual time, liveness) plus per-lane arrays, where a *lane* is
+one (run, application) slot.  Lanes of run ``r`` occupy the contiguous
+index range ``run_offset[r]:run_offset[r + 1]``, so per-run reductions
+are cheap slices and the whole sweep advances with element-wise array
+ops (see :class:`repro.batch.sweep.BatchedSweep`).
+
+The fields mirror the scalar accumulators of
+:class:`repro.sim.multicore.MulticoreSimulation._run` one-for-one
+(``positions``, the :class:`~repro.sim.results.AppRunRecord` sums,
+``last_core``, demand rates), in the same float64/int64 types the
+scalar loop uses, which is what makes bit-identical results possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: ``last_core`` value meaning "never ran" (the scalar path's ``None``).
+NEVER_RAN = -2
+
+
+@dataclass
+class SimState:
+    """Flat per-run / per-lane accumulators of a batched sweep.
+
+    Attributes:
+        run_offset: ``(R + 1,)`` int64 -- lane range of each run.
+        quantum: ``(R,)`` int64 -- quanta completed per run.
+        now: ``(R,)`` float64 -- virtual time per run.
+        active: ``(R,)`` bool -- run still has unfinished applications.
+        positions: ``(L,)`` int64 -- dynamic-instruction position
+            (monotonic; wraps modulo the profile length on restart).
+        profile_instructions: ``(L,)`` int64 -- profile length per lane.
+        instructions: ``(L,)`` int64 -- committed instructions.
+        abc_seconds / occupancy_bit_seconds: ``(L,)`` float64 -- ACE
+            and total-occupancy bit-seconds (ground truth).
+        dram_accesses / l3_accesses: ``(L,)`` float64 -- traffic.
+        time_big_seconds / time_small_seconds: ``(L,)`` float64.
+        instructions_big / instructions_small: ``(L,)`` int64.
+        migrations: ``(L,)`` int64.
+        last_core: ``(L,)`` int64 -- previous core id, or
+            :data:`NEVER_RAN`.  A parked segment does not update it,
+            exactly like the scalar loop.
+    """
+
+    run_offset: np.ndarray
+    quantum: np.ndarray
+    now: np.ndarray
+    active: np.ndarray
+    positions: np.ndarray
+    profile_instructions: np.ndarray
+    instructions: np.ndarray
+    abc_seconds: np.ndarray
+    occupancy_bit_seconds: np.ndarray
+    dram_accesses: np.ndarray
+    l3_accesses: np.ndarray
+    time_big_seconds: np.ndarray
+    time_small_seconds: np.ndarray
+    instructions_big: np.ndarray
+    instructions_small: np.ndarray
+    migrations: np.ndarray
+    last_core: np.ndarray
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.quantum)
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self.positions)
+
+    def lanes_of(self, run: int) -> tuple[int, int]:
+        """Lane index range ``[lo, hi)`` of one run."""
+        return int(self.run_offset[run]), int(self.run_offset[run + 1])
+
+    @classmethod
+    def allocate(cls, profile_instructions: Sequence[Sequence[int]]) -> "SimState":
+        """Fresh state for runs with the given per-app profile lengths."""
+        counts = [len(lengths) for lengths in profile_instructions]
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        lanes = int(offsets[-1])
+        flat = [int(n) for lengths in profile_instructions for n in lengths]
+        runs = len(counts)
+        return cls(
+            run_offset=offsets,
+            quantum=np.zeros(runs, dtype=np.int64),
+            now=np.zeros(runs, dtype=np.float64),
+            active=np.ones(runs, dtype=bool),
+            positions=np.zeros(lanes, dtype=np.int64),
+            profile_instructions=np.array(flat, dtype=np.int64),
+            instructions=np.zeros(lanes, dtype=np.int64),
+            abc_seconds=np.zeros(lanes, dtype=np.float64),
+            occupancy_bit_seconds=np.zeros(lanes, dtype=np.float64),
+            dram_accesses=np.zeros(lanes, dtype=np.float64),
+            l3_accesses=np.zeros(lanes, dtype=np.float64),
+            time_big_seconds=np.zeros(lanes, dtype=np.float64),
+            time_small_seconds=np.zeros(lanes, dtype=np.float64),
+            instructions_big=np.zeros(lanes, dtype=np.int64),
+            instructions_small=np.zeros(lanes, dtype=np.int64),
+            migrations=np.zeros(lanes, dtype=np.int64),
+            last_core=np.full(lanes, NEVER_RAN, dtype=np.int64),
+        )
+
+    def select(self, run_indices: Sequence[int]) -> "SimState":
+        """A copy holding only the given runs (property-test helper).
+
+        The returned state has its own compacted lane ranges; the
+        split/concatenate equivalence tests compare it field-by-field
+        against a state built from the same runs alone.
+        """
+        run_indices = list(run_indices)
+        lane_idx: list[int] = []
+        counts: list[int] = []
+        for r in run_indices:
+            lo, hi = self.lanes_of(r)
+            lane_idx.extend(range(lo, hi))
+            counts.append(hi - lo)
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        runs = np.array(run_indices, dtype=np.intp)
+        lanes = np.array(lane_idx, dtype=np.intp)
+        return SimState(
+            run_offset=offsets,
+            quantum=self.quantum[runs].copy(),
+            now=self.now[runs].copy(),
+            active=self.active[runs].copy(),
+            positions=self.positions[lanes].copy(),
+            profile_instructions=self.profile_instructions[lanes].copy(),
+            instructions=self.instructions[lanes].copy(),
+            abc_seconds=self.abc_seconds[lanes].copy(),
+            occupancy_bit_seconds=self.occupancy_bit_seconds[lanes].copy(),
+            dram_accesses=self.dram_accesses[lanes].copy(),
+            l3_accesses=self.l3_accesses[lanes].copy(),
+            time_big_seconds=self.time_big_seconds[lanes].copy(),
+            time_small_seconds=self.time_small_seconds[lanes].copy(),
+            instructions_big=self.instructions_big[lanes].copy(),
+            instructions_small=self.instructions_small[lanes].copy(),
+            migrations=self.migrations[lanes].copy(),
+            last_core=self.last_core[lanes].copy(),
+        )

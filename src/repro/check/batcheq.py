@@ -1,0 +1,75 @@
+"""Batched-vs-scalar sweep equivalence checking.
+
+The cross-run batched engine (:mod:`repro.batch`) re-derives every
+scalar accumulation as numpy array ops, so its results must match the
+scalar reference engine *byte-for-byte* on the same platform.  This
+module freezes that contract as a registered invariant: two result
+lists are serialized through
+:func:`repro.sim.serialize.run_result_to_dict` and diffed field by
+field, and every divergence is reported with its full field path
+(``run[3].apps[1].abc_seconds``) and both values.
+
+:data:`BATCH_REL_TOL` (``1e-12``) is headroom only -- the batched
+driver preserves the scalar association order everywhere, so on one
+platform the diff is expected to be empty at tolerance zero; the slack
+absorbs hypothetical cross-platform libm differences, mirroring the
+golden corpus policy (see ``docs/batching.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.check.golden import _diff
+from repro.check.invariants import CheckReport, Finding, _apply, invariant
+from repro.sim.results import RunResult
+from repro.sim.serialize import run_result_to_dict
+
+#: Relative float tolerance for batched-vs-scalar comparison.  The
+#: engines are byte-identical by design; this is cross-platform slack,
+#: not an accuracy budget.
+BATCH_REL_TOL = 1e-12
+
+
+@invariant("batched_sweep_equivalence", subject="batch")
+def _batched_sweep_equivalence(
+    scalar: Sequence[dict], batched: Sequence[dict], rel_tol: float
+) -> Iterator[Finding]:
+    """The batched engine reproduces the scalar engine's results.
+
+    Both sides are serialized run results in request order; every
+    field-level mismatch beyond ``rel_tol`` is reported with its full
+    field path and both values.
+    """
+    if len(scalar) != len(batched):
+        yield (
+            "scalar and batched sweeps produced different run counts",
+            {"batched_runs": len(batched), "scalar_runs": len(scalar)},
+        )
+        return
+    for index, (expected, actual) in enumerate(zip(scalar, batched)):
+        for message, values in _diff(
+            expected, actual, f"run[{index}]", rel_tol
+        ):
+            yield (
+                f"batched result diverges from scalar: {message}",
+                values,
+            )
+
+
+def check_batch(
+    scalar_results: Sequence[RunResult],
+    batched_results: Sequence[RunResult],
+    *,
+    label: str = "batch",
+    rel_tol: float = BATCH_REL_TOL,
+) -> CheckReport:
+    """Diff a batched sweep's results against the scalar reference.
+
+    ``scalar_results`` and ``batched_results`` hold the same requests
+    in the same order, one computed by the scalar engine and one by
+    :class:`~repro.batch.sweep.BatchedSweep`.
+    """
+    scalar = [run_result_to_dict(result) for result in scalar_results]
+    batched = [run_result_to_dict(result) for result in batched_results]
+    return _apply("batch", label, scalar, batched, rel_tol)

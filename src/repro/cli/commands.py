@@ -210,7 +210,8 @@ def cmd_sweep(args) -> int:
                         jobs=_jobs(args), sinks=sinks,
                         checks=_checks(args),
                         metrics=getattr(args, "metrics", False),
-                        store=getattr(args, "store", None))
+                        store=getattr(args, "store", None),
+                        batched=getattr(args, "batched", False))
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -662,6 +663,7 @@ def cmd_check(args) -> int:
             decision_cases=args.decision_cases,
             resume_cases=args.resume_cases,
             service_cases=args.service_cases,
+            batch_cases=args.batch_cases,
         )
         print(report.format())
         failed = failed or not report.ok
@@ -700,6 +702,18 @@ def cmd_bench(args) -> int:
                 f"error: disabled-observability overhead "
                 f"{100 * overhead:.2f}% exceeds the "
                 f"{100 * args.max_disabled_overhead:.2f}% ceiling",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_batch_speedup is not None:
+        speedup = report["results"]["batch"]["batch_1024"][
+            "speedup_vs_scalar"
+        ]
+        if speedup < args.min_batch_speedup:
+            print(
+                f"error: batched-sweep speedup {speedup:.2f}x at batch "
+                f"size 1024 is below the {args.min_batch_speedup:.2f}x "
+                f"floor",
                 file=sys.stderr,
             )
             return 1

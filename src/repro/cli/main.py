@@ -126,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "atomically-written file per run); with "
                             "--event-log, an interrupted sweep can be "
                             "finished with `repro resume`")
+    sweep.add_argument("--batched", action="store_true",
+                       help="advance the whole sweep as one cross-run "
+                            "numpy batch (repro.batch); results are "
+                            "byte-identical to the scalar engine")
     _add_runtime_arguments(sweep)
     sweep.set_defaults(func=commands.cmd_sweep)
 
@@ -208,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--service-cases", type=int, default=2,
                        help="open-system serial-vs-parallel feed "
                             "equivalence cases")
+    check.add_argument("--batch-cases", type=int, default=2,
+                       help="batched-vs-scalar sweep equivalence cases "
+                            "(repro.batch differential fuzzing)")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
     check.add_argument("--update-goldens", action="store_true",
@@ -235,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail if dormant observability hooks cost "
                             "more than this fraction on the OoO kernel "
                             "path (e.g. 0.03 = 3%%)")
+    bench.add_argument("--min-batch-speedup", type=float, default=None,
+                       help="fail unless the batched sweep beats the "
+                            "scalar engine by this factor at batch "
+                            "size 1024")
     bench.set_defaults(func=commands.cmd_bench)
 
     figure = subparsers.add_parser(

@@ -2,8 +2,11 @@
 
 Times the layers the `repro.kernels` work optimizes -- trace
 generation (and the trace cache), batched cache access, the OoO and
-in-order window kernels (against their straight-line references), and
-a small end-to-end sweep -- and emits a machine-readable report
+in-order window kernels (against their straight-line references), a
+small end-to-end sweep, and the cross-run batched engine
+(:mod:`repro.batch`) at batch sizes 1/64/1024 against the scalar
+engine (``--min-batch-speedup`` gates the 1024 point) -- and emits a
+machine-readable report
 (``BENCH_PERF.json``) so the performance trajectory is tracked
 PR-over-PR.  Run via ``repro bench`` or
 ``python benchmarks/bench_perf.py``.
@@ -241,6 +244,73 @@ def run_bench(quick: bool = False) -> dict:
         "runs_per_s": runs / sweep_s,
     }
 
+    # -- cross-run batched sweep vs the scalar engine --
+    # Throughput of repro.batch at batch sizes 1/64/1024 against a
+    # scalar-engine baseline over identical requests.  Batch size 1 is
+    # expected to be *slower* (array setup dominates one run) and is
+    # reported for honesty; the regression gate (--min-batch-speedup)
+    # applies at batch size 1024, where the cross-run amortization
+    # pays off.
+    from repro.ace.counters import AceCounterMode
+    from repro.batch.sweep import BatchRunRequest, run_workload_batch
+    from repro.sim.multicore import MulticoreSimulation
+    from repro.sim.experiment import make_scheduler
+
+    batch_machine = STANDARD_MACHINES["2B2S"]()
+    batch_instructions = 300_000 if quick else 1_000_000
+    batch_mixes = generate_workloads(batch_machine.num_cores)
+    batch_schedulers = ("random", "performance", "reliability")
+
+    def batch_request(i: int) -> BatchRunRequest:
+        mix = batch_mixes[i % len(batch_mixes)]
+        return BatchRunRequest(
+            machine=batch_machine,
+            benchmarks=mix.benchmarks,
+            scheduler=batch_schedulers[i % len(batch_schedulers)],
+            instructions=batch_instructions,
+            seed=i,
+            counter_mode=AceCounterMode.FULL,
+        )
+
+    def scalar_run(req: BatchRunRequest):
+        profiles = [
+            benchmark(name).scaled(req.instructions)
+            for name in req.benchmarks
+        ]
+        scheduler = make_scheduler(
+            req.scheduler, req.machine, len(profiles), req.seed
+        )
+        return MulticoreSimulation(
+            req.machine, profiles, scheduler, counter_mode=req.counter_mode
+        ).run()
+
+    scalar_count = 4 if quick else 8
+    t0 = time.perf_counter()
+    for i in range(scalar_count):
+        scalar_run(batch_request(i))
+    scalar_s = time.perf_counter() - t0
+    scalar_runs_per_s = scalar_count / scalar_s
+    results["batch"] = {
+        "machine": batch_machine.name,
+        "instructions_per_run": batch_instructions,
+        "scalar": {
+            "runs": scalar_count,
+            "wall_s": scalar_s,
+            "runs_per_s": scalar_runs_per_s,
+        },
+    }
+    for size in (1, 64, 1024):
+        requests = [batch_request(i) for i in range(size)]
+        t0 = time.perf_counter()
+        run_workload_batch(requests)
+        wall = time.perf_counter() - t0
+        results["batch"][f"batch_{size}"] = {
+            "runs": size,
+            "wall_s": wall,
+            "runs_per_s": size / wall,
+            "speedup_vs_scalar": (size / wall) / scalar_runs_per_s,
+        }
+
     return {
         "schema": 1,
         "workload": BENCH_WORKLOAD,
@@ -294,6 +364,15 @@ def format_report(report: dict) -> str:
         f"({r['end_to_end_sweep']['runs']} runs, "
         f"{r['end_to_end_sweep']['wall_s']:.2f}s)"
     )
+    if "batch" in r:
+        b = r["batch"]
+        lines.append(
+            f"  batched sweep      "
+            f"{b['batch_1024']['runs_per_s']:9.0f} runs/s @1024 "
+            f"({b['batch_1024']['speedup_vs_scalar']:.1f}x scalar; "
+            f"64: {b['batch_64']['speedup_vs_scalar']:.1f}x, "
+            f"1: {b['batch_1']['speedup_vs_scalar']:.2f}x)"
+        )
     return "\n".join(lines)
 
 

@@ -94,6 +94,7 @@ def sweep(
     checks=None,
     metrics: bool = False,
     store=None,
+    batched: bool = False,
 ) -> dict[str, list[RunResult]]:
     """Run a workload list under several schedulers.
 
@@ -114,6 +115,11 @@ def sweep(
     interrupted sweep to be finished with ``repro resume``.  Results
     are deterministic: the same specs in the same order regardless of
     ``jobs``.
+
+    ``batched`` executes the whole sweep through one
+    :class:`~repro.batch.sweep.BatchedSweep` (cross-run numpy arrays)
+    instead of per-job scalar simulations; results are byte-identical
+    to the scalar engine's (see ``docs/batching.md``).
 
     Returns ``{scheduler_name: [RunResult per workload, in order]}``.
     """
@@ -149,9 +155,16 @@ def sweep(
 
         sinks.append(CallbackSink(_legacy_line))
 
-    engine = ExecutionEngine(
-        jobs=jobs, sinks=sinks, checks=checks, metrics=metrics
-    )
+    if batched:
+        from repro.batch.sweep import BatchedExecutionEngine
+
+        engine = BatchedExecutionEngine(
+            jobs=jobs, sinks=sinks, checks=checks, metrics=metrics
+        )
+    else:
+        engine = ExecutionEngine(
+            jobs=jobs, sinks=sinks, checks=checks, metrics=metrics
+        )
     report = engine.run_many(
         specs, machines=machine, labels=labels, store=store
     )
