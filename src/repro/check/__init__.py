@@ -37,6 +37,8 @@ from repro.check.invariants import (
     check_run,
     check_schedule,
     check_service,
+    check_shard_partition,
+    check_shard_resume_states,
     check_stack,
     default_run_checks,
     merge_reports,
@@ -67,6 +69,8 @@ __all__ = [
     "check_run",
     "check_schedule",
     "check_service",
+    "check_shard_partition",
+    "check_shard_resume_states",
     "check_stack",
     "compare_goldens",
     "default_run_checks",

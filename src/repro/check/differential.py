@@ -35,6 +35,13 @@ invariants:
   request order and in a permuted order); both batched passes must
   reproduce the scalar results field-for-field
   (``batched_sweep_equivalence``).
+* **shard cases** -- a random campaign runs across a random shard
+  fleet; the keyspace partition must be a disjoint cover
+  (``shard_partition_cover``), randomly-cut per-shard logs must
+  replay to one canonical resume state however the merge is ordered
+  (``shard_resume_state_canonical``), and a sharded resume over the
+  cut logs (optionally with a corrupt store entry) must match the
+  uninterrupted fleet bit-for-bit (``resume_equivalence``).
 """
 
 from __future__ import annotations
@@ -848,6 +855,144 @@ def _batch_case(index: int, rng: np.random.Generator) -> CheckReport:
     )
 
 
+def _shard_case(index: int, rng: np.random.Generator) -> CheckReport:
+    """Shard a campaign, kill it at random per-shard log cuts, and
+    demand the partition covers the keyspace, the replayed resume
+    state is canonical under merge reordering, and a sharded resume
+    (possibly over a corrupted store entry) matches the uninterrupted
+    fleet bit-for-bit."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.check.invariants import (
+        check_resume,
+        check_shard_partition,
+        check_shard_resume_states,
+        merge_reports,
+    )
+    from repro.runtime.engine import FaultPlan
+    from repro.runtime.events import (
+        CampaignPlan,
+        JsonlEventSink,
+        merge_event_streams,
+        read_events,
+    )
+    from repro.runtime.resume import ResumeState
+    from repro.runtime.retry import FailurePolicy
+    from repro.runtime.shard import InProcessShardTransport, ShardCoordinator
+    from repro.sim.campaign import RunSpec
+
+    machine_name = FUZZ_MACHINES[int(rng.integers(len(FUZZ_MACHINES)))]
+    machine = STANDARD_MACHINES[machine_name]()
+    count = int(rng.integers(3, 6))
+    specs = []
+    for spec_index in range(count):
+        picks = rng.choice(
+            len(BENCHMARK_NAMES), size=machine.num_cores, replace=False
+        )
+        names = tuple(BENCHMARK_NAMES[i] for i in sorted(picks.tolist()))
+        scheduler = FUZZ_SCHEDULERS[int(rng.integers(len(FUZZ_SCHEDULERS)))]
+        specs.append(
+            RunSpec(
+                machine_name,
+                names,
+                scheduler,
+                int(rng.integers(60_000, 150_000)),
+                seed=spec_index,
+            )
+        )
+    shards = int(rng.integers(2, 5))
+    fail_index = int(rng.integers(count + 1))  # == count: no failure
+    plan = (
+        FaultPlan(fail_attempts={fail_index: 99})
+        if fail_index < count
+        else None
+    )
+    label = (
+        f"shard/{index} {machine_name} x{count} shards={shards} "
+        f"fail@{fail_index if plan is not None else '-'}"
+    )
+    keys = [spec.key() for spec in specs]
+
+    def coordinator(**kwargs) -> ShardCoordinator:
+        return ShardCoordinator(
+            shards,
+            transport_factory=InProcessShardTransport,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=plan,
+            **kwargs,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        log = tmp / "log.jsonl"
+        log_sink = JsonlEventSink(log)
+        try:
+            full = coordinator(
+                log_sink=log_sink, shard_log_base=log
+            ).run(specs, store=tmp / "store")
+        finally:
+            log_sink.close()
+        partition_report = check_shard_partition(keys, shards, label=label)
+
+        # Simulate a fleet SIGKILL: each shard's log survives only up
+        # to an independent random cut (the coordinator's plan record,
+        # written first to the main log, survives by construction).
+        plan_event = next(
+            e for e in read_events(log) if isinstance(e, CampaignPlan)
+        )
+        # A shard log is a standalone campaign log, so it carries the
+        # worker's own shard-local plan/bracket records; only the job
+        # events belong in the global merge (same filter the
+        # coordinator applies).
+        from repro.runtime.shard import _SHARD_LOCAL_EVENTS
+
+        shard_log_paths = [
+            log.with_name(f"{log.name}.shard{s}.jsonl")
+            for s in range(shards)
+        ]
+        streams = [
+            [
+                e
+                for e in read_events(path)
+                if not isinstance(e, _SHARD_LOCAL_EVENTS)
+            ]
+            if path.exists()
+            else []  # a shard that owned no jobs writes no log
+            for path in shard_log_paths
+        ]
+        cut_streams = [
+            stream[: int(rng.integers(len(stream) + 1))]
+            for stream in streams
+        ]
+        merged = merge_event_streams(cut_streams)
+        state = ResumeState.from_events([plan_event] + merged)
+        # Permuting the shard completion order must replay to the
+        # same canonical state.
+        order = rng.permutation(len(cut_streams)).tolist()
+        permuted = merge_event_streams([cut_streams[i] for i in order])
+        state_permuted = ResumeState.from_events([plan_event] + permuted)
+        state_report = check_shard_resume_states(
+            state, state_permuted, label=label
+        )
+
+        # Sometimes the kill also left a truncated store entry behind;
+        # the resumed fleet must recompute it, not crash or trust it.
+        if state.completed and int(rng.integers(2)):
+            completed = sorted(state.completed)
+            victim = tmp / "store" / (
+                completed[int(rng.integers(len(completed)))] + ".json"
+            )
+            victim.write_text(victim.read_text()[:25])
+        resumed = coordinator().run(
+            specs, resume_from=state, store=tmp / "store"
+        )
+        resume_report = check_resume(full, resumed, label=label)
+    return merge_reports(
+        [partition_report, state_report, resume_report], subject=label
+    )
+
+
 def fuzz(
     seed: int = 0,
     *,
@@ -859,6 +1004,7 @@ def fuzz(
     resume_cases: int = 2,
     service_cases: int = 2,
     batch_cases: int = 2,
+    shard_cases: int = 2,
     gates: FuzzGates | None = None,
 ) -> FuzzReport:
     """Run one seeded fuzzing session.
@@ -866,9 +1012,9 @@ def fuzz(
     All randomness derives from ``seed`` through one
     :class:`numpy.random.Generator`; nothing reads the clock, so the
     findings are reproducible byte-for-byte.  Newer case kinds (kernel,
-    then decision, then resume, then service, then batch) draw from
-    the rng after the older ones, so adding them kept existing seeds'
-    earlier cases identical.
+    then decision, then resume, then service, then batch, then shard)
+    draw from the rng after the older ones, so adding them kept
+    existing seeds' earlier cases identical.
     """
     gates = gates if gates is not None else FuzzGates()
     rng = np.random.default_rng(seed)
@@ -889,4 +1035,6 @@ def fuzz(
         reports.append(_service_case(index, rng))
     for index in range(batch_cases):
         reports.append(_batch_case(index, rng))
+    for index in range(shard_cases):
+        reports.append(_shard_case(index, rng))
     return FuzzReport(seed=seed, reports=tuple(reports))

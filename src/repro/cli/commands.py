@@ -221,6 +221,29 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _campaign_stdout(specs, report) -> str:
+    """The canonical stdout for a finished campaign.
+
+    A scheduler sweep prints the same summary ``repro sweep`` would
+    have; other campaign shapes get a per-job table.  Shared by
+    ``repro resume`` and ``repro shard`` so every execution path's
+    stdout is byte-identical for the same specs and results.
+    """
+    by_scheduler: dict[str, list] = {}
+    for spec, result in zip(specs, report.results):
+        by_scheduler.setdefault(spec.scheduler, []).append(result)
+    lengths = {len(v) for v in by_scheduler.values()}
+    if "random" in by_scheduler and len(lengths) == 1:
+        return sweep_summary(by_scheduler)
+    rows = [
+        [o.index, o.label, "cached" if o.cached else "executed",
+         float(o.wall_seconds)]
+        for o in report.outcomes
+    ]
+    return format_table(["job", "label", "source", "wall s"], rows,
+                        float_format="{:.3f}")
+
+
 def cmd_resume(args) -> int:
     """Finish an interrupted campaign from its JSONL event log.
 
@@ -257,53 +280,145 @@ def cmd_resume(args) -> int:
     # Resumed events append to the original log by default, so the log
     # stays the single source of truth (and remains resumable again).
     args.event_log = args.event_log or args.path
-    sinks = _sinks(args, args.verbose)
-    engine = ExecutionEngine(
-        jobs=_jobs(args),
-        retry=RetryPolicy(max_attempts=state.max_attempts,
-                          base_delay_seconds=0.0),
-        failure_policy=FailurePolicy(state.failure_policy),
-        timeout_seconds=state.timeout_seconds,
-        sinks=sinks,
-        checks=_checks(args),
-    )
-    try:
-        report = engine.run_many(
-            state.specs,
-            machines=machine,
-            labels=state.labels,
-            store=store,
-            resume_from=state,
+
+    # A log written by `repro shard` records its shard count in the
+    # plan; resuming re-enters the sharded path unless --shards says
+    # otherwise (--shards 1 forces a serial resume).
+    shards = getattr(args, "shards", None) or state.shards or 1
+    if shards > 1:
+        from repro.runtime import ShardCoordinator
+
+        live = [StderrProgressSink()] if args.verbose else []
+        log_sink = JsonlEventSink(args.event_log)
+        coordinator = ShardCoordinator(
+            shards,
+            failure_policy=FailurePolicy(state.failure_policy),
+            max_attempts=state.max_attempts,
+            checks=bool(_checks(args)),
+            sinks=live,
+            log_sink=log_sink,
         )
-    except CampaignError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    finally:
-        _close_sinks(sinks)
+        try:
+            report = coordinator.run(
+                state.specs,
+                machines=machine,
+                labels=state.labels,
+                store=store,
+                resume_from=state,
+            )
+        except CampaignError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        finally:
+            log_sink.close()
+            _close_sinks(live)
+    else:
+        sinks = _sinks(args, args.verbose)
+        engine = ExecutionEngine(
+            jobs=_jobs(args),
+            retry=RetryPolicy(max_attempts=state.max_attempts,
+                              base_delay_seconds=0.0),
+            failure_policy=FailurePolicy(state.failure_policy),
+            timeout_seconds=state.timeout_seconds,
+            sinks=sinks,
+            checks=_checks(args),
+        )
+        try:
+            report = engine.run_many(
+                state.specs,
+                machines=machine,
+                labels=state.labels,
+                store=store,
+                resume_from=state,
+            )
+        except CampaignError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        finally:
+            _close_sinks(sinks)
     if report.failures:
         for outcome in report.failures:
             print(f"failed: {outcome.label}: {outcome.error}",
                   file=sys.stderr)
         return 1
 
-    # A resumed scheduler sweep prints the same summary `repro sweep`
-    # would have; other campaign shapes get a per-job table.
-    by_scheduler: dict[str, list] = {}
-    for spec, result in zip(state.specs, report.results):
-        by_scheduler.setdefault(spec.scheduler, []).append(result)
-    lengths = {len(v) for v in by_scheduler.values()}
-    if "random" in by_scheduler and len(lengths) == 1:
-        print(sweep_summary(by_scheduler))
-    else:
-        rows = [
-            [o.index, o.label, "cached" if o.cached else "executed",
-             float(o.wall_seconds)]
-            for o in report.outcomes
-        ]
-        print(format_table(["job", "label", "source", "wall s"], rows,
-                           float_format="{:.3f}"))
+    print(_campaign_stdout(state.specs, report))
     print(f"\nresumed: {report.cache_hits} from store, "
           f"{report.executed} executed; store: {store}", file=sys.stderr)
+    return 0
+
+
+def cmd_shard(args) -> int:
+    """Run the paper's sweep across N shard worker processes.
+
+    The campaign plan is the exact one ``repro sweep`` runs (same
+    specs, same order, via :func:`repro.sim.experiment.sweep_specs`);
+    the shard coordinator partitions it by spec-key hash, drives one
+    worker process per shard over the pipe protocol, and merges
+    stores, logs and metrics back into one deterministic result.
+    stdout is byte-identical across shard counts; fleet telemetry
+    goes to stderr (and, with --status-socket, a live UNIX socket
+    speaking the ``repro serve`` framing).
+    """
+    from repro.runtime import (
+        FailurePolicy,
+        FleetStatus,
+        FleetStatusServer,
+        InProcessShardTransport,
+        ShardCoordinator,
+        partition_indices,
+    )
+    from repro.sim.experiment import sweep_specs
+
+    machine = _machine(args)
+    if machine is None:
+        return 2
+    workloads = generate_workloads(args.programs, seed=args.workload_seed)
+    specs, labels = sweep_specs(machine, workloads, SCHEDULER_NAMES,
+                                instructions=args.instructions)
+
+    live = [StderrProgressSink()] if args.verbose else []
+    log_sink = (JsonlEventSink(args.event_log)
+                if getattr(args, "event_log", None) else None)
+    transport = (InProcessShardTransport
+                 if args.transport == "inprocess" else None)
+    owners = partition_indices([spec.key() for spec in specs], args.shards)
+    fleet = FleetStatus([len(o) for o in owners])
+    coordinator = ShardCoordinator(
+        args.shards,
+        transport_factory=transport,
+        batched=getattr(args, "batched", False),
+        metrics=getattr(args, "metrics", False),
+        checks=bool(_checks(args)),
+        failure_policy=FailurePolicy.FAIL_FAST,
+        sinks=live,
+        log_sink=log_sink,
+        shard_log_base=(args.event_log if args.shard_logs else None),
+        status=fleet,
+    )
+    server = None
+    if args.status_socket:
+        server = FleetStatusServer(fleet, args.status_socket)
+        server.start()
+        print(f"fleet status on {args.status_socket}", file=sys.stderr)
+    try:
+        report = coordinator.run(
+            specs,
+            machines=machine,
+            labels=labels,
+            store=getattr(args, "store", None),
+        )
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if server is not None:
+            server.close()
+        if log_sink is not None:
+            log_sink.close()
+        _close_sinks(live)
+    print(_campaign_stdout(specs, report))
+    print(f"\n{fleet.format_line()}", file=sys.stderr)
     return 0
 
 
@@ -511,11 +626,21 @@ def cmd_inject(args) -> int:
 
 
 def cmd_events(args) -> int:
-    """Replay a JSONL campaign event log to per-job timings."""
+    """Replay one or more JSONL campaign event logs to per-job timings.
+
+    Several logs (e.g. a shard fleet's per-shard logs) merge
+    deterministically: events sort by virtual timestamp, then by the
+    position of their log on the command line, so the merged view is
+    canonical regardless of which shard finished first.
+    """
+    from repro.runtime import read_events_merged
+
+    paths = list(args.path)
     try:
-        timings = replay_timings(args.path)
+        timings = replay_timings(read_events_merged(paths))
     except (OSError, ValueError) as error:
-        print(f"error: cannot replay {args.path}: {error}", file=sys.stderr)
+        print(f"error: cannot replay {', '.join(paths)}: {error}",
+              file=sys.stderr)
         return 2
     rows = [
         [t.index, t.label, t.status, t.attempts, float(t.wall_seconds)]
@@ -534,14 +659,21 @@ def cmd_events(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Aggregate MetricsSnapshot events from a campaign event log."""
-    from repro.obs import metrics as obs_metrics
-    from repro.runtime.events import MetricsSnapshot, read_events
+    """Aggregate MetricsSnapshot events from campaign event logs.
 
+    Accepts several logs (a shard fleet's per-shard logs, several
+    campaigns into one roll-up); they merge deterministically before
+    aggregation, so the totals are order-independent.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.runtime.events import MetricsSnapshot, read_events_merged
+
+    paths = list(args.path)
     try:
-        events = read_events(args.path)
+        events = read_events_merged(paths)
     except (OSError, ValueError) as error:
-        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        print(f"error: cannot read {', '.join(paths)}: {error}",
+              file=sys.stderr)
         return 2
     registry = obs_metrics.MetricsRegistry()
     snapshots = 0
@@ -550,13 +682,13 @@ def cmd_stats(args) -> int:
             registry.merge(event.metrics)
             snapshots += 1
     if snapshots == 0:
-        print(f"error: no metrics snapshots in {args.path} "
+        print(f"error: no metrics snapshots in {', '.join(paths)} "
               "(run the campaign with --metrics)", file=sys.stderr)
         return 1
     merged = registry.snapshot()
     print(format_table(["series", "kind", "count", "total", "mean"],
                        merged.rows()))
-    print(f"\n{snapshots} snapshot(s) aggregated from {args.path}")
+    print(f"\n{snapshots} snapshot(s) aggregated from {', '.join(paths)}")
     if args.csv:
         obs_metrics.write_csv(merged, args.csv)
         print(f"wrote {args.csv}")
@@ -664,6 +796,7 @@ def cmd_check(args) -> int:
             resume_cases=args.resume_cases,
             service_cases=args.service_cases,
             batch_cases=args.batch_cases,
+            shard_cases=args.shard_cases,
         )
         print(report.format())
         failed = failed or not report.ok
@@ -713,6 +846,16 @@ def cmd_bench(args) -> int:
             print(
                 f"error: batched-sweep speedup {speedup:.2f}x at batch "
                 f"size 1024 is below the {args.min_batch_speedup:.2f}x "
+                f"floor",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_shard_speedup is not None:
+        speedup = report["results"]["shard"]["shards_2"]["speedup_vs_1"]
+        if speedup < args.min_shard_speedup:
+            print(
+                f"error: sharded-campaign speedup {speedup:.2f}x at 2 "
+                f"shards is below the {args.min_shard_speedup:.2f}x "
                 f"floor",
                 file=sys.stderr,
             )

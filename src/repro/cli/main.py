@@ -5,6 +5,7 @@ Subcommands:
 * ``repro run``       -- run one workload under one scheduler
 * ``repro compare``   -- compare the three schedulers on a workload
 * ``repro sweep``     -- the 36-workload evaluation sweep
+* ``repro shard``     -- the sweep across N shard worker processes
 * ``repro avf``       -- suite AVF spectrum and H/M/L classes (Fig. 1)
 * ``repro oracle``    -- static-schedule enumeration (Section 2.4)
 * ``repro workloads`` -- list the canonical workload mixes
@@ -133,6 +134,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_arguments(sweep)
     sweep.set_defaults(func=commands.cmd_sweep)
 
+    shard = subparsers.add_parser(
+        "shard",
+        help="run the sweep across N shard worker processes",
+    )
+    _add_machine_arguments(shard)
+    shard.add_argument("--programs", type=int, default=4, choices=(2, 4, 8))
+    shard.add_argument("--instructions", type=int,
+                       default=DEFAULT_INSTRUCTIONS)
+    shard.add_argument("--workload-seed", type=int, default=42)
+    shard.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="shard worker count (stdout, store and "
+                            "metrics are byte-identical for any N)")
+    shard.add_argument("--verbose", action="store_true")
+    shard.add_argument("--store", default=None, metavar="DIR",
+                       help="shared content-addressed result store; "
+                            "with --event-log, a killed fleet can be "
+                            "finished with `repro resume`")
+    shard.add_argument("--batched", action="store_true",
+                       help="each shard advances its runs as one "
+                            "cross-run numpy batch (repro.batch)")
+    shard.add_argument("--shard-logs", action="store_true",
+                       help="also write each shard's raw stream to "
+                            "EVENT_LOG.shardN.jsonl (merge them back "
+                            "with `repro events A B ...`)")
+    shard.add_argument("--status-socket", default=None, metavar="PATH",
+                       help="serve live fleet status (per-shard "
+                            "done/failed/queued, runs/s, ETA) on a "
+                            "UNIX socket speaking the `repro serve` "
+                            "framing")
+    shard.add_argument("--transport", default="process",
+                       choices=("process", "inprocess"),
+                       help="worker transport: subprocess pipes "
+                            "(default) or in-process (deterministic, "
+                            "for tests)")
+    shard.add_argument("--event-log", default=None, metavar="FILE",
+                       help="append the canonically-merged JSONL event "
+                            "stream to FILE (replay with `repro "
+                            "events`; resume with `repro resume`)")
+    shard.add_argument("--check", action="store_true",
+                       help="validate every run against the paper "
+                            "invariants (repro.check)")
+    shard.add_argument("--metrics", action="store_true",
+                       help="collect per-shard metrics registries and "
+                            "fold them into one fleet snapshot")
+    shard.set_defaults(func=commands.cmd_shard)
+
     resume = subparsers.add_parser(
         "resume",
         help="finish an interrupted campaign from its event log",
@@ -152,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--check", action="store_true",
                         help="validate every run against the paper "
                              "invariants (repro.check)")
+    resume.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="resume through the shard coordinator "
+                             "with N workers (default: the shard "
+                             "count recorded in the log's plan; 1 "
+                             "forces a serial resume)")
     resume.set_defaults(func=commands.cmd_resume)
 
     avf = subparsers.add_parser("avf", help="suite AVF spectrum")
@@ -215,6 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--batch-cases", type=int, default=2,
                        help="batched-vs-scalar sweep equivalence cases "
                             "(repro.batch differential fuzzing)")
+    check.add_argument("--shard-cases", type=int, default=2,
+                       help="sharded-campaign partition/resume "
+                            "equivalence cases (random per-shard log "
+                            "cuts + store corruption)")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
     check.add_argument("--update-goldens", action="store_true",
@@ -246,6 +302,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the batched sweep beats the "
                             "scalar engine by this factor at batch "
                             "size 1024")
+    bench.add_argument("--min-shard-speedup", type=float, default=None,
+                       help="fail unless `repro shard` at 2 shards "
+                            "beats 1 shard by this factor in runs/s")
     bench.set_defaults(func=commands.cmd_bench)
 
     figure = subparsers.add_parser(
@@ -266,14 +325,19 @@ def build_parser() -> argparse.ArgumentParser:
     events = subparsers.add_parser(
         "events", help="replay a JSONL campaign event log"
     )
-    events.add_argument("path", help="event log written with --event-log")
+    events.add_argument("path", nargs="+",
+                        help="event log(s) written with --event-log; "
+                             "several (e.g. per-shard logs) merge "
+                             "deterministically")
     events.set_defaults(func=commands.cmd_events)
 
     stats = subparsers.add_parser(
         "stats", help="aggregate metrics snapshots from an event log"
     )
-    stats.add_argument("path", help="event log written with --event-log "
-                                    "and --metrics")
+    stats.add_argument("path", nargs="+",
+                       help="event log(s) written with --event-log "
+                            "and --metrics; several merge "
+                            "deterministically before aggregation")
     stats.add_argument("--csv", default=None, metavar="FILE",
                        help="also write the merged registry as CSV")
     stats.set_defaults(func=commands.cmd_stats)

@@ -30,7 +30,7 @@ import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = [
     "ACTIVE",
@@ -291,6 +291,24 @@ class MetricsRegistry:
                 continue
             series = self._get(cls, name, dict(labels))
             series.merge_data(data)
+
+
+def merge_snapshots(
+    snapshots: "Iterable[RegistrySnapshot | Mapping[str, Any] | None]",
+) -> RegistrySnapshot:
+    """Fold snapshots (or their ``to_dict`` forms) into one.
+
+    The merge is commutative and associative -- counters add,
+    histograms add bucket-wise, gauges keep their extrema -- so fleet
+    totals folded from per-shard snapshots are independent of shard
+    count and completion order.  ``None`` entries are skipped, letting
+    callers pass per-shard values straight through.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot is not None:
+            registry.merge(snapshot)
+    return registry.snapshot()
 
 
 # ---------------------------------------------------------------------------

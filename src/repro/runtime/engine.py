@@ -206,6 +206,42 @@ class JobOutcome:
     def ok(self) -> bool:
         return self.result is not None
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the shard protocol's wire format)."""
+        return {
+            "index": self.index,
+            "spec": dataclasses.asdict(self.spec),
+            "label": self.label,
+            "result": (
+                run_result_to_dict(self.result)
+                if self.result is not None
+                else None
+            ),
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+            "cached": self.cached,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobOutcome":
+        """Inverse of :meth:`to_dict`."""
+        result = data.get("result")
+        return cls(
+            index=int(data["index"]),
+            spec=RunSpec.from_dict(data["spec"]),
+            label=data["label"],
+            result=(
+                run_result_from_dict(result) if result is not None else None
+            ),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            cached=bool(data.get("cached", False)),
+            metrics=data.get("metrics"),
+        )
+
 
 @dataclass
 class ExecutionReport:

@@ -64,6 +64,10 @@ class CampaignPlan(Event):
     supplied and is reconstructible from ``STANDARD_MACHINES``.
     ``failure_policy``, ``timeout_seconds`` and ``max_attempts``
     record the engine settings so a resume runs under the same rules.
+    ``shards`` is the shard count when the plan was written by the
+    shard coordinator (``None`` for single-host campaigns), so
+    ``repro resume`` can put a sharded campaign back on the sharded
+    path.
     """
 
     kind: ClassVar[str] = "campaign_plan"
@@ -76,6 +80,7 @@ class CampaignPlan(Event):
     failure_policy: str = "fail-fast"
     timeout_seconds: float | None = None
     max_attempts: int = 1
+    shards: int | None = None
 
 
 @dataclass(frozen=True)
@@ -449,7 +454,8 @@ def read_events(path: str | Path) -> list[Event]:
                 peek = json.loads(lines[position + 1][1])
             except ValueError:
                 peek = None
-            if isinstance(peek, dict) and peek.get("kind") == "campaign_plan":
+            resume_markers = ("campaign_started", "campaign_plan")
+            if isinstance(peek, dict) and peek.get("event") in resume_markers:
                 warnings.warn(
                     f"{path}: skipping truncated event line {number} "
                     f"(a resumed campaign appended after it): {error}"
@@ -505,3 +511,40 @@ def replay_timings(
                 event.attempts,
             )
     return [timings[index] for index in sorted(timings)]
+
+
+def merge_event_streams(
+    streams: Sequence[Sequence[Event]],
+) -> list[Event]:
+    """Merge per-shard event streams into one canonical ordered list.
+
+    Ordering rule: stable sort by the event's time axis (its
+    ``timestamp``) first, then by shard id (the stream's position in
+    ``streams``), then by within-stream order.  The result is a pure
+    function of the streams themselves -- the order in which shards
+    *completed* (or in which their messages arrived at the
+    coordinator) cannot change it, which is what makes the merged log
+    canonical and lets ``repro events``/``repro stats`` reproduce the
+    coordinator's view from the per-shard logs alone.
+    """
+    tagged = [
+        (event.timestamp, shard, sequence, event)
+        for shard, stream in enumerate(streams)
+        for sequence, event in enumerate(stream)
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    return [event for _, _, _, event in tagged]
+
+
+def read_events_merged(paths: Sequence[str | Path]) -> list[Event]:
+    """Read one or more JSONL event logs as one merged stream.
+
+    A single path reads exactly like :func:`read_events`; several
+    paths (e.g. a shard fleet's per-shard logs) merge through
+    :func:`merge_event_streams`, with each path's position in
+    ``paths`` acting as its shard id.
+    """
+    streams = [read_events(path) for path in paths]
+    if len(streams) == 1:
+        return streams[0]
+    return merge_event_streams(streams)

@@ -57,6 +57,8 @@ class ResumeState:
         failure_policy: engine failure-policy value from the plan.
         timeout_seconds: engine per-job timeout from the plan.
         max_attempts: engine retry attempts from the plan.
+        shards: shard count recorded by the shard coordinator's plan
+            (``None`` when the campaign ran single-host).
         completed: keys the log records as successfully finished.
         failed: keys whose last terminal event is a failure.
     """
@@ -69,6 +71,7 @@ class ResumeState:
     failure_policy: str = "fail-fast"
     timeout_seconds: float | None = None
     max_attempts: int = 1
+    shards: int | None = None
     completed: set[str] = field(default_factory=set)
     failed: set[str] = field(default_factory=set)
 
@@ -115,6 +118,7 @@ class ResumeState:
             failure_policy=plan.failure_policy,
             timeout_seconds=plan.timeout_seconds,
             max_attempts=plan.max_attempts,
+            shards=plan.shards,
         )
         known = set(state.keys)
         status: dict[str, str] = {}

@@ -1,0 +1,13 @@
+"""Executable pipe-worker for the shard protocol.
+
+``python -m repro.runtime.shardworker`` reads one shard plan from
+stdin and streams protocol messages to stdout; see
+:mod:`repro.runtime.shard` for the protocol and the coordinator that
+drives it.  Kept separate from the library module so ``-m`` execution
+does not re-import the package's re-exported copy under two names.
+"""
+
+from repro.runtime.shard import worker_main
+
+if __name__ == "__main__":
+    raise SystemExit(worker_main())

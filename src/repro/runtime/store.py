@@ -83,6 +83,24 @@ class ResultStore:
         """Keys of every entry present on disk, sorted."""
         return sorted(path.stem for path in self.directory.glob("*.json"))
 
+    def digest(self) -> str:
+        """Content hash over every entry's name and exact bytes.
+
+        Two stores digest equal iff they hold the same keys with
+        byte-identical files -- the check behind the shard-count
+        invariance guarantee (``--shards 1/2/4`` must leave identical
+        stores) and the CI kill-and-resume byte-for-byte diff.
+        """
+        import hashlib
+
+        acc = hashlib.sha256()
+        for key in self.keys():
+            acc.update(key.encode("utf-8"))
+            acc.update(b"\x00")
+            acc.update(self.path(key).read_bytes())
+            acc.update(b"\x00")
+        return acc.hexdigest()
+
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 

@@ -42,6 +42,7 @@ from repro.sched.sampling import DEFAULT_SWAP_THRESHOLD, CoreTypeSample
 from repro.service.admission import make_admission
 from repro.service.arrivals import JobArrival
 from repro.service.events import ServiceFeed
+from repro.service.framing import FramingError, decode_line, encode_line
 from repro.service.placement import SlotPlacer
 from repro.service.queue import AdmissionQueue
 from repro.sim.isolated import ReferenceTimes
@@ -774,13 +775,11 @@ class SchedulerService:
         if not line:
             return ""
         try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            return json.dumps({"ok": False, "error": f"bad json: {exc}"})
-        if not isinstance(request, dict):
-            return json.dumps({"ok": False, "error": "request must be an object"})
+            request = decode_line(line)
+        except FramingError as exc:
+            return encode_line({"ok": False, "error": str(exc)})
         response = await self.handle(request)
-        return json.dumps(response, sort_keys=True)
+        return encode_line(response)
 
     async def serve_stdio(self, infile=None, outfile=None) -> None:
         """Serve newline-delimited JSON over stdin/stdout."""

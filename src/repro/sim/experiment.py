@@ -81,6 +81,44 @@ def run_workload(
     return result
 
 
+def sweep_specs(
+    machine: MachineConfig,
+    workloads: Iterable[WorkloadMix],
+    scheduler_names: Sequence[str] = SCHEDULER_NAMES,
+    *,
+    instructions: int | None = None,
+    counter_mode: AceCounterMode = AceCounterMode.FULL,
+) -> tuple[list, list[str]]:
+    """The sweep's campaign plan: ``(specs, labels)`` in run order.
+
+    This is the single definition of how a sweep turns into
+    :class:`~repro.sim.campaign.RunSpec`s, shared by the serial/
+    parallel/batched engine path (:func:`sweep`) and the shard
+    coordinator (``repro shard``), so every execution mode runs the
+    byte-identical campaign.
+    """
+    from repro.sim.campaign import RunSpec
+
+    specs: list[RunSpec] = []
+    labels: list[str] = []
+    for index, mix in enumerate(workloads):
+        names = mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
+        category = mix.category if isinstance(mix, WorkloadMix) else "mix"
+        for name in scheduler_names:
+            specs.append(
+                RunSpec(
+                    machine=machine.name,
+                    benchmarks=names,
+                    scheduler=name,
+                    instructions=instructions,
+                    seed=index,
+                    counter_mode=counter_mode.value,
+                )
+            )
+            labels.append(f"{category}/{index} {name}")
+    return specs, labels
+
+
 def sweep(
     machine: MachineConfig,
     workloads: Iterable[WorkloadMix],
@@ -125,25 +163,14 @@ def sweep(
     """
     from repro.runtime.engine import ExecutionEngine
     from repro.runtime.events import CallbackSink, JobFinished
-    from repro.sim.campaign import RunSpec
 
-    specs: list[RunSpec] = []
-    labels: list[str] = []
-    for index, mix in enumerate(workloads):
-        names = mix.benchmarks if isinstance(mix, WorkloadMix) else tuple(mix)
-        category = mix.category if isinstance(mix, WorkloadMix) else "mix"
-        for name in scheduler_names:
-            specs.append(
-                RunSpec(
-                    machine=machine.name,
-                    benchmarks=names,
-                    scheduler=name,
-                    instructions=instructions,
-                    seed=index,
-                    counter_mode=counter_mode.value,
-                )
-            )
-            labels.append(f"{category}/{index} {name}")
+    specs, labels = sweep_specs(
+        machine,
+        workloads,
+        scheduler_names,
+        instructions=instructions,
+        counter_mode=counter_mode,
+    )
 
     sinks = list(sinks)
     if progress is not None:
