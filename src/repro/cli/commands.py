@@ -229,14 +229,20 @@ def _campaign_stdout(specs, report) -> str:
     ``repro resume`` and ``repro shard`` so every execution path's
     stdout is byte-identical for the same specs and results.
     """
-    by_scheduler: dict[str, list] = {}
-    for spec, result in zip(specs, report.results):
-        by_scheduler.setdefault(spec.scheduler, []).append(result)
-    lengths = {len(v) for v in by_scheduler.values()}
-    if "random" in by_scheduler and len(lengths) == 1:
-        return sweep_summary(by_scheduler)
+    results = report.results
+    if all(result is not None for result in results):
+        by_scheduler: dict[str, list] = {}
+        for spec, result in zip(specs, results):
+            by_scheduler.setdefault(spec.scheduler, []).append(result)
+        lengths = {len(v) for v in by_scheduler.values()}
+        if "random" in by_scheduler and len(lengths) == 1:
+            return sweep_summary(by_scheduler)
+    # Failed jobs have no result, so a sweep summary cannot be built;
+    # fall back to the per-job table (collect-mode campaigns).
     rows = [
-        [o.index, o.label, "cached" if o.cached else "executed",
+        [o.index, o.label,
+         ("failed" if o.error is not None
+          else "cached" if o.cached else "executed"),
          float(o.wall_seconds)]
         for o in report.outcomes
     ]
@@ -377,6 +383,14 @@ def cmd_shard(args) -> int:
     specs, labels = sweep_specs(machine, workloads, SCHEDULER_NAMES,
                                 instructions=args.instructions)
 
+    try:
+        fault_plan = _fault_plan(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    failure_policy = (FailurePolicy.COLLECT
+                      if getattr(args, "failures", "fail-fast") == "collect"
+                      else FailurePolicy.FAIL_FAST)
     live = [StderrProgressSink()] if args.verbose else []
     log_sink = (JsonlEventSink(args.event_log)
                 if getattr(args, "event_log", None) else None)
@@ -389,8 +403,11 @@ def cmd_shard(args) -> int:
         transport_factory=transport,
         batched=getattr(args, "batched", False),
         metrics=getattr(args, "metrics", False),
+        spans=getattr(args, "spans", False),
         checks=bool(_checks(args)),
-        failure_policy=FailurePolicy.FAIL_FAST,
+        failure_policy=failure_policy,
+        timeout_seconds=getattr(args, "timeout", None),
+        fault_plan=fault_plan,
         sinks=live,
         log_sink=log_sink,
         shard_log_base=(args.event_log if args.shard_logs else None),
@@ -398,7 +415,10 @@ def cmd_shard(args) -> int:
     )
     server = None
     if args.status_socket:
-        server = FleetStatusServer(fleet, args.status_socket)
+        server = FleetStatusServer(
+            fleet, args.status_socket,
+            metrics_source=coordinator.openmetrics,
+        )
         server.start()
         print(f"fleet status on {args.status_socket}", file=sys.stderr)
     try:
@@ -419,7 +439,49 @@ def cmd_shard(args) -> int:
         _close_sinks(live)
     print(_campaign_stdout(specs, report))
     print(f"\n{fleet.format_line()}", file=sys.stderr)
+    if report.failures:
+        for outcome in report.failures:
+            print(f"failed: {outcome.label}: {outcome.error}",
+                  file=sys.stderr)
+        if getattr(args, "store", None):
+            print(f"postmortems: repro postmortem --list --store "
+                  f"{args.store}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _fault_plan(args):
+    """Build a FaultPlan from the chaos-drill flags, or None."""
+    from repro.runtime.engine import FaultPlan
+
+    def parse_pairs(text, cast, flag):
+        out = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            index, _, value = item.partition(":")
+            try:
+                out[int(index)] = cast(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad {flag} entry {item!r}; expected INDEX:VALUE"
+                ) from None
+        return out
+
+    fail_attempts = (
+        parse_pairs(args.inject_fail, int, "--inject-fail")
+        if getattr(args, "inject_fail", None) else {}
+    )
+    sleep_seconds = (
+        parse_pairs(args.inject_sleep, float, "--inject-sleep")
+        if getattr(args, "inject_sleep", None) else {}
+    )
+    if not fail_attempts and not sleep_seconds:
+        return None
+    return FaultPlan(
+        fail_attempts=fail_attempts, sleep_seconds=sleep_seconds
+    )
 
 
 def cmd_avf(args) -> int:
@@ -666,7 +728,11 @@ def cmd_stats(args) -> int:
     aggregation, so the totals are order-independent.
     """
     from repro.obs import metrics as obs_metrics
-    from repro.runtime.events import MetricsSnapshot, read_events_merged
+    from repro.runtime.events import (
+        MetricsSnapshot,
+        SpanSnapshot,
+        read_events_merged,
+    )
 
     paths = list(args.path)
     try:
@@ -677,18 +743,36 @@ def cmd_stats(args) -> int:
         return 2
     registry = obs_metrics.MetricsRegistry()
     snapshots = 0
+    span_roots = []
     for event in events:
         if isinstance(event, MetricsSnapshot):
             registry.merge(event.metrics)
             snapshots += 1
-    if snapshots == 0:
+        elif isinstance(event, SpanSnapshot) and event.spans:
+            span_roots.append(event.spans)
+    if snapshots == 0 and not (getattr(args, "spans", False) and span_roots):
         print(f"error: no metrics snapshots in {', '.join(paths)} "
               "(run the campaign with --metrics)", file=sys.stderr)
         return 1
     merged = registry.snapshot()
-    print(format_table(["series", "kind", "count", "total", "mean"],
-                       merged.rows()))
-    print(f"\n{snapshots} snapshot(s) aggregated from {', '.join(paths)}")
+    if getattr(args, "openmetrics", False):
+        from repro.obs import openmetrics as obs_openmetrics
+
+        # Deterministic exposition: byte-identical between a merged
+        # fleet log and its per-shard logs (no paths, no wall clock).
+        print(obs_openmetrics.render_snapshot(merged), end="")
+    else:
+        print(format_table(["series", "kind", "count", "total", "mean"],
+                           merged.rows()))
+        print(f"\n{snapshots} snapshot(s) aggregated from "
+              f"{', '.join(paths)}")
+    if getattr(args, "spans", False):
+        from repro.obs.tracing import SpanNode, format_tree, merge_trees
+
+        forest = merge_trees(SpanNode.from_dict(r) for r in span_roots)
+        print(f"\nfleet span forest "
+              f"({len(span_roots)} span snapshot(s)):")
+        print(format_tree(forest))
     if args.csv:
         obs_metrics.write_csv(merged, args.csv)
         print(f"wrote {args.csv}")
@@ -829,15 +913,22 @@ def cmd_bench(args) -> int:
             )
             return 1
     if args.max_disabled_overhead is not None:
-        overhead = report["results"]["span_overhead"]["disabled_overhead"]
-        if overhead > args.max_disabled_overhead:
-            print(
-                f"error: disabled-observability overhead "
-                f"{100 * overhead:.2f}% exceeds the "
-                f"{100 * args.max_disabled_overhead:.2f}% ceiling",
-                file=sys.stderr,
-            )
-            return 1
+        span_overhead = report["results"]["span_overhead"]
+        for path_name, key in (
+            ("OoO", "disabled_overhead"),
+            ("in-order", "inorder_disabled_overhead"),
+        ):
+            overhead = span_overhead.get(key)
+            if overhead is None:
+                continue
+            if overhead > args.max_disabled_overhead:
+                print(
+                    f"error: disabled-observability overhead on the "
+                    f"{path_name} path ({100 * overhead:.2f}%) exceeds "
+                    f"the {100 * args.max_disabled_overhead:.2f}% ceiling",
+                    file=sys.stderr,
+                )
+                return 1
     if args.min_batch_speedup is not None:
         speedup = report["results"]["batch"]["batch_1024"][
             "speedup_vs_scalar"
@@ -961,6 +1052,7 @@ def cmd_load(args) -> int:
     jobs = _jobs(args)
     points = []
     reports = []
+    feeds = []
     with ExitStack() as stack:
         handle = (
             stack.enter_context(open(args.event_feed, "a"))
@@ -979,19 +1071,31 @@ def cmd_load(args) -> int:
                 seed=args.seed,
                 instructions=args.instructions,
             )
+            feed = ServiceFeed(stream=handle)
             point = run_load_point(
                 config,
                 process,
                 args.arrivals,
-                feed=ServiceFeed(stream=handle),
+                feed=feed,
                 map_tasks=engine.map_tasks if engine is not None else None,
             )
             points.append(point)
+            feeds.append(feed)
             reports.append(
                 check_service(point.result, label=f"load@{rate:g}/s")
             )
 
     print(format_load_table(points))
+    if getattr(args, "timeline", False):
+        from repro.service.load import format_timeline, service_timeline
+
+        for point, feed in zip(points, feeds):
+            windows = service_timeline(
+                feed.events,
+                windows=getattr(args, "timeline_windows", 12),
+            )
+            print(f"\ntimeline @ {point.rate_per_second:g}/s:")
+            print(format_timeline(windows))
     if args.digest:
         print()
         for point in points:
@@ -1013,3 +1117,113 @@ def cmd_load(args) -> int:
             )
             return 1
     return 0
+
+
+def cmd_postmortem(args) -> int:
+    """Render crash flight-recorder bundles from a result store."""
+    import json
+
+    from repro.obs import flight as obs_flight
+
+    bundles = obs_flight.find_bundles(args.store)
+    if args.list or args.key is None:
+        if args.key is None and not args.list:
+            print("error: pass a run key (or --list to enumerate)",
+                  file=sys.stderr)
+            return 2
+        if not bundles:
+            print(f"no postmortem bundles under {args.store}")
+            return 0
+        rows = []
+        for path in bundles:
+            bundle = obs_flight.load_bundle(path)
+            trace = bundle.get("trace") or {}
+            rows.append([
+                bundle.get("key", path.stem)[:16],
+                bundle.get("label", ""),
+                bundle.get("reason", "?"),
+                str(trace.get("shard", "-")),
+            ])
+        print(format_table(["key", "label", "reason", "shard"], rows))
+        return 0
+    matches = [p for p in bundles if p.stem.startswith(args.key)]
+    if not matches:
+        print(f"error: no bundle for key {args.key!r} under "
+              f"{args.store} (try --list)", file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        print(f"error: key prefix {args.key!r} is ambiguous "
+              f"({len(matches)} bundles; try --list)", file=sys.stderr)
+        return 1
+    bundle = obs_flight.load_bundle(matches[0])
+    if args.json:
+        print(json.dumps(bundle, indent=2, sort_keys=True))
+    else:
+        print(obs_flight.format_bundle(bundle))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live fleet view polling a `repro shard --status-socket` socket."""
+    import json
+    import socket
+    import time
+
+    def query(op):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as client:
+            client.connect(args.socket)
+            with client.makefile("rw") as stream:
+                stream.write(json.dumps({"op": op}) + "\n")
+                stream.flush()
+                line = stream.readline()
+        if not line.strip():
+            raise OSError("empty response")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise OSError(response.get("error", "request failed"))
+        return response
+
+    def render(response):
+        if args.openmetrics:
+            return response["openmetrics"].rstrip("\n")
+        fleet = response["fleet"]
+        lines = [
+            f"fleet {fleet['done']}/{fleet['total']} done  "
+            f"{fleet['failed']} failed  {fleet['queued']} queued  "
+            f"{fleet['cached']} cached  "
+            f"{fleet['runs_per_s']:.1f} runs/s"
+        ]
+        eta = fleet.get("eta_seconds")
+        lines.append(
+            f"elapsed {fleet['elapsed_seconds']:.1f}s  eta "
+            + (f"{eta:.0f}s" if eta is not None else "-")
+        )
+        rows = [
+            [s["shard"], s["done"], s["total"], s["failed"], s["queued"],
+             s["cached"],
+             "done" if s["finished"]
+             else "running" if s["started"] else "pending"]
+            for s in fleet["shards"]
+        ]
+        lines.append(format_table(
+            ["shard", "done", "total", "failed", "queued", "cached",
+             "state"],
+            rows,
+        ))
+        return "\n".join(lines)
+
+    op = "metrics" if args.openmetrics else "fleet"
+    try:
+        if args.once:
+            print(render(query(op)))
+            return 0
+        while True:
+            print(render(query(op)))
+            print()
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    except OSError as error:
+        print(f"error: cannot poll {args.socket}: {error}",
+              file=sys.stderr)
+        return 1

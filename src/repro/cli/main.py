@@ -21,6 +21,8 @@ Subcommands:
 * ``repro explain``   -- record and explain scheduler decision traces
 * ``repro serve``     -- interactive open-system scheduler service
 * ``repro load``      -- open-system load generator (delay-vs-SSER)
+* ``repro postmortem``-- render crash flight-recorder bundles
+* ``repro top``       -- live fleet view over a status socket
 
 ``repro sweep`` and ``repro figure`` execute through the
 :mod:`repro.runtime` engine: ``--jobs N`` (or ``REPRO_JOBS=N``) fans
@@ -178,6 +180,31 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--metrics", action="store_true",
                        help="collect per-shard metrics registries and "
                             "fold them into one fleet snapshot")
+    shard.add_argument("--spans", action="store_true",
+                       help="collect per-job span trees; workers ship "
+                            "them as span_snapshot events and the "
+                            "coordinator grafts a fleet-wide span "
+                            "forest (render with `repro stats --spans`)")
+    shard.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock timeout inside every "
+                            "shard worker; a timed-out job fails and "
+                            "dumps a postmortem bundle")
+    shard.add_argument("--failures", default="fail-fast",
+                       choices=("fail-fast", "collect"),
+                       help="fail-fast: raise after the fleet drains "
+                            "(default); collect: report failures in "
+                            "the job table and exit 1")
+    shard.add_argument("--inject-fail", default=None, metavar="INDEX:N",
+                       help="chaos drill: fail global job INDEX for its "
+                            "first N attempts (repeatable as a comma "
+                            "list, e.g. 3:99,7:1)")
+    shard.add_argument("--inject-sleep", default=None,
+                       metavar="INDEX:SECONDS",
+                       help="chaos drill: stall global job INDEX by "
+                            "SECONDS per attempt (comma list; pair "
+                            "with --timeout to force timeout "
+                            "postmortems)")
     shard.set_defaults(func=commands.cmd_shard)
 
     resume = subparsers.add_parser(
@@ -340,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "deterministically before aggregation")
     stats.add_argument("--csv", default=None, metavar="FILE",
                        help="also write the merged registry as CSV")
+    stats.add_argument("--openmetrics", action="store_true",
+                       help="print the merged registry as an "
+                            "OpenMetrics text exposition instead of a "
+                            "table (deterministic: byte-identical "
+                            "between merged and per-shard logs)")
+    stats.add_argument("--spans", action="store_true",
+                       help="also merge span_snapshot events into a "
+                            "fleet-wide span forest and render it")
     stats.set_defaults(func=commands.cmd_stats)
 
     explain = subparsers.add_parser(
@@ -438,7 +473,52 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--min-shed-rate", type=float, default=None,
                       help="fail unless some point sheds at least this "
                            "fraction of arrivals")
+    load.add_argument("--timeline", action="store_true",
+                      help="print a per-window operational timeline for "
+                           "each point (queue depth, shed rate, "
+                           "p50/p95 start latency)")
+    load.add_argument("--timeline-windows", type=int, default=12,
+                      metavar="N",
+                      help="windows in the --timeline view (default 12)")
     load.set_defaults(func=commands.cmd_load)
+
+    postmortem = subparsers.add_parser(
+        "postmortem",
+        help="render crash flight-recorder bundles from a result store",
+    )
+    postmortem.add_argument("key", nargs="?", default=None,
+                            help="run key (or unique prefix) of the "
+                                 "bundle to render; omit with --list to "
+                                 "enumerate")
+    postmortem.add_argument("--store", required=True, metavar="DIR",
+                            help="result-store directory holding the "
+                                 "postmortems/ bundles")
+    postmortem.add_argument("--list", action="store_true",
+                            help="list available bundles instead of "
+                                 "rendering one")
+    postmortem.add_argument("--json", action="store_true",
+                            help="print the raw bundle JSON instead of "
+                                 "the rendered view")
+    postmortem.set_defaults(func=commands.cmd_postmortem)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live fleet view over a `repro shard --status-socket` "
+             "socket",
+    )
+    top.add_argument("socket", help="UNIX socket path served by "
+                                    "`repro shard --status-socket`")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (for scripts "
+                          "and CI)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="poll interval (default 1s)")
+    top.add_argument("--openmetrics", action="store_true",
+                     help="print the socket's OpenMetrics exposition "
+                          "({\"op\": \"metrics\"}) instead of the "
+                          "fleet table")
+    top.set_defaults(func=commands.cmd_top)
 
     inject = subparsers.add_parser(
         "inject", help="fault-injection campaign vs ACE counting"

@@ -50,8 +50,17 @@ class InOrderCoreModel(TraceDrivenModel):
         floating-point rounding level (~1e-15 relative).
         """
         from repro.kernels.window import inorder_run_cycles
+        from repro.obs import flight as obs_flight
         from repro.obs.tracing import span
 
+        recorder = obs_flight.ACTIVE
+        if recorder is not None:
+            recorder.note(
+                "inorder.run_cycles",
+                app=app.name,
+                start=start_instruction,
+                cycles=cycles,
+            )
         with span("inorder.run_cycles"):
             return inorder_run_cycles(
                 self, app, start_instruction, cycles, env

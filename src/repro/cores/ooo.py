@@ -96,8 +96,17 @@ class OutOfOrderCoreModel(TraceDrivenModel):
         two are cross-checked by the differential fuzzer.
         """
         from repro.kernels.window import ooo_simulate_window
+        from repro.obs import flight as obs_flight
         from repro.obs.tracing import span
 
+        recorder = obs_flight.ACTIVE
+        if recorder is not None:
+            recorder.note(
+                "ooo.simulate_window",
+                app=app.name,
+                start=start_instruction,
+                cycles=cycles,
+            )
         with span("ooo.simulate_window"):
             return ooo_simulate_window(
                 self, app, start_instruction, cycles, env

@@ -153,13 +153,16 @@ def run_bench(quick: bool = False) -> dict:
         ),
     }
 
-    # -- observability overhead on the OoO kernel path --
-    # "plain" calls the kernel function directly (no span wrapper at
-    # all); "disabled" goes through model.simulate_window, whose
-    # span()/ACTIVE checks are compiled in but dormant; "enabled" runs
-    # the same call with a live tracer and metrics registry.  The gate
-    # (--max-disabled-overhead) bounds the cost of shipping the hooks.
-    from repro.kernels.window import ooo_simulate_window
+    # -- observability overhead on both kernel paths --
+    # "plain" calls the kernel function directly (no wrappers at all);
+    # "disabled" goes through the model method, whose span()/ACTIVE
+    # checks AND the dormant flight-recorder + trace-context hooks are
+    # compiled in but off; "enabled" runs the same call with a live
+    # tracer, metrics registry, and armed flight recorder.  The gate
+    # (--max-disabled-overhead) bounds the cost of shipping the hooks
+    # on the OoO and in-order paths alike.
+    from repro.kernels.window import inorder_run_cycles, ooo_simulate_window
+    from repro.obs import flight as obs_flight
     from repro.obs import metrics as obs_metrics
     from repro.obs import tracing as obs_tracing
 
@@ -175,12 +178,34 @@ def run_bench(quick: bool = False) -> dict:
 
     def obs_enabled():
         model = OutOfOrderCoreModel(big_core_config(), MemoryConfig())
-        with obs_metrics.collecting(), obs_tracing.collecting():
+        with obs_metrics.collecting(), obs_tracing.collecting(), \
+                obs_flight.recording():
             return model.simulate_window(app, 0, budget, ISOLATED)
+
+    inorder_overhead_budget = 2.0 * budget
+
+    def inorder_obs_plain():
+        model = InOrderCoreModel(small_core_config(), MemoryConfig())
+        return inorder_run_cycles(
+            model, app, 0, inorder_overhead_budget, ISOLATED
+        )
+
+    def inorder_obs_disabled():
+        model = InOrderCoreModel(small_core_config(), MemoryConfig())
+        return model.run_cycles(app, 0, inorder_overhead_budget, ISOLATED)
+
+    def inorder_obs_enabled():
+        model = InOrderCoreModel(small_core_config(), MemoryConfig())
+        with obs_metrics.collecting(), obs_tracing.collecting(), \
+                obs_flight.recording():
+            return model.run_cycles(app, 0, inorder_overhead_budget, ISOLATED)
 
     plain_s, _ = _best(obs_plain, overhead_repeats)
     disabled_s, _ = _best(obs_disabled, overhead_repeats)
     enabled_s, _ = _best(obs_enabled, overhead_repeats)
+    in_plain_s, _ = _best(inorder_obs_plain, overhead_repeats)
+    in_disabled_s, _ = _best(inorder_obs_disabled, overhead_repeats)
+    in_enabled_s, _ = _best(inorder_obs_enabled, overhead_repeats)
     results["span_overhead"] = {
         "committed": timing.committed,
         "repeats": overhead_repeats,
@@ -189,6 +214,11 @@ def run_bench(quick: bool = False) -> dict:
         "enabled_wall_s": enabled_s,
         "disabled_overhead": disabled_s / plain_s - 1.0,
         "enabled_overhead": enabled_s / plain_s - 1.0,
+        "inorder_plain_wall_s": in_plain_s,
+        "inorder_disabled_wall_s": in_disabled_s,
+        "inorder_enabled_wall_s": in_enabled_s,
+        "inorder_disabled_overhead": in_disabled_s / in_plain_s - 1.0,
+        "inorder_enabled_overhead": in_enabled_s / in_plain_s - 1.0,
     }
 
     # -- in-order window: kernel vs straight-line reference --
@@ -397,8 +427,16 @@ def format_report(report: dict) -> str:
     lines.append(
         f"  obs overhead       "
         f"{100 * r['span_overhead']['disabled_overhead']:+9.2f}% disabled, "
-        f"{100 * r['span_overhead']['enabled_overhead']:+.2f}% enabled"
+        f"{100 * r['span_overhead']['enabled_overhead']:+.2f}% enabled (OoO)"
     )
+    if "inorder_disabled_overhead" in r["span_overhead"]:
+        lines.append(
+            f"                     "
+            f"{100 * r['span_overhead']['inorder_disabled_overhead']:+9.2f}"
+            f"% disabled, "
+            f"{100 * r['span_overhead']['inorder_enabled_overhead']:+.2f}"
+            f"% enabled (in-order)"
+        )
     lines.append(
         f"  end-to-end sweep   "
         f"{r['end_to_end_sweep']['runs_per_s']:9.2f} runs/s "

@@ -1,6 +1,7 @@
-"""Unified telemetry for the reproduction: metrics, spans, decisions.
+"""Unified telemetry for the reproduction: metrics, spans, decisions,
+trace contexts, flight recording, and OpenMetrics export.
 
-Three independent, individually-activatable layers:
+Independent, individually-activatable layers:
 
 * :mod:`repro.obs.metrics` -- process-local labeled metrics registry
   (counters, gauges, histograms, timers) with mergeable snapshots so
@@ -10,13 +11,24 @@ Three independent, individually-activatable layers:
 * :mod:`repro.obs.decisions` -- structured per-quantum scheduler
   decision traces that can be replayed and explained
   (``repro explain``).
+* :mod:`repro.obs.context` -- ambient :class:`TraceContext`
+  (campaign / shard / run key / parent span) propagated across the
+  shard protocol and stamped onto every runtime event.
+* :mod:`repro.obs.flight` -- crash flight recorder: a bounded ring of
+  recent activity dumped as a postmortem bundle when a job dies
+  (``repro postmortem``).
+* :mod:`repro.obs.openmetrics` -- deterministic OpenMetrics text
+  exposition of metric snapshots and fleet status
+  (``repro stats --openmetrics``, ``repro top``).
 
 All layers are off by default and cost one global load + comparison
-per instrumentation site when disabled (gated <3% on the OoO kernel
-path by ``repro bench``).  See docs/observability.md.
+per instrumentation site when disabled (gated <3% on the OoO and
+in-order kernel paths by ``repro bench``).  See docs/observability.md.
 """
 
-from repro.obs import metrics, tracing
+from repro.obs import context, flight, metrics, openmetrics, tracing
+from repro.obs.context import TraceContext
+from repro.obs.flight import FlightRecorder
 from repro.obs.decisions import (
     DECISION_TRACE_SCHEMA,
     DecisionTraceRecorder,
@@ -43,6 +55,7 @@ __all__ = [
     "DECISION_TRACE_SCHEMA",
     "Counter",
     "DecisionTraceRecorder",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -53,9 +66,13 @@ __all__ = [
     "SpanTracer",
     "SwapCandidate",
     "Timer",
+    "TraceContext",
+    "context",
     "decompose_swaps",
+    "flight",
     "format_trace",
     "metrics",
+    "openmetrics",
     "read_trace",
     "replay_trace",
     "span",

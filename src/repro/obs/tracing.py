@@ -28,7 +28,7 @@ import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = [
     "ACTIVE",
@@ -40,6 +40,7 @@ __all__ = [
     "enable",
     "format_tree",
     "load_tree",
+    "merge_trees",
     "span",
     "top_self_time",
 ]
@@ -253,6 +254,31 @@ def top_self_time(
         (label, int(count), total, self_s)
         for label, (count, total, self_s) in ranked[:limit]
     ]
+
+
+def merge_trees(roots: "Iterable[SpanNode | None]") -> SpanNode:
+    """Fold span trees into one fleet-wide forest.
+
+    Nodes with the same ``(name, attrs)`` under the same parent path
+    merge: counts and totals add, children merge recursively.  The
+    fold is commutative and associative (like metric snapshots), so a
+    fleet's forest is independent of shard completion order.  ``None``
+    entries are skipped so per-shard values pass straight through.
+    """
+    merged = SpanNode(name="root")
+
+    def fold(into: SpanNode, node: SpanNode) -> None:
+        into.count += node.count
+        into.total_seconds += node.total_seconds
+        for (name, attrs), child in node.children.items():
+            fold(into.child(name, attrs), child)
+
+    for root in roots:
+        if root is None:
+            continue
+        for (name, attrs), child in root.children.items():
+            fold(merged.child(name, attrs), child)
+    return merged
 
 
 def save_tree(root: SpanNode, path: str) -> None:

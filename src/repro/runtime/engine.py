@@ -39,12 +39,15 @@ import os
 import time
 import warnings
 from concurrent import futures
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
 from repro.ace.counters import AceCounterMode
 from repro.config.machines import STANDARD_MACHINES, MachineConfig
+from repro.obs import context as obs_context
+from repro.obs import flight as obs_flight
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.runtime.events import (
@@ -61,6 +64,9 @@ from repro.runtime.events import (
     JobReconciled,
     JobStarted,
     MetricsSnapshot,
+    PostmortemWritten,
+    SpanSnapshot,
+    stamp_trace,
 )
 from repro.runtime.resume import ResumeState
 from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
@@ -135,16 +141,19 @@ def _execute_job(
     retry: RetryPolicy,
     fault_plan: FaultPlan | None,
     collect_metrics: bool = False,
-) -> tuple[int, dict, int, float, dict | None]:
+    collect_spans: bool = False,
+) -> tuple[int, dict, int, float, dict | None, dict | None]:
     """Worker entry point: run one spec with retry, return plain data.
 
-    Returns ``(index, result_dict, attempts, wall_seconds, metrics)``;
-    the result travels as the JSON-codec dict so the payload is
-    trivially picklable and byte-identical to what the disk cache
+    Returns ``(index, result_dict, attempts, wall_seconds, metrics,
+    spans)``; the result travels as the JSON-codec dict so the payload
+    is trivially picklable and byte-identical to what the disk cache
     stores.  With ``collect_metrics``, the run executes under a fresh
     :class:`repro.obs.metrics.MetricsRegistry` (one per attempt, so a
     retried job reports only its successful attempt) and ``metrics``
-    is its snapshot dict; otherwise ``None``.
+    is its snapshot dict; with ``collect_spans``, likewise under a
+    fresh :class:`repro.obs.tracing.SpanTracer` whose tree dict comes
+    back as ``spans``; otherwise ``None``.
     """
     started = time.perf_counter()
     # Configuration errors (e.g. an unknown machine tag) are not
@@ -152,16 +161,33 @@ def _execute_job(
     machine = job.machine if job.machine is not None else job.spec.build_machine()
     attempt = 0
     metrics_data: dict | None = None
+    spans_data: dict | None = None
     while True:
         attempt += 1
         try:
             if fault_plan is not None:
                 fault_plan.apply(job.index, attempt)
-            if collect_metrics:
-                with obs_metrics.collecting() as registry:
-                    with registry.timer("runtime.job_seconds"):
+            if collect_metrics or collect_spans:
+                with ExitStack() as stack:
+                    registry = (
+                        stack.enter_context(obs_metrics.collecting())
+                        if collect_metrics
+                        else None
+                    )
+                    tracer = (
+                        stack.enter_context(obs_tracing.collecting())
+                        if collect_spans
+                        else None
+                    )
+                    if registry is not None:
+                        with registry.timer("runtime.job_seconds"):
+                            result = _run_spec(machine, job.spec)
+                    else:
                         result = _run_spec(machine, job.spec)
-                metrics_data = registry.snapshot().to_dict()
+                if registry is not None:
+                    metrics_data = registry.snapshot().to_dict()
+                if tracer is not None:
+                    spans_data = tracer.to_dict()
             else:
                 result = _run_spec(machine, job.spec)
             break
@@ -172,7 +198,14 @@ def _execute_job(
     if job.cache_path is not None:
         save_run(result, job.cache_path)
     wall = time.perf_counter() - started
-    return job.index, run_result_to_dict(result), attempt, wall, metrics_data
+    return (
+        job.index,
+        run_result_to_dict(result),
+        attempt,
+        wall,
+        metrics_data,
+        spans_data,
+    )
 
 
 def _run_spec(machine: MachineConfig, spec: RunSpec) -> RunResult:
@@ -201,6 +234,9 @@ class JobOutcome:
     #: repro.obs metrics snapshot dict shipped back from the worker
     #: (engine ``metrics=True`` only; always ``None`` for cached jobs).
     metrics: dict | None = None
+    #: repro.obs span tree dict shipped back from the worker (engine
+    #: ``spans=True`` only; always ``None`` for cached jobs).
+    spans: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -222,6 +258,7 @@ class JobOutcome:
             "wall_seconds": self.wall_seconds,
             "cached": self.cached,
             "metrics": self.metrics,
+            "spans": self.spans,
         }
 
     @classmethod
@@ -240,6 +277,7 @@ class JobOutcome:
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             cached=bool(data.get("cached", False)),
             metrics=data.get("metrics"),
+            spans=data.get("spans"),
         )
 
 
@@ -251,6 +289,8 @@ class ExecutionReport:
     wall_seconds: float = 0.0
     #: Campaign-wide merged metrics (engine ``metrics=True`` only).
     metrics: "obs_metrics.RegistrySnapshot | None" = None
+    #: Campaign-wide merged span forest (engine ``spans=True`` only).
+    spans: "obs_tracing.SpanNode | None" = None
 
     @property
     def results(self) -> list[RunResult | None]:
@@ -327,6 +367,25 @@ class ExecutionEngine:
             commutatively, so serial and parallel campaigns produce
             identical totals.  Cached jobs execute nothing and
             contribute no metrics.
+        spans: collect a :mod:`repro.obs.tracing` span tree inside
+            every executed job, emit each tree as a
+            :class:`SpanSnapshot` event (how shard workers ship span
+            trees home), and merge them into ``ExecutionReport.spans``
+            via :func:`repro.obs.tracing.merge_trees`.
+        flight: arm a :class:`repro.obs.flight.FlightRecorder` for the
+            campaign when a result store is present.  The recorder
+            rings the last ``flight_capacity`` emitted events; when a
+            job fails, times out, or is abandoned as an orphan, a
+            postmortem bundle is dumped under
+            ``<store>/postmortems/<key>.json`` and a
+            :class:`PostmortemWritten` event marks it.  ``False``
+            disables the recorder entirely.
+        flight_capacity: ring size of the armed flight recorder.
+
+    The engine also mints (or inherits) a
+    :class:`repro.obs.context.TraceContext` per campaign -- the
+    campaign id is a stable digest of the planned run keys -- and
+    stamps it, plus the per-job run key, onto every emitted event.
     """
 
     #: Factory for the worker pool; replaceable in tests to simulate
@@ -349,6 +408,9 @@ class ExecutionEngine:
         fault_plan: FaultPlan | None = None,
         checks=None,
         metrics: bool = False,
+        spans: bool = False,
+        flight: bool = True,
+        flight_capacity: int = obs_flight.DEFAULT_CAPACITY,
     ):
         self.jobs = max(1, int(jobs))
         self.retry = retry if retry is not None else RetryPolicy()
@@ -360,9 +422,18 @@ class ExecutionEngine:
         self.fault_plan = fault_plan
         self.checks = checks
         self.metrics = bool(metrics)
+        self.spans = bool(spans)
+        self.flight = bool(flight)
+        self.flight_capacity = int(flight_capacity)
         # Per-run checkpoint bookkeeping (reset by run_many).
         self._run_keys: list[str] | None = None
         self._terminal_seen = 0
+        # Per-run telemetry (armed/disarmed by run_many).
+        self._trace: "obs_context.TraceContext | None" = None
+        self._flight: "obs_flight.FlightRecorder | None" = None
+        self._flight_store: Path | None = None
+        self._flight_previous: "obs_flight.FlightRecorder | None" = None
+        self._postmortem_keys: set[str] = set()
         # Submission-path queue metrics (queue.depth / queue.wait_seconds):
         # a fresh engine-side registry under metrics=True, else whatever
         # registry is ACTIVE in the parent process.
@@ -375,8 +446,104 @@ class ExecutionEngine:
     # -- events ------------------------------------------------------
 
     def _emit(self, event: Event) -> None:
+        trace = self._trace
+        if trace is not None:
+            data = trace.to_dict()
+            keys = self._run_keys
+            index = getattr(event, "index", None)
+            if (
+                keys is not None
+                and isinstance(index, int)
+                and 0 <= index < len(keys)
+            ):
+                data["run_key"] = keys[index]
+            tracer = obs_tracing.ACTIVE
+            if tracer is not None and len(tracer._stack) > 1:
+                data["parent"] = tracer._stack[-1].label
+            event = stamp_trace(event, data)
+        flight = self._flight
+        if flight is not None:
+            flight.record(event.to_dict())
         for sink in self.sinks:
             sink.emit(event)
+
+    # -- telemetry arming --------------------------------------------
+
+    def _arm_telemetry(self, keys: Sequence[str], store) -> None:
+        """Mint/inherit the campaign trace context; arm the recorder."""
+        self._postmortem_keys = set()
+        ambient = obs_context.current()
+        self._trace = (
+            ambient
+            if ambient is not None
+            else obs_context.TraceContext(
+                campaign=obs_context.campaign_id(keys)
+            )
+        )
+        if self.flight and store is not None:
+            self._flight = obs_flight.FlightRecorder(
+                self.flight_capacity,
+                fingerprint={
+                    "campaign": self._trace.campaign,
+                    "failure_policy": self.failure_policy.value,
+                    "jobs": self.jobs,
+                    "max_attempts": self.retry.max_attempts,
+                    "timeout_seconds": self.timeout_seconds,
+                },
+            )
+            self._flight.mark_metrics_baseline()
+            self._flight_store = store.directory
+            # Install as the ambient recorder so in-process kernel
+            # paths contribute window notes to the ring.
+            self._flight_previous = obs_flight.ACTIVE
+            obs_flight.enable(self._flight)
+
+    def _disarm_telemetry(self) -> None:
+        if self._flight is not None:
+            if self._flight_previous is not None:
+                obs_flight.enable(self._flight_previous)
+            else:
+                obs_flight.disable()
+        self._trace = None
+        self._flight = None
+        self._flight_store = None
+        self._flight_previous = None
+
+    def _dump_postmortem(self, job: Job, reason: str, error: str) -> None:
+        """Write a postmortem bundle for a dead job; emit its marker."""
+        if self._flight is None or self._flight_store is None:
+            return
+        keys = self._run_keys
+        key = (
+            keys[job.index]
+            if keys is not None and 0 <= job.index < len(keys)
+            else job.spec.key()
+        )
+        # A timed-out orphan dies twice (timeout now, abandoned at
+        # drain); the first bundle has the ring as it was at death, so
+        # it wins.
+        if key in self._postmortem_keys:
+            return
+        self._postmortem_keys.add(key)
+        trace = self._trace.with_run(key) if self._trace else None
+        path = obs_flight.dump_bundle(
+            self._flight_store,
+            key,
+            label=job.label,
+            reason=reason,
+            error=error,
+            trace=trace,
+            recorder=self._flight,
+        )
+        self._emit(
+            PostmortemWritten(
+                index=job.index,
+                label=job.label,
+                key=key,
+                reason=reason,
+                path=str(path),
+            )
+        )
 
     def close(self) -> None:
         for sink in self.sinks:
@@ -560,97 +727,107 @@ class ExecutionEngine:
             if self.metrics
             else obs_metrics.ACTIVE
         )
-        started = time.perf_counter()
-        self._emit(CampaignStarted(total=len(jobs_list)))
-        self._emit(
-            CampaignPlan(
-                specs=[dataclasses.asdict(spec) for spec in specs],
-                keys=keys,
-                labels=[job.label for job in jobs_list],
-                store=str(store.directory) if store is not None else None,
-                machine=self._machine_descriptor(machines),
-                failure_policy=self.failure_policy.value,
-                timeout_seconds=self.timeout_seconds,
-                max_attempts=self.retry.max_attempts,
-            )
-        )
-
-        outcomes: dict[int, JobOutcome] = {}
-        to_run = []
-        for job in jobs_list:
-            cached = self._load_cached(job)
-            if cached is None:
-                to_run.append(job)
-                continue
-            error = self._check_result(job, cached.result)
-            if error is not None:
-                self._record_failure(
-                    job, error, 0, cached.wall_seconds, outcomes
-                )
-                continue
-            outcomes[job.index] = cached
+        self._arm_telemetry(keys, store)
+        try:
+            started = time.perf_counter()
+            self._emit(CampaignStarted(total=len(jobs_list)))
             self._emit(
-                JobCached(
-                    index=job.index,
-                    label=job.label,
-                    wall_seconds=cached.wall_seconds,
+                CampaignPlan(
+                    specs=[dataclasses.asdict(spec) for spec in specs],
+                    keys=keys,
+                    labels=[job.label for job in jobs_list],
+                    store=str(store.directory) if store is not None else None,
+                    machine=self._machine_descriptor(machines),
+                    failure_policy=self.failure_policy.value,
+                    timeout_seconds=self.timeout_seconds,
+                    max_attempts=self.retry.max_attempts,
                 )
             )
-            self._checkpoint_tick(outcomes)
 
-        cached_failure = any(
-            outcomes[i].error is not None for i in outcomes
-        )
-        if (
-            cached_failure
-            and self.failure_policy is FailurePolicy.FAIL_FAST
-        ):
-            for job in to_run:
-                self._record_failure(
-                    job, "skipped (fail-fast abort)", 0, 0.0, outcomes
-                )
-        elif to_run:
-            if self.jobs == 1 or len(to_run) == 1:
-                self._run_serial(to_run, outcomes)
-            else:
-                self._run_parallel(to_run, outcomes)
-
-        report = ExecutionReport(
-            outcomes=[outcomes[i] for i in sorted(outcomes)],
-            wall_seconds=time.perf_counter() - started,
-        )
-        if self.metrics:
-            merged = obs_metrics.MetricsRegistry()
-            for outcome in report.outcomes:
-                if outcome.metrics is not None:
-                    merged.merge(outcome.metrics)
-            engine_snapshot = self._queue_registry.snapshot()
-            if engine_snapshot.series:
-                # Submission-path queueing metrics live in the parent,
-                # not in any worker; ship them as an index=-1 snapshot
-                # so replaying the event stream still reproduces the
-                # merged registry.
+            outcomes: dict[int, JobOutcome] = {}
+            to_run = []
+            for job in jobs_list:
+                cached = self._load_cached(job)
+                if cached is None:
+                    to_run.append(job)
+                    continue
+                error = self._check_result(job, cached.result)
+                if error is not None:
+                    self._record_failure(
+                        job, error, 0, cached.wall_seconds, outcomes
+                    )
+                    continue
+                outcomes[job.index] = cached
                 self._emit(
-                    MetricsSnapshot(
-                        index=-1,
-                        label="engine",
-                        metrics=engine_snapshot.to_dict(),
+                    JobCached(
+                        index=job.index,
+                        label=job.label,
+                        wall_seconds=cached.wall_seconds,
                     )
                 )
-                merged.merge(engine_snapshot)
-            report.metrics = merged.snapshot()
-        self._queue_registry = None
-        self._emit_checkpoint(outcomes)
-        self._run_keys = None
-        self._emit(
-            CampaignFinished(
-                total=len(report.outcomes),
-                completed=sum(1 for o in report.outcomes if o.ok),
-                cached=report.cache_hits,
-                failed=len(report.failures),
-                wall_seconds=report.wall_seconds,
+                self._checkpoint_tick(outcomes)
+
+            cached_failure = any(
+                outcomes[i].error is not None for i in outcomes
             )
-        )
+            if (
+                cached_failure
+                and self.failure_policy is FailurePolicy.FAIL_FAST
+            ):
+                for job in to_run:
+                    self._record_failure(
+                        job, "skipped (fail-fast abort)", 0, 0.0, outcomes
+                    )
+            elif to_run:
+                if self.jobs == 1 or len(to_run) == 1:
+                    self._run_serial(to_run, outcomes)
+                else:
+                    self._run_parallel(to_run, outcomes)
+
+            report = ExecutionReport(
+                outcomes=[outcomes[i] for i in sorted(outcomes)],
+                wall_seconds=time.perf_counter() - started,
+            )
+            if self.metrics:
+                merged = obs_metrics.MetricsRegistry()
+                for outcome in report.outcomes:
+                    if outcome.metrics is not None:
+                        merged.merge(outcome.metrics)
+                engine_snapshot = self._queue_registry.snapshot()
+                if engine_snapshot.series:
+                    # Submission-path queueing metrics live in the parent,
+                    # not in any worker; ship them as an index=-1 snapshot
+                    # so replaying the event stream still reproduces the
+                    # merged registry.
+                    self._emit(
+                        MetricsSnapshot(
+                            index=-1,
+                            label="engine",
+                            metrics=engine_snapshot.to_dict(),
+                        )
+                    )
+                    merged.merge(engine_snapshot)
+                report.metrics = merged.snapshot()
+            if self.spans:
+                report.spans = obs_tracing.merge_trees(
+                    obs_tracing.SpanNode.from_dict(o.spans)
+                    for o in report.outcomes
+                    if o.spans is not None
+                )
+            self._queue_registry = None
+            self._emit_checkpoint(outcomes)
+            self._run_keys = None
+            self._emit(
+                CampaignFinished(
+                    total=len(report.outcomes),
+                    completed=sum(1 for o in report.outcomes if o.ok),
+                    cached=report.cache_hits,
+                    failed=len(report.failures),
+                    wall_seconds=report.wall_seconds,
+                )
+            )
+        finally:
+            self._disarm_telemetry()
         if self.failure_policy is FailurePolicy.FAIL_FAST:
             report.raise_on_failure()
         return report
@@ -737,6 +914,7 @@ class ExecutionEngine:
         wall: float,
         outcomes,
         metrics_data: dict | None = None,
+        spans_data: dict | None = None,
     ) -> bool:
         """Record a completed job; ``False`` when its checks failed."""
         result = run_result_from_dict(data)
@@ -752,6 +930,7 @@ class ExecutionEngine:
             attempts=attempts,
             wall_seconds=wall,
             metrics=metrics_data,
+            spans=spans_data,
         )
         if metrics_data is not None:
             self._emit(
@@ -759,6 +938,14 @@ class ExecutionEngine:
                     index=job.index,
                     label=job.label,
                     metrics=metrics_data,
+                )
+            )
+        if spans_data is not None:
+            self._emit(
+                SpanSnapshot(
+                    index=job.index,
+                    label=job.label,
+                    spans=spans_data,
                 )
             )
         self._emit(
@@ -794,6 +981,11 @@ class ExecutionEngine:
                 wall_seconds=wall,
             )
         )
+        # Administrative failures (fail-fast skips/cancels) carry no
+        # in-flight state worth a bundle; real deaths do.
+        if not error.startswith(("skipped (", "cancelled (")):
+            reason = "timeout" if error.startswith("timed out") else "failed"
+            self._dump_postmortem(job, reason, error)
         self._checkpoint_tick(outcomes)
 
     # -- serial path -------------------------------------------------
@@ -816,8 +1008,16 @@ class ExecutionEngine:
             started = time.perf_counter()
             try:
                 with obs_tracing.span("runtime.execute_job"):
-                    _, data, attempts, wall, metrics_data = _execute_job(
-                        job, self.retry, self.fault_plan, self.metrics
+                    (
+                        _,
+                        data,
+                        attempts,
+                        wall,
+                        metrics_data,
+                        spans_data,
+                    ) = _execute_job(
+                        job, self.retry, self.fault_plan, self.metrics,
+                        self.spans,
                     )
             except Exception as error:
                 self._record_failure(
@@ -830,8 +1030,29 @@ class ExecutionEngine:
                 if self.failure_policy is FailurePolicy.FAIL_FAST:
                     aborted = True
                 continue
+            elapsed = time.perf_counter() - started
+            if (
+                self.timeout_seconds is not None
+                and elapsed > self.timeout_seconds
+            ):
+                # In-process execution cannot preempt a running job,
+                # so the budget is enforced post-hoc: the finished
+                # result is discarded, as the pool path discards a
+                # cancelled worker's.  Shard workers (jobs=1) rely on
+                # this to honor the fleet's --timeout.
+                self._record_failure(
+                    job,
+                    f"timed out after {self.timeout_seconds:.1f}s",
+                    attempts,
+                    elapsed,
+                    outcomes,
+                )
+                if self.failure_policy is FailurePolicy.FAIL_FAST:
+                    aborted = True
+                continue
             ok = self._record_success(
-                job, data, attempts, wall, outcomes, metrics_data
+                job, data, attempts, wall, outcomes, metrics_data,
+                spans_data,
             )
             if not ok and self.failure_policy is FailurePolicy.FAIL_FAST:
                 aborted = True
@@ -857,7 +1078,7 @@ class ExecutionEngine:
                 self._emit(JobStarted(index=job.index, label=job.label))
                 future = executor.submit(
                     _execute_job, job, self.retry, self.fault_plan,
-                    self.metrics,
+                    self.metrics, self.spans,
                 )
                 pending[future] = job
             self._harvest(
@@ -921,7 +1142,14 @@ class ExecutionEngine:
                         continue
                     observe_queue(future)
                     try:
-                        _, data, attempts, wall, metrics_data = future.result()
+                        (
+                            _,
+                            data,
+                            attempts,
+                            wall,
+                            metrics_data,
+                            spans_data,
+                        ) = future.result()
                     except futures.process.BrokenProcessPool:
                         # Put the job back so the caller's serial-fallback
                         # path re-runs it alongside the other pending jobs.
@@ -940,7 +1168,8 @@ class ExecutionEngine:
                             return
                         continue
                     ok = self._record_success(
-                        job, data, attempts, wall, outcomes, metrics_data
+                        job, data, attempts, wall, outcomes, metrics_data,
+                        spans_data,
                     )
                     if (
                         not ok
@@ -1003,7 +1232,7 @@ class ExecutionEngine:
         for future in [f for f in orphans if f.done()]:
             job = orphans.pop(future)
             try:
-                _, data, attempts, wall, _metrics = future.result()
+                _, data, attempts, wall, _metrics, _spans = future.result()
             except Exception:
                 self._emit(
                     JobReconciled(
@@ -1041,6 +1270,11 @@ class ExecutionEngine:
                 JobReconciled(
                     index=job.index, label=job.label, outcome="abandoned"
                 )
+            )
+            self._dump_postmortem(
+                job,
+                "abandoned",
+                "worker still running when the campaign ended",
             )
         orphans.clear()
 

@@ -24,17 +24,28 @@ from typing import Any, Callable, ClassVar, Sequence
 
 @dataclass(frozen=True)
 class Event:
-    """Base class for all campaign events."""
+    """Base class for all campaign events.
+
+    ``trace`` is the optional :class:`~repro.obs.context.TraceContext`
+    in dict form, stamped by the engine when trace propagation is on.
+    It is **omitted** from :meth:`to_dict` when ``None`` so unstamped
+    logs keep their historical byte layout.
+    """
 
     kind: ClassVar[str] = "event"
 
     timestamp: float = field(
         default_factory=time.time, kw_only=True, compare=False
     )
+    trace: dict[str, Any] | None = field(
+        default=None, kw_only=True, compare=False
+    )
 
     def to_dict(self) -> dict[str, Any]:
         data = dataclasses.asdict(self)
         data["event"] = self.kind
+        if data.get("trace") is None:
+            data.pop("trace", None)
         return data
 
 
@@ -230,6 +241,44 @@ class MetricsSnapshot(Event):
 
 
 @dataclass(frozen=True)
+class SpanSnapshot(Event):
+    """A job's serialized span tree (repro.obs.tracing).
+
+    Emitted right before the job's terminal event when the engine runs
+    with ``spans=True``; ``spans`` is the JSON form of
+    :meth:`repro.obs.tracing.SpanNode.to_dict`, so shard workers ship
+    their span trees home inside the normal event stream and the
+    coordinator grafts them into a fleet-wide forest with
+    :func:`repro.obs.tracing.merge_trees` (``repro stats --spans``).
+    """
+
+    kind: ClassVar[str] = "span_snapshot"
+
+    index: int
+    label: str
+    spans: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class PostmortemWritten(Event):
+    """A flight-recorder postmortem bundle was dumped for a dead job.
+
+    Marks in the event log that ``repro postmortem <key>`` has
+    something to show: ``key`` is the job's run key (the bundle file
+    name under ``<store>/postmortems/``), ``reason`` is one of
+    ``failed`` / ``timeout`` / ``abandoned``.
+    """
+
+    kind: ClassVar[str] = "postmortem_written"
+
+    index: int
+    label: str
+    key: str
+    reason: str
+    path: str = ""
+
+
+@dataclass(frozen=True)
 class CampaignFinished(Event):
     """The batch is done; totals for the whole campaign."""
 
@@ -273,12 +322,31 @@ _EVENT_TYPES: dict[str, type[Event]] = {
         JobCached,
         CheckFailed,
         MetricsSnapshot,
+        SpanSnapshot,
+        PostmortemWritten,
         JobFinished,
         JobFailed,
         JobReconciled,
         CampaignFinished,
     )
 }
+
+
+def event_schema() -> dict[str, Any]:
+    """The frozen wire schema: every known kind and its fields.
+
+    Pinned by ``tests/fixtures/event_schema.json`` -- changing an
+    existing kind's fields is a compatibility break (old logs must
+    keep replaying), while *adding* kinds is fine because unknown
+    kinds degrade to :class:`UnknownEvent`.
+    """
+    return {
+        "version": 1,
+        "events": {
+            kind: [f.name for f in dataclasses.fields(cls)]
+            for kind, cls in sorted(_EVENT_TYPES.items())
+        },
+    }
 
 
 def _unknown_event(raw: dict[str, Any]) -> UnknownEvent:
@@ -307,6 +375,21 @@ def event_from_dict(data: dict[str, Any]) -> Event:
         return cls(**data)
     except TypeError:
         return _unknown_event(raw)
+
+
+def stamp_trace(event: Event, trace: dict[str, Any] | None) -> Event:
+    """Return ``event`` carrying ``trace``, unless it already has one.
+
+    :class:`UnknownEvent` is passed through untouched -- its payload
+    belongs to a foreign writer and must round-trip verbatim.
+    """
+    if (
+        trace is None
+        or event.trace is not None
+        or isinstance(event, UnknownEvent)
+    ):
+        return event
+    return dataclasses.replace(event, trace=trace)
 
 
 class EventSink:

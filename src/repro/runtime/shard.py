@@ -54,7 +54,9 @@ from queue import SimpleQueue
 from typing import Callable, Mapping, Sequence
 
 from repro.config.machines import MachineConfig
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.runtime.engine import (
     ExecutionEngine,
     ExecutionReport,
@@ -72,9 +74,11 @@ from repro.runtime.events import (
     JobFailed,
     JobFinished,
     JsonlEventSink,
+    SpanSnapshot,
     TERMINAL_EVENTS,
     event_from_dict,
     merge_event_streams,
+    stamp_trace,
 )
 from repro.runtime.resume import ResumeState
 from repro.runtime.retry import CampaignError, FailurePolicy, RetryPolicy
@@ -154,6 +158,10 @@ class ShardPlan:
     checkpoint_every: int = 8
     fail_attempts: Mapping[int, int] | None = None  # local index -> n
     sleep_seconds: Mapping[int, float] | None = None
+    # Additive v1 fields (absent on old coordinators -> defaults):
+    spans: bool = False
+    timeout_seconds: float | None = None
+    trace: Mapping[str, object] | None = None  # coordinator TraceContext
 
     def to_message(self) -> dict:
         return {
@@ -181,6 +189,9 @@ class ShardPlan:
                 if self.sleep_seconds
                 else None
             ),
+            "spans": self.spans,
+            "timeout_seconds": self.timeout_seconds,
+            "trace": dict(self.trace) if self.trace else None,
         }
 
     @classmethod
@@ -220,6 +231,13 @@ class ShardPlan:
                 if message.get("sleep_seconds")
                 else None
             ),
+            spans=bool(message.get("spans", False)),
+            timeout_seconds=(
+                float(message["timeout_seconds"])
+                if message.get("timeout_seconds") is not None
+                else None
+            ),
+            trace=message.get("trace") or None,
         )
 
 
@@ -275,6 +293,7 @@ def run_worker(plan: ShardPlan, send: Callable[[dict], None]) -> None:
         sinks=[CallbackSink(ship)],
         checks=checks,
         metrics=plan.metrics,
+        spans=plan.spans,
         checkpoint_every=plan.checkpoint_every,
     )
     if plan.batched:
@@ -293,14 +312,27 @@ def run_worker(plan: ShardPlan, send: Callable[[dict], None]) -> None:
                 max_attempts=plan.max_attempts, base_delay_seconds=0.0
             ),
             fault_plan=fault,
+            timeout_seconds=plan.timeout_seconds,
             **kwargs,
         )
-    report = engine.run_many(
-        list(plan.specs),
-        machines=machine,
-        labels=list(plan.labels),
-        store=plan.store,
-    )
+    # Events this worker emits carry the *fleet's* trace context (the
+    # coordinator's campaign id, this shard's index), not a locally
+    # re-derived one; with an old coordinator the engine mints its own.
+    trace = None
+    if plan.trace:
+        trace = dataclasses.replace(
+            obs_context.TraceContext.from_dict(plan.trace),
+            shard=plan.shard,
+        )
+    with obs_context.activate(
+        trace if trace is not None else obs_context.current()
+    ):
+        report = engine.run_many(
+            list(plan.specs),
+            machines=machine,
+            labels=list(plan.labels),
+            store=plan.store,
+        )
     for outcome in report.outcomes:
         data = outcome.to_dict()
         data["index"] = indices[outcome.index]
@@ -577,16 +609,35 @@ class FleetStatusServer:
     :mod:`repro.service.framing`) -- so any client that can talk to
     the service can watch a fleet::
 
-        {"op": "fleet"}  ->  {"ok": true, "fleet": {...}}
-        {"op": "ping"}   ->  {"ok": true, "pong": true}
+        {"op": "fleet"}   ->  {"ok": true, "fleet": {...}}
+        {"op": "ping"}    ->  {"ok": true, "pong": true}
+        {"op": "metrics"} ->  {"ok": true, "openmetrics": "..."}
+
+    ``metrics`` answers with an OpenMetrics text exposition (see
+    :mod:`repro.obs.openmetrics`): fleet-status gauges always, plus the
+    campaign's metric series when a ``metrics_source`` callable was
+    wired in (the shard CLI wires the coordinator's).
     """
 
-    def __init__(self, status: FleetStatus, path: str | Path):
+    def __init__(
+        self,
+        status: FleetStatus,
+        path: str | Path,
+        *,
+        metrics_source: Callable[[], "str | None"] | None = None,
+    ):
         self.status = status
         self.path = Path(path)
+        self.metrics_source = metrics_source
         self._socket = None
         self._thread: threading.Thread | None = None
         self._closed = threading.Event()
+        # Open client connections and their serving threads; close()
+        # tears the connections down and joins every thread so a
+        # finished fleet leaves nothing running (clients used to leak
+        # as untracked daemon threads).
+        self._lock = threading.Lock()
+        self._clients: dict[threading.Thread, object] = {}
 
     def handle_line(self, line: str) -> str:
         try:
@@ -598,7 +649,23 @@ class FleetStatusServer:
             return encode_line({"ok": True, "fleet": self.status.snapshot()})
         if op == "ping":
             return encode_line({"ok": True, "pong": True})
+        if op == "metrics":
+            return encode_line(
+                {"ok": True, "openmetrics": self._render_metrics()}
+            )
         return encode_line({"ok": False, "error": f"unknown op {op!r}"})
+
+    def _render_metrics(self) -> str:
+        text = None
+        if self.metrics_source is not None:
+            text = self.metrics_source()
+        if text is None:
+            from repro.obs import openmetrics
+
+            text = openmetrics.render_snapshot(
+                None, fleet=self.status.snapshot()
+            )
+        return text
 
     def start(self) -> None:
         import socket as socket_module
@@ -614,12 +681,18 @@ class FleetStatusServer:
         self._socket.settimeout(0.1)
 
         def serve_client(connection) -> None:
-            with connection, connection.makefile("rw") as stream:
-                for line in stream:
-                    if not line.strip():
-                        continue
-                    stream.write(self.handle_line(line) + "\n")
-                    stream.flush()
+            try:
+                with connection, connection.makefile("rw") as stream:
+                    for line in stream:
+                        if not line.strip():
+                            continue
+                        stream.write(self.handle_line(line) + "\n")
+                        stream.flush()
+            except (OSError, ValueError):
+                pass  # connection torn down under us by close()
+            finally:
+                with self._lock:
+                    self._clients.pop(threading.current_thread(), None)
 
         def accept_loop() -> None:
             while not self._closed.is_set():
@@ -627,19 +700,41 @@ class FleetStatusServer:
                     connection, _ = self._socket.accept()
                 except OSError:
                     continue
-                threading.Thread(
+                thread = threading.Thread(
                     target=serve_client, args=(connection,), daemon=True
-                ).start()
+                )
+                with self._lock:
+                    self._clients[thread] = connection
+                thread.start()
 
         self._thread = threading.Thread(
             target=accept_loop, name="fleet-status", daemon=True
         )
         self._thread.start()
 
-    def close(self) -> None:
+    def close(self, *, join_timeout: float = 2.0) -> None:
+        import socket
+
         self._closed.set()
         if self._socket is not None:
             self._socket.close()
+        if self._thread is not None:
+            self._thread.join(timeout=join_timeout)
+            self._thread = None
+        with self._lock:
+            clients = dict(self._clients)
+        for thread, connection in clients.items():
+            try:
+                # shutdown (not just close) unblocks a thread parked in
+                # recv on this connection; close alone would leak it.
+                connection.shutdown(socket.SHUT_RDWR)  # type: ignore
+            except OSError:
+                pass
+            try:
+                connection.close()  # type: ignore[attr-defined]
+            except OSError:
+                pass
+            thread.join(timeout=join_timeout)
         self.path.unlink(missing_ok=True)
 
 
@@ -695,9 +790,11 @@ class ShardCoordinator:
         transport_factory: Callable[[], ShardTransport] | None = None,
         batched: bool = False,
         metrics: bool = False,
+        spans: bool = False,
         checks: bool = False,
         failure_policy: FailurePolicy = FailurePolicy.FAIL_FAST,
         max_attempts: int = 1,
+        timeout_seconds: float | None = None,
         checkpoint_every: int = 8,
         sinks: Sequence[EventSink] = (),
         log_sink: EventSink | None = None,
@@ -715,24 +812,45 @@ class ShardCoordinator:
         )
         self.batched = batched
         self.metrics = metrics
+        self.spans = spans
         self.checks = checks
         self.failure_policy = failure_policy
         self.max_attempts = max_attempts
+        self.timeout_seconds = timeout_seconds
         self.checkpoint_every = max(1, checkpoint_every)
         self.sinks = list(sinks)
         self.log_sink = log_sink
         self.shard_log_base = shard_log_base
         self.fault_plan = fault_plan
         self.status = status
+        self._trace: obs_context.TraceContext | None = None
+        self._shard_metrics: dict[int, dict | None] = {}
 
     # -- emission helpers ---------------------------------------------
 
     def _emit_bracket(self, event: Event) -> None:
         """Campaign-level events go to live sinks and the log."""
+        if self._trace is not None:
+            event = stamp_trace(event, self._trace.to_dict())
         for sink in self.sinks:
             sink.emit(event)
         if self.log_sink is not None:
             self.log_sink.emit(event)
+
+    def openmetrics(self) -> str:
+        """OpenMetrics exposition of the fleet so far: status gauges
+        plus whatever per-shard metric snapshots have arrived.  Wired
+        into :class:`FleetStatusServer` as its ``metrics_source``."""
+        from repro.obs import openmetrics as obs_openmetrics
+
+        snapshot = None
+        if self._shard_metrics:
+            snapshot = obs_metrics.merge_snapshots(
+                self._shard_metrics.get(shard)
+                for shard in sorted(self._shard_metrics)
+            )
+        fleet = self.status.snapshot() if self.status is not None else None
+        return obs_openmetrics.render_snapshot(snapshot, fleet=fleet)
 
     def _emit_live(self, event: Event) -> None:
         for sink in self.sinks:
@@ -782,6 +900,13 @@ class ShardCoordinator:
                 checkpoint_every=self.checkpoint_every,
                 fail_attempts=fail_attempts,
                 sleep_seconds=sleep_seconds,
+                spans=self.spans,
+                timeout_seconds=self.timeout_seconds,
+                trace=(
+                    self._trace.to_dict()
+                    if self._trace is not None
+                    else None
+                ),
             )
         return plans
 
@@ -822,6 +947,18 @@ class ShardCoordinator:
             raise ValueError("specs and labels must align")
         machine_descriptor = ExecutionEngine._machine_descriptor(machines)
 
+        # The fleet's trace context: ambient if a caller installed one,
+        # else minted from the planned keyspace.  The coordinator
+        # stamps its own brackets with it and ships it to every worker
+        # in the plan, so one campaign id correlates the whole fleet.
+        context = obs_context.current()
+        if context is None:
+            context = obs_context.TraceContext(
+                campaign=obs_context.campaign_id(keys)
+            )
+        self._trace = context
+        self._shard_metrics = {}
+
         started = time.perf_counter()
         self._emit_bracket(CampaignStarted(total=len(specs)))
         self._emit_bracket(
@@ -834,7 +971,7 @@ class ShardCoordinator:
                 ),
                 machine=machine_descriptor,
                 failure_policy=self.failure_policy.value,
-                timeout_seconds=None,
+                timeout_seconds=self.timeout_seconds,
                 max_attempts=self.max_attempts,
                 shards=self.shards,
             )
@@ -872,7 +1009,8 @@ class ShardCoordinator:
         statuses: dict[str, str] = dict.fromkeys(
             (k for k in keys), "pending"
         )
-        shard_metrics: dict[int, dict | None] = {}
+        span_roots: list[obs_tracing.SpanNode] = []
+        shard_metrics = self._shard_metrics
         shard_errors: dict[int, str] = {}
         done_shards: set[int] = set()
         open_shards = set(plans)
@@ -888,11 +1026,12 @@ class ShardCoordinator:
             pending = sorted(
                 k for k, s in statuses.items() if s == "pending"
             )
-            self.log_sink.emit(
-                CampaignCheckpoint(
-                    completed=completed, failed=failed, pending=pending
-                )
+            checkpoint: Event = CampaignCheckpoint(
+                completed=completed, failed=failed, pending=pending
             )
+            if self._trace is not None:
+                checkpoint = stamp_trace(checkpoint, self._trace.to_dict())
+            self.log_sink.emit(checkpoint)
 
         while open_shards:
             shard, message = inbox.get()
@@ -913,6 +1052,7 @@ class ShardCoordinator:
                         shard_metrics,
                         status,
                         shard_logs.get(shard),
+                        span_roots,
                     )
                 status.mark_finished(shard)
                 continue
@@ -928,6 +1068,14 @@ class ShardCoordinator:
                 streams[shard].append(event)
                 status.record_event(shard, event)
                 self._emit_live(event)
+                if (
+                    self.spans
+                    and isinstance(event, SpanSnapshot)
+                    and event.spans
+                ):
+                    span_roots.append(
+                        obs_tracing.SpanNode.from_dict(event.spans)
+                    )
                 if isinstance(event, TERMINAL_EVENTS):
                     if 0 <= event.index < len(keys):
                         statuses[keys[event.index]] = (
@@ -986,6 +1134,11 @@ class ShardCoordinator:
             report.metrics = obs_metrics.merge_snapshots(
                 shard_metrics.get(shard) for shard in sorted(plans)
             )
+        if self.spans:
+            # Fleet-wide span forest: every shipped SpanSnapshot tree
+            # grafted through the commutative fold, so the forest is
+            # independent of shard completion order.
+            report.spans = obs_tracing.merge_trees(span_roots)
         self._emit_bracket(
             CampaignFinished(
                 total=len(ordered),
@@ -1015,6 +1168,7 @@ class ShardCoordinator:
         shard_metrics: dict[int, dict | None],
         status: FleetStatus,
         shard_log: JsonlEventSink | None,
+        span_roots: list[obs_tracing.SpanNode] | None = None,
     ) -> None:
         """Re-run a dead worker's unfinished jobs in-process.
 
@@ -1050,6 +1204,15 @@ class ShardCoordinator:
             streams[shard].append(event)
             status.record_event(shard, event)
             self._emit_live(event)
+            if (
+                self.spans
+                and span_roots is not None
+                and isinstance(event, SpanSnapshot)
+                and event.spans
+            ):
+                span_roots.append(
+                    obs_tracing.SpanNode.from_dict(event.spans)
+                )
             if isinstance(event, TERMINAL_EVENTS):
                 if 0 <= event.index < len(keys):
                     statuses[keys[event.index]] = (
@@ -1069,6 +1232,7 @@ class ShardCoordinator:
             sinks=[CallbackSink(absorb)],
             checks=checks,
             metrics=self.metrics,
+            spans=self.spans,
             checkpoint_every=self.checkpoint_every,
         )
         if self.batched:
@@ -1100,14 +1264,23 @@ class ShardCoordinator:
                     max_attempts=self.max_attempts, base_delay_seconds=0.0
                 ),
                 fault_plan=fault,
+                timeout_seconds=self.timeout_seconds,
                 **kwargs,
             )
-        report = engine.run_many(
-            [specs[g] for g in missing],
-            machines=machines,
-            labels=[labels[g] for g in missing],
-            store=store,
+        # The remnant runs under the dead shard's trace context so its
+        # events and postmortems still attribute to that shard.
+        recovery_trace = (
+            dataclasses.replace(self._trace, shard=shard)
+            if self._trace is not None
+            else None
         )
+        with obs_context.activate(recovery_trace):
+            report = engine.run_many(
+                [specs[g] for g in missing],
+                machines=machines,
+                labels=[labels[g] for g in missing],
+                store=store,
+            )
         for outcome in report.outcomes:
             data = outcome.to_dict()
             data["index"] = missing[outcome.index]

@@ -22,9 +22,12 @@ from repro.service.server import OpenSystem, ServiceConfig, ServiceResult
 
 __all__ = [
     "LoadPoint",
+    "TimelineWindow",
     "exact_percentile",
     "format_load_table",
+    "format_timeline",
     "run_load_point",
+    "service_timeline",
 ]
 
 
@@ -103,6 +106,151 @@ def run_load_point(
         result=result,
         digest=feed.digest(),
     )
+
+
+@dataclass(frozen=True)
+class TimelineWindow:
+    """Aggregates of one virtual-time window of a service run."""
+
+    start_seconds: float
+    end_seconds: float
+    arrived: int
+    started: int
+    shed: int
+    departed: int
+    queue_depth: int  # waiting jobs at window end
+    running: int  # in-service jobs at window end
+    p50_start_latency: float | None
+    p95_start_latency: float | None
+
+    @property
+    def shed_rate(self) -> float:
+        return (self.shed / self.arrived) if self.arrived else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start_seconds": self.start_seconds,
+            "end_seconds": self.end_seconds,
+            "arrived": self.arrived,
+            "started": self.started,
+            "shed": self.shed,
+            "departed": self.departed,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "shed_rate": self.shed_rate,
+            "p50_start_latency_seconds": self.p50_start_latency,
+            "p95_start_latency_seconds": self.p95_start_latency,
+        }
+
+
+def service_timeline(
+    events: Sequence[dict],
+    *,
+    window_seconds: float | None = None,
+    windows: int = 12,
+) -> list[TimelineWindow]:
+    """Per-window operational view of a service run, computed post-hoc
+    from the retained :class:`ServiceFeed` events.
+
+    Each window counts its arrivals/starts/sheds/departures, carries
+    exact p50/p95 start latency (the ``wait_seconds`` of its ``start``
+    events), and reports queue depth and in-service occupancy at the
+    window boundary from the cumulative conservation identities
+    (``queued = arrived - started - shed``,
+    ``running = started - departed``).  A pure function of the feed,
+    so it is as deterministic as the feed digest itself.
+    """
+    if not events:
+        return []
+    times = [float(event["time"]) for event in events]
+    t0, t1 = min(times), max(times)
+    span = max(t1 - t0, 1e-9)
+    if window_seconds is None:
+        if windows < 1:
+            raise ValueError("timeline needs at least one window")
+        window_seconds = span / windows
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    count = max(1, math.ceil(span / window_seconds))
+    buckets: list[list[dict]] = [[] for _ in range(count)]
+    for event in events:
+        index = int((float(event["time"]) - t0) / window_seconds)
+        buckets[min(index, count - 1)].append(event)
+    out: list[TimelineWindow] = []
+    arrived = started = shed = departed = 0
+    for index, bucket in enumerate(buckets):
+        kinds = [event["event"] for event in bucket]
+        w_arrived = kinds.count("arrive")
+        w_started = kinds.count("start")
+        w_shed = kinds.count("shed")
+        w_departed = kinds.count("depart")
+        arrived += w_arrived
+        started += w_started
+        shed += w_shed
+        departed += w_departed
+        waits = [
+            float(event["wait_seconds"])
+            for event in bucket
+            if event["event"] == "start"
+        ]
+        out.append(
+            TimelineWindow(
+                start_seconds=t0 + index * window_seconds,
+                end_seconds=min(t0 + (index + 1) * window_seconds, t1),
+                arrived=w_arrived,
+                started=w_started,
+                shed=w_shed,
+                departed=w_departed,
+                queue_depth=arrived - started - shed,
+                running=started - departed,
+                p50_start_latency=exact_percentile(waits, 0.50),
+                p95_start_latency=exact_percentile(waits, 0.95),
+            )
+        )
+    return out
+
+
+def format_timeline(windows: Sequence[TimelineWindow]) -> str:
+    """The per-window table printed by ``repro load --timeline``."""
+    if not windows:
+        return "(empty timeline)"
+    headers = (
+        "window",
+        "arrive",
+        "start",
+        "shed",
+        "shed%",
+        "queue",
+        "running",
+        "p50_start_ms",
+        "p95_start_ms",
+    )
+    rows = [headers]
+    for window in windows:
+        rows.append(
+            (
+                f"{window.start_seconds:.2f}-{window.end_seconds:.2f}s",
+                str(window.arrived),
+                str(window.started),
+                str(window.shed),
+                f"{100.0 * window.shed_rate:.1f}",
+                str(window.queue_depth),
+                str(window.running),
+                _fmt(window.p50_start_latency, 1e3),
+                _fmt(window.p95_start_latency, 1e3),
+            )
+        )
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
 
 
 def _fmt(value: float | None, scale: float = 1.0, digits: int = 3) -> str:

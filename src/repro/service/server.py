@@ -23,6 +23,7 @@ or a local unix socket.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import math
 import sys
@@ -697,7 +698,11 @@ class SchedulerService:
     * ``step`` -- advance ``quanta`` quantum boundaries (default 1).
     * ``placement`` -- current slot -> core -> job mapping.
     * ``job`` -- lifecycle state of one job by id.
-    * ``stats`` -- aggregate counters so far.
+    * ``stats`` -- aggregate counters so far (carries the session's
+      trace context alongside the counters).
+    * ``trace`` -- the session's :class:`~repro.obs.context.
+      TraceContext`, so clients can correlate service sessions with
+      campaign logs.
     * ``shutdown`` -- close the session.
     """
 
@@ -707,6 +712,22 @@ class SchedulerService:
         self.system = system
         self.default_instructions = default_instructions
         self.closed = False
+        # Session identity: inherit the ambient trace context when the
+        # embedding process installed one (e.g. a campaign driving the
+        # service), else mint one from the service configuration.
+        from repro.obs import context as obs_context
+
+        context = obs_context.current()
+        if context is None:
+            config_key = json.dumps(
+                dataclasses.asdict(system.config),
+                sort_keys=True,
+                default=str,
+            )
+            context = obs_context.TraceContext(
+                campaign=obs_context.campaign_id([config_key])
+            )
+        self.trace = context
 
     async def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         try:
@@ -764,7 +785,10 @@ class SchedulerService:
                     **system.result().to_dict(),
                     "queue_depth": len(system.queue),
                 },
+                "trace": self.trace.to_dict(),
             }
+        if op == "trace":
+            return {"ok": True, "trace": self.trace.to_dict()}
         if op == "shutdown":
             self.closed = True
             return {"ok": True, "shutdown": True}

@@ -1,0 +1,91 @@
+"""Tests for fleet trace-context propagation (repro.obs.context)."""
+
+import json
+
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    activate,
+    campaign_id,
+    current,
+)
+
+
+class TestCampaignId:
+    def test_deterministic(self):
+        keys = ["a" * 24, "b" * 24, "c" * 24]
+        assert campaign_id(keys) == campaign_id(list(keys))
+
+    def test_order_sensitive(self):
+        keys = ["a" * 24, "b" * 24]
+        assert campaign_id(keys) != campaign_id(keys[::-1])
+
+    def test_not_concatenation_confusable(self):
+        # The separator means ["ab"] and ["a", "b"] hash differently.
+        assert campaign_id(["ab"]) != campaign_id(["a", "b"])
+
+    def test_short_stable_hex(self):
+        cid = campaign_id(["deadbeef"])
+        assert len(cid) == 12
+        int(cid, 16)  # parseable hex
+
+
+class TestTraceContext:
+    def test_minimal_dict_omits_unset_fields(self):
+        context = TraceContext(campaign="abc123")
+        assert context.to_dict() == {"campaign": "abc123"}
+
+    def test_full_round_trip(self):
+        context = TraceContext(
+            campaign="abc123", shard=3, run_key="k" * 24, parent="sim.run"
+        )
+        data = json.loads(json.dumps(context.to_dict()))
+        assert TraceContext.from_dict(data) == context
+
+    def test_shard_zero_survives_round_trip(self):
+        context = TraceContext(campaign="abc", shard=0)
+        data = context.to_dict()
+        assert data["shard"] == 0
+        assert TraceContext.from_dict(data).shard == 0
+
+    def test_with_run_and_parent_derive_new_contexts(self):
+        base = TraceContext(campaign="abc", shard=1)
+        derived = base.with_run("key1").with_parent("sim.exec")
+        assert derived.run_key == "key1"
+        assert derived.parent == "sim.exec"
+        assert base.run_key is None and base.parent is None
+
+    def test_frozen(self):
+        context = TraceContext(campaign="abc")
+        with pytest.raises(AttributeError):
+            context.campaign = "other"
+
+
+class TestActivation:
+    def test_defaults_to_none(self):
+        assert current() is None
+
+    def test_activate_scopes_and_restores(self):
+        outer = TraceContext(campaign="outer")
+        inner = TraceContext(campaign="inner")
+        with activate(outer):
+            assert current() is outer
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is None
+
+    def test_activate_none_clears_within_scope(self):
+        context = TraceContext(campaign="x")
+        with activate(context):
+            with activate(None):
+                assert current() is None
+            assert current() is context
+
+    def test_restores_on_exception(self):
+        context = TraceContext(campaign="x")
+        with pytest.raises(RuntimeError):
+            with activate(context):
+                raise RuntimeError("boom")
+        assert current() is None

@@ -1,0 +1,183 @@
+"""Tests for the crash flight recorder (repro.obs.flight)."""
+
+import json
+
+import pytest
+
+from repro.obs import flight as obs_flight
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.context import TraceContext, activate
+from repro.obs.flight import (
+    FlightRecorder,
+    dump_bundle,
+    find_bundles,
+    format_bundle,
+    load_bundle,
+    recording,
+)
+
+
+class TestRing:
+    def test_keeps_last_n(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.note("tick", i=i)
+        snap = recorder.snapshot()
+        assert [e["i"] for e in snap["events"]] == [7, 8, 9]
+        assert snap["dropped"] == 7
+        assert snap["capacity"] == 3
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_record_copies_entries(self):
+        recorder = FlightRecorder()
+        entry = {"event": "job_started", "index": 1}
+        recorder.record(entry)
+        entry["index"] = 99
+        assert recorder.snapshot()["events"][0]["index"] == 1
+
+    def test_note_stamps_timestamp(self):
+        recorder = FlightRecorder()
+        recorder.note("ooo.simulate_window", app="soplex")
+        (entry,) = recorder.snapshot()["events"]
+        assert entry["note"] == "ooo.simulate_window"
+        assert entry["app"] == "soplex"
+        assert entry["timestamp"] > 0
+
+
+class TestMetricDeltas:
+    def test_counter_deltas_since_baseline(self):
+        recorder = FlightRecorder()
+        with obs_metrics.collecting() as registry:
+            registry.counter("sim.runs").inc(5)
+            recorder.mark_metrics_baseline()
+            registry.counter("sim.runs").inc(2)
+            registry.counter("sim.instructions", core="big").inc(100)
+            deltas = recorder.metric_deltas()
+        assert deltas["sim.runs"] == 2
+        assert deltas["sim.instructions{core=big}"] == 100
+
+    def test_no_registry_no_deltas(self):
+        recorder = FlightRecorder()
+        recorder.mark_metrics_baseline()
+        assert recorder.metric_deltas() == {}
+
+
+class TestActivation:
+    def test_dormant_by_default(self):
+        assert obs_flight.ACTIVE is None
+
+    def test_recording_installs_and_restores(self):
+        with recording() as recorder:
+            assert obs_flight.ACTIVE is recorder
+        assert obs_flight.ACTIVE is None
+
+
+class TestBundles:
+    def test_dump_load_round_trip(self, tmp_path):
+        recorder = FlightRecorder(fingerprint={"jobs": 2})
+        recorder.note("tick", i=0)
+        trace = TraceContext(campaign="cafe12", shard=1, run_key="k" * 24)
+        path = dump_bundle(
+            tmp_path,
+            "k" * 24,
+            label="HH/0 random",
+            reason="failed",
+            error="RuntimeError: boom",
+            trace=trace,
+            recorder=recorder,
+        )
+        assert path == tmp_path / "postmortems" / (("k" * 24) + ".json")
+        bundle = load_bundle(path)
+        assert bundle["schema"] == obs_flight.BUNDLE_SCHEMA_VERSION
+        assert bundle["key"] == "k" * 24
+        assert bundle["reason"] == "failed"
+        assert bundle["trace"] == trace.to_dict()
+        assert bundle["flight"]["fingerprint"] == {"jobs": 2}
+        assert bundle["flight"]["events"][0]["note"] == "tick"
+
+    def test_dump_uses_ambient_recorder_and_context(self, tmp_path):
+        trace = TraceContext(campaign="feed00", shard=0)
+        with activate(trace), recording() as recorder:
+            recorder.note("tick")
+            path = dump_bundle(tmp_path, "key1", reason="timeout")
+        bundle = load_bundle(path)
+        assert bundle["trace"] == trace.to_dict()
+        assert bundle["flight"]["events"][0]["note"] == "tick"
+
+    def test_dump_without_recorder_still_records_facts(self, tmp_path):
+        path = dump_bundle(tmp_path, "key2", reason="abandoned")
+        bundle = load_bundle(path)
+        assert bundle["reason"] == "abandoned"
+        assert bundle["flight"]["events"] == []
+
+    def test_captures_active_span_stack(self, tmp_path):
+        recorder = FlightRecorder()
+        with obs_tracing.collecting():
+            with obs_tracing.span("sim.run"), obs_tracing.span(
+                "sim.exec", core="big"
+            ):
+                path = dump_bundle(tmp_path, "key3", recorder=recorder)
+        stack = load_bundle(path)["flight"]["span_stack"]
+        assert stack == ["sim.run", "sim.exec{core=big}"]
+
+    def test_find_bundles_sorted(self, tmp_path):
+        for key in ("bbb", "aaa", "ccc"):
+            dump_bundle(tmp_path, key)
+        assert [p.stem for p in find_bundles(tmp_path)] == [
+            "aaa",
+            "bbb",
+            "ccc",
+        ]
+        assert find_bundles(tmp_path / "missing") == []
+
+    def test_bundle_is_valid_sorted_json(self, tmp_path):
+        path = dump_bundle(tmp_path, "key4")
+        text = path.read_text()
+        assert json.loads(text) == load_bundle(path)
+        assert text == json.dumps(
+            json.loads(text), indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        dump_bundle(tmp_path, "key5")
+        leftovers = list((tmp_path / "postmortems").glob("*.tmp"))
+        assert leftovers == []
+
+
+class TestFormatBundle:
+    def test_renders_facts_and_ring(self, tmp_path):
+        recorder = FlightRecorder(fingerprint={"jobs": 1})
+        recorder.record({"event": "job_started", "index": 0, "label": "a"})
+        recorder.note("ooo.simulate_window", app="soplex")
+        path = dump_bundle(
+            tmp_path,
+            "key6",
+            label="HH/0 random",
+            reason="timeout",
+            error="timed out after 1.0s",
+            trace=TraceContext(campaign="cafe12", shard=1),
+            recorder=recorder,
+        )
+        text = format_bundle(load_bundle(path))
+        assert "postmortem key6" in text
+        assert "reason: timeout" in text
+        assert "campaign=cafe12" in text
+        assert "shard=1" in text
+        assert "job_started" in text
+        assert "note ooo.simulate_window" in text
+        assert "jobs=1" in text
+
+    def test_long_attributes_clipped_in_text_only(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record({"event": "campaign_plan", "keys": ["k" * 500]})
+        path = dump_bundle(tmp_path, "key7", recorder=recorder)
+        bundle = load_bundle(path)
+        # JSON keeps full fidelity; the rendering elides.
+        assert bundle["flight"]["events"][0]["keys"] == ["k" * 500]
+        rendered = format_bundle(bundle)
+        assert "k" * 500 not in rendered
+        assert "chars>" in rendered

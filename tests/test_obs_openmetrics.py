@@ -1,0 +1,168 @@
+"""Tests for the OpenMetrics exposition (repro.obs.openmetrics)."""
+
+import math
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.openmetrics import (
+    counter_totals,
+    parse_exposition,
+    render_fleet,
+    render_snapshot,
+    sanitize_name,
+)
+
+
+def populated_registry(scale=1):
+    registry = MetricsRegistry()
+    registry.counter("sim.runs").inc(3 * scale)
+    registry.counter("sim.instructions", core="big").inc(1000 * scale)
+    registry.counter("sim.instructions", core="small").inc(500 * scale)
+    registry.gauge("queue.depth").set(7)
+    for i in range(4 * scale):
+        registry.timer("runtime.job_seconds").observe(0.01 * (i + 1))
+    registry.histogram("sim.quantum_instructions").observe(1e6)
+    return registry
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("sim.runs") == "sim_runs"
+
+    def test_leading_digit_prefixed(self):
+        name = sanitize_name("0bad")
+        assert name[0] not in "0123456789"
+
+
+class TestRenderSnapshot:
+    def test_deterministic(self):
+        snapshot = populated_registry().snapshot()
+        assert render_snapshot(snapshot) == render_snapshot(snapshot)
+
+    def test_ends_with_eof(self):
+        text = render_snapshot(populated_registry().snapshot())
+        assert text.endswith("# EOF\n")
+
+    def test_accepts_plain_dict_and_none(self):
+        snapshot = populated_registry().snapshot()
+        assert render_snapshot(snapshot.to_dict()) == render_snapshot(
+            snapshot
+        )
+        assert render_snapshot(None) == "# EOF\n"
+
+    def test_counter_becomes_total_with_labels(self):
+        text = render_snapshot(populated_registry().snapshot())
+        assert 'repro_sim_instructions_total{core="big"} 1000' in text
+        assert "# TYPE repro_sim_instructions counter" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(1e-9)  # below the first boundary
+        histogram.observe(1e9)  # above the last boundary
+        exposition = parse_exposition(render_snapshot(registry.snapshot()))
+        assert exposition.value("repro_h_bucket", le="+Inf") == 2
+        assert exposition.value("repro_h_count") == 2
+
+
+class TestScrapeRoundTrip:
+    def test_parsed_totals_match_source_snapshot(self):
+        registry = populated_registry()
+        snapshot = registry.snapshot()
+        exposition = parse_exposition(render_snapshot(snapshot))
+        assert exposition.saw_eof
+        totals = counter_totals(exposition)
+        assert totals[("sim_runs", ())] == 3
+        assert totals[("sim_instructions", (("core", "big"),))] == 1000
+        assert totals[("sim_instructions", (("core", "small"),))] == 500
+        # Every counter in the source appears in the scrape.
+        source_counters = sum(
+            1
+            for (_, _), (kind, _) in snapshot.series.items()
+            if kind == "counter"
+        )
+        assert len(totals) == source_counters
+
+    def test_gauge_and_histogram_values_survive(self):
+        exposition = parse_exposition(
+            render_snapshot(populated_registry().snapshot())
+        )
+        assert exposition.value("repro_queue_depth") == 7
+        assert exposition.value("repro_runtime_job_seconds_count") == 4
+        total = exposition.value("repro_runtime_job_seconds_sum")
+        assert total == pytest.approx(0.01 + 0.02 + 0.03 + 0.04)
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("}{ not a metric line")
+
+    def test_special_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float("nan"))
+        exposition = parse_exposition(render_snapshot(registry.snapshot()))
+        assert math.isnan(exposition.value("repro_g"))
+
+
+class TestMergeRenderCommutes:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_merge_then_render_counter_totals(self, shards):
+        """Summing per-shard scraped counters equals scraping the
+        merged snapshot -- the property CI's byte-identity check
+        relies on."""
+        snapshots = [
+            populated_registry(scale=s + 1).snapshot()
+            for s in range(shards)
+        ]
+        merged = merge_snapshots(snapshots)
+        merged_totals = counter_totals(
+            parse_exposition(render_snapshot(merged))
+        )
+        summed: dict = {}
+        for snapshot in snapshots:
+            for key, value in counter_totals(
+                parse_exposition(render_snapshot(snapshot))
+            ).items():
+                summed[key] = summed.get(key, 0.0) + value
+        assert summed == merged_totals
+
+    def test_merge_order_does_not_change_rendering(self):
+        a = populated_registry(scale=1).snapshot()
+        b = populated_registry(scale=3).snapshot()
+        assert render_snapshot(merge_snapshots([a, b])) == render_snapshot(
+            merge_snapshots([b, a])
+        )
+
+
+class TestRenderFleet:
+    FLEET = {
+        "shards": [
+            {"shard": 0, "total": 3, "done": 2, "failed": 1, "cached": 0,
+             "queued": 0, "started": True, "finished": True},
+            {"shard": 1, "total": 3, "done": 3, "failed": 0, "cached": 1,
+             "queued": 0, "started": True, "finished": False},
+        ],
+        "total": 6,
+        "done": 5,
+        "failed": 1,
+        "queued": 0,
+        "cached": 1,
+        "elapsed_seconds": 2.5,
+        "runs_per_s": 2.4,
+        "eta_seconds": 0.0,
+    }
+
+    def test_fleet_gauges(self):
+        exposition = parse_exposition(
+            render_snapshot(None, fleet=self.FLEET)
+        )
+        assert exposition.value("repro_fleet_done") == 5
+        assert exposition.value("repro_fleet_shard_done", shard="0") == 2
+        assert exposition.value("repro_fleet_shard_done", shard="1") == 3
+        assert exposition.value("repro_fleet_shard_finished", shard="1") == 0
+
+    def test_none_eta_omitted(self):
+        fleet = dict(self.FLEET, eta_seconds=None)
+        text = render_fleet(fleet)
+        assert "eta_seconds" not in text

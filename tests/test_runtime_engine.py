@@ -328,6 +328,22 @@ class TestTimeout:
         assert report.failures == []
         assert all(result is not None for result in report.results)
 
+    def test_serial_engine_enforces_timeout_post_hoc(self):
+        # jobs=1 cannot preempt a running job, but it must still fail
+        # one that blew its budget (shard workers run serial engines
+        # and rely on this to honor the fleet's --timeout).
+        engine, events = recording_engine(
+            jobs=1,
+            timeout_seconds=1.0,
+            failure_policy=FailurePolicy.COLLECT,
+            fault_plan=FaultPlan(sleep_seconds={0: 2.0}),
+        )
+        report = engine.run_many(specs_1b1s(1, instructions=2000))
+        assert len(report.failures) == 1
+        assert "timed out" in report.failures[0].error
+        assert report.results[1] is not None
+        assert any(isinstance(e, JobFailed) for e in events)
+
     def test_timeout_reports_zero_attempts(self):
         # A timed-out job's in-flight attempt was killed mid-run; the
         # parent cannot know how many attempts completed, so it must

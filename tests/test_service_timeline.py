@@ -1,0 +1,127 @@
+"""Tests for the service operational timeline (repro.service.load)."""
+
+import pytest
+
+from repro.config import machine_1b1s
+from repro.service import (
+    ServiceConfig,
+    ServiceFeed,
+    make_process,
+    run_load_point,
+    service_benchmark_pool,
+)
+from repro.service.load import (
+    TimelineWindow,
+    format_timeline,
+    service_timeline,
+)
+
+
+def synthetic_feed():
+    """A hand-built feed: 3 arrivals, 2 starts, 1 shed, 2 departs."""
+    return [
+        {"event": "arrive", "time": 0.0, "job": 0},
+        {"event": "start", "time": 0.5, "job": 0, "wait_seconds": 0.5},
+        {"event": "arrive", "time": 1.0, "job": 1},
+        {"event": "shed", "time": 1.1, "job": 1},
+        {"event": "depart", "time": 2.0, "job": 0},
+        {"event": "arrive", "time": 3.0, "job": 2},
+        {"event": "start", "time": 3.5, "job": 2, "wait_seconds": 0.5},
+        {"event": "depart", "time": 4.0, "job": 2},
+    ]
+
+
+class TestServiceTimeline:
+    def test_empty_feed_empty_timeline(self):
+        assert service_timeline([]) == []
+
+    def test_window_count(self):
+        windows = service_timeline(synthetic_feed(), windows=4)
+        assert len(windows) == 4
+
+    def test_explicit_window_seconds(self):
+        windows = service_timeline(synthetic_feed(), window_seconds=2.0)
+        assert len(windows) == 2
+        assert windows[0].end_seconds == pytest.approx(2.0)
+
+    def test_counts_partition_the_feed(self):
+        windows = service_timeline(synthetic_feed(), windows=3)
+        assert sum(w.arrived for w in windows) == 3
+        assert sum(w.started for w in windows) == 2
+        assert sum(w.shed for w in windows) == 1
+        assert sum(w.departed for w in windows) == 2
+
+    def test_conservation_identities(self):
+        windows = service_timeline(synthetic_feed(), windows=4)
+        arrived = started = shed = departed = 0
+        for window in windows:
+            arrived += window.arrived
+            started += window.started
+            shed += window.shed
+            departed += window.departed
+            assert window.queue_depth == arrived - started - shed
+            assert window.running == started - departed
+            assert window.queue_depth >= 0
+
+    def test_start_latency_percentiles(self):
+        windows = service_timeline(synthetic_feed(), windows=1)
+        (window,) = windows
+        assert window.p50_start_latency == pytest.approx(0.5)
+        assert window.p95_start_latency == pytest.approx(0.5)
+
+    def test_windows_without_starts_have_no_latency(self):
+        feed = [
+            {"event": "arrive", "time": 0.0, "job": 0},
+            {"event": "shed", "time": 10.0, "job": 0},
+        ]
+        for window in service_timeline(feed, windows=2):
+            assert window.p50_start_latency is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            service_timeline(synthetic_feed(), windows=0)
+        with pytest.raises(ValueError):
+            service_timeline(synthetic_feed(), window_seconds=-1.0)
+
+    def test_deterministic_on_real_feed(self):
+        config = ServiceConfig(machine=machine_1b1s())
+        feeds = []
+        for _ in range(2):
+            feed = ServiceFeed()
+            run_load_point(
+                config,
+                make_process(
+                    "poisson",
+                    30.0,
+                    service_benchmark_pool(),
+                    seed=7,
+                    instructions=40_000,
+                ),
+                20,
+                feed=feed,
+            )
+            feeds.append(feed)
+        t0 = [w.to_dict() for w in service_timeline(feeds[0].events)]
+        t1 = [w.to_dict() for w in service_timeline(feeds[1].events)]
+        assert t0 == t1
+        assert sum(w["arrived"] for w in t0) == 20
+
+
+class TestFormatTimeline:
+    def test_empty(self):
+        assert format_timeline([]) == "(empty timeline)"
+
+    def test_renders_header_and_rows(self):
+        windows = service_timeline(synthetic_feed(), windows=2)
+        text = format_timeline(windows)
+        lines = text.splitlines()
+        assert "arrive" in lines[0] and "p95_start_ms" in lines[0]
+        assert len(lines) == 2 + len(windows)  # header + rule + rows
+
+    def test_missing_latency_rendered_as_dash(self):
+        window = TimelineWindow(
+            start_seconds=0.0, end_seconds=1.0, arrived=1, started=0,
+            shed=0, departed=0, queue_depth=1, running=0,
+            p50_start_latency=None, p95_start_latency=None,
+        )
+        assert "-" in format_timeline([window])
