@@ -18,6 +18,16 @@ from repro.ace.hardware_cost import (
     rob_only_big_core_cost,
 )
 from repro.ace.stacks import abc_stack, rob_core_correlation, rob_fraction
+from repro.ace.uncore import (
+    L2_LIVE_FRACTION,
+    L3_LIVE_FRACTION,
+    UncoreAbc,
+    format_sser_breakdown,
+    l2_abc_rate,
+    l3_abc_rate_estimate,
+    run_sser_breakdown,
+    uncore_abc,
+)
 
 __all__ = [
     "ACCUMULATOR_BITS",
@@ -26,16 +36,24 @@ __all__ = [
     "CounterCost",
     "FaultInjectionResult",
     "FaultInjector",
+    "L2_LIVE_FRACTION",
+    "L3_LIVE_FRACTION",
     "PredictedReliabilityScheduler",
     "SRAM_BITS_PER_ADDER",
     "SaturatingCounter",
     "TIMESTAMP_BITS_BIG",
     "TIMESTAMP_BITS_SMALL",
+    "UncoreAbc",
     "abc_stack",
     "baseline_big_core_cost",
+    "format_sser_breakdown",
     "in_order_core_cost",
+    "l2_abc_rate",
+    "l3_abc_rate_estimate",
     "measured_abc",
+    "run_sser_breakdown",
     "train_predictor",
     "rob_core_correlation",
     "rob_fraction",
+    "uncore_abc",
 ]

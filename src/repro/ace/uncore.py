@@ -1,0 +1,171 @@
+"""Uncore (L2/L3) ACE accounting and per-component SSER breakdowns.
+
+Cho et al. ("Understanding Soft Errors in Uncore Components") show the
+cache hierarchy contributes materially to system SER: a cache line
+holding live (architecturally correct execution) data is vulnerable
+for as long as it sits in the array.  The core-side ACE machinery in
+this package integrates pipeline/ROB state only; this module adds
+residency ACE terms for the uncore levels the simulator already
+models, computed post hoc from :class:`~repro.sim.results.RunResult`
+counters -- no new simulation state is required.
+
+Model:
+
+* **L2 (private, per core).**  While an application runs, its core's
+  L2 holds a roughly constant live fraction of the array, so the
+  app's L2 ABC is ``L2_LIVE_FRACTION * l2_bits * on_core_time``.
+* **L3 (shared).**  The array is live for the whole run; each
+  application is charged the share of the array proportional to its
+  share of L3 traffic (apps that stream through the L3 own more of
+  it).  Shares sum to at most 1, so total charged L3 ABC never
+  exceeds the array's residency ABC.
+
+The live fractions are occupancy-weighted AVF-style constants in the
+range fault-injection studies report for caches with ECC disabled on
+clean lines; the absolute values scale the uncore terms linearly and
+cancel out of scheduler comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config.machines import MemoryConfig
+from repro.metrics.reliability import (
+    DEFAULT_IFR,
+    SserBreakdown,
+    sser_breakdown,
+)
+
+if TYPE_CHECKING:  # imported lazily to keep repro.ace import-light
+    from repro.sim.results import RunResult
+
+#: Fraction of the private L2 array holding ACE (live) data while the
+#: owning application executes.
+L2_LIVE_FRACTION = 0.35
+
+#: Fraction of the shared L3 array holding ACE data, split across
+#: applications by their L3 traffic shares.
+L3_LIVE_FRACTION = 0.15
+
+#: Saturation constant for the scheduler-side L3 share estimate:
+#: accesses per second at which an application is estimated to own
+#: half the live L3 state it could.
+L3_SHARE_SATURATION_APS = 1.0e6
+
+
+def l2_abc_rate(memory: MemoryConfig) -> float:
+    """ACE bits per second of on-core time charged for the private L2."""
+    return L2_LIVE_FRACTION * 8.0 * memory.l2.size_bytes
+
+
+def l3_abc_rate_estimate(
+    memory: MemoryConfig, l3_accesses_per_second: float
+) -> float:
+    """Scheduler-side estimate of an app's L3 ACE bits per second.
+
+    The true L3 charge depends on every co-runner's traffic (see
+    :func:`uncore_abc`), which a scheduler weighing one candidate move
+    cannot know.  This estimate saturates the app's own access rate
+    instead: ``rate / (rate + L3_SHARE_SATURATION_APS)`` of the live
+    array.  It is monotone in the app's traffic and bounded by the
+    array size, which is all the greedy search needs.
+    """
+    aps = max(l3_accesses_per_second, 0.0)
+    if aps == 0.0:
+        return 0.0
+    share = aps / (aps + L3_SHARE_SATURATION_APS)
+    return L3_LIVE_FRACTION * 8.0 * memory.l3.size_bytes * share
+
+
+@dataclass(frozen=True)
+class UncoreAbc:
+    """Uncore ACE-bit counts charged to one application (bit-seconds)."""
+
+    name: str
+    l2_abc_seconds: float
+    l3_abc_seconds: float
+
+    @property
+    def total_abc_seconds(self) -> float:
+        return self.l2_abc_seconds + self.l3_abc_seconds
+
+
+def uncore_abc(result: RunResult, memory: MemoryConfig) -> list[UncoreAbc]:
+    """Per-application uncore ABC for a completed run.
+
+    L2 charges scale with each app's on-core time; the shared L3's
+    residency ABC over the run duration is split by L3 traffic shares
+    (zero traffic anywhere means nobody is charged for the L3).
+    """
+    l2_rate = l2_abc_rate(memory)
+    l3_bits = L3_LIVE_FRACTION * 8.0 * memory.l3.size_bytes
+    total_l3_accesses = sum(app.l3_accesses for app in result.apps)
+    records = []
+    for app in result.apps:
+        on_core = app.time_big_seconds + app.time_small_seconds
+        share = (
+            app.l3_accesses / total_l3_accesses
+            if total_l3_accesses > 0
+            else 0.0
+        )
+        records.append(
+            UncoreAbc(
+                name=app.name,
+                l2_abc_seconds=l2_rate * on_core,
+                l3_abc_seconds=l3_bits * result.duration_seconds * share,
+            )
+        )
+    return records
+
+
+def run_sser_breakdown(
+    result: RunResult,
+    memory: MemoryConfig,
+    ifr: float = DEFAULT_IFR,
+) -> SserBreakdown:
+    """Per-component SSER of a run: core + L2 + L3 (Equation 3 per part).
+
+    Every component ABC is weighted by the same per-application
+    isolated reference time as the core term, so the components sum
+    to a consistent uncore-extended chip SSER.
+    """
+    uncore = uncore_abc(result, memory)
+    return sser_breakdown(
+        core_abcs=[app.abc_seconds for app in result.apps],
+        l2_abcs=[u.l2_abc_seconds for u in uncore],
+        l3_abcs=[u.l3_abc_seconds for u in uncore],
+        reference_times_seconds=[
+            app.reference_time_seconds for app in result.apps
+        ],
+        ifr=ifr,
+    )
+
+
+def format_sser_breakdown(breakdown: SserBreakdown) -> str:
+    """Human-readable per-component SSER table (cf. PowerBreakdown)."""
+    rows = [
+        ("core", breakdown.core_sser),
+        ("L2", breakdown.l2_sser),
+        ("L3", breakdown.l3_sser),
+        ("uncore", breakdown.uncore_sser),
+        ("chip", breakdown.chip_sser),
+    ]
+    lines = ["component        SSER (errors/s)"]
+    for label, value in rows:
+        lines.append(f"{label:<12} {value:>18.6e}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "L2_LIVE_FRACTION",
+    "L3_LIVE_FRACTION",
+    "L3_SHARE_SATURATION_APS",
+    "UncoreAbc",
+    "format_sser_breakdown",
+    "l2_abc_rate",
+    "l3_abc_rate_estimate",
+    "run_sser_breakdown",
+    "uncore_abc",
+]

@@ -32,6 +32,9 @@ from repro.check.invariants import (
     Severity,
     Violation,
     check_decision_trace,
+    check_mode_none,
+    check_mode_outcome,
+    check_mode_schedule,
     check_oracle,
     check_resume,
     check_run,
@@ -64,6 +67,9 @@ __all__ = [
     "Violation",
     "check_batch",
     "check_decision_trace",
+    "check_mode_none",
+    "check_mode_outcome",
+    "check_mode_schedule",
     "check_oracle",
     "check_resume",
     "check_run",

@@ -42,6 +42,13 @@ invariants:
   (``shard_resume_state_canonical``), and a sharded resume over the
   cut logs (optionally with a corrupt store entry) must match the
   uninterrupted fleet bit-for-bit (``resume_equivalence``).
+* **mode cases** -- a (placement x protection-mode) run must satisfy
+  run accounting, schedule legality, checker-slot legality
+  (``mode_slot_legality``), mode-model conservation of the accounting
+  overlay (``mode_model_conservation``), decision-trace consistency
+  including mode-change replay, and -- on fully-occupied machines --
+  byte-identity of ``allowed_modes=("none",)`` with the plain
+  reliability scheduler (``mode_none_equivalence``).
 """
 
 from __future__ import annotations
@@ -72,6 +79,10 @@ FUZZ_MACHINES = ("1B1S", "2B2S")
 
 #: Schedulers the run fuzzer draws from.
 FUZZ_SCHEDULERS = ("random", "performance", "reliability")
+
+#: Machines the protection-mode fuzzer draws from: 1B3S leaves spare
+#: small-core slots so DMR checker allocation is reachable.
+MODE_FUZZ_MACHINES = ("1B3S", "2B2S")
 
 
 @dataclass(frozen=True)
@@ -192,6 +203,9 @@ class _RecordingScheduler:
         self.inner = inner
         self.machine = inner.machine
         self.num_apps = inner.num_apps
+        self.requires_full_occupancy = getattr(
+            inner, "requires_full_occupancy", True
+        )
         self.plans_by_quantum: list[list] = []
 
     def plan_quantum(self, quantum_index: int):
@@ -993,6 +1007,96 @@ def _shard_case(index: int, rng: np.random.Generator) -> CheckReport:
     )
 
 
+def _mode_case(index: int, rng: np.random.Generator) -> CheckReport:
+    """Fuzz the (placement x protection-mode) scheduler end to end.
+
+    Runs a mode-aware simulation (sometimes with spare cores so DMR
+    checker allocation is reachable) and checks run accounting,
+    schedule legality, mode/checker slot legality, mode-model
+    conservation of the accounting overlay, and decision-trace
+    consistency including mode-change replay.  On fully-occupied
+    machines it additionally demands that the scheduler restricted to
+    ``allowed_modes=("none",)`` reproduces the plain reliability
+    scheduler's serialized result byte-for-byte.
+    """
+    from repro.ace.counters import AceCounterMode
+    from repro.check.invariants import (
+        check_decision_trace,
+        check_mode_none,
+        check_mode_outcome,
+        check_mode_schedule,
+        merge_reports,
+    )
+    from repro.obs.decisions import DecisionTraceRecorder
+    from repro.sched.modes import ModeAwareReliabilityScheduler, apply_modes
+    from repro.sched.reliability import ReliabilityScheduler
+    from repro.sim.multicore import MulticoreSimulation
+    from repro.sim.serialize import run_result_to_dict
+    from repro.workloads.spec2006 import benchmark
+
+    machine_name = MODE_FUZZ_MACHINES[
+        int(rng.integers(len(MODE_FUZZ_MACHINES)))
+    ]
+    machine = STANDARD_MACHINES[machine_name]()
+    num_apps = machine.num_cores - int(rng.integers(0, 2))
+    picks = rng.choice(len(BENCHMARK_NAMES), size=num_apps, replace=False)
+    names = tuple(BENCHMARK_NAMES[i] for i in sorted(picks.tolist()))
+    instructions = int(rng.integers(4_000_000, 8_000_000))
+    label = (
+        f"mode/{index} {machine_name}/modes/"
+        f"{'+'.join(names)}x{instructions}"
+    )
+
+    inner = ModeAwareReliabilityScheduler(machine, num_apps)
+    inner.recorder = DecisionTraceRecorder()
+    scheduler = _RecordingScheduler(inner)
+    result = MulticoreSimulation(
+        machine,
+        [benchmark(name).scaled(instructions) for name in names],
+        scheduler,
+        counter_mode=AceCounterMode.FULL,
+    ).run()
+    schedule = inner.mode_schedule()
+    outcome = apply_modes(result, schedule, machine.memory)
+
+    reports = [
+        check_run(result, label=label),
+        check_schedule(
+            scheduler.plans_by_quantum, machine, num_apps, label=label
+        ),
+        check_mode_schedule(
+            scheduler.plans_by_quantum,
+            inner.mode_history,
+            machine,
+            num_apps,
+            label=label,
+        ),
+        check_mode_outcome(
+            outcome, result, schedule, machine.memory, label=label
+        ),
+        check_decision_trace(inner.recorder.records, label=label),
+    ]
+    if num_apps == machine.num_cores:
+        pair = []
+        for make in (
+            lambda: ModeAwareReliabilityScheduler(
+                machine, num_apps, allowed_modes=("none",)
+            ),
+            lambda: ReliabilityScheduler(machine, num_apps),
+        ):
+            run = MulticoreSimulation(
+                machine,
+                [benchmark(name).scaled(instructions) for name in names],
+                make(),
+                counter_mode=AceCounterMode.FULL,
+            ).run()
+            payload = run_result_to_dict(run)
+            payload["scheduler_name"] = "reliability"
+            pair.append(payload)
+        reports.append(check_mode_none(pair[0], pair[1], label=label))
+    return merge_reports(reports, subject=label)
+
+
 def fuzz(
     seed: int = 0,
     *,
@@ -1005,6 +1109,7 @@ def fuzz(
     service_cases: int = 2,
     batch_cases: int = 2,
     shard_cases: int = 2,
+    mode_cases: int = 2,
     gates: FuzzGates | None = None,
 ) -> FuzzReport:
     """Run one seeded fuzzing session.
@@ -1012,9 +1117,9 @@ def fuzz(
     All randomness derives from ``seed`` through one
     :class:`numpy.random.Generator`; nothing reads the clock, so the
     findings are reproducible byte-for-byte.  Newer case kinds (kernel,
-    then decision, then resume, then service, then batch, then shard)
-    draw from the rng after the older ones, so adding them kept
-    existing seeds' earlier cases identical.
+    then decision, then resume, then service, then batch, then shard,
+    then mode) draw from the rng after the older ones, so adding them
+    kept existing seeds' earlier cases identical.
     """
     gates = gates if gates is not None else FuzzGates()
     rng = np.random.default_rng(seed)
@@ -1037,4 +1142,6 @@ def fuzz(
         reports.append(_batch_case(index, rng))
     for index in range(shard_cases):
         reports.append(_shard_case(index, rng))
+    for index in range(mode_cases):
+        reports.append(_mode_case(index, rng))
     return FuzzReport(seed=seed, reports=tuple(reports))

@@ -656,6 +656,7 @@ def _decision_trace_consistency(records) -> Iterator[Finding]:
     from repro.obs.decisions import apply_moves
 
     previous_after = None
+    previous_modes: tuple[str, ...] | None = None
     for record in records:
         q = record.quantum
         if previous_after is not None and record.before != previous_after:
@@ -670,7 +671,13 @@ def _decision_trace_consistency(records) -> Iterator[Finding]:
             )
         previous_after = record.after
         if record.phase == "greedy":
-            accepted = [c for c in record.candidates if c.accepted]
+            # Mode candidates (kind == "mode") change protection state,
+            # not cores; only placement swaps replay the permutation.
+            accepted = [
+                c
+                for c in record.candidates
+                if c.accepted and c.kind != "mode"
+            ]
             replayed = record.before
             for cand in accepted:
                 replayed = apply_moves(
@@ -682,6 +689,26 @@ def _decision_trace_consistency(records) -> Iterator[Finding]:
                     f"after assignment",
                     {"accepted_swaps": float(len(accepted)), "quantum": q},
                 )
+        if record.modes:
+            expected_modes = list(
+                previous_modes
+                if previous_modes
+                else ("none",) * len(record.modes)
+            )
+            for cand in record.candidates:
+                if (
+                    cand.kind == "mode"
+                    and cand.accepted
+                    and 0 <= cand.mover < len(expected_modes)
+                ):
+                    expected_modes[cand.mover] = cand.mode
+            if tuple(expected_modes) != record.modes:
+                yield (
+                    f"quantum {q} accepted mode changes do not reproduce "
+                    f"the recorded mode keys",
+                    {"quantum": q},
+                )
+            previous_modes = record.modes
         for index, cand in enumerate(record.candidates):
             if cand.accepted and not cand.forced:
                 if not _clears_threshold(cand.delta_total, cand.threshold):
@@ -738,6 +765,216 @@ def _decision_trace_consistency(records) -> Iterator[Finding]:
 def check_decision_trace(records, *, label: str = "decision_trace") -> CheckReport:
     """Run the decision-trace invariants on recorded quantum records."""
     return _apply("decision_trace", label, records)
+
+
+# -- protection-mode invariants ----------------------------------------
+
+
+@invariant("mode_model_conservation", subject="mode")
+def _mode_model_conservation(outcome, result, schedule, memory) -> Iterator[Finding]:
+    """Mode accounting is exactly the published model, conserved end to end.
+
+    Recomputes every per-application overlay quantity (residual
+    protected ABC, protection-state ABC, slowed execution time, moded
+    wSER) from the run record, the mode dwell schedule, and the mode
+    model constants, and requires the reported outcome to match.  Also
+    pins the model's physical envelope: dwell weights sum to one,
+    residual factors stay within [0, 1], slowdowns are at least one,
+    and an all-``none`` application reports exactly its unprotected
+    core + uncore accounting.
+    """
+    from repro.sched.modes import (
+        apply_modes,
+        parse_mode,
+        residual_factor,
+        slowdown_factor,
+    )
+
+    if len(outcome.apps) != len(result.apps):
+        yield (
+            f"outcome covers {len(outcome.apps)} applications, "
+            f"run has {len(result.apps)}",
+            {
+                "outcome_apps": len(outcome.apps),
+                "run_apps": len(result.apps),
+            },
+        )
+        return
+    quantum = schedule.quantum_seconds
+    for index, moded in enumerate(outcome.apps):
+        name = moded.name
+        weight_sum = sum(moded.weights.values())
+        if not math.isclose(weight_sum, 1.0, abs_tol=SUM_TOL):
+            yield (
+                f"{name}: mode dwell weights sum to {weight_sum}, "
+                f"expected 1.0",
+                {"app": index, "weight_sum": weight_sum},
+            )
+        for key in moded.weights:
+            mode = parse_mode(key)
+            residual = residual_factor(mode, quantum)
+            slowdown = slowdown_factor(mode, quantum)
+            if not 0.0 <= residual <= 1.0:
+                yield (
+                    f"{name}: mode {key} residual factor {residual} "
+                    f"outside [0, 1]",
+                    {"app": index, "residual": residual},
+                )
+            if slowdown < 1.0:
+                yield (
+                    f"{name}: mode {key} slowdown {slowdown} below 1",
+                    {"app": index, "slowdown": slowdown},
+                )
+    recomputed = apply_modes(result, schedule, memory)
+    fields = (
+        "protected_abc_seconds",
+        "protection_abc_seconds",
+        "moded_time_seconds",
+        "moded_wser",
+        "protection_power_watts",
+    )
+    for index, (moded, expected) in enumerate(
+        zip(outcome.apps, recomputed.apps)
+    ):
+        for field_name in fields:
+            got = getattr(moded, field_name)
+            want = getattr(expected, field_name)
+            if got != want and not _close(got, want):
+                yield (
+                    f"{moded.name}: {field_name} = {got}, model "
+                    f"recomputation gives {want}",
+                    {"app": index, "got": got, "want": want},
+                )
+        if set(moded.weights) == {"none"}:
+            app = result.apps[index]
+            if not _close(
+                moded.moded_time_seconds, app.time_seconds
+            ) and moded.moded_time_seconds != app.time_seconds:
+                yield (
+                    f"{moded.name}: unprotected app reports moded time "
+                    f"{moded.moded_time_seconds}, run time "
+                    f"{app.time_seconds}",
+                    {"app": index},
+                )
+            if moded.protection_abc_seconds != 0.0:
+                yield (
+                    f"{moded.name}: unprotected app charged protection "
+                    f"ABC {moded.protection_abc_seconds}",
+                    {"app": index},
+                )
+
+
+def check_mode_outcome(
+    outcome, result, schedule, memory, *, label: str = "mode"
+) -> CheckReport:
+    """Run the mode-model conservation invariant on a run's overlay."""
+    return _apply("mode", label, outcome, result, schedule, memory)
+
+
+@invariant("mode_slot_legality", subject="mode_schedule")
+def _mode_slot_legality(
+    plans_by_quantum, mode_history, machine, num_apps
+) -> Iterator[Finding]:
+    """Protection modes and placements agree quantum by quantum.
+
+    A DMR checker core is a small core that hosts no application in
+    any segment of the quanta it is reserved for, and every DMR'd
+    application sits on a big core (never parked, never sampled onto
+    a small core) while its mode is active.
+    """
+    if len(plans_by_quantum) != len(mode_history):
+        yield (
+            f"recorded {len(plans_by_quantum)} quanta of plans but "
+            f"{len(mode_history)} of mode history",
+            {
+                "mode_quanta": len(mode_history),
+                "plan_quanta": len(plans_by_quantum),
+            },
+        )
+        return
+    for index, (plans, (mode_keys, checkers)) in enumerate(
+        zip(plans_by_quantum, mode_history)
+    ):
+        for core in checkers:
+            if machine.core_type(core) != "small":
+                yield (
+                    f"quantum {index} reserves non-small core {core} "
+                    f"as a DMR checker",
+                    {"core": core, "quantum": index},
+                )
+        dmr_apps = [
+            app for app, key in enumerate(mode_keys) if key == "dmr"
+        ]
+        if len(checkers) != len(dmr_apps):
+            yield (
+                f"quantum {index} has {len(dmr_apps)} DMR applications "
+                f"but {len(checkers)} checker cores",
+                {"checkers": len(checkers), "quantum": index},
+            )
+        for segment, plan in enumerate(plans):
+            cores = plan.assignment.core_of
+            for app_index, core in enumerate(cores):
+                if core in checkers:
+                    yield (
+                        f"quantum {index} segment {segment} double-"
+                        f"assigns checker core {core} to application "
+                        f"{app_index}",
+                        {"app": app_index, "core": core, "quantum": index},
+                    )
+            for app in dmr_apps:
+                core = cores[app] if app < len(cores) else PARKED
+                if core == PARKED or machine.core_type(core) != "big":
+                    yield (
+                        f"quantum {index} segment {segment} runs DMR "
+                        f"application {app} off a big core (core {core})",
+                        {"app": app, "core": core, "quantum": index},
+                    )
+
+
+def check_mode_schedule(
+    plans_by_quantum,
+    mode_history,
+    machine: MachineConfig,
+    num_apps: int,
+    *,
+    label: str = "mode_schedule",
+) -> CheckReport:
+    """Run the mode/placement legality invariants on a recorded run."""
+    return _apply(
+        "mode_schedule", label, plans_by_quantum, mode_history, machine, num_apps
+    )
+
+
+@invariant("mode_none_equivalence", subject="mode_none")
+def _mode_none_equivalence(moded_payload, baseline_payload) -> Iterator[Finding]:
+    """Mode-aware scheduling restricted to ``none`` is the base scheduler.
+
+    With ``allowed_modes=("none",)`` the mode phase never runs, so the
+    serialized run result must be byte-identical to the plain
+    reliability scheduler's (scheduler names normalized by the
+    caller).
+    """
+    if moded_payload != baseline_payload:
+        keys = sorted(
+            set(moded_payload) | set(baseline_payload)
+        )
+        differing = [
+            k
+            for k in keys
+            if moded_payload.get(k) != baseline_payload.get(k)
+        ]
+        yield (
+            f"mode=none run diverges from the baseline scheduler in "
+            f"{differing}",
+            {"differing_keys": len(differing)},
+        )
+
+
+def check_mode_none(
+    moded_payload, baseline_payload, *, label: str = "mode_none"
+) -> CheckReport:
+    """Compare serialized mode=none and baseline scheduler results."""
+    return _apply("mode_none", label, moded_payload, baseline_payload)
 
 
 # -- resume invariants ------------------------------------------------

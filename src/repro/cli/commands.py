@@ -217,8 +217,101 @@ def cmd_sweep(args) -> int:
         return 1
     finally:
         _close_sinks(sinks)
+    if getattr(args, "modes", False):
+        mode_results, sections, ok = _mode_sweep(
+            machine, workloads, args.instructions,
+            check=getattr(args, "check", False),
+        )
+        results["modes"] = mode_results
+        print(sweep_summary(results))
+        for section in sections:
+            print()
+            print(section)
+        return 0 if ok else 1
     print(sweep_summary(results))
     return 0
+
+
+def _mode_sweep(machine, workloads, instructions, check=False):
+    """Run every workload under the (placement x protection-mode) search.
+
+    Mode runs execute directly (the engine's RunSpec vocabulary stays
+    placement-only) and return one result per workload so the sweep
+    summary can normalize them against the same random baseline.
+    Returns ``(results, sections, ok)`` where ``sections`` are the
+    extra report blocks: aggregate mode usage, the mean per-component
+    (core/L2/L3) SSER breakdown, and the mean SSER with protection
+    applied.
+    """
+    from repro.ace.uncore import format_sser_breakdown, run_sser_breakdown
+    from repro.metrics.reliability import SserBreakdown
+    from repro.sched.modes import ModeAwareReliabilityScheduler, apply_modes
+    from repro.sim.multicore import MulticoreSimulation
+
+    results = []
+    mode_quanta: dict[str, int] = {}
+    breakdowns = []
+    moded_ssers = []
+    reports = []
+    for index, mix in enumerate(workloads):
+        profiles = [
+            benchmark(name).scaled(instructions)
+            for name in mix.benchmarks
+        ]
+        scheduler = ModeAwareReliabilityScheduler(machine, len(profiles))
+        result = MulticoreSimulation(machine, profiles, scheduler).run()
+        result.scheduler_name = "modes"
+        schedule = scheduler.mode_schedule()
+        outcome = apply_modes(result, schedule, machine.memory)
+        for counts in schedule.quanta_by_app:
+            for key, quanta in counts.items():
+                mode_quanta[key] = mode_quanta.get(key, 0) + quanta
+        breakdowns.append(run_sser_breakdown(result, machine.memory))
+        moded_ssers.append(outcome.moded_sser)
+        results.append(result)
+        if check:
+            from repro.check import check_mode_outcome, check_run
+
+            label = f"{mix.category}/{index} modes"
+            reports.append(check_run(result, label=label))
+            reports.append(check_mode_outcome(
+                outcome, result, schedule, machine.memory, label=label
+            ))
+
+    sections = []
+    total = sum(mode_quanta.values())
+    rows = [
+        [key, quanta, float(100 * quanta / total)]
+        for key, quanta in sorted(mode_quanta.items())
+    ]
+    sections.append(
+        "protection-mode usage (app-quanta across the sweep):\n"
+        + format_table(["mode", "quanta", "%"], rows,
+                       float_format="{:.1f}")
+    )
+    count = len(breakdowns)
+    mean = SserBreakdown(
+        core_sser=sum(b.core_sser for b in breakdowns) / count,
+        l2_sser=sum(b.l2_sser for b in breakdowns) / count,
+        l3_sser=sum(b.l3_sser for b in breakdowns) / count,
+    )
+    sections.append(
+        "per-component SSER, mean over mode runs (unprotected):\n"
+        + format_sser_breakdown(mean)
+    )
+    sections.append(
+        "mean SSER with protection applied: "
+        f"{sum(moded_ssers) / count:.6e} "
+        f"(unprotected chip mean {mean.chip_sser:.6e})"
+    )
+    ok = True
+    if check:
+        from repro.check import merge_reports
+
+        report = merge_reports(reports, subject="modes")
+        sections.append(report.format())
+        ok = report.ok
+    return results, sections, ok
 
 
 def _campaign_stdout(specs, report) -> str:
@@ -811,7 +904,15 @@ def cmd_explain(args) -> int:
         names = _benchmarks(args)
         if machine is None or names is None:
             return 2
-        if len(names) != machine.num_cores:
+        # The mode-aware scheduler runs under-committed machines (a
+        # spare small core becomes a DMR checker slot); every other
+        # scheduler needs one app per core.
+        if args.scheduler == "modes":
+            if not 0 < len(names) <= machine.num_cores:
+                print(f"error: {machine.name} takes at most "
+                      f"{machine.num_cores} benchmarks", file=sys.stderr)
+                return 2
+        elif len(names) != machine.num_cores:
             print(f"error: {machine.name} needs {machine.num_cores} "
                   f"benchmarks", file=sys.stderr)
             return 2
@@ -881,6 +982,7 @@ def cmd_check(args) -> int:
             service_cases=args.service_cases,
             batch_cases=args.batch_cases,
             shard_cases=args.shard_cases,
+            mode_cases=args.mode_cases,
         )
         print(report.format())
         failed = failed or not report.ok

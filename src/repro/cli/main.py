@@ -95,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arguments(run)
     _add_workload_arguments(run)
     run.add_argument("--scheduler", default="reliability",
-                     choices=("random", "performance", "reliability"))
+                     choices=("random", "performance", "reliability",
+                              "modes"))
     run.add_argument("--rob-only", action="store_true",
                      help="use the 296-byte ROB-only counters")
     run.add_argument("--power", action="store_true",
@@ -133,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="advance the whole sweep as one cross-run "
                             "numpy batch (repro.batch); results are "
                             "byte-identical to the scalar engine")
+    sweep.add_argument("--modes", action="store_true",
+                       help="also run the protection-mode-aware "
+                            "scheduler (placement x none/DMR/checkpoint "
+                            "search) and report mode usage plus the "
+                            "uncore-extended per-component SSER "
+                            "breakdown")
     _add_runtime_arguments(sweep)
     sweep.set_defaults(func=commands.cmd_sweep)
 
@@ -298,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sharded-campaign partition/resume "
                             "equivalence cases (random per-shard log "
                             "cuts + store corruption)")
+    check.add_argument("--mode-cases", type=int, default=2,
+                       help="protection-mode scheduler cases: mode "
+                            "model conservation, checker-slot "
+                            "legality, trace replay, and mode=none "
+                            "equivalence vs the placement-only "
+                            "scheduler")
     check.add_argument("--golden-dir", default="tests/golden",
                        help="golden regression corpus directory")
     check.add_argument("--update-goldens", action="store_true",
@@ -392,7 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--scheduler", default="reliability",
                          choices=("performance", "reliability",
-                                  "constrained"))
+                                  "constrained", "modes"))
     explain.add_argument("--max-stp-loss", type=float, default=0.05,
                          help="STP-loss bound for the constrained "
                               "scheduler")

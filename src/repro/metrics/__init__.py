@@ -10,10 +10,12 @@ from repro.metrics.performance import (
 from repro.metrics.reliability import (
     DEFAULT_IFR,
     ApplicationReliability,
+    SserBreakdown,
     avf,
     mttf,
     soft_error_rate,
     sser,
+    sser_breakdown,
     system_ser,
     weighted_ser,
 )
@@ -22,6 +24,7 @@ __all__ = [
     "DEFAULT_IFR",
     "ApplicationPerformance",
     "ApplicationReliability",
+    "SserBreakdown",
     "average_normalized_turnaround",
     "avf",
     "ipc",
@@ -29,6 +32,7 @@ __all__ = [
     "normalize_cpi_stack",
     "soft_error_rate",
     "sser",
+    "sser_breakdown",
     "system_ser",
     "system_throughput",
     "weighted_ser",

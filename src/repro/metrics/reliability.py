@@ -15,6 +15,7 @@ core), and ``IFR`` the intrinsic fault rate of a single bit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -115,7 +116,59 @@ def avf(ace_bit_cycles: float, total_bits: int, cycles: float) -> float:
 
 
 def mttf(ser: float) -> float:
-    """Mean time to failure: the reciprocal of the soft error rate."""
-    if ser <= 0:
-        raise ValueError("SER must be positive to define MTTF")
+    """Mean time to failure: the reciprocal of the soft error rate.
+
+    A zero SER -- reachable when every application runs fully
+    protected, or when a run accumulates no ACE bits at all -- means
+    the system never fails, so MTTF is infinite rather than an error.
+    """
+    if ser < 0:
+        raise ValueError("SER must be non-negative to define MTTF")
+    if ser == 0:
+        return math.inf
     return 1.0 / ser
+
+
+@dataclass(frozen=True)
+class SserBreakdown:
+    """Per-component SSER decomposition (cf. ``PowerBreakdown``).
+
+    Each field is the summed wSER contribution of one hardware
+    component class across all applications in the mix, in errors per
+    second.  ``chip_sser`` is their total: the uncore-extended SSER.
+    """
+
+    core_sser: float
+    l2_sser: float
+    l3_sser: float
+
+    @property
+    def uncore_sser(self) -> float:
+        return self.l2_sser + self.l3_sser
+
+    @property
+    def chip_sser(self) -> float:
+        return self.core_sser + self.l2_sser + self.l3_sser
+
+
+def sser_breakdown(
+    core_abcs: Sequence[float],
+    l2_abcs: Sequence[float],
+    l3_abcs: Sequence[float],
+    reference_times_seconds: Sequence[float],
+    ifr: float = DEFAULT_IFR,
+) -> SserBreakdown:
+    """Component-wise SSER from per-application ABC sequences.
+
+    Applies Equation 3 separately per component: each application's
+    component ABC is weighted by the same isolated reference time used
+    for its core wSER, so the components sum to a consistent chip SSER.
+    """
+    n = len(reference_times_seconds)
+    if not len(core_abcs) == len(l2_abcs) == len(l3_abcs) == n:
+        raise ValueError("need one ABC of each component per application")
+    return SserBreakdown(
+        core_sser=system_ser(core_abcs, reference_times_seconds, ifr),
+        l2_sser=system_ser(l2_abcs, reference_times_seconds, ifr),
+        l3_sser=system_ser(l3_abcs, reference_times_seconds, ifr),
+    )

@@ -54,6 +54,7 @@ __all__ = [
     "QuantumRecord",
     "ReplayError",
     "SwapCandidate",
+    "apply_moves",
     "decompose_swaps",
     "format_trace",
     "read_trace",
@@ -89,6 +90,13 @@ class SwapCandidate:
     accepted: bool
     forced: bool = False
     reason: str = ""
+    #: ``"swap"`` for placement pair-swaps (and whole-assignment
+    #: comparisons); ``"mode"`` for protection-mode changes, where
+    #: ``mover`` is the application, ``partner`` is -1 and ``mode`` is
+    #: the candidate mode key.  Replay treats the kinds separately:
+    #: mode candidates never move cores.
+    kind: str = "swap"
+    mode: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -106,6 +114,8 @@ class SwapCandidate:
             accepted=bool(data["accepted"]),
             forced=bool(data.get("forced", False)),
             reason=str(data.get("reason", "")),
+            kind=str(data.get("kind", "swap")),
+            mode=str(data.get("mode", "")),
         )
 
 
@@ -140,9 +150,10 @@ class QuantumRecord:
     before: tuple[int, ...]
     after: tuple[int, ...]
     candidates: tuple[SwapCandidate, ...] = ()
-    #: Transposition decomposition of the before -> after permutation:
-    #: applying these (app_a, app_b) swaps to ``before`` in order yields
-    #: ``after`` exactly.
+    #: Move decomposition of before -> after: (app_a, app_b) swaps,
+    #: plus (-(app + 1), core) rebinds on spare-core machines (see
+    #: :func:`decompose_swaps`); applying them to ``before`` in order
+    #: yields ``after`` exactly.
     moves: tuple[tuple[int, int], ...] = ()
     #: (app, objective_on_big, objective_on_small) estimates the
     #: decision was based on (empty during initial sampling).
@@ -150,6 +161,9 @@ class QuantumRecord:
     stale: tuple[int, ...] = ()
     sampling_swaps: tuple[tuple[int, int], ...] = ()
     segments: tuple[SegmentRecord, ...] = ()
+    #: Per-application protection-mode keys in force during this
+    #: quantum (empty for mode-unaware schedulers).
+    modes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -164,6 +178,7 @@ class QuantumRecord:
             "stale": list(self.stale),
             "sampling_swaps": [list(s) for s in self.sampling_swaps],
             "segments": [s.to_dict() for s in self.segments],
+            "modes": list(self.modes),
         }
 
     @classmethod
@@ -191,6 +206,7 @@ class QuantumRecord:
             segments=tuple(
                 SegmentRecord.from_dict(s) for s in data.get("segments", ())
             ),
+            modes=tuple(str(m) for m in data.get("modes", ())),
         )
 
 
@@ -199,7 +215,7 @@ class QuantumRecord:
 #: CI diffs this against ``tests/fixtures/decision_trace_schema.json``
 #: so schema changes are an explicit, reviewed act.
 DECISION_TRACE_SCHEMA: dict[str, Any] = {
-    "version": 1,
+    "version": 2,
     "quantum_record": {
         f.name: str(f.type) for f in dataclasses.fields(QuantumRecord)
     },
@@ -223,13 +239,21 @@ DECISION_TRACE_SCHEMA: dict[str, Any] = {
 def decompose_swaps(
     before: Sequence[int], after: Sequence[int]
 ) -> tuple[tuple[int, int], ...]:
-    """Transpositions of application pairs turning ``before`` into
-    ``after`` (both are core permutations of the same multiset)."""
+    """Moves turning ``before`` into ``after``.
+
+    When both assignments use the same core multiset (the
+    fully-occupied case), the result is a pure transposition
+    decomposition: ``(app_a, app_b)`` pairs exchanging cores.  With
+    spare cores (mode-aware scheduling), an application may move to a
+    core nobody held; such moves are encoded as ``(-(app + 1), core)``
+    rebinds, which :func:`apply_moves` understands and which never
+    appear in fully-occupied traces.
+    """
     current = list(before)
     target = list(after)
-    if sorted(current) != sorted(target):
+    if len(current) != len(target):
         raise ReplayError(
-            f"assignments are not permutations of each other: "
+            f"assignments differ in length: "
             f"{tuple(before)} -> {tuple(after)}"
         )
     moves: list[tuple[int, int]] = []
@@ -237,10 +261,19 @@ def decompose_swaps(
         if current[i] == target[i]:
             continue
         j = next(
-            k for k in range(i + 1, len(current)) if current[k] == target[i]
+            (
+                k
+                for k in range(i + 1, len(current))
+                if current[k] == target[i]
+            ),
+            None,
         )
-        current[i], current[j] = current[j], current[i]
-        moves.append((i, j))
+        if j is None:
+            current[i] = target[i]
+            moves.append((-(i + 1), target[i]))
+        else:
+            current[i], current[j] = current[j], current[i]
+            moves.append((i, j))
     return tuple(moves)
 
 
@@ -249,7 +282,10 @@ def apply_moves(
 ) -> tuple[int, ...]:
     cores = list(core_of)
     for a, b in moves:
-        cores[a], cores[b] = cores[b], cores[a]
+        if a < 0:
+            cores[-a - 1] = b
+        else:
+            cores[a], cores[b] = cores[b], cores[a]
     return tuple(cores)
 
 
@@ -280,6 +316,8 @@ class DecisionTraceRecorder:
         accepted: bool,
         forced: bool = False,
         reason: str = "",
+        kind: str = "swap",
+        mode: str = "",
     ) -> None:
         self._pending.append(
             SwapCandidate(
@@ -293,6 +331,8 @@ class DecisionTraceRecorder:
                 accepted=accepted,
                 forced=forced,
                 reason=reason,
+                kind=kind,
+                mode=mode,
             )
         )
 
@@ -308,6 +348,7 @@ class DecisionTraceRecorder:
         stale: Iterable[int] = (),
         sampling_swaps: Iterable[tuple[int, int]] = (),
         segments: Iterable[tuple[float, Sequence[int], bool]] = (),
+        modes: Iterable[str] = (),
     ) -> QuantumRecord:
         record = QuantumRecord(
             quantum=quantum,
@@ -328,6 +369,7 @@ class DecisionTraceRecorder:
                 )
                 for fraction, core_of, is_sampling in segments
             ),
+            modes=tuple(modes),
         )
         self._pending = []
         self.records.append(record)
@@ -397,7 +439,10 @@ def format_trace(
             verdict = "ACCEPTED" if cand.accepted else "rejected"
             if cand.forced:
                 verdict += " (forced)"
-            if cand.mover >= 0:
+            if cand.kind == "mode":
+                pair = f"mode app {cand.mover} -> {cand.mode}"
+                detail = f"delta={cand.delta_total:+.6g}"
+            elif cand.mover >= 0:
                 pair = f"swap app {cand.mover} <-> app {cand.partner}"
                 detail = (
                     f"delta={cand.delta_total:+.6g} "
@@ -417,6 +462,8 @@ def format_trace(
                 f"    stale={record.stale} "
                 f"sampling_swaps={record.sampling_swaps}"
             )
+        if record.modes and any(m != "none" for m in record.modes):
+            lines.append(f"    modes={record.modes}")
         for seg in record.segments:
             tag = "sampling" if seg.is_sampling else "main"
             lines.append(

@@ -16,13 +16,29 @@ from repro.sched.random_sched import RandomScheduler
 from repro.sched.reliability import ReliabilityScheduler
 from repro.sched.sampling import CoreTypeSample, SamplingScheduler
 from repro.sched.variants import ExhaustiveReliabilityScheduler, RawSerScheduler
+from repro.sched.modes import (
+    MODES,
+    ModeAwareReliabilityScheduler,
+    ModeOutcome,
+    ModeSchedule,
+    ProtectionMode,
+    apply_modes,
+    parse_mode,
+)
 
 __all__ = [
     "Assignment",
     "ConstrainedReliabilityScheduler",
     "CoreTypeSample",
     "ExhaustiveReliabilityScheduler",
+    "MODES",
+    "ModeAwareReliabilityScheduler",
+    "ModeOutcome",
+    "ModeSchedule",
     "Observation",
+    "ProtectionMode",
+    "apply_modes",
+    "parse_mode",
     "OversubscribedReliabilityScheduler",
     "PARKED",
     "PerformanceScheduler",

@@ -124,13 +124,15 @@ class Observation:
         return self.measured_abc_seconds / self.duration_seconds
 
     @property
-    def l3_mpki(self) -> float:
+    def l3_apki(self) -> float:
+        """L3 *accesses* per kilo-instruction (not misses)."""
         if self.instructions <= 0:
             return 0.0
         return 1000.0 * self.l3_accesses / self.instructions
 
     @property
-    def dram_mpki(self) -> float:
+    def dram_apki(self) -> float:
+        """DRAM *accesses* per kilo-instruction (not misses)."""
         if self.instructions <= 0:
             return 0.0
         return 1000.0 * self.dram_accesses / self.instructions
@@ -154,8 +156,13 @@ class Scheduler(abc.ABC):
     #: Whether this scheduler supports more applications than cores.
     supports_oversubscription = False
 
+    #: Whether this scheduler insists on one application per core.
+    #: Mode-aware schedulers relax this: a DMR checker occupies a
+    #: small-core slot, so fewer applications than cores is legal.
+    requires_full_occupancy = True
+
     def __init__(self, machine: MachineConfig, num_apps: int):
-        if num_apps < machine.num_cores:
+        if num_apps < machine.num_cores and self.requires_full_occupancy:
             raise ValueError(
                 f"need at least one application per core: "
                 f"{num_apps} applications vs {machine.num_cores} cores"

@@ -1,0 +1,544 @@
+"""Protection modes: (placement x protection) scheduling and accounting.
+
+The paper's scheduler only decides *where* an application runs.  This
+module extends the action space with *how* the application is
+protected, following the taxonomy of heterogeneous reliability modes
+(Prabakaran et al.):
+
+* ``none`` -- unprotected execution, today's behavior.
+* ``dmr`` -- dual-modular redundancy: a MEEK-style checker replica
+  runs on a dedicated small core, comparing retirement streams.  The
+  checker consumes a small-core slot, slows the leader by a fixed
+  lock-step factor, and suppresses the app's SER by the detection
+  coverage; the checker's own comparison state contributes a small
+  residual ACE term.
+* ``checkpoint@N`` -- periodic checkpointing every ``N`` scheduler
+  quanta: detected-error re-execution costs a fixed per-checkpoint
+  overhead, and errors striking between a checkpoint and the output
+  commit window still escape, so the residual SER shrinks with the
+  interval while the slowdown grows.  Checkpoint storage holds live
+  architectural state and adds its own ACE term.
+
+Each mode has a performance (slowdown), reliability (residual +
+protection-state ABC) and power model built from the same constants
+the scheduler optimizes over, so post-hoc accounting can recompute
+the scheduler's objective exactly -- that identity is the
+``mode_model_conservation`` invariant checked by ``repro check``.
+
+:class:`ModeAwareReliabilityScheduler` extends the greedy SSER swap
+search (Algorithm 1) with a second phase per quantum: after placement
+pair-swaps converge, it greedily applies the single best mode change
+while the extended (uncore-aware) objective keeps improving past the
+same hysteresis threshold.  The phases are sequential, so the final
+extended objective is never worse than the placement-only one -- a
+property the test suite checks -- and with ``allowed_modes=("none",)``
+the mode phase is skipped entirely, reproducing the unprotected
+scheduler byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.ace.uncore import l2_abc_rate, l3_abc_rate_estimate, uncore_abc
+from repro.config.machines import BIG, MachineConfig, MemoryConfig
+from repro.metrics.reliability import DEFAULT_IFR, weighted_ser
+from repro.obs import metrics as obs_metrics
+from repro.power.model import SMALL_EPI_J, SMALL_STATIC_W
+from repro.sched.base import Assignment
+from repro.sched.reliability import ReliabilityScheduler
+from repro.sched.sampling import DEFAULT_SWAP_THRESHOLD
+
+if TYPE_CHECKING:  # annotation-only; avoids a repro.sim import cycle
+    from repro.sim.results import RunResult
+
+# -- mode model constants ------------------------------------------------
+
+#: Fraction of soft errors the DMR checker detects (sphere of
+#: replication excludes the shared memory hierarchy, so coverage is
+#: high but not perfect).
+DMR_COVERAGE = 0.99
+
+#: Lock-step slowdown of the DMR leader.  Deliberately a constant (not
+#: a sampled big/small performance ratio) so the scheduler's objective
+#: and the post-hoc accounting use the identical model.
+DMR_SLOWDOWN = 1.05
+
+#: Comparison/fingerprint state held by the checker (bits): 2 KiB.
+DMR_CHECKER_STATE_BITS = 8 * 2 * 1024
+
+#: Fraction of errors a checkpoint/restore pair recovers.
+CHECKPOINT_COVERAGE = 0.95
+
+#: Time to take one checkpoint (seconds).
+CHECKPOINT_COST_SECONDS = 50e-6
+
+#: Output-commit window: detected errors older than this have already
+#: externalized and cannot be rolled back.
+OUTPUT_COMMIT_WINDOW_SECONDS = 20e-3
+
+#: Live architectural state held in checkpoint storage (bits): 64 KiB.
+CHECKPOINT_STORAGE_BITS = 8 * 64 * 1024
+
+#: Energy per checkpoint write (joules).
+CHECKPOINT_WRITE_J = 1e-6
+
+#: Checkpoint intervals offered to the scheduler, in quanta.
+CHECKPOINT_INTERVALS_QUANTA = (2, 10, 50)
+
+
+@dataclass(frozen=True)
+class ProtectionMode:
+    """One point in the protection action space.
+
+    Attributes:
+        key: stable identifier (``"none"``, ``"dmr"``,
+            ``"checkpoint@N"``).
+        kind: ``"none"``, ``"dmr"`` or ``"checkpoint"``.
+        interval_quanta: checkpoint interval; 0 for other kinds.
+    """
+
+    key: str
+    kind: str
+    interval_quanta: int = 0
+
+
+MODE_NONE = ProtectionMode("none", "none")
+MODE_DMR = ProtectionMode("dmr", "dmr")
+
+#: Every mode the scheduler may choose from, keyed by ``key``.
+MODES: dict[str, ProtectionMode] = {
+    MODE_NONE.key: MODE_NONE,
+    MODE_DMR.key: MODE_DMR,
+}
+for _n in CHECKPOINT_INTERVALS_QUANTA:
+    _m = ProtectionMode(f"checkpoint@{_n}", "checkpoint", _n)
+    MODES[_m.key] = _m
+del _m, _n
+
+
+def parse_mode(key: str) -> ProtectionMode:
+    """The :class:`ProtectionMode` named by ``key``."""
+    try:
+        return MODES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown protection mode {key!r}; "
+            f"expected one of {sorted(MODES)}"
+        ) from None
+
+
+# -- mode models ---------------------------------------------------------
+
+
+def slowdown_factor(mode: ProtectionMode, quantum_seconds: float) -> float:
+    """Execution-time multiplier of running under ``mode`` (>= 1)."""
+    if mode.kind == "none":
+        return 1.0
+    if mode.kind == "dmr":
+        return DMR_SLOWDOWN
+    interval_seconds = mode.interval_quanta * quantum_seconds
+    return 1.0 + CHECKPOINT_COST_SECONDS / interval_seconds
+
+
+def residual_factor(mode: ProtectionMode, quantum_seconds: float) -> float:
+    """Fraction of the app's raw SER that escapes ``mode`` (in [0, 1]).
+
+    DMR leaves the uncovered fraction.  Checkpointing leaves the
+    uncovered fraction plus the covered errors that strike within one
+    checkpoint interval of the output commit window -- short intervals
+    roll back almost everything, long intervals let most covered
+    errors externalize before the next checkpoint.
+    """
+    if mode.kind == "none":
+        return 1.0
+    if mode.kind == "dmr":
+        return 1.0 - DMR_COVERAGE
+    interval_seconds = mode.interval_quanta * quantum_seconds
+    escape = interval_seconds / (
+        interval_seconds + OUTPUT_COMMIT_WINDOW_SECONDS
+    )
+    return (1.0 - CHECKPOINT_COVERAGE) + CHECKPOINT_COVERAGE * escape
+
+
+def protection_abc_rate(mode: ProtectionMode) -> float:
+    """ACE bits per second of protection state added by ``mode``.
+
+    The DMR checker's comparison state only matters for the residual
+    (undetected) error fraction; checkpoint storage is fully ACE --
+    a flipped checkpoint silently corrupts the next restore.
+    """
+    if mode.kind == "none":
+        return 0.0
+    if mode.kind == "dmr":
+        return (1.0 - DMR_COVERAGE) * DMR_CHECKER_STATE_BITS
+    return float(CHECKPOINT_STORAGE_BITS)
+
+
+def protection_power_watts(
+    mode: ProtectionMode,
+    quantum_seconds: float,
+    instructions_per_second: float = 0.0,
+) -> float:
+    """Average power added by ``mode`` while the application runs."""
+    if mode.kind == "none":
+        return 0.0
+    if mode.kind == "dmr":
+        return SMALL_STATIC_W + SMALL_EPI_J * instructions_per_second
+    interval_seconds = mode.interval_quanta * quantum_seconds
+    return CHECKPOINT_WRITE_J / interval_seconds
+
+
+# -- mode-aware scheduler ------------------------------------------------
+
+
+class ModeAwareReliabilityScheduler(ReliabilityScheduler):
+    """Greedy (placement x protection-mode) SSER minimization.
+
+    Runs Algorithm 1's placement pair-swap search unchanged, then a
+    mode phase: repeatedly apply the single best mode change while it
+    improves the uncore-extended objective past the same relative
+    hysteresis threshold.  DMR requires the app to sit on a big core
+    and a free small core to host the checker; a DMR'd app and its
+    checker core are pinned until the mode is dropped.
+    """
+
+    requires_full_occupancy = False
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        num_apps: int,
+        swap_threshold: float = DEFAULT_SWAP_THRESHOLD,
+        allowed_modes: Sequence[str] | None = None,
+    ):
+        super().__init__(machine, num_apps, swap_threshold)
+        keys = tuple(allowed_modes) if allowed_modes is not None else tuple(MODES)
+        self.allowed_modes = tuple(parse_mode(k) for k in keys)
+        if MODE_NONE not in self.allowed_modes:
+            raise ValueError('allowed_modes must include "none"')
+        self._mode_of: list[ProtectionMode] = [MODE_NONE] * num_apps
+        self._checker_core_of: dict[int, int] = {}
+        self._mode_quanta: list[dict[str, int]] = [{} for _ in range(num_apps)]
+        #: Per executed quantum: (per-app mode keys, active checker cores).
+        self.mode_history: list[tuple[tuple[str, ...], frozenset[int]]] = []
+
+    # -- hooks consumed by the base sampling machinery -------------------
+
+    def _blocked_cores(self) -> frozenset[int]:
+        return frozenset(self._checker_core_of.values())
+
+    def _swap_locked(self) -> frozenset[int]:
+        return frozenset(
+            i for i, m in enumerate(self._mode_of) if m.kind == "dmr"
+        )
+
+    def _mode_keys(self) -> tuple[str, ...]:
+        return tuple(m.key for m in self._mode_of)
+
+    # -- extended objective ----------------------------------------------
+
+    def mode_objective(
+        self, app_index: int, core_type: str, mode: ProtectionMode
+    ) -> float:
+        """Estimated uncore-extended wSER of (core type, mode).
+
+        The placement objective (:meth:`objective_value`) covers core
+        ACE only; mode decisions also weigh the L2/L3 residency terms
+        (identical across modes' residual scaling) and the mode's own
+        slowdown, residual and protection-state ABC.
+        """
+        sample = self.sample(app_index, core_type)
+        reference = self.sample(app_index, BIG)
+        assert sample is not None and reference is not None
+        ips = sample.instructions_per_second
+        if ips <= 0:
+            return 0.0
+        memory = self.machine.memory
+        uncore_rate = l2_abc_rate(memory) + l3_abc_rate_estimate(
+            memory, sample.l3_apki / 1000.0 * ips
+        )
+        quantum = self.machine.quantum_seconds
+        slow = slowdown_factor(mode, quantum)
+        residual = residual_factor(mode, quantum)
+        seconds_per_ref_second = (
+            slow / ips * reference.instructions_per_second
+        )
+        protected = residual * (sample.abc_per_second + uncore_rate)
+        protection = protection_abc_rate(mode)
+        return (protected + protection) * seconds_per_ref_second
+
+    # -- optimization ----------------------------------------------------
+
+    def _optimize(self, assignment: Assignment) -> Assignment:
+        assignment = super()._optimize(assignment)
+        if len(self.allowed_modes) > 1:
+            self._optimize_modes(assignment)
+        return assignment
+
+    def _free_small_cores(self, assignment: Assignment) -> list[int]:
+        occupied = set(c for c in assignment.core_of if c >= 0)
+        occupied.update(self._checker_core_of.values())
+        return [
+            c
+            for c in range(self.machine.big_cores, self.machine.num_cores)
+            if c not in occupied
+        ]
+
+    def _legal_modes(
+        self, app_index: int, assignment: Assignment
+    ) -> list[ProtectionMode]:
+        current = self._mode_of[app_index]
+        legal = []
+        for mode in self.allowed_modes:
+            if mode == current:
+                continue
+            if mode.kind == "dmr":
+                on_big = (
+                    assignment.core_type_of(app_index, self.machine) == BIG
+                )
+                if not on_big or not self._free_small_cores(assignment):
+                    continue
+            legal.append(mode)
+        return legal
+
+    def _optimize_modes(self, assignment: Assignment) -> None:
+        """Greedy single-best mode changes until none clears hysteresis."""
+        max_rounds = self.num_apps * len(self.allowed_modes)
+        for _ in range(max_rounds):
+            type_of = {
+                i: assignment.core_type_of(i, self.machine)
+                for i in range(self.num_apps)
+            }
+            current = {
+                i: self.mode_objective(i, type_of[i], self._mode_of[i])
+                for i in range(self.num_apps)
+            }
+            total = sum(abs(v) for v in current.values())
+            threshold = self.swap_threshold * total
+            best: tuple[int, ProtectionMode] | None = None
+            best_delta = 0.0
+            for i in range(self.num_apps):
+                for mode in self._legal_modes(i, assignment):
+                    delta = (
+                        self.mode_objective(i, type_of[i], mode) - current[i]
+                    )
+                    if best is None or delta < best_delta:
+                        best = (i, mode)
+                        best_delta = delta
+            if best is None:
+                return
+            app, mode = best
+            accepted = best_delta < -threshold
+            if self.recorder is not None:
+                self.recorder.candidate(
+                    mover=app,
+                    partner=-1,
+                    delta_mover=best_delta,
+                    delta_partner=0.0,
+                    delta_total=best_delta,
+                    objective_total=total,
+                    threshold=threshold,
+                    accepted=accepted,
+                    kind="mode",
+                    mode=mode.key,
+                    reason=(
+                        "mode change clears swap threshold"
+                        if accepted
+                        else "mode change within swap hysteresis"
+                    ),
+                )
+            reg = obs_metrics.ACTIVE
+            if reg is not None:
+                reg.counter(
+                    "sched.mode_candidates",
+                    outcome="accepted" if accepted else "rejected",
+                ).inc()
+            if not accepted:
+                return
+            self._set_mode(app, mode, assignment)
+
+    def _set_mode(
+        self, app_index: int, mode: ProtectionMode, assignment: Assignment
+    ) -> None:
+        if self._mode_of[app_index].kind == "dmr":
+            self._checker_core_of.pop(app_index, None)
+        if mode.kind == "dmr":
+            free = self._free_small_cores(assignment)
+            assert free, "DMR legality checked before acceptance"
+            self._checker_core_of[app_index] = free[0]
+        self._mode_of[app_index] = mode
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def plan_quantum(self, quantum_index: int):
+        plan = super().plan_quantum(quantum_index)
+        for i, mode in enumerate(self._mode_of):
+            counts = self._mode_quanta[i]
+            counts[mode.key] = counts.get(mode.key, 0) + 1
+        self.mode_history.append(
+            (self._mode_keys(), frozenset(self._checker_core_of.values()))
+        )
+        return plan
+
+    def mode_schedule(self) -> "ModeSchedule":
+        """The per-app mode dwell counts accumulated so far."""
+        return ModeSchedule(
+            quanta_by_app=tuple(dict(c) for c in self._mode_quanta),
+            quantum_seconds=self.machine.quantum_seconds,
+        )
+
+
+# -- post-hoc accounting -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModeSchedule:
+    """How many quanta each application spent in each protection mode."""
+
+    quanta_by_app: tuple[Mapping[str, int], ...]
+    quantum_seconds: float
+
+    def weights(self, app_index: int) -> dict[str, float]:
+        """Mode dwell-time weights for one app (sum to 1)."""
+        counts = self.quanta_by_app[app_index]
+        total = sum(counts.values())
+        if total <= 0:
+            return {MODE_NONE.key: 1.0}
+        return {key: n / total for key, n in counts.items() if n > 0}
+
+
+@dataclass(frozen=True)
+class ModedApp:
+    """Protection-mode accounting overlay for one application.
+
+    Attributes:
+        name: application name.
+        weights: mode-key -> fraction of quanta spent in that mode.
+        protected_abc_seconds: residual (escaping) ACE bit-seconds of
+            the app's own core + uncore state under the mode mix.
+        protection_abc_seconds: ACE bit-seconds added by protection
+            state (checker fingerprints, checkpoint storage).
+        moded_time_seconds: execution time including mode slowdowns.
+        moded_wser: weighted SER (Equation 2) of the protected app.
+        protection_power_watts: average added power while running.
+    """
+
+    name: str
+    weights: Mapping[str, float]
+    protected_abc_seconds: float
+    protection_abc_seconds: float
+    moded_time_seconds: float
+    moded_wser: float
+    protection_power_watts: float
+
+
+@dataclass(frozen=True)
+class ModeOutcome:
+    """Mode-overlay accounting of a full run."""
+
+    apps: tuple[ModedApp, ...]
+
+    @property
+    def moded_sser(self) -> float:
+        return sum(app.moded_wser for app in self.apps)
+
+    @property
+    def protection_power_watts(self) -> float:
+        return sum(app.protection_power_watts for app in self.apps)
+
+
+def apply_modes(
+    result: RunResult,
+    schedule: ModeSchedule,
+    memory: "MemoryConfig",
+    ifr: float = DEFAULT_IFR,
+) -> ModeOutcome:
+    """Overlay a mode schedule onto a completed run's accounting.
+
+    Uses exactly the constants the scheduler optimized over: per mode
+    ``m`` with dwell weight ``w_m``, the app's raw core + uncore ABC
+    is scaled by ``w_m * residual(m) * slowdown(m)`` (slower execution
+    holds state longer), protection state accrues at
+    ``protection_abc_rate(m)`` over the slowed on-core time, and
+    execution time stretches by the weighted slowdown.  The
+    ``mode_model_conservation`` invariant recomputes this identity.
+    """
+    uncore = uncore_abc(result, memory)
+    quantum = schedule.quantum_seconds
+    moded = []
+    for index, app in enumerate(result.apps):
+        weights = schedule.weights(index)
+        raw_abc = (
+            app.abc_seconds
+            + uncore[index].l2_abc_seconds
+            + uncore[index].l3_abc_seconds
+        )
+        on_core = app.time_big_seconds + app.time_small_seconds
+        ips = app.instructions / app.time_seconds if app.time_seconds > 0 else 0.0
+        protected = 0.0
+        protection = 0.0
+        slow_mix = 0.0
+        power = 0.0
+        for key, w in weights.items():
+            mode = parse_mode(key)
+            slow = slowdown_factor(mode, quantum)
+            protected += w * residual_factor(mode, quantum) * slow * raw_abc
+            protection += w * protection_abc_rate(mode) * slow * on_core
+            slow_mix += w * slow
+            power += w * protection_power_watts(mode, quantum, ips)
+        moded.append(
+            ModedApp(
+                name=app.name,
+                weights=weights,
+                protected_abc_seconds=protected,
+                protection_abc_seconds=protection,
+                moded_time_seconds=app.time_seconds * slow_mix,
+                moded_wser=weighted_ser(
+                    protected + protection, app.reference_time_seconds, ifr
+                ),
+                protection_power_watts=power,
+            )
+        )
+    return ModeOutcome(apps=tuple(moded))
+
+
+def format_mode_usage(schedule: ModeSchedule, names: Sequence[str]) -> str:
+    """Human-readable per-app mode dwell table."""
+    lines = ["app              mode mix"]
+    for index, name in enumerate(names):
+        weights = schedule.weights(index)
+        mix = ", ".join(
+            f"{key}={weights[key]:.0%}" for key in sorted(weights)
+        )
+        lines.append(f"{name:<16} {mix}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CHECKPOINT_COST_SECONDS",
+    "CHECKPOINT_COVERAGE",
+    "CHECKPOINT_INTERVALS_QUANTA",
+    "CHECKPOINT_STORAGE_BITS",
+    "CHECKPOINT_WRITE_J",
+    "DMR_CHECKER_STATE_BITS",
+    "DMR_COVERAGE",
+    "DMR_SLOWDOWN",
+    "MODES",
+    "MODE_DMR",
+    "MODE_NONE",
+    "ModeAwareReliabilityScheduler",
+    "ModeOutcome",
+    "ModeSchedule",
+    "ModedApp",
+    "OUTPUT_COMMIT_WINDOW_SECONDS",
+    "ProtectionMode",
+    "apply_modes",
+    "format_mode_usage",
+    "parse_mode",
+    "protection_abc_rate",
+    "protection_power_watts",
+    "residual_factor",
+    "slowdown_factor",
+]

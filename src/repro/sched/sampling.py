@@ -105,6 +105,26 @@ class SamplingScheduler(Scheduler):
         guaranteed to have samples when this is called.
         """
 
+    # -- mode-aware hooks ------------------------------------------------
+    #
+    # Mode-aware subclasses dedicate cores to protection duties (a DMR
+    # checker occupies a small-core slot) and pin protected apps in
+    # place.  The base scheduler consults these hooks so its placement
+    # machinery never touches reserved cores or pinned applications;
+    # the empty defaults leave base behavior byte-identical.
+
+    def _blocked_cores(self) -> frozenset[int]:
+        """Cores reserved by protection modes (never host an app)."""
+        return frozenset()
+
+    def _swap_locked(self) -> frozenset[int]:
+        """Apps pinned by their protection mode (never swapped)."""
+        return frozenset()
+
+    def _mode_keys(self) -> tuple[str, ...]:
+        """Per-app protection-mode keys for decision-trace records."""
+        return ()
+
     # -- sample access ---------------------------------------------------
 
     def sample(self, app_index: int, core_type: str) -> CoreTypeSample | None:
@@ -175,6 +195,7 @@ class SamplingScheduler(Scheduler):
                     (p.fraction, p.assignment.core_of, p.is_sampling)
                     for p in plan
                 ),
+                modes=self._mode_keys(),
             )
         return plan
 
@@ -191,10 +212,15 @@ class SamplingScheduler(Scheduler):
         need_small = [
             i for i in range(self.num_apps) if (i, SMALL) not in self._samples
         ]
-        big_slots = list(range(self.machine.big_cores))
-        small_slots = list(
-            range(self.machine.big_cores, self.machine.num_cores)
-        )
+        blocked = self._blocked_cores()
+        big_slots = [
+            c for c in range(self.machine.big_cores) if c not in blocked
+        ]
+        small_slots = [
+            c
+            for c in range(self.machine.big_cores, self.machine.num_cores)
+            if c not in blocked
+        ]
         core_of: dict[int, int] = {}
         for app in need_big:
             if big_slots:
@@ -222,7 +248,7 @@ class SamplingScheduler(Scheduler):
         the (app, partner) swaps performed, in order.
         """
         sampling = assignment
-        used: set[int] = set()
+        used: set[int] = set(self._swap_locked())
         swaps: list[tuple[int, int]] = []
         for app in sorted(stale, key=lambda i: -self._consecutive[i]):
             if app in used:
@@ -249,6 +275,7 @@ class SamplingScheduler(Scheduler):
             i: assignment.core_type_of(i, self.machine)
             for i in range(self.num_apps)
         }
+        locked = self._swap_locked()
         swapped = True
         rounds = 0
         while swapped and rounds < self.num_apps:
@@ -259,8 +286,16 @@ class SamplingScheduler(Scheduler):
                 - self.objective_value(i, type_of[i])
                 for i in range(self.num_apps)
             }
-            on_big = [i for i in range(self.num_apps) if type_of[i] == BIG]
-            on_small = [i for i in range(self.num_apps) if type_of[i] == SMALL]
+            on_big = [
+                i
+                for i in range(self.num_apps)
+                if type_of[i] == BIG and i not in locked
+            ]
+            on_small = [
+                i
+                for i in range(self.num_apps)
+                if type_of[i] == SMALL and i not in locked
+            ]
             if not on_big or not on_small:
                 break
             mover = min(on_big + on_small, key=lambda i: deltas[i])
@@ -314,8 +349,8 @@ class SamplingScheduler(Scheduler):
             self._samples[(obs.app_index, obs.core_type)] = CoreTypeSample(
                 instructions_per_second=obs.instructions_per_second,
                 abc_per_second=obs.abc_per_second,
-                l3_apki=obs.l3_mpki,
-                dram_apki=obs.dram_mpki,
+                l3_apki=obs.l3_apki,
+                dram_apki=obs.dram_apki,
                 branch_mpki=obs.branch_mpki,
                 age_quanta=0,
             )

@@ -607,8 +607,8 @@ class OpenSystem:
             job.samples[core_type] = CoreTypeSample(
                 instructions_per_second=observation.instructions_per_second,
                 abc_per_second=observation.abc_per_second,
-                l3_apki=observation.l3_mpki,
-                dram_apki=observation.dram_mpki,
+                l3_apki=observation.l3_apki,
+                dram_apki=observation.dram_apki,
                 branch_mpki=observation.branch_mpki,
                 age_quanta=0,
             )

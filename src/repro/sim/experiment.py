@@ -35,7 +35,15 @@ def make_scheduler(
         return PerformanceScheduler(machine, num_apps)
     if name == "reliability":
         return ReliabilityScheduler(machine, num_apps)
-    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}")
+    if name == "modes":
+        # Imported here: repro.sched.modes pulls in repro.ace, which
+        # imports back into repro.sched at package-init time.
+        from repro.sched.modes import ModeAwareReliabilityScheduler
+
+        return ModeAwareReliabilityScheduler(machine, num_apps)
+    raise ValueError(
+        f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES + ('modes',)}"
+    )
 
 
 def run_workload(

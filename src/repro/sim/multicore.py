@@ -82,7 +82,9 @@ class MulticoreSimulation:
                 stops accumulating at its completion -- the accounting
                 used for turnaround-time studies.
         """
-        if len(profiles) < machine.num_cores:
+        if len(profiles) < machine.num_cores and getattr(
+            scheduler, "requires_full_occupancy", True
+        ):
             raise ValueError(
                 f"{machine.name} needs at least {machine.num_cores} "
                 f"applications; got {len(profiles)}"

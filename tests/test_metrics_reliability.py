@@ -89,8 +89,22 @@ class TestAvfMttf:
 
     def test_mttf_reciprocal(self):
         assert mttf(0.01) == pytest.approx(100.0)
+
+    def test_mttf_zero_ser_is_infinite(self):
+        # Fully-protected apps make zero wSER reachable: never fails.
+        import math
+
+        assert mttf(0.0) == math.inf
+
+    def test_mttf_rejects_negative(self):
         with pytest.raises(ValueError):
-            mttf(0.0)
+            mttf(-1e-9)
+
+    def test_sser_of_empty_mix_is_zero(self):
+        assert sser([]) == 0.0
+        import math
+
+        assert mttf(sser([])) == math.inf
 
 
 class TestProperties:

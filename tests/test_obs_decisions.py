@@ -11,6 +11,7 @@ from repro.obs.decisions import (
     DecisionTraceRecorder,
     QuantumRecord,
     ReplayError,
+    apply_moves,
     decompose_swaps,
     format_trace,
     read_trace,
@@ -51,9 +52,16 @@ class TestDecompose:
             current[a], current[b] = current[b], current[a]
         assert tuple(current) == after
 
-    def test_non_permutation_rejected(self):
+    def test_rebind_to_free_core(self):
+        # A spare-core machine can move an app onto a core nobody held;
+        # that decomposes to a rebind move, not a swap.
+        moves = decompose_swaps((0, 1), (0, 2))
+        assert moves == ((-2, 2),)
+        assert apply_moves((0, 1), moves) == (0, 2)
+
+    def test_length_mismatch_rejected(self):
         with pytest.raises(ReplayError):
-            decompose_swaps((0, 1), (0, 2))
+            decompose_swaps((0, 1), (0, 1, 2))
 
 
 class TestRecordedRuns:
